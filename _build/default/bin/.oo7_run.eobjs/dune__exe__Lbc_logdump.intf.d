@@ -1,0 +1,1 @@
+bin/lbc_logdump.mli:

@@ -1,0 +1,1 @@
+bin/lbc_recover.ml: Arg Bytes Cmd Cmdliner Format Lbc_core Lbc_rvm Lbc_storage Lbc_wal List Term

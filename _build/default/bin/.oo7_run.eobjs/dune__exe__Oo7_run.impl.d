@@ -1,0 +1,1 @@
+bin/oo7_run.ml: Arg Cmd Cmdliner Database Filename Format Int64 Lbc_core Lbc_costmodel Lbc_dsm Lbc_oo7 Lbc_pheap Lbc_storage Lbc_wal List Logs Option Runner Schema String Sys Term Traversal Unix

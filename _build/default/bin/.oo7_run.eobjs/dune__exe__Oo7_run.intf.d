@@ -1,0 +1,1 @@
+bin/oo7_run.mli:

@@ -1,0 +1,181 @@
+(* Run one OO7 traversal on a simulated coherency cluster and report the
+   paper's measurements (updates, bytes, message bytes, pages, phase
+   breakdown).  Optionally dumps the devices for the offline tools. *)
+
+open Cmdliner
+open Lbc_oo7
+
+let save_devices dir store =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  List.iter
+    (fun name ->
+      match Lbc_storage.Store.find store name with
+      | None -> ()
+      | Some dev ->
+          let path = Filename.concat dir name in
+          let oc = open_out_bin path in
+          output_bytes oc (Lbc_storage.Dev.stable_snapshot dev);
+          close_out oc;
+          Format.printf "saved %s (%d bytes)@." path (Lbc_storage.Dev.stable_size dev))
+    (Lbc_storage.Store.names store)
+
+let run traversal config_name nodes protocol lazy_mode costs save debug =
+  if debug then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end;
+  let schema =
+    match config_name with
+    | "small" -> Schema.small
+    | "tiny" -> Schema.tiny
+    | other -> Format.eprintf "unknown config %S@." other; exit 2
+  in
+  let kind =
+    match Traversal.of_name traversal with
+    | Some k -> k
+    | None -> Format.eprintf "unknown traversal %S (try T1, T2-A .. T12-C)@." traversal; exit 2
+  in
+  let backend =
+    match String.lowercase_ascii protocol with
+    | "log" -> Lbc_dsm.Backend.Log
+    | "cpycmp" | "cpy-cmp" | "cpy/cmp" -> Lbc_dsm.Backend.Cpy_cmp
+    | "page" -> Lbc_dsm.Backend.Page
+    | other -> Format.eprintf "unknown protocol %S (log|cpycmp|page)@." other; exit 2
+  in
+  let config =
+    {
+      (if costs then Lbc_core.Config.measured else Lbc_core.Config.default) with
+      Lbc_core.Config.propagation =
+        (if lazy_mode then Lbc_core.Config.Lazy else Lbc_core.Config.Eager);
+      disk_logging = not costs;
+    }
+  in
+  let cluster = Runner.setup ~config ~nodes schema in
+  Format.printf "OO7 %s: %s config, %d nodes, %s protocol%s%s@."
+    (Traversal.name kind) config_name nodes
+    (Lbc_dsm.Backend.kind_name backend)
+    (if lazy_mode then ", lazy propagation" else "")
+    (if costs then ", costs charged" else "");
+  (match backend with
+  | Lbc_dsm.Backend.Log ->
+      let o = Runner.run ~cluster ~writer:0 schema kind in
+      let r = o.Runner.result and p = o.Runner.profile in
+      Format.printf
+        "visits: %d composite, %d atomic; %d field updates, %d index ops@."
+        r.Traversal.composite_visits r.Traversal.atomic_visits
+        r.Traversal.field_updates r.Traversal.index_ops;
+      Format.printf
+        "profile: %d updates, %d bytes updated, %d message bytes, %d pages@."
+        p.Lbc_costmodel.Model.updates p.Lbc_costmodel.Model.unique_bytes
+        p.Lbc_costmodel.Model.message_bytes p.Lbc_costmodel.Model.pages_updated;
+      Format.printf "writer virtual time: %.1f µs@." o.Runner.elapsed;
+      Format.printf "model phases: %a@." Lbc_costmodel.Phases.pp_ms
+        (Lbc_costmodel.Model.log_phases p)
+  | backend ->
+      (* Page-grained backends detect writes themselves; run the traversal
+         through a detection transaction. *)
+      let result = ref None in
+      Lbc_core.Cluster.spawn cluster ~node:0 (fun node ->
+          let txn = Lbc_dsm.Backend.Dtxn.begin_ node ~kind:backend in
+          Lbc_dsm.Backend.Dtxn.acquire txn Runner.lock;
+          let mem =
+            {
+              Lbc_pheap.Heap.read =
+                (fun ~offset ~len ->
+                  Lbc_dsm.Backend.Dtxn.read txn ~region:Runner.region ~offset ~len);
+              write =
+                (fun ~offset b ->
+                  Lbc_dsm.Backend.Dtxn.write txn ~region:Runner.region ~offset b);
+            }
+          in
+          let db = Database.attach_mem schema mem ~size:(Schema.region_size schema) in
+          let r = Traversal.run db kind in
+          let record = Lbc_dsm.Backend.Dtxn.commit txn in
+          result := Some (r, record, Lbc_dsm.Backend.Dtxn.stats txn));
+      Lbc_core.Cluster.run cluster;
+      let r, record, st = Option.get !result in
+      Format.printf
+        "visits: %d composite, %d atomic; %d field updates@."
+        r.Traversal.composite_visits r.Traversal.atomic_visits
+        r.Traversal.field_updates;
+      Format.printf
+        "detection: %d write faults, %d pages twinned, %d compared, %d shipped@."
+        st.Lbc_dsm.Backend.write_faults st.Lbc_dsm.Backend.pages_twinned
+        st.Lbc_dsm.Backend.pages_compared st.Lbc_dsm.Backend.pages_shipped;
+      Format.printf "record: %d ranges, %d payload bytes, %d wire bytes@."
+        (List.length record.Lbc_wal.Record.ranges)
+        (Lbc_wal.Record.ranges_bytes record)
+        (Lbc_core.Wire.size record));
+  (* Under lazy propagation peers are intentionally stale until they
+     acquire; pull the chains before checking convergence. *)
+  if lazy_mode then begin
+    for n = 0 to nodes - 1 do
+      Lbc_core.Cluster.spawn cluster ~node:n (fun node ->
+          let txn = Lbc_core.Node.Txn.begin_ node in
+          Lbc_core.Node.Txn.acquire txn Runner.lock;
+          Lbc_core.Node.Txn.commit txn)
+    done;
+    Lbc_core.Cluster.run cluster
+  end;
+  (* Verify convergence across the cluster. *)
+  let digest n =
+    Database.checksum
+      (Database.attach_node schema (Lbc_core.Cluster.node cluster n)
+         ~region:Runner.region)
+  in
+  let d0 = digest 0 in
+  let ok = ref true in
+  for n = 1 to nodes - 1 do
+    if not (Int64.equal d0 (digest n)) then begin
+      ok := false;
+      Format.printf "!! node %d cache diverged@." n
+    end
+  done;
+  if !ok then Format.printf "all %d caches converged (digest %Lx)@." nodes d0;
+  Format.printf "network: %d messages, %d bytes@."
+    (Lbc_core.Cluster.total_messages cluster)
+    (Lbc_core.Cluster.total_bytes cluster);
+  (match save with
+  | Some dir ->
+      (* Make log contents durable before snapshotting. *)
+      Lbc_storage.Store.sync_all (Lbc_core.Cluster.store cluster);
+      save_devices dir (Lbc_core.Cluster.store cluster)
+  | None -> ());
+  if not !ok then exit 1
+
+let traversal =
+  Arg.(value & opt string "T2-A" & info [ "t"; "traversal" ] ~docv:"NAME"
+         ~doc:"Traversal to run: T1, T6, T2-A/B/C, T3-A/B/C, T12-A/C.")
+
+let config_name =
+  Arg.(value & opt string "small" & info [ "c"; "config" ] ~docv:"CFG"
+         ~doc:"Database configuration: small (paper scale) or tiny.")
+
+let nodes =
+  Arg.(value & opt int 2 & info [ "n"; "nodes" ] ~doc:"Cluster size.")
+
+let protocol =
+  Arg.(value & opt string "log" & info [ "p"; "protocol" ]
+         ~doc:"Write detection: log, cpycmp or page.")
+
+let lazy_mode =
+  Arg.(value & flag & info [ "lazy" ] ~doc:"Lazy update propagation.")
+
+let costs =
+  Arg.(value & flag & info [ "costs" ]
+         ~doc:"Charge the paper's operation costs as virtual time.")
+
+let save =
+  Arg.(value & opt (some string) None & info [ "save" ] ~docv:"DIR"
+         ~doc:"Dump device images (logs, database) for the offline tools.")
+
+let debug =
+  Arg.(value & flag & info [ "debug" ] ~doc:"Trace coherency events.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "oo7-run" ~doc:"Run an OO7 traversal under log-based coherency")
+    Term.(const run $ traversal $ config_name $ nodes $ protocol $ lazy_mode
+          $ costs $ save $ debug)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/adaptive_editor.ml: Adaptive Backend Bytes Cluster Format Lbc_core Lbc_dsm Lbc_oo7 Lbc_sim Lbc_util Lbc_wal List Node Printf Report

@@ -1,0 +1,1 @@
+examples/cad_collab.ml: Array Bytes Cluster Config Format Lbc_core Lbc_sim Lbc_util Node

@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Bytes Cluster Format Int64 Lbc_core Lbc_rvm Lbc_sim Lbc_storage Lbc_wal List Node String

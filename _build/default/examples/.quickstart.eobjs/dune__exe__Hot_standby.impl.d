@@ -1,0 +1,1 @@
+examples/hot_standby.ml: Bytes Cluster Format Int64 Lbc_core Lbc_sim Lbc_storage Node

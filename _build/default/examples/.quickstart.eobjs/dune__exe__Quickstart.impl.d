@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cluster Format Int64 Lbc_core Lbc_rvm Lbc_sim Lbc_util Node

@@ -1,0 +1,79 @@
+(* Crash and recover: the recoverability half of the paper.
+
+   Two clients commit transactions against a shared region; client 0 then
+   "crashes" in the middle of a transaction (its updates are in its cache
+   but never committed).  We then crash all devices back to their stable
+   images and run the distributed recovery pipeline: merge the per-node
+   redo logs by lock sequence number and replay them into the database
+   file.  The recovered database contains every committed update from
+   both nodes — in the right order — and nothing from the torn
+   transaction.
+
+   Run with:  dune exec examples/crash_recovery.exe *)
+
+open Lbc_core
+
+let region = 0
+let lock = 0
+
+let committed_append node tag =
+  let txn = Node.Txn.begin_ node in
+  Node.Txn.acquire txn lock;
+  (* Slot 0 is a cursor; each transaction appends its tag after it. *)
+  let cursor = Int64.to_int (Node.Txn.get_u64 txn ~region ~offset:0) in
+  Node.Txn.write txn ~region ~offset:(8 + cursor) (Bytes.of_string tag);
+  Node.Txn.set_u64 txn ~region ~offset:0 (Int64.of_int (cursor + String.length tag));
+  Node.Txn.commit txn
+
+let () =
+  let cluster = Cluster.create ~nodes:2 () in
+  Cluster.add_region cluster ~id:region ~size:4096;
+  Cluster.map_region_all cluster ~region;
+  let step = Lbc_sim.Mailbox.create () in
+  Cluster.spawn cluster ~node:0 (fun node ->
+      committed_append node "alpha ";
+      Lbc_sim.Mailbox.send step ();
+      Lbc_sim.Mailbox.recv step;
+      committed_append node "gamma ";
+      (* ... and then node 0 dies mid-transaction: *)
+      let txn = Node.Txn.begin_ node in
+      Node.Txn.acquire txn lock;
+      Node.Txn.write txn ~region ~offset:2048 (Bytes.of_string "UNCOMMITTED");
+      Format.printf "[node 0] crashed with an open transaction@.");
+  Cluster.spawn cluster ~node:1 (fun node ->
+      Lbc_sim.Mailbox.recv step;
+      committed_append node "beta ";
+      Lbc_sim.Mailbox.send step ());
+  Cluster.run cluster;
+
+  Format.printf "committed history (node 1's cache): %S@."
+    (Bytes.to_string (Node.read (Cluster.node cluster 1) ~region ~offset:8 ~len:18));
+
+  (* Power failure: every device reverts to its stable image. *)
+  Lbc_storage.Store.crash_all (Cluster.store cluster);
+  Format.printf "@.-- power failure: all caches lost, disks at stable state --@.@.";
+
+  (* Recovery: merge the two logs (ordering by lock records) and replay. *)
+  (match Cluster.merged_records cluster with
+  | Error _ -> failwith "merge failed"
+  | Ok records ->
+      Format.printf "merged log order:@.";
+      List.iter
+        (fun (r : Lbc_wal.Record.txn) ->
+          let l = List.hd r.Lbc_wal.Record.locks in
+          Format.printf "  node %d tid %d  (lock %d seq %d)@."
+            r.Lbc_wal.Record.node r.Lbc_wal.Record.tid
+            l.Lbc_wal.Record.lock_id l.Lbc_wal.Record.seqno)
+        records);
+  let outcome = Cluster.recover_database cluster in
+  Format.printf "replayed %d committed transactions@."
+    outcome.Lbc_rvm.Recovery.records_replayed;
+
+  let dev = Cluster.region_dev cluster region in
+  let recovered = Lbc_storage.Dev.read dev ~off:8 ~len:17 in
+  Format.printf "recovered history: %S@." (Bytes.to_string recovered);
+  assert (Bytes.to_string recovered = "alpha beta gamma ");
+  (* The uncommitted write at 2048 never reached the database: the device
+     never even grew to cover it. *)
+  assert (Lbc_storage.Dev.size dev < 2048);
+  Format.printf "uncommitted bytes absent — atomicity held@."

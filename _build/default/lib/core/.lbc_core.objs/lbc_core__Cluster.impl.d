@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Array Config Hashtbl Lbc_net Lbc_rvm Lbc_sim Lbc_storage Lbc_wal List Merge Msg Node Option Printf

@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Config Lbc_net Lbc_rvm Lbc_sim Lbc_storage Lbc_wal Merge Node

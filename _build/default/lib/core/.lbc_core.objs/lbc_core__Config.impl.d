@@ -1,0 +1,1 @@
+lib/core/config.ml: Lbc_rvm Lbc_wal

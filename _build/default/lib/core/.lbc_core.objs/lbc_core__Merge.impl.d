@@ -1,0 +1,1 @@
+lib/core/merge.ml: Array Hashtbl Int Lbc_wal List Map Option Printf

@@ -1,0 +1,1 @@
+lib/core/node.ml: Bytes Config Hashtbl Int Lbc_costmodel Lbc_locks Lbc_rvm Lbc_sim Lbc_storage Lbc_wal List Logs Msg Option Set Wire

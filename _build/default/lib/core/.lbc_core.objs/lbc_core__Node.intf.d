@@ -1,0 +1,1 @@
+lib/core/node.mli: Bytes Config Lbc_locks Lbc_rvm Lbc_storage Lbc_wal Msg

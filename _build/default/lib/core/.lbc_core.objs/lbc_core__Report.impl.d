@@ -1,0 +1,1 @@
+lib/core/report.ml: Cluster Format Lbc_locks Lbc_rvm Lbc_wal Node Printf

@@ -1,0 +1,1 @@
+lib/core/wire.ml: Bytes Codec Lbc_util Lbc_wal List

@@ -1,0 +1,216 @@
+type region_info = {
+  size : int;
+  dev : Lbc_storage.Dev.t;
+  mutable mapped_by : int list;  (* nodes holding a cached copy *)
+}
+
+type t = {
+  engine : Lbc_sim.Engine.t;
+  config : Config.t;
+  fabric : Msg.t Lbc_net.Fabric.t;
+  store : Lbc_storage.Store.t;
+  nodes : Node.t array;
+  regions : (int, region_info) Hashtbl.t;
+  checkpointed : (int, int) Hashtbl.t;
+      (* per lock: highest write seq already replayed into the database by
+         an online checkpoint *)
+}
+
+let engine t = t.engine
+let config t = t.config
+let store t = t.store
+let size t = Array.length t.nodes
+
+let node t i =
+  if i < 0 || i >= Array.length t.nodes then
+    invalid_arg (Printf.sprintf "Cluster.node: no node %d" i);
+  t.nodes.(i)
+
+let create ?(config = Config.default) ?net_params ?disk ~nodes () =
+  if nodes <= 0 then invalid_arg "Cluster.create: nodes must be positive";
+  let net_params =
+    match net_params with
+    | Some p -> p
+    | None ->
+        if config.Config.charge_costs then Lbc_net.Params.an1
+        else Lbc_net.Params.instant
+  in
+  let disk =
+    match disk with
+    | Some d -> d
+    | None ->
+        if config.Config.charge_costs && config.Config.disk_logging then
+          Lbc_storage.Latency.osdi94_disk
+        else Lbc_storage.Latency.none
+  in
+  let engine = Lbc_sim.Engine.create () in
+  let fabric =
+    Lbc_net.Fabric.create ~params:net_params ~engine ~nodes ~size:Msg.size ()
+  in
+  let store = Lbc_storage.Store.create ~latency:disk () in
+  let regions = Hashtbl.create 4 in
+  let peers_with_region self region =
+    match Hashtbl.find_opt regions region with
+    | Some info -> List.filter (fun n -> n <> self) info.mapped_by
+    | None -> []
+  in
+  let cluster_nodes =
+    Array.init nodes (fun i ->
+        Node.create
+          {
+            Node.node_id = i;
+            nodes;
+            config;
+            send = (fun ~dst m -> Lbc_net.Fabric.send fabric ~src:i ~dst m);
+            multicast_send =
+              (fun ~dsts m -> Lbc_net.Fabric.broadcast fabric ~src:i ~dsts m);
+            peers_with_region = peers_with_region i;
+            log_dev = Lbc_storage.Store.open_dev store (Printf.sprintf "log.%d" i);
+          })
+  in
+  (* One dispatcher per peer channel, like the prototype's per-connection
+     receiver threads. *)
+  for n = 0 to nodes - 1 do
+    for p = 0 to nodes - 1 do
+      if p <> n then
+        Lbc_sim.Proc.spawn engine ~name:(Printf.sprintf "dispatch-%d<-%d" n p)
+          (fun () ->
+            while true do
+              let m = Lbc_net.Fabric.recv fabric ~dst:n ~src:p in
+              Node.handle cluster_nodes.(n) ~src:p m
+            done)
+    done
+  done;
+  {
+    engine;
+    config;
+    fabric;
+    store;
+    nodes = cluster_nodes;
+    regions;
+    checkpointed = Hashtbl.create 16;
+  }
+
+let region_info t id =
+  match Hashtbl.find_opt t.regions id with
+  | Some info -> info
+  | None -> invalid_arg (Printf.sprintf "Cluster: unknown region %d" id)
+
+let add_region t ~id ~size =
+  if Hashtbl.mem t.regions id then
+    invalid_arg (Printf.sprintf "Cluster.add_region: region %d exists" id);
+  let dev = Lbc_storage.Store.open_dev t.store (Printf.sprintf "region.%d" id) in
+  Hashtbl.add t.regions id { size; dev; mapped_by = [] }
+
+let region_dev t id = (region_info t id).dev
+let region_size t id = (region_info t id).size
+
+let map_region t ~node:n ~region =
+  let info = region_info t region in
+  let r = Node.map_region (node t n) ~id:region ~db:info.dev ~size:info.size in
+  if not (List.mem n info.mapped_by) then info.mapped_by <- n :: info.mapped_by;
+  r
+
+let map_region_all t ~region =
+  for n = 0 to size t - 1 do
+    ignore (map_region t ~node:n ~region)
+  done
+
+let spawn t ~node:n f =
+  let target = node t n in
+  Lbc_sim.Proc.spawn t.engine ~name:(Printf.sprintf "app-%d" n) (fun () ->
+      f target)
+
+let run ?until t = Lbc_sim.Engine.run ?until t.engine
+let now t = Lbc_sim.Engine.now t.engine
+let total_messages t = Lbc_net.Fabric.total_messages t.fabric
+let total_bytes t = Lbc_net.Fabric.total_bytes t.fabric
+
+let merged_records t =
+  Merge.merge_logs
+    (Array.to_list (Array.map (fun n -> Lbc_rvm.Rvm.log (Node.rvm n)) t.nodes))
+
+let recover_database t =
+  match merged_records t with
+  | Error (Merge.Unorderable why) ->
+      raise (Node.Coherency_error ("log merge failed: " ^ why))
+  | Ok records ->
+      Lbc_rvm.Recovery.replay_records records ~db_for_region:(fun id ->
+          Option.map (fun info -> info.dev) (Hashtbl.find_opt t.regions id))
+
+let online_checkpoint t =
+  let logs =
+    Array.to_list (Array.map (fun n -> Lbc_rvm.Rvm.log (Node.rvm n)) t.nodes)
+  in
+  let checkpointed lock =
+    Option.value ~default:0 (Hashtbl.find_opt t.checkpointed lock)
+  in
+  let prefix = Merge.merge_logs_prefix ~checkpointed logs in
+  (* Database first, then trim: the records must be durable in the
+     database before they disappear from the logs. *)
+  ignore
+    (Lbc_rvm.Recovery.replay_records prefix.Merge.ordered
+       ~db_for_region:(fun id ->
+         Option.map (fun info -> info.dev) (Hashtbl.find_opt t.regions id)));
+  List.iter
+    (fun (txn : Lbc_wal.Record.txn) ->
+      if txn.Lbc_wal.Record.ranges <> [] then
+        List.iter
+          (fun l ->
+            if l.Lbc_wal.Record.seqno > checkpointed l.Lbc_wal.Record.lock_id
+            then
+              Hashtbl.replace t.checkpointed l.Lbc_wal.Record.lock_id
+                l.Lbc_wal.Record.seqno)
+          txn.Lbc_wal.Record.locks)
+    prefix.Merge.ordered;
+  List.iter2
+    (fun log head -> if head > Lbc_wal.Log.head log then Lbc_wal.Log.set_head log head)
+    logs prefix.Merge.new_heads;
+  List.length prefix.Merge.ordered
+
+let checkpoint t =
+  Array.iter
+    (fun n ->
+      if Node.pending_count n > 0 then
+        raise
+          (Node.Coherency_error
+             (Printf.sprintf "checkpoint: node %d has pending records"
+                (Node.id n))))
+    t.nodes;
+  let records =
+    match merged_records t with
+    | Error (Merge.Unorderable why) ->
+        raise (Node.Coherency_error ("log merge failed: " ^ why))
+    | Ok records -> records
+  in
+  ignore
+    (Lbc_rvm.Recovery.replay_records records ~db_for_region:(fun id ->
+         Option.map (fun info -> info.dev) (Hashtbl.find_opt t.regions id)));
+  (* Advance the per-lock baseline so later incremental merges know these
+     writes are already durable in the database. *)
+  List.iter
+    (fun (txn : Lbc_wal.Record.txn) ->
+      if txn.Lbc_wal.Record.ranges <> [] then
+        List.iter
+          (fun l ->
+            let prev =
+              Option.value ~default:0
+                (Hashtbl.find_opt t.checkpointed l.Lbc_wal.Record.lock_id)
+            in
+            if l.Lbc_wal.Record.seqno > prev then
+              Hashtbl.replace t.checkpointed l.Lbc_wal.Record.lock_id
+                l.Lbc_wal.Record.seqno)
+          txn.Lbc_wal.Record.locks)
+    records;
+  let applied =
+    Hashtbl.fold (fun lock seq acc -> (lock, seq) :: acc) t.checkpointed []
+  in
+  Array.iter
+    (fun n ->
+      let log = Lbc_rvm.Rvm.log (Node.rvm n) in
+      Lbc_wal.Log.set_head log (Lbc_wal.Log.tail log);
+      Node.gc_retained n;
+      (* Bring stragglers (lazy mode) to the checkpointed state: their
+         chains are gone from the writers' retention. *)
+      Node.resync n ~applied)
+    t.nodes

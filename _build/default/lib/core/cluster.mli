@@ -1,0 +1,84 @@
+(** Assembly of a whole system: a simulated network fabric, a storage
+    service holding the database file and one log device per node (the
+    paper's central NFS server), and N coherency nodes with their message
+    dispatchers.
+
+    Usage pattern:
+    {[
+      let c = Cluster.create ~nodes:2 () in
+      Cluster.add_region c ~id:0 ~size:65536;
+      Cluster.map_region_all c ~region:0;
+      Cluster.spawn c ~node:0 (fun node -> ... transactions ...);
+      Cluster.run c
+    ]} *)
+
+type t
+
+val create :
+  ?config:Config.t ->
+  ?net_params:Lbc_net.Params.t ->
+  ?disk:Lbc_storage.Latency.t ->
+  nodes:int ->
+  unit ->
+  t
+(** Build a cluster.  When [net_params]/[disk] are omitted they follow
+    [config.charge_costs]: AN1 network and the OSDI-94 disk profile when
+    charging costs, free otherwise. *)
+
+val engine : t -> Lbc_sim.Engine.t
+val config : t -> Config.t
+val store : t -> Lbc_storage.Store.t
+val size : t -> int
+(** Number of nodes. *)
+
+val node : t -> int -> Node.t
+
+val add_region : t -> id:int -> size:int -> unit
+(** Create the region's database device on the storage service. *)
+
+val region_dev : t -> int -> Lbc_storage.Dev.t
+val region_size : t -> int -> int
+
+val map_region : t -> node:int -> region:int -> Lbc_rvm.Region.t
+(** Map the region on one node (reads the database image) and register the
+    node in the propagation directory. *)
+
+val map_region_all : t -> region:int -> unit
+
+val spawn : t -> node:int -> (Node.t -> unit) -> unit
+(** Start an application process on a node. *)
+
+val run : ?until:Lbc_sim.Engine.time -> t -> unit
+val now : t -> Lbc_sim.Engine.time
+
+(** {1 Traffic} *)
+
+val total_messages : t -> int
+val total_bytes : t -> int
+
+(** {1 Distributed recovery and trimming} *)
+
+val merged_records : t -> (Lbc_wal.Record.txn list, Merge.error) result
+(** Merge every node's log in lock-sequence order (the paper's merge
+    utility). *)
+
+val recover_database : t -> Lbc_rvm.Recovery.outcome
+(** Server-side recovery: merge all logs and replay the committed records
+    into the region database devices.
+    @raise Node.Coherency_error if the logs cannot be merged. *)
+
+val checkpoint : t -> unit
+(** Offline distributed log trimming (paper Section 3.5): requires a
+    quiescent cluster (no pending records); merges the logs, replays them
+    into the database devices, trims every node's log, and releases
+    lazily-retained records.
+    @raise Node.Coherency_error if some node still has pending records. *)
+
+val online_checkpoint : t -> int
+(** Incremental trimming that tolerates a running cluster: merge the
+    maximal orderable prefix of all logs, replay it into the database
+    devices (synchronously — write-ahead discipline), and advance each
+    log's head past its merged records.  Records whose predecessors are
+    not yet in any log are left for the next round.  Returns the number
+    of records checkpointed.  This realizes the coordinated online
+    trimming the paper sketches in Section 3.5. *)

@@ -1,0 +1,24 @@
+type propagation = Eager | Lazy
+
+type t = {
+  coalesce : Lbc_rvm.Range_tree.policy;
+  disk_logging : bool;
+  flush_on_commit : bool;
+  range_header_size : int;
+  propagation : propagation;
+  multicast : bool;
+  charge_costs : bool;
+}
+
+let default =
+  {
+    coalesce = Lbc_rvm.Range_tree.Optimized;
+    disk_logging = true;
+    flush_on_commit = true;
+    range_header_size = Lbc_wal.Record.rvm_disk_header_size;
+    propagation = Eager;
+    multicast = false;
+    charge_costs = false;
+  }
+
+let measured = { default with disk_logging = false; charge_costs = true }

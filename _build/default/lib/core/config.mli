@@ -1,0 +1,40 @@
+(** Configuration of the log-based coherency system.
+
+    The defaults correspond to the paper's prototype: optimized
+    [set_range] coalescing, eager propagation at commit, compressed wire
+    headers, disk logging on.  The benchmarks flip individual knobs to
+    reproduce the ablations (standard RVM coalescing for Figure 8, disk
+    logging off to isolate coherency costs, lazy propagation from
+    Section 2.2). *)
+
+type propagation =
+  | Eager
+      (** broadcast the committed log tail to every peer mapping a
+          modified region, at commit (the prototype's policy) *)
+  | Lazy
+      (** retain committed records at the writer; a reader fetches pending
+          records from the last writer when it acquires the lock
+          (Section 2.2's alternative).  Records of multi-lock transactions
+          are still broadcast eagerly, because a per-lock fetch cannot
+          carry their cross-segment dependencies. *)
+
+type t = {
+  coalesce : Lbc_rvm.Range_tree.policy;
+  disk_logging : bool;
+  flush_on_commit : bool;
+  range_header_size : int;  (** on-disk range header size *)
+  propagation : propagation;
+  multicast : bool;
+      (** deliver eager updates with one transmission instead of one
+          writev per peer — the multicast hardware of Section 4.3.1 *)
+  charge_costs : bool;
+      (** charge the paper's measured operation costs (Table 2 /
+          Figures 5-6) as virtual time; off for pure functional tests *)
+}
+
+val default : t
+
+val measured : t
+(** The configuration of the paper's Section 4 measurements: costs
+    charged, disk logging {e disabled} ("we disabled RVM disk logging so
+    that we could isolate the costs associated with coherency"). *)

@@ -1,0 +1,16 @@
+(** Messages exchanged between coherency nodes.
+
+    One simulated TCP channel per node pair carries lock traffic and
+    coherency data, like the prototype's per-peer connections. *)
+
+type t =
+  | Lock of Lbc_locks.Table.msg
+  | Update of Bytes.t  (** a {!Wire}-encoded committed log tail *)
+  | Fetch of { lock : int; have : int }
+      (** lazy propagation: request records under [lock] newer than
+          sequence number [have] *)
+  | Fetched of { lock : int; payloads : Bytes.t list }
+      (** reply, oldest first *)
+
+val size : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,427 @@
+exception Coherency_error of string
+
+let log_src = Logs.Src.create "lbc.node" ~doc:"log-based coherency node events"
+
+module L = (val Logs.src_log log_src)
+
+type stats = {
+  mutable updates_sent : int;
+  mutable update_bytes_sent : int;
+  mutable records_received : int;
+  mutable records_held : int;
+  mutable interlock_waits : int;
+  mutable fetches_sent : int;
+  mutable records_fetched : int;
+}
+
+type t = {
+  id : int;
+  config : Config.t;
+  rvm : Lbc_rvm.Rvm.t;
+  locks : Lbc_locks.Table.t;
+  send : dst:int -> Msg.t -> unit;
+  multicast_send : dsts:int list -> Msg.t -> unit;
+  peers_with_region : int -> int list;
+  applied : (int, int) Hashtbl.t;  (* lock id -> applied write seqno *)
+  applied_cv : Lbc_sim.Condvar.t;
+  mutable pending : Lbc_wal.Record.txn list;  (* arrival order *)
+  retained : (int, Lbc_wal.Record.txn list) Hashtbl.t;  (* newest first *)
+  fetch_marks : (int * int, unit) Hashtbl.t;  (* (lock, have) fetches sent *)
+  txn_updates : int ref;  (* set_range calls in the running transaction *)
+  mutable pinned : bool;  (* version-pinned reader: buffer, don't apply *)
+  stats : stats;
+}
+
+type deps = {
+  node_id : int;
+  nodes : int;
+  config : Config.t;
+  send : dst:int -> Msg.t -> unit;
+  multicast_send : dsts:int list -> Msg.t -> unit;
+  peers_with_region : int -> int list;
+  log_dev : Lbc_storage.Dev.t;
+}
+
+let model_class = function
+  | Lbc_rvm.Rvm.Redundant -> Lbc_costmodel.Model.Redundant
+  | Lbc_rvm.Rvm.Ordered -> Lbc_costmodel.Model.Ordered
+  | Lbc_rvm.Rvm.Unordered -> Lbc_costmodel.Model.Unordered
+
+let instrumentation config txn_updates =
+  if not config.Config.charge_costs then Lbc_rvm.Rvm.no_instrumentation
+  else
+    {
+      Lbc_rvm.Rvm.on_set_range =
+        (fun cls ~len:_ ->
+          incr txn_updates;
+          Lbc_sim.Proc.sleep
+            (Lbc_costmodel.Model.per_update_cost (model_class cls)
+               ~nth:!txn_updates));
+      on_commit_collect =
+        (fun ~ranges ~bytes ->
+          Lbc_sim.Proc.sleep (Lbc_costmodel.Model.collect_log ~ranges ~bytes));
+      on_apply =
+        (fun ~ranges ~bytes ->
+          Lbc_sim.Proc.sleep (Lbc_costmodel.Model.apply_log ~ranges ~bytes));
+    }
+
+let create (deps : deps) =
+  let txn_updates = ref 0 in
+  let rvm_options =
+    {
+      Lbc_rvm.Rvm.coalesce = deps.config.Config.coalesce;
+      disk_logging = deps.config.Config.disk_logging;
+      range_header_size = deps.config.Config.range_header_size;
+      instrumentation = instrumentation deps.config txn_updates;
+    }
+  in
+  let rvm =
+    Lbc_rvm.Rvm.init ~options:rvm_options ~node:deps.node_id
+      ~log_dev:deps.log_dev ()
+  in
+  let locks =
+    Lbc_locks.Table.create ~node:deps.node_id ~nodes:deps.nodes
+      ~send:(fun ~dst m -> deps.send ~dst (Msg.Lock m))
+      ()
+  in
+  {
+    id = deps.node_id;
+    config = deps.config;
+    rvm;
+    locks;
+    send = deps.send;
+    multicast_send = deps.multicast_send;
+    peers_with_region = deps.peers_with_region;
+    applied = Hashtbl.create 16;
+    applied_cv = Lbc_sim.Condvar.create ();
+    pending = [];
+    retained = Hashtbl.create 16;
+    fetch_marks = Hashtbl.create 16;
+    txn_updates;
+    pinned = false;
+    stats =
+      {
+        updates_sent = 0;
+        update_bytes_sent = 0;
+        records_received = 0;
+        records_held = 0;
+        interlock_waits = 0;
+        fetches_sent = 0;
+        records_fetched = 0;
+      };
+  }
+
+let id (t : t) = t.id
+let rvm (t : t) = t.rvm
+let locks (t : t) = t.locks
+let config (t : t) = t.config
+let stats (t : t) = t.stats
+
+let applied_seq t lock =
+  Option.value ~default:0 (Hashtbl.find_opt t.applied lock)
+
+let set_applied t lock seq =
+  if seq > applied_seq t lock then Hashtbl.replace t.applied lock seq
+
+let pending_count t = List.length t.pending
+
+let map_region t ~id ~db ~size = Lbc_rvm.Rvm.map_region t.rvm ~id ~db ~size
+
+let read t ~region ~offset ~len =
+  Lbc_rvm.Region.read (Lbc_rvm.Rvm.region t.rvm region) ~offset ~len
+
+let get_u64 t ~region ~offset =
+  Lbc_rvm.Region.get_u64 (Lbc_rvm.Rvm.region t.rvm region) ~offset
+
+(* --------------------------------------------------------------- *)
+(* Retention (lazy propagation) *)
+
+let retain (t : t) (record : Lbc_wal.Record.txn) =
+  List.iter
+    (fun l ->
+      let lock = l.Lbc_wal.Record.lock_id in
+      let existing = Option.value ~default:[] (Hashtbl.find_opt t.retained lock) in
+      Hashtbl.replace t.retained lock (record :: existing))
+    record.Lbc_wal.Record.locks
+
+let resync (t : t) ~applied =
+  if t.pending <> [] then
+    raise (Coherency_error "resync with records still pending");
+  List.iter
+    (fun region -> Lbc_rvm.Region.reload_from_db region)
+    (Lbc_rvm.Rvm.regions t.rvm);
+  List.iter (fun (lock, seq) -> set_applied t lock seq) applied;
+  Hashtbl.reset t.retained;
+  Hashtbl.reset t.fetch_marks;
+  Lbc_sim.Condvar.broadcast t.applied_cv
+
+let retained_count t =
+  Hashtbl.fold (fun _ rs acc -> acc + List.length rs) t.retained 0
+
+let gc_retained t = Hashtbl.reset t.retained
+
+let retained_after t ~lock ~have =
+  let seq_for record =
+    match
+      List.find_opt
+        (fun l -> l.Lbc_wal.Record.lock_id = lock)
+        record.Lbc_wal.Record.locks
+    with
+    | Some l -> l.Lbc_wal.Record.seqno
+    | None -> raise (Coherency_error "retained record lacks its lock")
+  in
+  Option.value ~default:[] (Hashtbl.find_opt t.retained lock)
+  |> List.filter (fun r -> seq_for r > have)
+  |> List.sort (fun a b -> compare (seq_for a) (seq_for b))
+
+(* --------------------------------------------------------------- *)
+(* Applying received records in lock-sequence order *)
+
+type readiness = Ready | Hold | Duplicate
+
+let readiness t (record : Lbc_wal.Record.txn) =
+  let dup =
+    List.exists
+      (fun l -> applied_seq t l.Lbc_wal.Record.lock_id >= l.Lbc_wal.Record.seqno)
+      record.Lbc_wal.Record.locks
+  in
+  if dup then Duplicate
+  else if
+    List.for_all
+      (fun l ->
+        applied_seq t l.Lbc_wal.Record.lock_id >= l.Lbc_wal.Record.prev_write_seq)
+      record.Lbc_wal.Record.locks
+  then Ready
+  else Hold
+
+let apply_now t record =
+  Lbc_rvm.Rvm.apply_record t.rvm record;
+  List.iter
+    (fun l -> set_applied t l.Lbc_wal.Record.lock_id l.Lbc_wal.Record.seqno)
+    record.Lbc_wal.Record.locks;
+  if t.config.Config.propagation = Config.Lazy then retain t record;
+  Lbc_sim.Condvar.broadcast t.applied_cv
+
+(* Apply everything applicable, holding the rest; newly applied records can
+   unblock held ones, so iterate to a fixpoint. *)
+let rec drain_pending t =
+  let ready, rest =
+    List.partition (fun r -> readiness t r = Ready) t.pending
+  in
+  let rest = List.filter (fun r -> readiness t r <> Duplicate) rest in
+  t.pending <- rest;
+  match ready with
+  | [] -> ()
+  | _ ->
+      List.iter (apply_now t) ready;
+      drain_pending t
+
+let send_fetch (t : t) ~lock ~have ~from =
+  if from <> t.id && not (Hashtbl.mem t.fetch_marks (lock, have)) then begin
+    Hashtbl.replace t.fetch_marks (lock, have) ();
+    t.stats.fetches_sent <- t.stats.fetches_sent + 1;
+    L.debug (fun m -> m "node %d fetches lock %d > %d from node %d" t.id lock have from);
+    t.send ~dst:from (Msg.Fetch { lock; have })
+  end
+
+(* Lazy mode: a held record's author must itself have applied everything
+   the record depends on, so it can supply the missing chains.  Without
+   this cascade a multi-lock record can deadlock an interlocked acquire
+   whose per-lock fetch covers only one of the record's locks. *)
+let request_dependencies (t : t) (record : Lbc_wal.Record.txn) =
+  if t.config.Config.propagation = Config.Lazy then
+    List.iter
+      (fun l ->
+        let have = applied_seq t l.Lbc_wal.Record.lock_id in
+        if have < l.Lbc_wal.Record.prev_write_seq then
+          send_fetch t ~lock:l.Lbc_wal.Record.lock_id ~have
+            ~from:record.Lbc_wal.Record.node)
+      record.Lbc_wal.Record.locks
+
+let receive_record t record =
+  t.stats.records_received <- t.stats.records_received + 1;
+  if t.pinned then t.pending <- t.pending @ [ record ]
+  else
+    match readiness t record with
+    | Duplicate -> ()
+    | Ready ->
+        apply_now t record;
+        drain_pending t
+    | Hold ->
+        t.stats.records_held <- t.stats.records_held + 1;
+        L.debug (fun m ->
+            m "node %d holds out-of-order record (node %d tid %d); %d pending"
+              t.id record.Lbc_wal.Record.node record.Lbc_wal.Record.tid
+              (List.length t.pending + 1));
+        t.pending <- t.pending @ [ record ];
+        request_dependencies t record
+
+let pin (t : t) = t.pinned <- true
+let is_pinned (t : t) = t.pinned
+
+let accept (t : t) =
+  if t.pinned then begin
+    t.pinned <- false;
+    drain_pending t
+  end
+
+(* --------------------------------------------------------------- *)
+(* Message handling *)
+
+let handle (t : t) ~src msg =
+  match msg with
+  | Msg.Lock m -> Lbc_locks.Table.handle t.locks ~src m
+  | Msg.Update payload -> receive_record t (Wire.decode payload)
+  | Msg.Fetch { lock; have } ->
+      let records = retained_after t ~lock ~have in
+      let payloads = List.map Wire.encode records in
+      t.send ~dst:src (Msg.Fetched { lock; payloads })
+  | Msg.Fetched { lock = _; payloads } ->
+      t.stats.records_fetched <- t.stats.records_fetched + List.length payloads;
+      List.iter (fun p -> receive_record t (Wire.decode p)) payloads
+
+(* --------------------------------------------------------------- *)
+(* Propagation at commit *)
+
+let propagation_peers (t : t) (record : Lbc_wal.Record.txn) =
+  let module Iset = Set.Make (Int) in
+  List.fold_left
+    (fun acc r ->
+      List.fold_left
+        (fun acc peer -> Iset.add peer acc)
+        acc
+        (t.peers_with_region r.Lbc_wal.Record.region))
+    Iset.empty record.Lbc_wal.Record.ranges
+  |> Iset.elements
+
+let broadcast (t : t) record =
+  let payload = Wire.encode record in
+  L.debug (fun m ->
+      m "node %d broadcasts tid %d: %d ranges, %d wire bytes" t.id
+        record.Lbc_wal.Record.tid
+        (List.length record.Lbc_wal.Record.ranges)
+        (Bytes.length payload));
+  match propagation_peers t record with
+  | [] -> ()
+  | peers when t.config.Config.multicast ->
+      t.stats.updates_sent <- t.stats.updates_sent + 1;
+      t.stats.update_bytes_sent <- t.stats.update_bytes_sent + Bytes.length payload;
+      t.multicast_send ~dsts:peers (Msg.Update payload)
+  | peers ->
+      List.iter
+        (fun peer ->
+          t.stats.updates_sent <- t.stats.updates_sent + 1;
+          t.stats.update_bytes_sent <-
+            t.stats.update_bytes_sent + Bytes.length payload;
+          t.send ~dst:peer (Msg.Update payload))
+        peers
+
+(* --------------------------------------------------------------- *)
+(* Application transactions *)
+
+module Txn = struct
+  type node = t
+
+  type t = {
+    node : node;
+    rvm_txn : Lbc_rvm.Rvm.txn;
+    mutable held : int list;  (* acquired lock ids, newest first *)
+  }
+
+  let begin_ node =
+    node.txn_updates := 0;
+    {
+      node;
+      rvm_txn = Lbc_rvm.Rvm.begin_txn ~restore:Lbc_rvm.Rvm.Restore node.rvm;
+      held = [];
+    }
+
+  (* The interlock of Section 3.4 plus lock bookkeeping, shared by both
+     acquire flavours. *)
+  let finish_acquire t lock (g : Lbc_locks.Table.grant) =
+    let node = t.node in
+    if applied_seq node lock < g.Lbc_locks.Table.prev_write_seq then begin
+      node.stats.interlock_waits <- node.stats.interlock_waits + 1;
+      (if
+         node.config.Config.propagation = Config.Lazy
+         && g.Lbc_locks.Table.last_writer >= 0
+       then
+         send_fetch node ~lock ~have:(applied_seq node lock)
+           ~from:g.Lbc_locks.Table.last_writer);
+      Lbc_sim.Condvar.await node.applied_cv (fun () ->
+          applied_seq node lock >= g.Lbc_locks.Table.prev_write_seq)
+    end;
+    Lbc_rvm.Rvm.set_lock t.rvm_txn ~lock_id:lock ~seqno:g.Lbc_locks.Table.seqno
+      ~prev_write_seq:g.Lbc_locks.Table.prev_write_seq;
+    t.held <- lock :: t.held
+
+  let check_acquirable t lock =
+    if t.node.pinned then
+      raise (Coherency_error "acquire on a version-pinned node");
+    if List.mem lock t.held then
+      raise (Coherency_error "lock already held by this transaction")
+
+  let acquire t lock =
+    check_acquirable t lock;
+    let g = Lbc_locks.Table.acquire t.node.locks lock in
+    finish_acquire t lock g
+
+  let acquire_timeout t lock ~timeout =
+    check_acquirable t lock;
+    match Lbc_locks.Table.acquire_timeout t.node.locks lock ~timeout with
+    | Some g ->
+        finish_acquire t lock g;
+        true
+    | None -> false
+
+  let set_range t ~region ~offset ~len =
+    Lbc_rvm.Rvm.set_range t.rvm_txn ~region ~offset ~len
+
+  let write t ~region ~offset b = Lbc_rvm.Rvm.write t.rvm_txn ~region ~offset b
+  let set_u64 t ~region ~offset v = Lbc_rvm.Rvm.set_u64 t.rvm_txn ~region ~offset v
+  let read t ~region ~offset ~len = read t.node ~region ~offset ~len
+  let get_u64 t ~region ~offset = get_u64 t.node ~region ~offset
+
+  let commit_record t =
+    let node = t.node in
+    let mode =
+      if node.config.Config.flush_on_commit then Lbc_rvm.Rvm.Flush
+      else Lbc_rvm.Rvm.No_flush
+    in
+    let record = Lbc_rvm.Rvm.commit ~mode t.rvm_txn in
+    let wrote = record.Lbc_wal.Record.ranges <> [] in
+    if wrote then begin
+      (* Our own updates are by definition applied locally. *)
+      List.iter
+        (fun l -> set_applied node l.Lbc_wal.Record.lock_id l.Lbc_wal.Record.seqno)
+        record.Lbc_wal.Record.locks;
+      if node.config.Config.propagation = Config.Lazy then retain node record
+    end;
+    (* Two-phase: release everything at commit (paper Section 2.1), then
+       propagate; receivers' interlock tolerates a token overtaking its
+       updates. *)
+    List.iter
+      (fun lock -> Lbc_locks.Table.release node.locks lock ~wrote)
+      (List.rev t.held);
+    t.held <- [];
+    if wrote then begin
+      match node.config.Config.propagation with
+      | Config.Eager -> broadcast node record
+      | Config.Lazy ->
+          (* Multi-lock records cannot be reconstructed from per-lock
+             fetches; fall back to eager broadcast for them. *)
+          if List.length record.Lbc_wal.Record.locks > 1 then
+            broadcast node record
+    end;
+    record
+
+  let commit t = ignore (commit_record t)
+
+  let abort t =
+    let node = t.node in
+    Lbc_rvm.Rvm.abort t.rvm_txn;
+    List.iter
+      (fun lock -> Lbc_locks.Table.release node.locks lock ~wrote:false)
+      (List.rev t.held);
+    t.held <- []
+end

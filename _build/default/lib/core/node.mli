@@ -1,0 +1,151 @@
+(** One client node of the log-based coherency system.
+
+    A node owns an RVM instance, a distributed lock table, the per-lock
+    applied-sequence-number table that orders incoming updates, and the
+    buffer of records that arrived before their predecessors (Section 3.4:
+    "receiver threads hold log records until the updates for the
+    immediately preceding sequence number have been applied").
+
+    Applications use the {!Txn} sub-module, which mirrors the paper's
+    Table 1 interface: acquire segment locks inside a transaction, declare
+    modified ranges, commit.  Commit writes the redo record (via RVM),
+    releases the locks (two-phase), and propagates the committed log tail
+    to the peers that share the modified regions.
+
+    Sequence-number protocol (refined from the paper to tolerate read-only
+    acquires, see DESIGN.md): every acquire increments the lock's sequence
+    number; the token carries the sequence number of the last {e writing}
+    acquire, and each record carries, per lock, the previous writing
+    acquire's number.  A record is applied once the local applied number
+    reaches its [prev_write_seq]; an acquire proceeds once the local
+    applied number reaches the token's last-write number. *)
+
+type t
+
+type deps = {
+  node_id : int;
+  nodes : int;  (** cluster size *)
+  config : Config.t;
+  send : dst:int -> Msg.t -> unit;
+  multicast_send : dsts:int list -> Msg.t -> unit;
+      (** one-transmission delivery to several peers (used when
+          [config.multicast] is set) *)
+  peers_with_region : int -> int list;
+      (** nodes (other than this one) currently mapping a region — the
+          eager propagation set *)
+  log_dev : Lbc_storage.Dev.t;
+}
+
+val create : deps -> t
+val id : t -> int
+val rvm : t -> Lbc_rvm.Rvm.t
+val locks : t -> Lbc_locks.Table.t
+val config : t -> Config.t
+
+val handle : t -> src:int -> Msg.t -> unit
+(** Feed one incoming message (called by the cluster's dispatchers). *)
+
+val map_region : t -> id:int -> db:Lbc_storage.Dev.t -> size:int -> Lbc_rvm.Region.t
+
+val applied_seq : t -> int -> int
+(** Sequence number of the last write applied locally under a lock. *)
+
+val pending_count : t -> int
+(** Records held waiting for their predecessors. *)
+
+val read : t -> region:int -> offset:int -> len:int -> Bytes.t
+val get_u64 : t -> region:int -> offset:int -> int64
+(** Direct reads of the cached image (the caller must hold the relevant
+    lock, as the paper requires — this is not enforced, exactly as in the
+    prototype). *)
+
+type stats = {
+  mutable updates_sent : int;  (** coherency messages broadcast (per peer) *)
+  mutable update_bytes_sent : int;
+  mutable records_received : int;
+  mutable records_held : int;  (** arrived out of order and were buffered *)
+  mutable interlock_waits : int;  (** acquires that waited for updates *)
+  mutable fetches_sent : int;  (** lazy-mode fetch requests *)
+  mutable records_fetched : int;
+}
+
+val stats : t -> stats
+
+(** {1 Version-pinned readers (paper Section 2.1's [accept] primitive)}
+
+    The paper sketches a relaxed read/write model in which "readers
+    operate on a previous consistent version of the data while an update
+    is in progress elsewhere; readers use an accept primitive to
+    explicitly signal their willingness to move forward to a newer
+    consistent version.  In this scheme, pending log records must be
+    buffered in the recipient until they can be applied." *)
+
+val pin : t -> unit
+(** Freeze this node's cached version: incoming records are buffered
+    instead of applied.  Transactions on a pinned node must be read-only
+    and must not acquire locks (the interlock would deadlock);
+    {!Txn.acquire} raises while pinned. *)
+
+val accept : t -> unit
+(** Move forward: apply every buffered record (in order) and resume
+    normal eager application. *)
+
+val is_pinned : t -> bool
+
+val retained_count : t -> int
+(** Records retained for lazy propagation. *)
+
+val gc_retained : t -> unit
+(** Drop all retained records (after a checkpoint has made them
+    recoverable from the database image). *)
+
+val resync : t -> applied:(int * int) list -> unit
+(** Post-checkpoint resynchronization: reload every mapped region from
+    its database device, set the per-lock applied sequence numbers to the
+    checkpointed values, and drop retained records and held state.  Only
+    valid when the node is quiescent (no transaction in progress, nothing
+    pending). *)
+
+exception Coherency_error of string
+
+(** {1 The application interface (paper Table 1)} *)
+
+module Txn : sig
+  type node = t
+  type t
+
+  val begin_ : node -> t
+  (** [Trans.Init] + [Trans.Begin]. *)
+
+  val acquire : t -> int -> unit
+  (** [Trans.Acquire]: take the segment lock (two-phase; released at
+      commit), wait until every update it covers has been applied locally,
+      and tag the transaction's log record with the lock's sequence
+      numbers. *)
+
+  val acquire_timeout : t -> int -> timeout:float -> bool
+  (** Like {!acquire} but gives up after [timeout] µs of virtual time and
+      returns [false]; the caller should then {!abort} and retry —
+      two-phase locking's standard deadlock recovery. *)
+
+  val set_range : t -> region:int -> offset:int -> len:int -> unit
+  (** [Trans.SetRange]. *)
+
+  val write : t -> region:int -> offset:int -> Bytes.t -> unit
+  val set_u64 : t -> region:int -> offset:int -> int64 -> unit
+
+  val read : t -> region:int -> offset:int -> len:int -> Bytes.t
+  val get_u64 : t -> region:int -> offset:int -> int64
+
+  val commit : t -> unit
+  (** [Trans.Commit]: write the redo record, release all locks, propagate
+      the committed log tail. *)
+
+  val commit_record : t -> Lbc_wal.Record.txn
+  (** Like {!commit}, returning the committed record (for instrumentation
+      and benchmarks). *)
+
+  val abort : t -> unit
+  (** Undo the transaction's stores and release its locks.  The
+      transaction must have been started with restore mode (it is). *)
+end

@@ -1,0 +1,28 @@
+let pp_node ppf node =
+  let rvm = Lbc_rvm.Rvm.stats (Node.rvm node) in
+  let st = Node.stats node in
+  let locks = Lbc_locks.Table.stats (Node.locks node) in
+  let log = Lbc_rvm.Rvm.log (Node.rvm node) in
+  Format.fprintf ppf
+    "node %d: %d commits (%d aborts), %d set_ranges | sent %d upd/%dB, \
+     recv %d (%d held) | locks %d local/%d remote, %d interlock waits | \
+     log %dB live%s"
+    (Node.id node) rvm.Lbc_rvm.Rvm.commits rvm.Lbc_rvm.Rvm.aborts
+    rvm.Lbc_rvm.Rvm.set_ranges st.Node.updates_sent st.Node.update_bytes_sent
+    st.Node.records_received st.Node.records_held
+    locks.Lbc_locks.Table.local_grants locks.Lbc_locks.Table.remote_grants
+    st.Node.interlock_waits
+    (Lbc_wal.Log.live_bytes log)
+    (if Node.pending_count node > 0 then
+       Printf.sprintf " | %d PENDING" (Node.pending_count node)
+     else "")
+
+let pp_cluster ppf cluster =
+  Format.fprintf ppf "@[<v>cluster: %d nodes, %d messages, %d bytes on the wire"
+    (Cluster.size cluster)
+    (Cluster.total_messages cluster)
+    (Cluster.total_bytes cluster);
+  for n = 0 to Cluster.size cluster - 1 do
+    Format.fprintf ppf "@,  %a" pp_node (Cluster.node cluster n)
+  done;
+  Format.fprintf ppf "@]"

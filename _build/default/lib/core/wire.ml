@@ -1,0 +1,108 @@
+open Lbc_util
+
+(* Range header tag bits. *)
+let tag_new_region = 0x01 (* explicit region varint follows *)
+let tag_abs_addr = 0x02 (* absolute address instead of delta *)
+
+let sort_ranges ranges =
+  List.sort
+    (fun a b ->
+      let c = compare a.Lbc_wal.Record.region b.Lbc_wal.Record.region in
+      if c <> 0 then c else compare a.Lbc_wal.Record.offset b.Lbc_wal.Record.offset)
+    ranges
+
+let encode (t : Lbc_wal.Record.txn) =
+  let w = Codec.writer ~capacity:512 () in
+  Codec.u8 w 1;
+  Codec.u16 w t.node;
+  Codec.varint w t.tid;
+  Codec.varint w (List.length t.locks);
+  List.iter
+    (fun l ->
+      Codec.varint w l.Lbc_wal.Record.lock_id;
+      Codec.varint w l.Lbc_wal.Record.seqno;
+      Codec.varint w l.Lbc_wal.Record.prev_write_seq)
+    t.locks;
+  let ranges = sort_ranges t.ranges in
+  Codec.varint w (List.length ranges);
+  let prev_region = ref 0 and prev_offset = ref 0 and first = ref true in
+  List.iter
+    (fun r ->
+      let region = r.Lbc_wal.Record.region and offset = r.Lbc_wal.Record.offset in
+      let new_region = region <> !prev_region in
+      (* Within a region, sorted order guarantees a non-negative delta;
+         the first range of each region is absolute. *)
+      let abs = !first || new_region in
+      let tag =
+        (if new_region then tag_new_region else 0)
+        lor if abs then tag_abs_addr else 0
+      in
+      Codec.u8 w tag;
+      if new_region then Codec.varint w region;
+      if abs then Codec.varint w offset
+      else Codec.varint w (offset - !prev_offset);
+      Codec.varint w (Bytes.length r.Lbc_wal.Record.data);
+      Codec.raw w r.Lbc_wal.Record.data ~pos:0
+        ~len:(Bytes.length r.Lbc_wal.Record.data);
+      prev_region := region;
+      prev_offset := offset;
+      first := false)
+    ranges;
+  Codec.contents w
+
+let decode b =
+  let r = Codec.reader b in
+  let kind = Codec.get_u8 r in
+  if kind <> 1 then raise (Codec.Truncated "Wire: bad message kind");
+  let node = Codec.get_u16 r in
+  let tid = Codec.get_varint r in
+  let n_locks = Codec.get_varint r in
+  let locks =
+    List.init n_locks (fun _ ->
+        let lock_id = Codec.get_varint r in
+        let seqno = Codec.get_varint r in
+        let prev_write_seq = Codec.get_varint r in
+        { Lbc_wal.Record.lock_id; seqno; prev_write_seq })
+  in
+  let n_ranges = Codec.get_varint r in
+  let prev_region = ref 0 and prev_offset = ref 0 in
+  let ranges =
+    List.init n_ranges (fun _ ->
+        let tag = Codec.get_u8 r in
+        let region =
+          if tag land tag_new_region <> 0 then Codec.get_varint r
+          else !prev_region
+        in
+        let offset =
+          if tag land tag_abs_addr <> 0 then Codec.get_varint r
+          else !prev_offset + Codec.get_varint r
+        in
+        let len = Codec.get_varint r in
+        let data = Codec.get_raw r ~len in
+        prev_region := region;
+        prev_offset := offset;
+        { Lbc_wal.Record.region; offset; data })
+  in
+  { Lbc_wal.Record.node; tid; locks; ranges }
+
+let size t = Bytes.length (encode t)
+
+let size_uncompressed (t : Lbc_wal.Record.txn) =
+  let w = Codec.writer () in
+  Codec.varint w t.tid;
+  Codec.varint w (List.length t.locks);
+  Codec.varint w (List.length t.ranges);
+  List.iter
+    (fun l ->
+      Codec.varint w l.Lbc_wal.Record.lock_id;
+      Codec.varint w l.Lbc_wal.Record.seqno;
+      Codec.varint w l.Lbc_wal.Record.prev_write_seq)
+    t.locks;
+  let fixed = 1 + 2 + Codec.length w in
+  List.fold_left
+    (fun acc r ->
+      acc + Lbc_wal.Record.rvm_disk_header_size
+      + Bytes.length r.Lbc_wal.Record.data)
+    fixed t.ranges
+
+let header_overhead t = size t - Lbc_wal.Record.ranges_bytes t

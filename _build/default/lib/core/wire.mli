@@ -1,0 +1,27 @@
+(** The compressed coherency wire format (paper Section 3.2).
+
+    The broadcast data differs from the on-disk log in two ways: records
+    needed only for recovery and log trimming are omitted (only new-value
+    range records and lock records are sent), and each range header is
+    compressed from RVM's 104 bytes to 4-24 bytes.  As in the prototype,
+    compression comes from small length fields and from replacing a
+    range's address with its delta from the preceding range (ranges are
+    sorted by address); we realize both with varints.
+
+    [encode]/[decode] round-trip a {!Lbc_wal.Record.txn} exactly. *)
+
+val encode : Lbc_wal.Record.txn -> Bytes.t
+
+val decode : Bytes.t -> Lbc_wal.Record.txn
+(** @raise Lbc_util.Codec.Truncated on malformed input. *)
+
+val size : Lbc_wal.Record.txn -> int
+(** [Bytes.length (encode t)], without building the message. *)
+
+val size_uncompressed : Lbc_wal.Record.txn -> int
+(** Size the same message would have with RVM's full 104-byte range
+    headers — the baseline for the header-compression ablation. *)
+
+val header_overhead : Lbc_wal.Record.txn -> int
+(** Wire bytes that are not range payload: message and lock records plus
+    all range headers.  Table 3's "Message Bytes" minus "Bytes Updated". *)

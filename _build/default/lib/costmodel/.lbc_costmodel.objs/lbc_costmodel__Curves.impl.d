@@ -1,0 +1,1 @@
+lib/costmodel/curves.ml: Table2

@@ -1,0 +1,1 @@
+lib/costmodel/model.ml: List Phases Table2

@@ -1,0 +1,1 @@
+lib/costmodel/phases.ml: Format

@@ -1,0 +1,1 @@
+lib/costmodel/table2.mli:

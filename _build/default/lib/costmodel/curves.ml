@@ -1,0 +1,27 @@
+type rate = Raw | Calibrated
+
+let per_byte = function
+  | Raw -> Table2.tcp_per_byte
+  | Calibrated -> Table2.calibrated_per_byte
+
+let fig4_log rate ~bytes = per_byte rate *. float_of_int bytes
+
+let fig4_cpycmp rate ~bytes =
+  Table2.trap_and_protect +. Table2.page_copy_cold +. Table2.page_compare_cold
+  +. (per_byte rate *. float_of_int bytes)
+
+let fig4_page = Table2.trap_and_protect +. Table2.page_send_tcp
+
+let page_vs_cpycmp_breakeven rate =
+  (Table2.page_send_tcp -. Table2.page_copy_cold -. Table2.page_compare_cold)
+  /. per_byte rate
+
+let fig7_breakeven ~trap ~per_update_cost =
+  if per_update_cost <= 0.0 then invalid_arg "Curves.fig7_breakeven";
+  (trap +. Table2.page_copy_cold +. Table2.page_compare_cold) /. per_update_cost
+
+let fig7_standard ~per_update_cost =
+  fig7_breakeven ~trap:Table2.trap_and_protect ~per_update_cost
+
+let fig7_fast_trap ~per_update_cost =
+  fig7_breakeven ~trap:Table2.fast_trap ~per_update_cost

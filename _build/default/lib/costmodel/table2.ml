@@ -1,0 +1,15 @@
+let page_size = 8192
+let page_copy_cold = 171.9
+let page_copy_warm = 57.8
+let page_compare_cold = 281.0
+let page_compare_warm = 147.3
+let page_send_tcp = 677.0
+let trap_and_protect = 360.1
+let fast_trap = 10.0
+let tcp_per_byte = page_send_tcp /. float_of_int page_size
+
+(* (677 - 171.9 - 281.0) / 1037 — see the interface comment. *)
+let calibrated_per_byte =
+  (page_send_tcp -. page_copy_cold -. page_compare_cold) /. 1037.0
+
+let copy_per_byte_warm = page_copy_warm /. float_of_int page_size

@@ -1,0 +1,43 @@
+(** Operation costs measured by the paper on a DEC Alpha 3000-400 (133 MHz)
+    running OSF/1 over the 100 Mbit/s AN1 network — the paper's Table 2.
+    All costs in microseconds; throughput-style costs are per 8 KB page. *)
+
+val page_size : int
+(** 8192 bytes (Alpha page). *)
+
+val page_copy_cold : float
+(** 171.9 µs/page (43 MB/s). *)
+
+val page_copy_warm : float
+(** 57.8 µs/page (135 MB/s). *)
+
+val page_compare_cold : float
+(** 281.0 µs/page (28 MB/s). *)
+
+val page_compare_warm : float
+(** 147.3 µs/page (53 MB/s). *)
+
+val page_send_tcp : float
+(** 677.0 µs/page (96.8 Mbit/s). *)
+
+val trap_and_protect : float
+(** 360.1 µs: deliver a write-protection signal to user level and change
+    the page protection with [mprotect]. *)
+
+val fast_trap : float
+(** 10 µs: the hypothetical fast exception path of Thekkath & Levy (1994),
+    used by Figure 7's second curve. *)
+
+val tcp_per_byte : float
+(** Raw per-byte cost at the page-send rate: [page_send_tcp / page_size]
+    ≈ 0.0826 µs/B (12 MB/s). *)
+
+val calibrated_per_byte : float
+(** 0.216 µs/B — the effective per-byte network cost implied by the
+    paper's stated 1037-byte Page-vs-Cpy/Cmp breakeven in Figure 4
+    (solve [copy + compare + b*r = page_send] for [b = 1037]).  Small
+    transfers do not reach peak TCP throughput, so this is the honest
+    rate for fine-grained coherency messages. *)
+
+val copy_per_byte_warm : float
+(** Per-byte cost of a warm-cache memory copy. *)

@@ -1,0 +1,1 @@
+lib/dsm/adaptive.ml: Backend Hashtbl Lbc_costmodel

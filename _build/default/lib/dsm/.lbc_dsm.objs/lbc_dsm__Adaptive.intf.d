@@ -1,0 +1,1 @@
+lib/dsm/adaptive.mli: Backend

@@ -1,0 +1,1 @@
+lib/dsm/backend.ml: Bytes Hashtbl Int Lbc_core Lbc_costmodel Lbc_rvm List Set Twin

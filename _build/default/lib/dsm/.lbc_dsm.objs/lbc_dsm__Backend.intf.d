@@ -1,0 +1,1 @@
+lib/dsm/backend.mli: Bytes Lbc_core Lbc_wal

@@ -1,0 +1,1 @@
+lib/dsm/twin.ml: Bytes Hashtbl Int64 List

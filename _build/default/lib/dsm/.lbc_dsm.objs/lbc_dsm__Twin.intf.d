@@ -1,0 +1,1 @@
+lib/dsm/twin.mli: Bytes

@@ -1,0 +1,37 @@
+type t = {
+  alpha : float;
+  breakeven : float;
+  densities : (int, float) Hashtbl.t;
+}
+
+let create ?(alpha = 0.3) ?per_update_cost () =
+  let per_update_cost =
+    match per_update_cost with
+    | Some c -> c
+    | None -> Lbc_costmodel.Model.per_update_cost Lbc_costmodel.Model.Unordered ~nth:1000
+  in
+  {
+    alpha;
+    breakeven = Lbc_costmodel.Curves.fig7_standard ~per_update_cost;
+    densities = Hashtbl.create 16;
+  }
+
+let breakeven t = t.breakeven
+
+let density t ~lock = Hashtbl.find_opt t.densities lock
+
+let choose t ~lock =
+  match density t ~lock with
+  | Some d when d > t.breakeven -> Backend.Cpy_cmp
+  | Some _ | None -> Backend.Log
+
+let observe t ~lock ~updates ~pages =
+  if pages > 0 then begin
+    let sample = float_of_int updates /. float_of_int pages in
+    let next =
+      match density t ~lock with
+      | None -> sample
+      | Some prev -> ((1.0 -. t.alpha) *. prev) +. (t.alpha *. sample)
+    in
+    Hashtbl.replace t.densities lock next
+  end

@@ -1,0 +1,30 @@
+(** Adaptive hybrid protocol selection (paper Section 6: "adaptive hybrid
+    approaches may be possible where application behavior can be
+    predicted").
+
+    The paper's analysis (Figure 7) gives the decision rule: log-based
+    coherency wins while the number of updates per modified page stays
+    below [(trap + copy + compare) / per-update-cost].  The selector
+    tracks an exponentially weighted average of updates-per-page per
+    segment lock and picks the backend for the next transaction
+    accordingly. *)
+
+type t
+
+val create : ?alpha:float -> ?per_update_cost:float -> unit -> t
+(** [alpha] is the EWMA weight of the newest observation (default 0.3);
+    [per_update_cost] defaults to the unordered cost of a 1000-update
+    transaction (18.1 µs), giving the paper's breakeven of ~45
+    updates/page. *)
+
+val breakeven : t -> float
+
+val choose : t -> lock:int -> Backend.kind
+(** Backend to use for the next transaction under [lock].  Segments with
+    no history start with [Log] (the paper's sparse-update expectation). *)
+
+val observe : t -> lock:int -> updates:int -> pages:int -> unit
+(** Feed back what a committed transaction did. *)
+
+val density : t -> lock:int -> float option
+(** Current updates-per-page estimate for a segment. *)

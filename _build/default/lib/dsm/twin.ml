@@ -1,0 +1,60 @@
+type t = { page_size : int; twins : (int, Bytes.t) Hashtbl.t }
+
+let create ~page_size =
+  if page_size <= 0 || page_size mod 8 <> 0 then
+    invalid_arg "Twin.create: page_size must be a positive multiple of 8";
+  { page_size; twins = Hashtbl.create 64 }
+
+let page_size t = t.page_size
+
+let touch t ~read ~offset ~len =
+  if offset < 0 || len <= 0 then invalid_arg "Twin.touch: bad range";
+  let first = offset / t.page_size and last = (offset + len - 1) / t.page_size in
+  let faults = ref 0 in
+  for page = first to last do
+    if not (Hashtbl.mem t.twins page) then begin
+      incr faults;
+      Hashtbl.add t.twins page
+        (read ~offset:(page * t.page_size) ~len:t.page_size)
+    end
+  done;
+  !faults
+
+let dirty_pages t =
+  Hashtbl.fold (fun p _ acc -> p :: acc) t.twins [] |> List.sort compare
+
+let diff t ~read =
+  let runs = ref [] in
+  (* Per page, scan 8-byte words and emit runs of modified words; adjacent
+     runs across a page boundary merge below. *)
+  List.iter
+    (fun page ->
+      let twin = Hashtbl.find t.twins page in
+      let current = read ~offset:(page * t.page_size) ~len:t.page_size in
+      let words = t.page_size / 8 in
+      let run_start = ref (-1) in
+      for w = 0 to words do
+        let modified =
+          w < words
+          && not
+               (Int64.equal
+                  (Bytes.get_int64_le twin (w * 8))
+                  (Bytes.get_int64_le current (w * 8)))
+        in
+        if modified && !run_start < 0 then run_start := w
+        else if (not modified) && !run_start >= 0 then begin
+          let off = (page * t.page_size) + (!run_start * 8) in
+          runs := (off, (w - !run_start) * 8) :: !runs;
+          run_start := -1
+        end
+      done)
+    (dirty_pages t);
+  (* Ascending, merging runs that abut across page boundaries. *)
+  let sorted = List.sort compare (List.rev !runs) in
+  let rec merge = function
+    | (o1, l1) :: (o2, l2) :: rest when o1 + l1 = o2 ->
+        merge ((o1, l1 + l2) :: rest)
+    | r :: rest -> r :: merge rest
+    | [] -> []
+  in
+  merge sorted

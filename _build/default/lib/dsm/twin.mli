@@ -1,0 +1,30 @@
+(** Twin/diff write detection — the mechanism of multiple-writer DSM
+    systems such as Munin and TreadMarks ("Cpy/Cmp" in the paper).
+
+    On the first store to a page the system takes a write fault, copies
+    the page (the {e twin}), and enables writing; at commit each dirty
+    page is compared against its twin to find the modified words.  The
+    paper evaluates this as an analytic lower bound; here it is also a
+    working detection backend so the two approaches can be compared
+    functionally. *)
+
+type t
+
+val create : page_size:int -> t
+(** [page_size] is 8192 in all paper experiments. *)
+
+val page_size : t -> int
+
+val touch : t -> read:(offset:int -> len:int -> Bytes.t) -> offset:int -> len:int -> int
+(** Record a store to [offset, offset+len); for each page touched for the
+    first time, fetch it with [read] and keep it as the twin.  Returns the
+    number of {e new} dirty pages (write faults taken). *)
+
+val dirty_pages : t -> int list
+(** Page numbers twinned so far, ascending. *)
+
+val diff :
+  t -> read:(offset:int -> len:int -> Bytes.t) -> (int * int) list
+(** Compare every dirty page against its twin at word (8-byte)
+    granularity, returning modified [(offset, len)] runs, ascending and
+    non-adjacent.  This is the "collect updates" step of Cpy/Cmp. *)

@@ -1,0 +1,1 @@
+lib/locks/table.ml: Format Hashtbl Lbc_sim Printf Queue

@@ -1,0 +1,246 @@
+type grant = { seqno : int; prev_write_seq : int; last_writer : int }
+
+type msg =
+  | Request of { lock : int; requester : int }
+  | Forward of { lock : int; requester : int }
+  | Token of { lock : int; seqno : int; last_write_seq : int; last_writer : int }
+
+(* Nominal sizes: two small ints for requests, three for a token, plus a
+   small header — comparable to the prototype's control messages. *)
+let msg_size = function
+  | Request _ | Forward _ -> 16
+  | Token _ -> 24
+
+let pp_msg ppf = function
+  | Request { lock; requester } -> Format.fprintf ppf "Request(l%d<-n%d)" lock requester
+  | Forward { lock; requester } -> Format.fprintf ppf "Forward(l%d<-n%d)" lock requester
+  | Token { lock; seqno; last_write_seq; last_writer } ->
+      Format.fprintf ppf "Token(l%d seq=%d lws=%d lw=%d)" lock seqno
+        last_write_seq last_writer
+
+exception Protocol_error of string
+
+type waiter = { iv : grant option Lbc_sim.Ivar.t; mutable cancelled : bool }
+
+type lstate = {
+  id : int;
+  mutable have_token : bool;
+  mutable busy : bool;
+  mutable held_seq : int;  (* seqno of the current local holder *)
+  mutable seqno : int;  (* valid while we own the token *)
+  mutable last_write_seq : int;  (* valid while we own the token *)
+  mutable last_writer : int;  (* node of the last writing acquire; -1 if none *)
+  mutable pending_remote : int option;  (* node owed our token *)
+  mutable requesting : bool;  (* Request sent, Token not yet received *)
+  waiters : waiter Queue.t;
+  mutable tail : int;  (* manager-side: current end of the waiter chain *)
+}
+
+type stats = {
+  mutable local_grants : int;
+  mutable remote_grants : int;
+  mutable tokens_passed : int;
+  mutable requests_sent : int;
+}
+
+(* Pop waiters until one that has not timed out. *)
+let rec next_waiter waiters =
+  match Queue.take_opt waiters with
+  | Some w when w.cancelled -> next_waiter waiters
+  | other -> other
+
+let live_waiters waiters =
+  Queue.fold (fun acc w -> if w.cancelled then acc else acc + 1) 0 waiters
+
+type t = {
+  node : int;
+  nodes : int;
+  send : dst:int -> msg -> unit;
+  locks : (int, lstate) Hashtbl.t;
+  stats : stats;
+}
+
+let create ~node ~nodes ~send () =
+  if nodes <= 0 || node < 0 || node >= nodes then
+    invalid_arg "Table.create: bad node/nodes";
+  {
+    node;
+    nodes;
+    send;
+    locks = Hashtbl.create 16;
+    stats = { local_grants = 0; remote_grants = 0; tokens_passed = 0; requests_sent = 0 };
+  }
+
+let node t = t.node
+let manager_of t lock = lock mod t.nodes
+let stats t = t.stats
+
+let state t lock =
+  if lock < 0 then invalid_arg "Table: negative lock id";
+  match Hashtbl.find_opt t.locks lock with
+  | Some s -> s
+  | None ->
+      let is_manager = manager_of t lock = t.node in
+      let s =
+        {
+          id = lock;
+          have_token = is_manager;
+          busy = false;
+          held_seq = 0;
+          seqno = 0;
+          last_write_seq = 0;
+          last_writer = -1;
+          pending_remote = None;
+          requesting = false;
+          waiters = Queue.create ();
+          tail = manager_of t lock;
+        }
+      in
+      Hashtbl.add t.locks lock s;
+      s
+
+let held t lock = (state t lock).busy
+let has_token t lock = (state t lock).have_token
+
+(* Grant the token to one local waiter (or return the grant directly). *)
+let grant_locally s =
+  s.busy <- true;
+  s.seqno <- s.seqno + 1;
+  s.held_seq <- s.seqno;
+  { seqno = s.seqno; prev_write_seq = s.last_write_seq; last_writer = s.last_writer }
+
+let pass_token t s ~to_ =
+  if not s.have_token then raise (Protocol_error "passing a token we lack");
+  s.have_token <- false;
+  t.stats.tokens_passed <- t.stats.tokens_passed + 1;
+  t.send ~dst:to_
+    (Token
+       {
+         lock = s.id;
+         seqno = s.seqno;
+         last_write_seq = s.last_write_seq;
+         last_writer = s.last_writer;
+       })
+
+let rec request_token t s =
+  if not s.requesting then begin
+    s.requesting <- true;
+    t.stats.requests_sent <- t.stats.requests_sent + 1;
+    let mgr = manager_of t s.id in
+    if mgr = t.node then
+      (* We are the manager: short-circuit the self-send. *)
+      handle_request t s.id t.node
+    else t.send ~dst:mgr (Request { lock = s.id; requester = t.node })
+  end
+
+and handle_request t lock requester =
+  let s = state t lock in
+  if manager_of t lock <> t.node then
+    raise (Protocol_error "Request received by a non-manager");
+  let prev = s.tail in
+  s.tail <- requester;
+  if prev = requester then
+    raise (Protocol_error "requester already at queue tail");
+  if prev = t.node then handle_forward t lock requester
+  else t.send ~dst:prev (Forward { lock; requester })
+
+and handle_forward t lock requester =
+  let s = state t lock in
+  (match s.pending_remote with
+  | Some other ->
+      raise
+        (Protocol_error
+           (Printf.sprintf "two pending token requests (%d, %d)" other requester))
+  | None -> ());
+  if
+    s.have_token && (not s.busy)
+    && live_waiters s.waiters = 0
+    && not s.requesting
+  then pass_token t s ~to_:requester
+  else s.pending_remote <- Some requester
+
+let handle_token t lock ~seqno ~last_write_seq ~last_writer =
+  let s = state t lock in
+  if s.have_token then raise (Protocol_error "token received while owning it");
+  s.have_token <- true;
+  s.requesting <- false;
+  s.seqno <- seqno;
+  s.last_write_seq <- last_write_seq;
+  s.last_writer <- last_writer;
+  match next_waiter s.waiters with
+  | Some w ->
+      let g = grant_locally s in
+      t.stats.remote_grants <- t.stats.remote_grants + 1;
+      Lbc_sim.Ivar.fill w.iv (Some g)
+  | None -> (
+      (* Nobody waits any more; honour a pending forward immediately. *)
+      match s.pending_remote with
+      | Some r ->
+          s.pending_remote <- None;
+          pass_token t s ~to_:r
+      | None -> ())
+
+let handle t ~src:_ msg =
+  match msg with
+  | Request { lock; requester } -> handle_request t lock requester
+  | Forward { lock; requester } -> handle_forward t lock requester
+  | Token { lock; seqno; last_write_seq; last_writer } ->
+      handle_token t lock ~seqno ~last_write_seq ~last_writer
+
+let enqueue_waiter t s =
+  let w = { iv = Lbc_sim.Ivar.create (); cancelled = false } in
+  Queue.add w s.waiters;
+  if not s.have_token then request_token t s;
+  w
+
+let acquire t lock =
+  let s = state t lock in
+  if s.have_token && (not s.busy) && live_waiters s.waiters = 0 then begin
+    t.stats.local_grants <- t.stats.local_grants + 1;
+    grant_locally s
+  end
+  else begin
+    let w = enqueue_waiter t s in
+    match Lbc_sim.Ivar.read w.iv with
+    | Some g -> g
+    | None -> raise (Protocol_error "acquire: waiter cancelled unexpectedly")
+  end
+
+let acquire_timeout t lock ~timeout =
+  let s = state t lock in
+  if s.have_token && (not s.busy) && live_waiters s.waiters = 0 then begin
+    t.stats.local_grants <- t.stats.local_grants + 1;
+    Some (grant_locally s)
+  end
+  else begin
+    let w = enqueue_waiter t s in
+    let engine = Lbc_sim.Proc.engine () in
+    Lbc_sim.Engine.schedule engine ~delay:timeout (fun () ->
+        if not (Lbc_sim.Ivar.is_filled w.iv) then begin
+          w.cancelled <- true;
+          Lbc_sim.Ivar.fill w.iv None
+        end);
+    Lbc_sim.Ivar.read w.iv
+  end
+
+let release t lock ~wrote =
+  let s = state t lock in
+  if not s.busy then raise (Protocol_error "release of a lock not held");
+  if wrote then begin
+    s.last_write_seq <- s.held_seq;
+    s.last_writer <- t.node
+  end;
+  s.busy <- false;
+  match s.pending_remote with
+  | Some r ->
+      s.pending_remote <- None;
+      pass_token t s ~to_:r;
+      (* Local waiters must now queue through the manager again. *)
+      if live_waiters s.waiters > 0 then request_token t s
+  | None -> (
+      match next_waiter s.waiters with
+      | Some w ->
+          let g = grant_locally s in
+          t.stats.local_grants <- t.stats.local_grants + 1;
+          Lbc_sim.Ivar.fill w.iv (Some g)
+      | None -> ())

@@ -1,0 +1,1 @@
+lib/net/fabric.ml: Array Lbc_sim List Params Printf

@@ -1,0 +1,91 @@
+type 'm t = {
+  engine : Lbc_sim.Engine.t;
+  nodes : int;
+  params : Params.t;
+  size : 'm -> int;
+  channels : 'm Lbc_sim.Mailbox.t array array;  (* channels.(src).(dst) *)
+  drop : bool array array;
+  messages_sent : int array;
+  bytes_sent : int array;
+}
+
+let create ?(params = Params.an1) ~engine ~nodes ~size () =
+  if nodes <= 0 then invalid_arg "Fabric.create: nodes must be positive";
+  {
+    engine;
+    nodes;
+    params;
+    size;
+    channels =
+      Array.init nodes (fun _ ->
+          Array.init nodes (fun _ -> Lbc_sim.Mailbox.create ()));
+    drop = Array.make_matrix nodes nodes false;
+    messages_sent = Array.make nodes 0;
+    bytes_sent = Array.make nodes 0;
+  }
+
+let engine t = t.engine
+let nodes t = t.nodes
+let params t = t.params
+
+let check_node t who n =
+  if n < 0 || n >= t.nodes then
+    invalid_arg (Printf.sprintf "Fabric: bad %s node %d" who n)
+
+let send t ~src ~dst msg =
+  check_node t "src" src;
+  check_node t "dst" dst;
+  if src = dst then invalid_arg "Fabric.send: src = dst";
+  let len = t.size msg in
+  t.messages_sent.(src) <- t.messages_sent.(src) + 1;
+  t.bytes_sent.(src) <- t.bytes_sent.(src) + len;
+  (* Block the sender for the writev cost, then put the message on the wire. *)
+  Lbc_sim.Proc.sleep (Params.send_cost t.params len);
+  if not t.drop.(src).(dst) then begin
+    let mailbox = t.channels.(src).(dst) in
+    Lbc_sim.Engine.schedule t.engine ~delay:t.params.Params.propagation
+      (fun () -> Lbc_sim.Mailbox.send mailbox msg)
+  end
+
+let broadcast t ~src ~dsts msg =
+  check_node t "src" src;
+  let dsts = List.sort_uniq compare (List.filter (fun d -> d <> src) dsts) in
+  List.iter (fun d -> check_node t "dst" d) dsts;
+  let len = t.size msg in
+  t.messages_sent.(src) <- t.messages_sent.(src) + 1;
+  t.bytes_sent.(src) <- t.bytes_sent.(src) + len;
+  Lbc_sim.Proc.sleep (Params.send_cost t.params len);
+  List.iter
+    (fun dst ->
+      if not t.drop.(src).(dst) then begin
+        let mailbox = t.channels.(src).(dst) in
+        Lbc_sim.Engine.schedule t.engine ~delay:t.params.Params.propagation
+          (fun () -> Lbc_sim.Mailbox.send mailbox msg)
+      end)
+    dsts
+
+let recv t ~dst ~src =
+  check_node t "src" src;
+  check_node t "dst" dst;
+  Lbc_sim.Mailbox.recv t.channels.(src).(dst)
+
+let try_recv t ~dst ~src =
+  check_node t "src" src;
+  check_node t "dst" dst;
+  Lbc_sim.Mailbox.try_recv t.channels.(src).(dst)
+
+let set_drop t ~src ~dst v =
+  check_node t "src" src;
+  check_node t "dst" dst;
+  t.drop.(src).(dst) <- v
+
+let messages_sent t ~src =
+  check_node t "src" src;
+  t.messages_sent.(src)
+
+let bytes_sent t ~src =
+  check_node t "src" src;
+  t.bytes_sent.(src)
+
+let total_messages t = Array.fold_left ( + ) 0 t.messages_sent
+let total_bytes t = Array.fold_left ( + ) 0 t.bytes_sent

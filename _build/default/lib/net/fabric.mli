@@ -1,0 +1,46 @@
+(** Simulated network fabric: reliable FIFO point-to-point channels between
+    a fixed set of nodes, like the TCP connections of the prototype.
+
+    The fabric is polymorphic in the message type; callers supply a [size]
+    function so that costs and traffic statistics reflect the bytes a real
+    implementation would move.  Ordering guarantee: messages from one
+    sender to one receiver are delivered in send order (TCP); there is no
+    ordering across different sender/receiver pairs — exactly the situation
+    that forces the paper's sequence-number interlock (Section 3.4). *)
+
+type 'm t
+
+val create :
+  ?params:Params.t -> engine:Lbc_sim.Engine.t -> nodes:int -> size:('m -> int) -> unit -> 'm t
+(** [params] defaults to {!Params.an1}. *)
+
+val engine : 'm t -> Lbc_sim.Engine.t
+val nodes : 'm t -> int
+val params : 'm t -> Params.t
+
+val send : 'm t -> src:int -> dst:int -> 'm -> unit
+(** Transmit one message.  Must be called from a simulated process; blocks
+    the caller for the sender-side cost.  Self-sends are rejected. *)
+
+val broadcast : 'm t -> src:int -> dsts:int list -> 'm -> unit
+(** Multicast: one wire transmission reaching every destination (the
+    hardware the paper's Section 4.3.1 wishes for).  The sender pays the
+    cost of a single send; self and duplicate destinations are ignored. *)
+
+val recv : 'm t -> dst:int -> src:int -> 'm
+(** Blocking receive on the channel from [src] to [dst] (one receiver
+    thread per peer channel, as in the prototype). *)
+
+val try_recv : 'm t -> dst:int -> src:int -> 'm option
+
+(** {1 Fault injection} *)
+
+val set_drop : 'm t -> src:int -> dst:int -> bool -> unit
+(** While set, messages from [src] to [dst] are silently discarded. *)
+
+(** {1 Traffic accounting} *)
+
+val messages_sent : 'm t -> src:int -> int
+val bytes_sent : 'm t -> src:int -> int
+val total_messages : 'm t -> int
+val total_bytes : 'm t -> int

@@ -1,0 +1,15 @@
+type t = { send_base : float; send_per_byte : float; propagation : float }
+
+let instant = { send_base = 0.0; send_per_byte = 0.0; propagation = 0.0 }
+
+(* Table 2: "page send (TCP/IP)" = 677.0 µs per 8192-byte page.  We split
+   that into a fixed per-call cost and a per-byte cost so that small
+   coherency messages are cheaper than full pages, as in the prototype. *)
+let an1 =
+  {
+    send_base = 100.0;
+    send_per_byte = (677.0 -. 100.0) /. 8192.0;
+    propagation = 10.0;
+  }
+
+let send_cost p len = p.send_base +. (p.send_per_byte *. float_of_int len)

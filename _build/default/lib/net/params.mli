@@ -1,0 +1,22 @@
+(** Network cost parameters.
+
+    [send] blocks the sending process for [send_base + len * send_per_byte]
+    microseconds — the cost of the [writev] system call and the protocol
+    stack, which is how the paper accounts "Network I/O" at the writer.
+    The message is delivered [propagation] µs after the send completes. *)
+
+type t = {
+  send_base : float;  (** µs per writev call *)
+  send_per_byte : float;  (** µs per byte sent *)
+  propagation : float;  (** µs wire/switch delay after send completes *)
+}
+
+val instant : t
+(** Zero-cost network for unit tests. *)
+
+val an1 : t
+(** The AN1 100 Mbit/s network of the paper, calibrated to Table 2: sending
+    one 8 KB page over TCP/IP costs 677 µs at the sender. *)
+
+val send_cost : t -> int -> float
+(** [send_cost p len] is the sender-side cost in µs of one message. *)

@@ -1,0 +1,1 @@
+lib/oo7/builder.ml: Array Bytes Clusters Database Heap Layout Lbc_pheap Lbc_util Rng Schema

@@ -1,0 +1,1 @@
+lib/oo7/clusters.ml: Array Bytes Char Database Heap Iavl Layout Lbc_pheap Lbc_util Rng Schema

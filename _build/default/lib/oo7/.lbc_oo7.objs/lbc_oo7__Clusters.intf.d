@@ -1,0 +1,1 @@
+lib/oo7/clusters.mli: Database Heap Lbc_pheap Lbc_util Schema

@@ -1,0 +1,1 @@
+lib/oo7/database.ml: Heap Iavl Int64 Layout Lbc_core Lbc_pheap Printf Schema

@@ -1,0 +1,1 @@
+lib/oo7/database.mli: Bytes Heap Iavl Lbc_core Lbc_pheap Schema

@@ -1,0 +1,1 @@
+lib/oo7/operations.ml: Clusters Database List

@@ -1,0 +1,1 @@
+lib/oo7/operations.mli: Database Lbc_util

@@ -1,0 +1,1 @@
+lib/oo7/queries.ml: Bytes Database Heap Iavl Int64 Lbc_pheap Schema

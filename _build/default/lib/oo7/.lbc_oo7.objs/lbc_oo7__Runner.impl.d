@@ -1,0 +1,1 @@
+lib/oo7/runner.ml: Builder Bytes Database Int Lbc_core Lbc_costmodel Lbc_rvm Lbc_sim Lbc_storage Lbc_wal List Schema Set Traversal

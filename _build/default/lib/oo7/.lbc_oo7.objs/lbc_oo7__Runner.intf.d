@@ -1,0 +1,1 @@
+lib/oo7/runner.mli: Lbc_core Lbc_costmodel Lbc_wal Schema Traversal

@@ -1,0 +1,1 @@
+lib/oo7/schema.ml: Heap Iavl Layout Lbc_pheap List Printf

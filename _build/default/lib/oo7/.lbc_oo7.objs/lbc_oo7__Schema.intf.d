@@ -1,0 +1,1 @@
+lib/oo7/schema.mli: Layout Lbc_pheap

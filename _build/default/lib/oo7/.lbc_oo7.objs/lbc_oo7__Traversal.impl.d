@@ -1,0 +1,1 @@
+lib/oo7/traversal.ml: Bytes Database Hashtbl Heap Iavl Int64 Lbc_pheap Schema String

@@ -1,0 +1,12 @@
+(** OO7 database construction.
+
+    Builds the database image deterministically from the configuration's
+    seed.  Allocation order matters for fidelity: each composite part is
+    allocated immediately followed by its atomic parts, so "the atomic
+    parts associated with a particular composite part tend to be clustered
+    on the same page while atomic parts from different composite parts are
+    usually on different pages" (paper Section 4.1).  The part index is
+    built last, on pages of its own. *)
+
+val build : Schema.config -> Bytes.t
+(** A fresh database image of [Schema.region_size config] bytes. *)

@@ -1,0 +1,23 @@
+(** OO7's structural modifications: insert and delete composite parts at
+    run time.
+
+    When the database is attached through a coherency transaction, the
+    whole insertion — heap allocation (the allocation pointer lives in the
+    region), object initialization, directory update and index insertion —
+    is captured by [set_range] and propagates to peers atomically at
+    commit, which is exactly the point of keeping the allocator inside the
+    recoverable heap. *)
+
+val insert_composites : Database.t -> rng:Lbc_util.Rng.t -> count:int -> int list
+(** Build [count] new composite clusters, register them in the composite
+    directory, and index their atomic parts.  Returns the new composites'
+    addresses.  They belong to the design library but are not referenced
+    by the assembly hierarchy (as with OO7's freshly inserted parts). *)
+
+val delete_composite : Database.t -> addr:int -> unit
+(** Remove a composite from the directory and its atomic parts from the
+    index.  The caller must ensure no base assembly still references it
+    (OO7 deletes the composites it just inserted).  Heap space is not
+    reclaimed (bump allocator), matching RVM's model.
+    @raise Database.Bad_database if the composite is not in the
+    directory. *)

@@ -1,0 +1,22 @@
+(** The OO7 query mix (beyond the paper's traversal selection — included
+    so the port covers the full benchmark).  All queries are read-only and
+    safe to run under a single segment lock. *)
+
+val q1_exact_lookups : Database.t -> lookups:int -> int
+(** Q1: look up [lookups] pseudo-randomly chosen atomic parts by id
+    (resolved through the composite directory); returns how many were
+    found (all, unless the library shrank). *)
+
+val q2_range_1pct : Database.t -> int
+(** Q2: count atomic parts whose build date lies in the lowest 1% of the
+    date range — an index range scan. *)
+
+val q3_range_10pct : Database.t -> int
+(** Q3: same over the lowest 10%. *)
+
+val q4_document_scan : Database.t -> pattern:char -> int
+(** Q4-style document scan: occurrences of [pattern] across every
+    composite's document. *)
+
+val q7_full_scan : Database.t -> int
+(** Q7: scan the whole part index; returns the entry count. *)

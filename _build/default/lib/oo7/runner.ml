@@ -1,0 +1,66 @@
+type outcome = {
+  result : Traversal.result;
+  record : Lbc_wal.Record.txn;
+  profile : Lbc_costmodel.Model.traversal_profile;
+  elapsed : float;
+}
+
+let region = 0
+let lock = 0
+let page_size = Lbc_costmodel.Table2.page_size
+
+let setup ?(config = Lbc_core.Config.default) ?(nodes = 2) schema =
+  let cluster = Lbc_core.Cluster.create ~config ~nodes () in
+  Lbc_core.Cluster.add_region cluster ~id:region
+    ~size:(Schema.region_size schema);
+  let image = Builder.build schema in
+  Lbc_storage.Dev.load (Lbc_core.Cluster.region_dev cluster region) image;
+  Lbc_core.Cluster.map_region_all cluster ~region;
+  cluster
+
+let pages_updated (record : Lbc_wal.Record.txn) =
+  let module Iset = Set.Make (Int) in
+  List.fold_left
+    (fun acc r ->
+      let first = r.Lbc_wal.Record.offset / page_size in
+      let last =
+        (r.Lbc_wal.Record.offset + Bytes.length r.Lbc_wal.Record.data - 1)
+        / page_size
+      in
+      let rec add acc p = if p > last then acc else add (Iset.add p acc) (p + 1) in
+      add acc first)
+    Iset.empty record.Lbc_wal.Record.ranges
+  |> Iset.cardinal
+
+let run ~cluster ~writer schema kind =
+  let outcome = ref None in
+  Lbc_core.Cluster.spawn cluster ~node:writer (fun node ->
+      let rvm_stats = Lbc_rvm.Rvm.stats (Lbc_core.Node.rvm node) in
+      let updates0 = rvm_stats.Lbc_rvm.Rvm.set_ranges in
+      let ordered0 = rvm_stats.Lbc_rvm.Rvm.ordered_calls in
+      let redundant0 = rvm_stats.Lbc_rvm.Rvm.redundant_calls in
+      let t0 = Lbc_sim.Proc.now () in
+      let txn = Lbc_core.Node.Txn.begin_ node in
+      Lbc_core.Node.Txn.acquire txn lock;
+      let db = Database.attach_txn schema txn ~region in
+      let result = Traversal.run db kind in
+      let record = Lbc_core.Node.Txn.commit_record txn in
+      let elapsed = Lbc_sim.Proc.now () -. t0 in
+      let profile =
+        {
+          Lbc_costmodel.Model.updates =
+            rvm_stats.Lbc_rvm.Rvm.set_ranges - updates0;
+          unique_bytes = Lbc_wal.Record.ranges_bytes record;
+          message_bytes = Lbc_core.Wire.size record;
+          pages_updated = pages_updated record;
+          ranges = List.length record.Lbc_wal.Record.ranges;
+          ordered_updates = rvm_stats.Lbc_rvm.Rvm.ordered_calls - ordered0;
+          redundant_updates =
+            rvm_stats.Lbc_rvm.Rvm.redundant_calls - redundant0;
+        }
+      in
+      outcome := Some { result; record; profile; elapsed });
+  Lbc_core.Cluster.run cluster;
+  match !outcome with
+  | Some o -> o
+  | None -> failwith "Runner.run: traversal did not complete"

@@ -1,0 +1,62 @@
+(** The OO7 traversals used in the paper's evaluation.
+
+    All traversals walk the assembly hierarchy depth-first and visit the
+    composite parts referenced by each base assembly (2187 visits in the
+    standard configuration; composites are chosen with replacement, so a
+    composite may be visited several times).
+
+    - {b T1}: full read-only traversal — each composite visit DFS-walks
+      the whole atomic-part graph.
+    - {b T2} (update): like T1, but updates atomic parts by overwriting an
+      8-byte field ([x]): variant [A] updates only the root atomic part of
+      each visited composite, [B] every atomic part, [C] every atomic part
+      four times.
+    - {b T3} (index update): like T2, but the updated field is the indexed
+      build date, so each update also deletes and re-inserts the part's
+      entry in the part index.
+    - {b T4}: document search — each composite visit scans the
+      composite's document for a character (read-only; from the full OO7
+      suite, beyond the paper's selection).
+    - {b T5}: document update — each composite visit overwrites the start
+      of the composite's document.
+    - {b T6}: sparse read-only traversal — only the root atomic part of
+      each composite is visited.
+    - {b T7}: pick one pseudo-random base assembly and process its
+      composites (from the full OO7 suite).
+    - {b T12}: the paper's addition — sparse like T6, but updating the
+      root atomic part once ([A]) or four times ([C]).  A high fraction of
+      its running time is coherency-related. *)
+
+type variant = A | B | C
+
+type kind =
+  | T1
+  | T2 of variant
+  | T3 of variant
+  | T4
+  | T5
+  | T6
+  | T7
+  | T12 of variant
+
+val name : kind -> string
+(** "T2-B" etc. *)
+
+val of_name : string -> kind option
+
+val table3_kinds : kind list
+(** The eight update traversals of Table 3, in its row order: T12-A,
+    T12-C, T2-A/B/C, T3-A/B/C. *)
+
+type result = {
+  composite_visits : int;
+  atomic_visits : int;  (** atomic parts visited (with repetition) *)
+  field_updates : int;  (** explicit 8-byte field overwrites *)
+  index_ops : int;  (** index delete+insert pairs (T3 only) *)
+  read_sum : int64;  (** checksum of fields read (ignored by updates) *)
+}
+
+val run : Database.t -> kind -> result
+(** Execute the traversal against the attached database.  When the
+    database is attached through a transaction, all updates are captured
+    for logging and coherency. *)

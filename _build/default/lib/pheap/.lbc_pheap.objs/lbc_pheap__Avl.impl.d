@@ -1,0 +1,1 @@
+lib/pheap/avl.ml: Avl_mech Bytes Heap Int64

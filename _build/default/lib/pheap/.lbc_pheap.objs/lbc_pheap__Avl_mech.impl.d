@@ -1,0 +1,1 @@
+lib/pheap/avl_mech.ml: Heap

@@ -1,0 +1,1 @@
+lib/pheap/avl_mech.mli: Heap

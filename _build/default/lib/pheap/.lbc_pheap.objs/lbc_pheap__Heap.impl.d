@@ -1,0 +1,1 @@
+lib/pheap/heap.ml: Bytes Int64 Layout Printf

@@ -1,0 +1,1 @@
+lib/pheap/heap.mli: Bytes Layout

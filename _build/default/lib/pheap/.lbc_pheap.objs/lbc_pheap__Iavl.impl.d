@@ -1,0 +1,1 @@
+lib/pheap/iavl.ml: Avl_mech Bytes Heap Int64

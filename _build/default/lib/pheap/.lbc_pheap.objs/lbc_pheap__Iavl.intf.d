@@ -1,0 +1,1 @@
+lib/pheap/iavl.mli: Heap

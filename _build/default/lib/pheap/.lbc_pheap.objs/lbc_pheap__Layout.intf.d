@@ -1,0 +1,1 @@
+lib/pheap/layout.mli:

@@ -1,0 +1,221 @@
+type key = int64 * int64
+
+(* Node layout: key_hi, key_lo, left, right, height — all u64. *)
+let node_size = 40
+let f_key_hi = 0
+let f_key_lo = 8
+let f_left = 16
+let f_right = 24
+let f_height = 32
+
+(* Slot area: root pointer, free-list head. *)
+let slots_size = 16
+
+type t = { heap : Heap.t; slots : int; m : Avl_mech.t }
+
+let attach heap ~slots =
+  { heap; slots; m = { Avl_mech.heap; f_left; f_right; f_height } }
+
+let root t = Heap.get_int t.heap t.slots
+let set_root t v = Heap.set_int t.heap t.slots v
+let free_slot t = t.slots + 8
+
+let key_of t n =
+  (Heap.get_u64 t.heap (n + f_key_hi), Heap.get_u64 t.heap (n + f_key_lo))
+
+let left t n = Avl_mech.left t.m n
+let right t n = Avl_mech.right t.m n
+let set_left t n v = Avl_mech.set_left t.m n v
+let set_right t n v = Avl_mech.set_right t.m n v
+let rebalance t n = Avl_mech.rebalance t.m n
+
+let compare_key (a1, a2) (b1, b2) =
+  let c = Int64.unsigned_compare a1 b1 in
+  if c <> 0 then c else Int64.unsigned_compare a2 b2
+
+let alloc_node t (k1, k2) =
+  let n =
+    match Avl_mech.free_pop t.m ~head_slot:(free_slot t) with
+    | Some n -> n
+    | None -> Heap.alloc t.heap node_size
+  in
+  (* Initialize the whole node with one store so a fresh leaf costs one
+     range record, not five. *)
+  let image = Bytes.make node_size '\000' in
+  Bytes.set_int64_le image f_key_hi k1;
+  Bytes.set_int64_le image f_key_lo k2;
+  Bytes.set_int64_le image f_height 1L;
+  Heap.set_bytes t.heap n image;
+  n
+
+let free_node t n = Avl_mech.free_push t.m ~head_slot:(free_slot t) n
+
+let insert t key =
+  let inserted = ref false in
+  let rec go n =
+    if n = 0 then begin
+      inserted := true;
+      alloc_node t key
+    end
+    else begin
+      let c = compare_key key (key_of t n) in
+      if c = 0 then n
+      else begin
+        if c < 0 then begin
+          let l' = go (left t n) in
+          if l' <> left t n then set_left t n l'
+        end
+        else begin
+          let r' = go (right t n) in
+          if r' <> right t n then set_right t n r'
+        end;
+        if !inserted then rebalance t n else n
+      end
+    end
+  in
+  let r = go (root t) in
+  if r <> root t then set_root t r;
+  !inserted
+
+let delete t key =
+  let deleted = ref false in
+  let rec go n =
+    if n = 0 then 0
+    else begin
+      let c = compare_key key (key_of t n) in
+      if c < 0 then begin
+        let l' = go (left t n) in
+        if l' <> left t n then set_left t n l';
+        if !deleted then rebalance t n else n
+      end
+      else if c > 0 then begin
+        let r' = go (right t n) in
+        if r' <> right t n then set_right t n r';
+        if !deleted then rebalance t n else n
+      end
+      else begin
+        deleted := true;
+        if left t n = 0 then begin
+          let r = right t n in
+          free_node t n;
+          r
+        end
+        else if right t n = 0 then begin
+          let l = left t n in
+          free_node t n;
+          l
+        end
+        else begin
+          (* Two children: replace with the in-order successor's key, then
+             delete the successor from the right subtree. *)
+          let succ = Avl_mech.min_node t.m (right t n) in
+          let k1, k2 = key_of t succ in
+          Heap.set_u64 t.heap (n + f_key_hi) k1;
+          Heap.set_u64 t.heap (n + f_key_lo) k2;
+          let rec remove_min m =
+            if left t m = 0 then right t m
+            else begin
+              let l' = remove_min (left t m) in
+              if l' <> left t m then set_left t m l';
+              rebalance t m
+            end
+          in
+          let r' = remove_min (right t n) in
+          free_node t succ;
+          if r' <> right t n then set_right t n r';
+          rebalance t n
+        end
+      end
+    end
+  in
+  let r = go (root t) in
+  if r <> root t then set_root t r;
+  !deleted
+
+let contains t key =
+  let rec go n =
+    if n = 0 then false
+    else
+      let c = compare_key key (key_of t n) in
+      if c = 0 then true else if c < 0 then go (left t n) else go (right t n)
+  in
+  go (root t)
+
+type replace_outcome = In_place | Reinserted | Not_found
+
+(* Find [old_key]'s node while tracking the tightest ancestor bounds; the
+   in-place rewrite is legal iff the new key still falls strictly between
+   the node's predecessor and successor. *)
+let replace_key t ~old_key ~new_key =
+  if compare_key old_key new_key = 0 then In_place
+  else begin
+    let rec find n lo hi =
+      if n = 0 then None
+      else
+        let k = key_of t n in
+        let c = compare_key old_key k in
+        if c = 0 then Some (n, lo, hi)
+        else if c < 0 then find (left t n) lo (Some k)
+        else find (right t n) (Some k) hi
+    in
+    match find (root t) None None with
+    | None -> Not_found
+    | Some (n, lo, hi) ->
+        let pred =
+          if left t n <> 0 then Some (key_of t (Avl_mech.max_node t.m (left t n)))
+          else lo
+        in
+        let succ =
+          if right t n <> 0 then
+            Some (key_of t (Avl_mech.min_node t.m (right t n)))
+          else hi
+        in
+        let above_pred =
+          match pred with None -> true | Some p -> compare_key new_key p > 0
+        in
+        let below_succ =
+          match succ with None -> true | Some s -> compare_key new_key s < 0
+        in
+        if above_pred && below_succ then begin
+          let oh1, ol2 = key_of t n and nh1, nh2 = new_key in
+          if not (Int64.equal oh1 nh1) then
+            Heap.set_u64 t.heap (n + f_key_hi) nh1;
+          if not (Int64.equal ol2 nh2) then
+            Heap.set_u64 t.heap (n + f_key_lo) nh2;
+          In_place
+        end
+        else if contains t new_key then Not_found
+        else begin
+          ignore (delete t old_key);
+          ignore (insert t new_key);
+          Reinserted
+        end
+  end
+
+let min_key t =
+  match root t with
+  | 0 -> None
+  | r -> Some (key_of t (Avl_mech.min_node t.m r))
+
+let fold t ~init ~f =
+  let rec go n acc =
+    if n = 0 then acc
+    else
+      let acc = go (left t n) acc in
+      let acc = f acc (key_of t n) in
+      go (right t n) acc
+  in
+  go (root t) init
+
+let height t = Avl_mech.height_of t.m (root t)
+
+let cardinal t =
+  let rec count n = if n = 0 then 0 else 1 + count (left t n) + count (right t n) in
+  count (root t)
+
+let check_invariants t =
+  Avl_mech.check_structure t.m ~root:(root t) ~key_le:(fun a b ->
+      compare_key (key_of t a) (key_of t b) < 0);
+  let counted = fold t ~init:0 ~f:(fun a _ -> a + 1) in
+  if counted <> cardinal t then
+    raise (Heap.Heap_error "Avl.check_invariants: cardinality mismatch")

@@ -1,0 +1,59 @@
+(** A persistent AVL tree stored in a {!Heap} — OO7's part index.
+
+    Keys are composite [(primary, secondary)] 64-bit pairs; OO7 indexes
+    atomic parts by their (mutable) build-date field with the part address
+    as tie-breaker.  All node reads and writes go through the heap's
+    access interface, so when the heap is attached to a transactional
+    memory every rotation and pointer update is captured by [set_range] —
+    this is what makes the paper's T3 traversal perform "an average of
+    seven index updates for each atomic-part update".
+
+    Deleted nodes are kept on an intrusive free list (head stored in the
+    region) and reused by inserts, so delete/insert cycles do not grow the
+    heap. *)
+
+type t
+
+type key = int64 * int64
+
+val node_size : int
+
+val slots_size : int
+(** Bytes of region state the index needs (root pointer and free-list
+    head); the caller reserves them, typically in its own header. *)
+
+val attach : Heap.t -> slots:int -> t
+(** [attach heap ~slots] binds the index whose state lives at address
+    [slots].  A zeroed slot area is a valid empty index. *)
+
+val insert : t -> key -> bool
+(** Insert; [false] if the key was already present. *)
+
+val delete : t -> key -> bool
+(** Remove; [false] if the key was absent. *)
+
+type replace_outcome = In_place | Reinserted | Not_found
+
+val replace_key : t -> old_key:key -> new_key:key -> replace_outcome
+(** Change a key.  If the new key sorts into the same tree position (its
+    node's predecessor and successor still bracket it) only the key field
+    is overwritten — a single 8-16 byte update, the common case for OO7's
+    T3 where a build date moves by one.  Otherwise the entry is deleted
+    and re-inserted.  [Not_found] if [old_key] is absent (or [new_key]
+    already present). *)
+
+val contains : t -> key -> bool
+
+val cardinal : t -> int
+(** Number of entries; O(n) — the index stores no counter so that
+    updates touch the minimum number of bytes. *)
+
+val min_key : t -> key option
+val fold : t -> init:'a -> f:('a -> key -> 'a) -> 'a
+(** In-order (ascending) traversal. *)
+
+val height : t -> int
+
+val check_invariants : t -> unit
+(** Verify AVL balance and key ordering; raises [Heap.Heap_error] on
+    violation (tests only — walks the whole tree). *)

@@ -1,0 +1,74 @@
+type t = { heap : Heap.t; f_left : int; f_right : int; f_height : int }
+
+let left t n = Heap.get_int t.heap (n + t.f_left)
+let right t n = Heap.get_int t.heap (n + t.f_right)
+let height_of t n = if n = 0 then 0 else Heap.get_int t.heap (n + t.f_height)
+let set_left t n v = Heap.set_int t.heap (n + t.f_left) v
+let set_right t n v = Heap.set_int t.heap (n + t.f_right) v
+
+let update_height t n =
+  let h = 1 + max (height_of t (left t n)) (height_of t (right t n)) in
+  if height_of t n <> h then Heap.set_int t.heap (n + t.f_height) h
+
+let balance_factor t n = height_of t (left t n) - height_of t (right t n)
+
+let rotate_right t n =
+  let l = left t n in
+  set_left t n (right t l);
+  set_right t l n;
+  update_height t n;
+  update_height t l;
+  l
+
+let rotate_left t n =
+  let r = right t n in
+  set_right t n (left t r);
+  set_left t r n;
+  update_height t n;
+  update_height t r;
+  r
+
+let rebalance t n =
+  update_height t n;
+  let bf = balance_factor t n in
+  if bf > 1 then begin
+    if balance_factor t (left t n) < 0 then set_left t n (rotate_left t (left t n));
+    rotate_right t n
+  end
+  else if bf < -1 then begin
+    if balance_factor t (right t n) > 0 then
+      set_right t n (rotate_right t (right t n));
+    rotate_left t n
+  end
+  else n
+
+let rec min_node t n = if left t n = 0 then n else min_node t (left t n)
+let rec max_node t n = if right t n = 0 then n else max_node t (right t n)
+
+let free_push t ~head_slot n =
+  set_left t n (Heap.get_int t.heap head_slot);
+  Heap.set_int t.heap head_slot n
+
+let free_pop t ~head_slot =
+  match Heap.get_int t.heap head_slot with
+  | 0 -> None
+  | n ->
+      Heap.set_int t.heap head_slot (left t n);
+      Some n
+
+let check_structure t ~root ~key_le =
+  let fail msg = raise (Heap.Heap_error ("Avl_mech.check_structure: " ^ msg)) in
+  let rec go n =
+    if n = 0 then 0
+    else begin
+      let hl = go (left t n) and hr = go (right t n) in
+      if abs (hl - hr) > 1 then fail "unbalanced node";
+      if 1 + max hl hr <> height_of t n then fail "stale height";
+      if left t n <> 0 && not (key_le (left t n) n) then
+        fail "left key out of order";
+      if right t n <> 0 && not (key_le n (right t n)) then
+        fail "right key out of order";
+      1 + max hl hr
+    end
+  in
+  ignore (go root)

@@ -1,0 +1,47 @@
+(** Shared AVL mechanics for trees whose nodes live in a persistent heap.
+
+    Both index flavours ({!Avl} with inline keys, {!Iavl} with indirect
+    keys) store left/right/height as 8-byte fields at fixed offsets inside
+    their nodes; everything purely structural — rotations, rebalancing,
+    height maintenance, extremum walks, the intrusive free list — is
+    identical and lives here.  Key comparison and payload handling stay in
+    the wrapping modules. *)
+
+type t = {
+  heap : Heap.t;
+  f_left : int;  (** byte offset of the left-child field *)
+  f_right : int;
+  f_height : int;
+}
+
+val left : t -> int -> int
+val right : t -> int -> int
+val height_of : t -> int -> int
+(** 0 for the null node. *)
+
+val set_left : t -> int -> int -> unit
+val set_right : t -> int -> int -> unit
+
+val update_height : t -> int -> unit
+(** Recompute from children; writes only when the value changes. *)
+
+val rebalance : t -> int -> int
+(** Restore the AVL invariant at a node whose subtrees are already
+    balanced; returns the (possibly new) subtree root. *)
+
+val min_node : t -> int -> int
+val max_node : t -> int -> int
+(** Extremum of a non-empty subtree. *)
+
+(** {1 Intrusive free list}
+
+    Freed nodes are chained through their left-child field; the list head
+    lives at a caller-supplied heap address. *)
+
+val free_push : t -> head_slot:int -> int -> unit
+val free_pop : t -> head_slot:int -> int option
+
+val check_structure :
+  t -> root:int -> key_le:(int -> int -> bool) -> unit
+(** Verify balance, height and ordering ([key_le parent child] per side);
+    raises [Heap.Heap_error] on violation.  Test helper. *)

@@ -1,0 +1,214 @@
+type key = int64 * int64
+
+(* Node layout: value (entry address), left, right, height. *)
+let node_size = 32
+let f_value = 0
+let f_left = 8
+let f_right = 16
+let f_height = 24
+
+let slots_size = 16 (* root, free-list head *)
+
+type t = { heap : Heap.t; slots : int; key_of : int -> key; m : Avl_mech.t }
+
+let attach heap ~slots ~key_of =
+  { heap; slots; key_of; m = { Avl_mech.heap; f_left; f_right; f_height } }
+
+let root t = Heap.get_int t.heap t.slots
+let set_root t v = Heap.set_int t.heap t.slots v
+let free_slot t = t.slots + 8
+
+let value t n = Heap.get_int t.heap (n + f_value)
+let left t n = Avl_mech.left t.m n
+let right t n = Avl_mech.right t.m n
+let set_left t n v = Avl_mech.set_left t.m n v
+let set_right t n v = Avl_mech.set_right t.m n v
+let rebalance t n = Avl_mech.rebalance t.m n
+let key_at t n = t.key_of (value t n)
+
+let compare_key (a1, a2) (b1, b2) =
+  let c = Int64.unsigned_compare a1 b1 in
+  if c <> 0 then c else Int64.unsigned_compare a2 b2
+
+let alloc_node t entry =
+  let n =
+    match Avl_mech.free_pop t.m ~head_slot:(free_slot t) with
+    | Some n -> n
+    | None -> Heap.alloc t.heap node_size
+  in
+  (* One store initializes the whole node. *)
+  let image = Bytes.make node_size '\000' in
+  Bytes.set_int64_le image f_value (Int64.of_int entry);
+  Bytes.set_int64_le image f_height 1L;
+  Heap.set_bytes t.heap n image;
+  n
+
+let free_node t n = Avl_mech.free_push t.m ~head_slot:(free_slot t) n
+
+let insert t entry =
+  let key = t.key_of entry in
+  let inserted = ref false in
+  let rec go n =
+    if n = 0 then begin
+      inserted := true;
+      alloc_node t entry
+    end
+    else begin
+      let c = compare_key key (key_at t n) in
+      if c = 0 then n
+      else begin
+        if c < 0 then begin
+          let l' = go (left t n) in
+          if l' <> left t n then set_left t n l'
+        end
+        else begin
+          let r' = go (right t n) in
+          if r' <> right t n then set_right t n r'
+        end;
+        if !inserted then rebalance t n else n
+      end
+    end
+  in
+  let r = go (root t) in
+  if r <> root t then set_root t r;
+  !inserted
+
+let delete t entry =
+  let key = t.key_of entry in
+  let deleted = ref false in
+  let rec go n =
+    if n = 0 then 0
+    else begin
+      let c = compare_key key (key_at t n) in
+      if c < 0 then begin
+        let l' = go (left t n) in
+        if l' <> left t n then set_left t n l';
+        if !deleted then rebalance t n else n
+      end
+      else if c > 0 then begin
+        let r' = go (right t n) in
+        if r' <> right t n then set_right t n r';
+        if !deleted then rebalance t n else n
+      end
+      else begin
+        (* Keys are unique (the entry address is the tie-breaker). *)
+        deleted := true;
+        if left t n = 0 then begin
+          let r = right t n in
+          free_node t n;
+          r
+        end
+        else if right t n = 0 then begin
+          let l = left t n in
+          free_node t n;
+          l
+        end
+        else begin
+          (* Two children: move the in-order successor's value up, then
+             remove the successor node. *)
+          let succ = Avl_mech.min_node t.m (right t n) in
+          Heap.set_int t.heap (n + f_value) (value t succ);
+          let rec remove_min m =
+            if left t m = 0 then right t m
+            else begin
+              let l' = remove_min (left t m) in
+              if l' <> left t m then set_left t m l';
+              rebalance t m
+            end
+          in
+          let r' = remove_min (right t n) in
+          free_node t succ;
+          if r' <> right t n then set_right t n r';
+          rebalance t n
+        end
+      end
+    end
+  in
+  let r = go (root t) in
+  if r <> root t then set_root t r;
+  !deleted
+
+let contains t entry =
+  let key = t.key_of entry in
+  let rec go n =
+    if n = 0 then false
+    else
+      let c = compare_key key (key_at t n) in
+      if c = 0 then value t n = entry
+      else if c < 0 then go (left t n)
+      else go (right t n)
+  in
+  go (root t)
+
+type update_outcome = In_place | Relocated
+
+let update t entry ~new_key ~set =
+  let key = t.key_of entry in
+  let rec find n lo hi =
+    if n = 0 then None
+    else
+      let k = key_at t n in
+      let c = compare_key key k in
+      if c = 0 then Some (n, lo, hi)
+      else if c < 0 then find (left t n) lo (Some k)
+      else find (right t n) (Some k) hi
+  in
+  match find (root t) None None with
+  | None -> raise (Heap.Heap_error "Iavl.update: entry not in tree")
+  | Some (n, lo, hi) ->
+      let pred =
+        if left t n <> 0 then Some (key_at t (Avl_mech.max_node t.m (left t n)))
+        else lo
+      in
+      let succ =
+        if right t n <> 0 then
+          Some (key_at t (Avl_mech.min_node t.m (right t n)))
+        else hi
+      in
+      let fits =
+        (match pred with None -> true | Some p -> compare_key new_key p > 0)
+        && match succ with None -> true | Some s -> compare_key new_key s < 0
+      in
+      if fits then begin
+        (* The node's position is still correct: the key change is free. *)
+        set ();
+        In_place
+      end
+      else begin
+        ignore (delete t entry);
+        set ();
+        ignore (insert t entry);
+        Relocated
+      end
+
+let fold t ~init ~f =
+  let rec go n acc =
+    if n = 0 then acc
+    else
+      let acc = go (left t n) acc in
+      let acc = f acc (value t n) in
+      go (right t n) acc
+  in
+  go (root t) init
+
+let fold_range t ~lo ~hi ~init ~f =
+  let rec go n acc =
+    if n = 0 then acc
+    else begin
+      let k = key_at t n in
+      let acc = if compare_key k lo > 0 then go (left t n) acc else acc in
+      let acc =
+        if compare_key k lo >= 0 && compare_key k hi <= 0 then f acc (value t n)
+        else acc
+      in
+      if compare_key k hi < 0 then go (right t n) acc else acc
+    end
+  in
+  go (root t) init
+
+let cardinal t = fold t ~init:0 ~f:(fun a _ -> a + 1)
+let height t = Avl_mech.height_of t.m (root t)
+
+let check_invariants t =
+  Avl_mech.check_structure t.m ~root:(root t) ~key_le:(fun a b ->
+      compare_key (key_at t a) (key_at t b) < 0)

@@ -1,0 +1,1 @@
+lib/rvm/range_tree.ml: Int List Map

@@ -1,0 +1,1 @@
+lib/rvm/recovery.ml: Bytes Lbc_storage Lbc_wal List

@@ -1,0 +1,1 @@
+lib/rvm/recovery.mli: Lbc_storage Lbc_wal

@@ -1,0 +1,1 @@
+lib/rvm/region.mli: Bytes Lbc_storage

@@ -1,0 +1,1 @@
+lib/rvm/rvm.ml: Bytes Hashtbl Lbc_wal List Printf Range_tree Region

@@ -1,0 +1,1 @@
+lib/rvm/rvm.mli: Bytes Lbc_storage Lbc_wal Range_tree Region

@@ -1,0 +1,38 @@
+type outcome = { records_replayed : int; bytes_replayed : int; torn_tail : bool }
+
+let apply_ranges ~db_for_region ~touched txn (records, bytes) =
+  let bytes = ref bytes in
+  List.iter
+    (fun { Lbc_wal.Record.region; offset; data } ->
+      match db_for_region region with
+      | Some dev ->
+          Lbc_storage.Dev.write dev ~off:offset data ~pos:0
+            ~len:(Bytes.length data);
+          bytes := !bytes + Bytes.length data;
+          if not (List.memq dev !touched) then touched := dev :: !touched
+      | None -> ())
+    txn.Lbc_wal.Record.ranges;
+  (records + 1, !bytes)
+
+let replay_records txns ~db_for_region =
+  let touched = ref [] in
+  let records, bytes =
+    List.fold_left
+      (fun acc txn -> apply_ranges ~db_for_region ~touched txn acc)
+      (0, 0) txns
+  in
+  List.iter Lbc_storage.Dev.sync !touched;
+  { records_replayed = records; bytes_replayed = bytes; torn_tail = false }
+
+let replay ~log ~db_for_region =
+  let touched = ref [] in
+  let (records, bytes), status =
+    Lbc_wal.Log.fold log ~init:(0, 0) (fun acc _off txn ->
+        apply_ranges ~db_for_region ~touched txn acc)
+  in
+  List.iter Lbc_storage.Dev.sync !touched;
+  {
+    records_replayed = records;
+    bytes_replayed = bytes;
+    torn_tail = (match status with Lbc_wal.Log.Clean -> false | Lbc_wal.Log.Torn_at _ -> true);
+  }

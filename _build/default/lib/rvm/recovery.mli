@@ -1,0 +1,22 @@
+(** Crash recovery: replay a committed redo log into the permanent
+    database devices.
+
+    This is the standard single-log RVM recovery procedure.  In the
+    distributed configuration each node writes its own log, and those logs
+    must first be merged into one (module [Lbc_core.Merge]) before replay
+    — exactly the utility the paper adds in Section 3.4. *)
+
+type outcome = {
+  records_replayed : int;
+  bytes_replayed : int;
+  torn_tail : bool;  (** the log ended in a torn record, which was ignored *)
+}
+
+val replay : log:Lbc_wal.Log.t -> db_for_region:(int -> Lbc_storage.Dev.t option) -> outcome
+(** Apply every committed record's ranges, in log order, to the database
+    device of its region, then sync the touched devices.  Ranges whose
+    region resolves to [None] are skipped. *)
+
+val replay_records :
+  Lbc_wal.Record.txn list -> db_for_region:(int -> Lbc_storage.Dev.t option) -> outcome
+(** Same, from an already-merged record list. *)

@@ -1,0 +1,276 @@
+type restore_mode = Restore | No_restore
+type commit_mode = Flush | No_flush
+type set_range_class = Redundant | Ordered | Unordered
+
+type instrumentation = {
+  on_set_range : set_range_class -> len:int -> unit;
+  on_commit_collect : ranges:int -> bytes:int -> unit;
+  on_apply : ranges:int -> bytes:int -> unit;
+}
+
+let no_instrumentation =
+  {
+    on_set_range = (fun _ ~len:_ -> ());
+    on_commit_collect = (fun ~ranges:_ ~bytes:_ -> ());
+    on_apply = (fun ~ranges:_ ~bytes:_ -> ());
+  }
+
+type options = {
+  coalesce : Range_tree.policy;
+  disk_logging : bool;
+  range_header_size : int;
+  instrumentation : instrumentation;
+}
+
+let default_options =
+  {
+    coalesce = Range_tree.Optimized;
+    disk_logging = true;
+    range_header_size = Lbc_wal.Record.rvm_disk_header_size;
+    instrumentation = no_instrumentation;
+  }
+
+exception Txn_error of string
+
+type stats = {
+  mutable commits : int;
+  mutable aborts : int;
+  mutable set_ranges : int;
+  mutable redundant_calls : int;
+  mutable ordered_calls : int;
+  mutable unordered_calls : int;
+  mutable ranges_logged : int;
+  mutable bytes_logged : int;
+  mutable log_bytes_written : int;
+  mutable records_applied : int;
+  mutable bytes_applied : int;
+  mutable truncations : int;
+}
+
+let fresh_stats () =
+  {
+    commits = 0;
+    aborts = 0;
+    set_ranges = 0;
+    redundant_calls = 0;
+    ordered_calls = 0;
+    unordered_calls = 0;
+    ranges_logged = 0;
+    bytes_logged = 0;
+    log_bytes_written = 0;
+    records_applied = 0;
+    bytes_applied = 0;
+    truncations = 0;
+  }
+
+type t = {
+  node : int;
+  log : Lbc_wal.Log.t;
+  options : options;
+  regions : (int, Region.t) Hashtbl.t;
+  mutable next_tid : int;
+  stats : stats;
+}
+
+type txn = {
+  owner : t;
+  tid : int;
+  restore : restore_mode;
+  trees : (int, Range_tree.t) Hashtbl.t;  (* region id -> modified ranges *)
+  mutable undo : (Region.t * int * Bytes.t) list;  (* newest first *)
+  mutable locks : Lbc_wal.Record.lock_info list;  (* reverse acquire order *)
+  mutable live : bool;
+}
+
+let init ?(options = default_options) ~node ~log_dev () =
+  {
+    node;
+    log = Lbc_wal.Log.attach log_dev;
+    options;
+    regions = Hashtbl.create 4;
+    next_tid = 1;
+    stats = fresh_stats ();
+  }
+
+let node t = t.node
+let log t = t.log
+let options t = t.options
+let stats t = t.stats
+
+let map_region t ~id ~db ~size =
+  if Hashtbl.mem t.regions id then
+    invalid_arg (Printf.sprintf "Rvm.map_region: region %d already mapped" id);
+  let r = Region.map ~id ~db ~size in
+  Hashtbl.add t.regions id r;
+  r
+
+let region t id =
+  match Hashtbl.find_opt t.regions id with
+  | Some r -> r
+  | None -> raise Not_found
+
+let regions t =
+  Hashtbl.fold (fun _ r acc -> r :: acc) t.regions []
+  |> List.sort (fun a b -> compare (Region.id a) (Region.id b))
+
+let begin_txn ?(restore = No_restore) t =
+  let tid = t.next_tid in
+  t.next_tid <- tid + 1;
+  {
+    owner = t;
+    tid;
+    restore;
+    trees = Hashtbl.create 2;
+    undo = [];
+    locks = [];
+    live = true;
+  }
+
+let tid txn = txn.tid
+
+let check_live txn what =
+  if not txn.live then
+    raise (Txn_error (Printf.sprintf "%s on finished transaction %d" what txn.tid))
+
+let tree_for txn region_id =
+  match Hashtbl.find_opt txn.trees region_id with
+  | Some tree -> tree
+  | None ->
+      let tree = Range_tree.create txn.owner.options.coalesce in
+      Hashtbl.add txn.trees region_id tree;
+      tree
+
+let classify = function
+  | Range_tree.Exact_match -> Redundant
+  | Range_tree.Ordered_append -> Ordered
+  | Range_tree.Extended | Range_tree.Merged | Range_tree.Inserted -> Unordered
+
+let set_range txn ~region ~offset ~len =
+  check_live txn "set_range";
+  let reg =
+    match Hashtbl.find_opt txn.owner.regions region with
+    | Some reg -> reg
+    | None -> raise (Txn_error (Printf.sprintf "set_range: region %d not mapped" region))
+  in
+  if offset < 0 || len <= 0 || offset + len > Region.size reg then
+    raise
+      (Txn_error
+         (Printf.sprintf "set_range: bad range [%d,%d) in region %d" offset
+            (offset + len) region));
+  let tree = tree_for txn region in
+  let case = Range_tree.add tree ~offset ~len in
+  let cls = classify case in
+  let st = txn.owner.stats in
+  st.set_ranges <- st.set_ranges + 1;
+  (match cls with
+  | Redundant -> st.redundant_calls <- st.redundant_calls + 1
+  | Ordered -> st.ordered_calls <- st.ordered_calls + 1
+  | Unordered -> st.unordered_calls <- st.unordered_calls + 1);
+  txn.owner.options.instrumentation.on_set_range cls ~len;
+  (* Capture the old value for abort, unless this range is already
+     covered by a previous capture (Redundant case). *)
+  (match (txn.restore, cls) with
+  | Restore, (Ordered | Unordered) ->
+      txn.undo <- (reg, offset, Region.read reg ~offset ~len) :: txn.undo
+  | Restore, Redundant | No_restore, _ -> ())
+
+let write txn ~region ~offset b =
+  set_range txn ~region ~offset ~len:(Bytes.length b);
+  Region.write (Hashtbl.find txn.owner.regions region) ~offset b
+
+let set_u64 txn ~region ~offset v =
+  set_range txn ~region ~offset ~len:8;
+  Region.set_u64 (Hashtbl.find txn.owner.regions region) ~offset v
+
+let set_lock txn ~lock_id ~seqno ~prev_write_seq =
+  check_live txn "set_lock";
+  txn.locks <-
+    { Lbc_wal.Record.lock_id; seqno; prev_write_seq } :: txn.locks
+
+let build_record txn =
+  let ranges = ref [] and n = ref 0 and bytes = ref 0 in
+  let region_ids =
+    Hashtbl.fold (fun id _ acc -> id :: acc) txn.trees []
+    |> List.sort compare
+  in
+  List.iter
+    (fun region_id ->
+      let reg = Hashtbl.find txn.owner.regions region_id in
+      let tree = Hashtbl.find txn.trees region_id in
+      Range_tree.fold tree ~init:() ~f:(fun () ~offset ~len ->
+          incr n;
+          bytes := !bytes + len;
+          ranges :=
+            { Lbc_wal.Record.region = region_id; offset;
+              data = Region.read reg ~offset ~len }
+            :: !ranges))
+    region_ids;
+  ( {
+      Lbc_wal.Record.node = txn.owner.node;
+      tid = txn.tid;
+      locks = List.rev txn.locks;
+      ranges = List.rev !ranges;
+    },
+    !n,
+    !bytes )
+
+let commit ?(mode = Flush) txn =
+  check_live txn "commit";
+  txn.live <- false;
+  let record, n_ranges, bytes = build_record txn in
+  let t = txn.owner in
+  t.options.instrumentation.on_commit_collect ~ranges:n_ranges ~bytes;
+  t.stats.commits <- t.stats.commits + 1;
+  t.stats.ranges_logged <- t.stats.ranges_logged + n_ranges;
+  t.stats.bytes_logged <- t.stats.bytes_logged + bytes;
+  if t.options.disk_logging then begin
+    ignore
+      (Lbc_wal.Log.append ~range_header_size:t.options.range_header_size t.log
+         record);
+    t.stats.log_bytes_written <-
+      t.stats.log_bytes_written
+      + Lbc_wal.Record.encoded_size
+          ~range_header_size:t.options.range_header_size record;
+    match mode with Flush -> Lbc_wal.Log.force t.log | No_flush -> ()
+  end;
+  record
+
+let abort txn =
+  check_live txn "abort";
+  (match txn.restore with
+  | No_restore -> raise (Txn_error "abort of a No_restore transaction")
+  | Restore -> ());
+  txn.live <- false;
+  (* Undo copies are newest-first; restoring in that order rewinds
+     overlapping captures correctly. *)
+  List.iter (fun (reg, offset, old) -> Region.write reg ~offset old) txn.undo;
+  txn.owner.stats.aborts <- txn.owner.stats.aborts + 1
+
+let is_live txn = txn.live
+
+let apply_record t record =
+  let n = ref 0 and bytes = ref 0 in
+  List.iter
+    (fun { Lbc_wal.Record.region; offset; data } ->
+      match Hashtbl.find_opt t.regions region with
+      | Some reg ->
+          Region.write reg ~offset data;
+          incr n;
+          bytes := !bytes + Bytes.length data
+      | None -> ())
+    record.Lbc_wal.Record.ranges;
+  t.stats.records_applied <- t.stats.records_applied + 1;
+  t.stats.bytes_applied <- t.stats.bytes_applied + !bytes;
+  t.options.instrumentation.on_apply ~ranges:!n ~bytes:!bytes
+
+let truncate t =
+  Hashtbl.iter (fun _ reg -> Region.flush_to_db reg) t.regions;
+  Lbc_wal.Log.set_head t.log (Lbc_wal.Log.tail t.log);
+  t.stats.truncations <- t.stats.truncations + 1
+
+let maybe_truncate t ~high_water =
+  if Lbc_wal.Log.live_bytes t.log > high_water then begin
+    truncate t;
+    true
+  end
+  else false

@@ -1,0 +1,151 @@
+(** Recoverable virtual memory — a work-alike of the RVM package the paper
+    extends (Satyanarayanan et al., 1994).
+
+    One [t] per node.  Applications map {!Region}s, run transactions that
+    declare modified byte ranges with {!set_range} (paper Table 1), and
+    commit; commit builds a new-value redo record, optionally forces it to
+    the node's log device, and returns it — the {e committed log tail} that
+    the coherency layer broadcasts to peers.
+
+    The interface corresponds to the paper's Table 1:
+    - [Trans.Init]    — {!begin_txn} (tid allocation)
+    - [Trans.Begin]   — {!begin_txn}
+    - [Trans.Commit]  — {!commit}
+    - [Trans.Acquire] — {!set_lock} ([rvm_setlockid_transaction])
+    - [Trans.SetRange]— {!set_range}
+
+    Cost instrumentation: RVM itself is a pure library; simulated-time
+    charging is injected through {!instrumentation} so that benchmarks can
+    charge the per-update costs of Figures 5-7 while unit tests run the
+    same code with no cost model. *)
+
+type t
+type txn
+
+type restore_mode =
+  | Restore  (** capture old values at [set_range]; [abort] allowed *)
+  | No_restore  (** no undo copies; [abort] is an error *)
+
+type commit_mode =
+  | Flush  (** force the log before returning (durable commit) *)
+  | No_flush  (** lazy commit: buffered log write only *)
+
+(** Cost class of one [set_range] call, per the paper's Figure 5:
+    [Redundant] — exact match with a previously added range;
+    [Ordered]   — address-ordered call that skips the tree search;
+    [Unordered] — full tree search (insert or merge). *)
+type set_range_class = Redundant | Ordered | Unordered
+
+type instrumentation = {
+  on_set_range : set_range_class -> len:int -> unit;
+  on_commit_collect : ranges:int -> bytes:int -> unit;
+      (** gathering new values / building iovecs at commit *)
+  on_apply : ranges:int -> bytes:int -> unit;
+      (** applying a received or replayed record to a region image *)
+}
+
+val no_instrumentation : instrumentation
+
+type options = {
+  coalesce : Range_tree.policy;
+      (** [Optimized] is the paper's modified RVM; [Standard] reproduces
+          stock RVM for the Figure 8 ablation. *)
+  disk_logging : bool;
+      (** when [false], commit skips the log write entirely (the paper
+          disables disk logging to isolate coherency costs). *)
+  range_header_size : int;  (** on-disk range header size; RVM used 104. *)
+  instrumentation : instrumentation;
+}
+
+val default_options : options
+(** Optimized coalescing, disk logging on, 104-byte headers, no
+    instrumentation. *)
+
+exception Txn_error of string
+(** Raised on misuse: operations on a dead transaction, abort of a
+    [No_restore] transaction, commit of an aborted transaction, etc. *)
+
+val init : ?options:options -> node:int -> log_dev:Lbc_storage.Dev.t -> unit -> t
+val node : t -> int
+val log : t -> Lbc_wal.Log.t
+val options : t -> options
+
+val map_region : t -> id:int -> db:Lbc_storage.Dev.t -> size:int -> Region.t
+(** Map a region; raises [Invalid_argument] if the id is already mapped. *)
+
+val region : t -> int -> Region.t
+(** @raise Not_found if the region is not mapped. *)
+
+val regions : t -> Region.t list
+
+(** {1 Transactions} *)
+
+val begin_txn : ?restore:restore_mode -> t -> txn
+(** Start a transaction.  [restore] defaults to [No_restore] (RVM's
+    cheaper mode, sufficient when the application never aborts). *)
+
+val tid : txn -> int
+
+val set_range : txn -> region:int -> offset:int -> len:int -> unit
+(** Declare intent to modify [len] bytes at [offset] — must precede the
+    actual store, as in RVM. *)
+
+val write : txn -> region:int -> offset:int -> Bytes.t -> unit
+(** [set_range] followed by the store itself. *)
+
+val set_u64 : txn -> region:int -> offset:int -> int64 -> unit
+(** Transactionally update an 8-byte field (the OO7 update unit). *)
+
+val set_lock : txn -> lock_id:int -> seqno:int -> prev_write_seq:int -> unit
+(** [rvm_setlockid_transaction]: tag the transaction's eventual log record
+    with a lock acquire (called by the lock package, not applications). *)
+
+val commit : ?mode:commit_mode -> txn -> Lbc_wal.Record.txn
+(** Commit: build the redo record from the modified ranges (reading new
+    values from region memory), append it to the log if disk logging is
+    enabled, force the log under [Flush] (default), and return the record.
+    The transaction is dead afterwards. *)
+
+val abort : txn -> unit
+(** Undo all modifications using the old-value copies captured by
+    [set_range].  Only legal for [Restore] transactions. *)
+
+val is_live : txn -> bool
+
+(** {1 Applying records} *)
+
+val apply_record : t -> Lbc_wal.Record.txn -> unit
+(** Apply a record's new-value ranges to the mapped region images — used
+    by the coherency receiver for records from peer nodes.  Ranges for
+    unmapped regions are ignored (the peer shares only some regions). *)
+
+(** {1 Checkpointing} *)
+
+val truncate : t -> unit
+(** Log truncation: flush every mapped region image to its database device
+    (synchronously) and trim the whole log.  Correct for a single node; in
+    the distributed case logs must be merged first (see [Lbc_core.Merge]),
+    which is why the paper's prototype trims offline. *)
+
+val maybe_truncate : t -> high_water:int -> bool
+(** Truncate iff the live log exceeds [high_water] bytes; returns whether
+    it did.  This is RVM's high-water-mark trigger. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  mutable commits : int;
+  mutable aborts : int;
+  mutable set_ranges : int;
+  mutable redundant_calls : int;
+  mutable ordered_calls : int;
+  mutable unordered_calls : int;
+  mutable ranges_logged : int;
+  mutable bytes_logged : int;  (** payload bytes in committed records *)
+  mutable log_bytes_written : int;  (** on-disk record bytes incl. headers *)
+  mutable records_applied : int;
+  mutable bytes_applied : int;
+  mutable truncations : int;
+}
+
+val stats : t -> stats

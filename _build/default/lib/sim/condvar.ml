@@ -1,0 +1,16 @@
+type t = { waiters : (unit -> unit) Queue.t }
+
+let create () = { waiters = Queue.create () }
+let wait t = Proc.suspend (fun resume -> Queue.add resume t.waiters)
+
+let signal t =
+  match Queue.take_opt t.waiters with Some resume -> resume () | None -> ()
+
+let broadcast t =
+  (* Capture the current waiters; processes that re-wait during the wakeups
+     belong to the next broadcast. *)
+  let current = Queue.create () in
+  Queue.transfer t.waiters current;
+  Queue.iter (fun resume -> resume ()) current
+
+let rec await t pred = if pred () then () else (wait t; await t pred)

@@ -1,0 +1,21 @@
+(** Condition variable for simulated processes.
+
+    As with POSIX condition variables, [wait] must be used in a loop that
+    re-checks the guarded predicate; {!await} packages that loop. *)
+
+type t
+
+val create : unit -> t
+
+val wait : t -> unit
+(** Suspend until the next {!broadcast} or {!signal}. *)
+
+val signal : t -> unit
+(** Wake one waiter (FIFO), if any. *)
+
+val broadcast : t -> unit
+(** Wake all current waiters. *)
+
+val await : t -> (unit -> bool) -> unit
+(** [await c pred] returns once [pred ()] is true, waiting on [c] between
+    checks. *)

@@ -1,0 +1,46 @@
+type time = float
+
+type event = { at : time; callback : unit -> unit }
+
+type t = { mutable clock : time; queue : event Lbc_util.Pqueue.t }
+
+let compare_event a b = Float.compare a.at b.at
+
+let create () =
+  { clock = 0.0; queue = Lbc_util.Pqueue.create ~compare:compare_event }
+
+let now t = t.clock
+
+let schedule_at t ~at callback =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: %g is before now (%g)" at t.clock);
+  Lbc_util.Pqueue.push t.queue { at; callback }
+
+let schedule t ?(delay = 0.0) callback =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~at:(t.clock +. delay) callback
+
+let pending t = Lbc_util.Pqueue.length t.queue
+
+let step t =
+  match Lbc_util.Pqueue.pop t.queue with
+  | None -> false
+  | Some ev ->
+      t.clock <- ev.at;
+      ev.callback ();
+      true
+
+let run ?until t =
+  let continue () =
+    match (Lbc_util.Pqueue.peek t.queue, until) with
+    | None, _ -> false
+    | Some ev, Some limit when ev.at > limit -> false
+    | Some _, _ -> true
+  in
+  while continue () do
+    ignore (step t)
+  done;
+  match until with
+  | Some limit when t.clock < limit -> t.clock <- limit
+  | _ -> ()

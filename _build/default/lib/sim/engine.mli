@@ -1,0 +1,36 @@
+(** Discrete-event simulation engine.
+
+    The engine owns a virtual clock (microseconds, [float]) and an event
+    queue.  Events scheduled for the same instant fire in insertion order,
+    so a simulation is deterministic for a fixed seed.  Everything in the
+    distributed system — node processes, network deliveries, disk
+    completions — is an event on one engine. *)
+
+type t
+
+type time = float
+(** Virtual time in microseconds since simulation start. *)
+
+val create : unit -> t
+
+val now : t -> time
+(** Current virtual time. *)
+
+val schedule : t -> ?delay:time -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at [now t +. delay] (default [0.],
+    i.e. later in the current instant).  [delay] must be non-negative. *)
+
+val schedule_at : t -> at:time -> (unit -> unit) -> unit
+(** Absolute-time variant; [at] must not be in the past. *)
+
+val pending : t -> int
+(** Number of queued events. *)
+
+val run : ?until:time -> t -> unit
+(** Drain the event queue in time order, advancing the clock.  With
+    [?until], stops (leaving the queue intact) once the next event is
+    strictly later than [until] and sets the clock to [until].  Exceptions
+    raised by event callbacks propagate to the caller. *)
+
+val step : t -> bool
+(** Run a single event.  Returns [false] if the queue was empty. *)

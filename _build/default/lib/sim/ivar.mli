@@ -1,0 +1,17 @@
+(** Write-once synchronization variable for simulated processes. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val fill : 'a t -> 'a -> unit
+(** Set the value and wake all readers (at the current instant).  Raises
+    [Invalid_argument] if already filled.  Callable from any event
+    callback, not only from inside a process. *)
+
+val is_filled : 'a t -> bool
+
+val peek : 'a t -> 'a option
+
+val read : 'a t -> 'a
+(** Return the value, suspending the calling process until filled. *)

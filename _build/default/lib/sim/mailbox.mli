@@ -1,0 +1,13 @@
+(** Unbounded FIFO message queue between simulated processes.
+
+    [send] never blocks; [recv] suspends the calling process while the
+    queue is empty.  Multiple receivers are served in arrival order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val send : 'a t -> 'a -> unit
+val recv : 'a t -> 'a
+val try_recv : 'a t -> 'a option
+val length : 'a t -> int
+val is_empty : 'a t -> bool

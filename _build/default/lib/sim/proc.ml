@@ -1,0 +1,52 @@
+exception Not_in_process
+
+type _ Effect.t +=
+  | Sleep : Engine.time -> unit Effect.t
+  | Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+  | Current_engine : Engine.t Effect.t
+
+let sleep dt =
+  try Effect.perform (Sleep dt) with Effect.Unhandled _ -> raise Not_in_process
+
+let suspend register =
+  try Effect.perform (Suspend register)
+  with Effect.Unhandled _ -> raise Not_in_process
+
+let engine () =
+  try Effect.perform Current_engine
+  with Effect.Unhandled _ -> raise Not_in_process
+
+let now () = Engine.now (engine ())
+let yield () = sleep 0.0
+
+let spawn eng ?(name = "proc") f =
+  let open Effect.Deep in
+  let handler =
+    {
+      retc = (fun () -> ());
+      exnc =
+        (fun e ->
+          let bt = Printexc.get_raw_backtrace () in
+          let e' =
+            match e with
+            | Failure _ -> e
+            | _ -> Failure (Printf.sprintf "process %s: %s" name (Printexc.to_string e))
+          in
+          Printexc.raise_with_backtrace e' bt);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Sleep dt ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  Engine.schedule eng ~delay:dt (fun () -> continue k ()))
+          | Suspend register ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  register (fun v -> continue k v))
+          | Current_engine ->
+              Some (fun (k : (a, unit) continuation) -> continue k eng)
+          | _ -> None);
+    }
+  in
+  Engine.schedule eng (fun () -> match_with f () handler)

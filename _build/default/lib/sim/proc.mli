@@ -1,0 +1,36 @@
+(** Cooperative simulated processes, implemented with effect handlers.
+
+    A process is an ordinary OCaml function spawned on an {!Engine.t}.
+    Inside a process, {!sleep} advances virtual time and {!suspend} parks
+    the process until some other event resumes it.  All higher-level
+    synchronization ({!Ivar}, {!Mailbox}, {!Condvar}) is built from
+    [suspend].  Processes are single-shot continuations driven entirely by
+    the engine, so a whole multi-node system runs deterministically on one
+    OS thread. *)
+
+exception Not_in_process
+(** Raised when [sleep]/[suspend]/[now] is called outside [spawn]. *)
+
+val spawn : Engine.t -> ?name:string -> (unit -> unit) -> unit
+(** [spawn engine f] schedules process [f] to start at the current virtual
+    instant.  An exception escaping [f] is wrapped in [Failure] with the
+    process [name] and propagates out of {!Engine.run}. *)
+
+val sleep : Engine.time -> unit
+(** Advance this process's virtual time.  Other events run meanwhile. *)
+
+val yield : unit -> unit
+(** Re-enter the event queue at the current instant (runs after events
+    already scheduled for this instant). *)
+
+val suspend : (('a -> unit) -> unit) -> 'a
+(** [suspend register] parks the process and calls [register resume]
+    immediately; a later call of [resume v] (from any event callback)
+    continues the process with [v].  [resume] must be called exactly
+    once. *)
+
+val now : unit -> Engine.time
+(** Virtual time, usable only inside a process. *)
+
+val engine : unit -> Engine.t
+(** The engine driving the current process. *)

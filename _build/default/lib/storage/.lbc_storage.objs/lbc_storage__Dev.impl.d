@@ -1,0 +1,1 @@
+lib/storage/dev.ml: Bytes Latency Lbc_sim Printf Queue String

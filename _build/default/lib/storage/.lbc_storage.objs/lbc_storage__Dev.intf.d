@@ -1,0 +1,1 @@
+lib/storage/dev.mli: Bytes Latency

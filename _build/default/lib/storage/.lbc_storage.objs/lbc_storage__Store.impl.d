@@ -1,0 +1,1 @@
+lib/storage/store.ml: Dev Hashtbl Latency List

@@ -1,0 +1,125 @@
+type image = { mutable data : Bytes.t; mutable len : int }
+
+type pending = { off : int; payload : Bytes.t }
+
+type t = {
+  name : string;
+  latency : Latency.t;
+  current : image;
+  stable : image;
+  pending : pending Queue.t;
+  mutable pending_bytes : int;
+  mutable bytes_written : int;
+  mutable sync_count : int;
+}
+
+let image () = { data = Bytes.create 0; len = 0 }
+
+let create ?(latency = Latency.none) ?(name = "dev") () =
+  {
+    name;
+    latency;
+    current = image ();
+    stable = image ();
+    pending = Queue.create ();
+    pending_bytes = 0;
+    bytes_written = 0;
+    sync_count = 0;
+  }
+
+let name t = t.name
+let size t = t.current.len
+let stable_size t = t.stable.len
+let pending_writes t = Queue.length t.pending
+let bytes_written t = t.bytes_written
+let sync_count t = t.sync_count
+
+(* Outside any simulated process (device setup, log formatting at cluster
+   construction, offline tools) operations are free: there is no virtual
+   clock to charge.  Inside a process the cost is charged as sleep. *)
+let charge _t cost =
+  if cost > 0.0 then
+    try Lbc_sim.Proc.sleep cost with Lbc_sim.Proc.Not_in_process -> ()
+
+let ensure_capacity img n =
+  if n > Bytes.length img.data then begin
+    let cap = max n (max 256 (2 * Bytes.length img.data)) in
+    let d = Bytes.make cap '\000' in
+    Bytes.blit img.data 0 d 0 img.len;
+    img.data <- d
+  end;
+  if n > img.len then img.len <- n
+
+let apply_to img ~off b ~pos ~len =
+  ensure_capacity img (off + len);
+  Bytes.blit b pos img.data off len
+
+let read t ~off ~len =
+  if off < 0 || len < 0 || off + len > t.current.len then
+    invalid_arg
+      (Printf.sprintf "Dev.read %s: [%d,%d) beyond size %d" t.name off
+         (off + len) t.current.len);
+  charge t (t.latency.read_base +. (t.latency.read_per_byte *. float_of_int len));
+  Bytes.sub t.current.data off len
+
+let write t ~off b ~pos ~len =
+  if off < 0 || pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg (Printf.sprintf "Dev.write %s: bad range" t.name);
+  charge t (t.latency.write_base +. (t.latency.write_per_byte *. float_of_int len));
+  apply_to t.current ~off b ~pos ~len;
+  Queue.add { off; payload = Bytes.sub b pos len } t.pending;
+  t.pending_bytes <- t.pending_bytes + len;
+  t.bytes_written <- t.bytes_written + len
+
+let write_string t ~off s =
+  write t ~off (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
+
+let sync t =
+  charge t
+    (t.latency.sync_base
+    +. (t.latency.sync_per_byte *. float_of_int t.pending_bytes));
+  Queue.iter
+    (fun { off; payload } ->
+      apply_to t.stable ~off payload ~pos:0 ~len:(Bytes.length payload))
+    t.pending;
+  Queue.clear t.pending;
+  t.pending_bytes <- 0;
+  t.sync_count <- t.sync_count + 1
+
+let copy_image ~src ~dst =
+  ensure_capacity dst src.len;
+  Bytes.blit src.data 0 dst.data 0 src.len;
+  dst.len <- src.len
+
+let crash ?(apply = 0) ?(tear_bytes = 0) t =
+  (* Apply the surviving prefix of pending writes to the stable image, then
+     make it the current image. *)
+  let applied = ref 0 in
+  Queue.iter
+    (fun { off; payload } ->
+      if !applied < apply then begin
+        apply_to t.stable ~off payload ~pos:0 ~len:(Bytes.length payload);
+        incr applied
+      end
+      else if !applied = apply && tear_bytes > 0 then begin
+        let len = min tear_bytes (Bytes.length payload) in
+        apply_to t.stable ~off payload ~pos:0 ~len;
+        incr applied
+      end)
+    t.pending;
+  Queue.clear t.pending;
+  t.pending_bytes <- 0;
+  copy_image ~src:t.stable ~dst:t.current
+
+let snapshot t = Bytes.sub t.current.data 0 t.current.len
+let stable_snapshot t = Bytes.sub t.stable.data 0 t.stable.len
+
+let load t b =
+  let set img =
+    img.data <- Bytes.copy b;
+    img.len <- Bytes.length b
+  in
+  set t.current;
+  set t.stable;
+  Queue.clear t.pending;
+  t.pending_bytes <- 0

@@ -1,0 +1,62 @@
+(** A simulated durable device (one "file").
+
+    The device keeps two images: the {e current} image, which reads observe
+    (like an OS buffer cache), and the {e stable} image, which is what
+    survives a crash.  [write] updates only the current image and records
+    the write as pending; [sync] makes all pending writes stable.  [crash]
+    reverts the current image to the stable one, optionally after applying
+    a deterministic prefix of the pending writes — including a torn final
+    write — so recovery code can be tested against every partial-write
+    outcome.
+
+    If the device carries a {!Latency.t} profile other than {!Latency.none},
+    operations called from inside a simulated process
+    ({!Lbc_sim.Proc.spawn}) charge their cost to that process as virtual
+    time; calls from outside any process (setup, offline tools) are
+    free. *)
+
+type t
+
+val create : ?latency:Latency.t -> ?name:string -> unit -> t
+(** A new empty device.  [latency] defaults to {!Latency.none}. *)
+
+val name : t -> string
+val size : t -> int
+(** Size of the current image in bytes. *)
+
+val stable_size : t -> int
+
+val read : t -> off:int -> len:int -> Bytes.t
+(** Read from the current image.  Reading beyond the end raises
+    [Invalid_argument]. *)
+
+val write : t -> off:int -> Bytes.t -> pos:int -> len:int -> unit
+(** Buffered write at [off]; extends the device if needed. *)
+
+val write_string : t -> off:int -> string -> unit
+
+val sync : t -> unit
+(** Force all pending writes to the stable image. *)
+
+val pending_writes : t -> int
+(** Number of writes buffered since the last [sync]. *)
+
+val crash : ?apply:int -> ?tear_bytes:int -> t -> unit
+(** Simulate a crash: the current image becomes the stable image plus the
+    first [apply] pending writes (default 0) plus the first [tear_bytes]
+    bytes of the next pending write (default 0).  Remaining pending writes
+    are lost.  Charged no latency. *)
+
+val snapshot : t -> Bytes.t
+(** Copy of the current image (no latency charged; for tests and tools). *)
+
+val stable_snapshot : t -> Bytes.t
+
+val load : t -> Bytes.t -> unit
+(** Replace both images with the given contents, marking them stable (used
+    by tools to import a real file). *)
+
+(** Accounting *)
+
+val bytes_written : t -> int
+val sync_count : t -> int

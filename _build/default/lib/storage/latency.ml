@@ -1,0 +1,38 @@
+type t = {
+  read_base : float;
+  read_per_byte : float;
+  write_base : float;
+  write_per_byte : float;
+  sync_base : float;
+  sync_per_byte : float;
+}
+
+let none =
+  {
+    read_base = 0.0;
+    read_per_byte = 0.0;
+    write_base = 0.0;
+    write_per_byte = 0.0;
+    sync_base = 0.0;
+    sync_per_byte = 0.0;
+  }
+
+let osdi94_disk =
+  {
+    read_base = 12_000.0;
+    read_per_byte = 0.5;
+    write_base = 50.0;
+    write_per_byte = 0.01;
+    sync_base = 45_000.0;
+    sync_per_byte = 0.8;
+  }
+
+let nvram =
+  {
+    read_base = 5.0;
+    read_per_byte = 0.005;
+    write_base = 5.0;
+    write_per_byte = 0.005;
+    sync_base = 10.0;
+    sync_per_byte = 0.001;
+  }

@@ -1,0 +1,26 @@
+(** Device latency profiles.
+
+    Costs are charged to the calling simulated process as virtual time.
+    The paper disables disk logging for most measurements and re-enables it
+    only for Figure 8; the [osdi94_disk] profile is calibrated so that the
+    T12-A commit's synchronous log force costs about what Figure 8 shows
+    (~50 ms for a ~6 KB log tail). *)
+
+type t = {
+  read_base : float;  (** µs per read call *)
+  read_per_byte : float;
+  write_base : float;  (** µs per buffered write call *)
+  write_per_byte : float;
+  sync_base : float;  (** µs per sync barrier (seek + rotation) *)
+  sync_per_byte : float;  (** µs per byte of dirty data forced by the sync *)
+}
+
+val none : t
+(** All costs zero: for unit tests and pure functional checks. *)
+
+val osdi94_disk : t
+(** Early-1990s SCSI disk as implied by the paper's Figure 8. *)
+
+val nvram : t
+(** Battery-backed RAM: the Hagmann-style optimization the paper cites to
+    remove synchronous disk writes from the commit path. *)

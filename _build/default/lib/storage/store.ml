@@ -1,0 +1,20 @@
+type t = { latency : Latency.t; devs : (string, Dev.t) Hashtbl.t }
+
+let create ?(latency = Latency.none) () = { latency; devs = Hashtbl.create 16 }
+
+let open_dev t name =
+  match Hashtbl.find_opt t.devs name with
+  | Some d -> d
+  | None ->
+      let d = Dev.create ~latency:t.latency ~name () in
+      Hashtbl.add t.devs name d;
+      d
+
+let find t name = Hashtbl.find_opt t.devs name
+
+let names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.devs []
+  |> List.sort compare
+
+let sync_all t = Hashtbl.iter (fun _ d -> Dev.sync d) t.devs
+let crash_all t = Hashtbl.iter (fun _ d -> Dev.crash d) t.devs

@@ -1,0 +1,21 @@
+(** A collection of named devices — the "storage service" node of the
+    paper's client/server configuration (the NFS server holding the
+    database file and the per-client log files).
+
+    [crash_all] models a server failure: every device reverts to its
+    stable image. *)
+
+type t
+
+val create : ?latency:Latency.t -> unit -> t
+(** [latency] is the default profile for devices opened on this store. *)
+
+val open_dev : t -> string -> Dev.t
+(** Open (creating if absent) the device with the given name. *)
+
+val find : t -> string -> Dev.t option
+val names : t -> string list
+(** Sorted device names. *)
+
+val sync_all : t -> unit
+val crash_all : t -> unit

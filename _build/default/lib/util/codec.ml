@@ -1,0 +1,109 @@
+exception Truncated of string
+
+type writer = Buffer.t
+
+let writer ?(capacity = 256) () = Buffer.create capacity
+let length = Buffer.length
+let contents w = Buffer.to_bytes w
+let u8 w v = Buffer.add_char w (Char.chr (v land 0xFF))
+
+let u16 w v =
+  u8 w v;
+  u8 w (v lsr 8)
+
+let u32 w v =
+  u16 w v;
+  u16 w (v lsr 16)
+
+let u64 w v =
+  for i = 0 to 7 do
+    u8 w (Int64.to_int (Int64.shift_right_logical v (8 * i)))
+  done
+
+let int_as_u64 w v =
+  if v < 0 then invalid_arg "Codec.int_as_u64: negative";
+  u64 w (Int64.of_int v)
+
+let rec varint w v =
+  if v < 0 then invalid_arg "Codec.varint: negative"
+  else if v < 0x80 then u8 w v
+  else begin
+    u8 w (0x80 lor (v land 0x7F));
+    varint w (v lsr 7)
+  end
+
+let raw w b ~pos ~len = Buffer.add_subbytes w b pos len
+let raw_string = Buffer.add_string
+
+(* Buffer has no in-place patching; emulate it by rebuilding.  Patching is
+   only used for fixed-size length fields in small headers, so the copy is
+   acceptable and keeps the writer type simple. *)
+let patch_u32 w ~at v =
+  let b = Buffer.to_bytes w in
+  if at < 0 || at + 4 > Bytes.length b then invalid_arg "Codec.patch_u32";
+  Bytes.set_uint16_le b at (v land 0xFFFF);
+  Bytes.set_uint16_le b (at + 2) ((v lsr 16) land 0xFFFF);
+  Buffer.clear w;
+  Buffer.add_bytes w b
+
+type reader = { buf : Bytes.t; mutable pos : int; limit : int }
+
+let reader ?(pos = 0) ?len buf =
+  let len = match len with Some l -> l | None -> Bytes.length buf - pos in
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Codec.reader";
+  { buf; pos; limit = pos + len }
+
+let pos r = r.pos
+let remaining r = r.limit - r.pos
+
+let need r n what =
+  if remaining r < n then raise (Truncated what)
+
+let get_u8 r =
+  need r 1 "u8";
+  let v = Char.code (Bytes.unsafe_get r.buf r.pos) in
+  r.pos <- r.pos + 1;
+  v
+
+let get_u16 r =
+  let lo = get_u8 r in
+  let hi = get_u8 r in
+  lo lor (hi lsl 8)
+
+let get_u32 r =
+  let lo = get_u16 r in
+  let hi = get_u16 r in
+  lo lor (hi lsl 16)
+
+let get_u64 r =
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor !v (Int64.shift_left (Int64.of_int (get_u8 r)) (8 * i))
+  done;
+  !v
+
+let get_int_as_u64 r =
+  let v = get_u64 r in
+  if Int64.compare v 0L < 0 || Int64.compare v (Int64.of_int max_int) > 0 then
+    raise (Truncated "int_as_u64: out of int range");
+  Int64.to_int v
+
+let get_varint r =
+  let rec loop shift acc =
+    if shift > 62 then raise (Truncated "varint: too long");
+    let b = get_u8 r in
+    let acc = acc lor ((b land 0x7F) lsl shift) in
+    if b land 0x80 = 0 then acc else loop (shift + 7) acc
+  in
+  loop 0 0
+
+let get_raw r ~len =
+  need r len "raw";
+  let b = Bytes.sub r.buf r.pos len in
+  r.pos <- r.pos + len;
+  b
+
+let skip r n =
+  need r n "skip";
+  r.pos <- r.pos + n

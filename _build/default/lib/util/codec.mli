@@ -1,0 +1,53 @@
+(** Little-endian binary encoding and decoding.
+
+    All on-disk and on-wire formats in this repository are built from these
+    primitives.  A {!writer} is a growable byte buffer; a {!reader} walks a
+    byte range with bounds checking and reports malformed input with
+    {!exception:Truncated} rather than [Invalid_argument], so callers can
+    distinguish "corrupt input" from programming errors. *)
+
+exception Truncated of string
+(** Raised by readers when the input ends before a complete value. *)
+
+(** {1 Writing} *)
+
+type writer
+
+val writer : ?capacity:int -> unit -> writer
+val length : writer -> int
+val contents : writer -> Bytes.t
+(** Copy of the bytes written so far. *)
+
+val u8 : writer -> int -> unit
+val u16 : writer -> int -> unit
+val u32 : writer -> int -> unit
+
+val u64 : writer -> int64 -> unit
+val int_as_u64 : writer -> int -> unit
+(** Native non-negative int written as 8 bytes. *)
+
+val varint : writer -> int -> unit
+(** LEB128 varint; accepts any non-negative OCaml int. *)
+
+val raw : writer -> Bytes.t -> pos:int -> len:int -> unit
+val raw_string : writer -> string -> unit
+
+val patch_u32 : writer -> at:int -> int -> unit
+(** Overwrite 4 bytes previously written at offset [at]. *)
+
+(** {1 Reading} *)
+
+type reader
+
+val reader : ?pos:int -> ?len:int -> Bytes.t -> reader
+val pos : reader -> int
+val remaining : reader -> int
+
+val get_u8 : reader -> int
+val get_u16 : reader -> int
+val get_u32 : reader -> int
+val get_u64 : reader -> int64
+val get_int_as_u64 : reader -> int
+val get_varint : reader -> int
+val get_raw : reader -> len:int -> Bytes.t
+val skip : reader -> int -> unit

@@ -1,0 +1,28 @@
+(** Streaming statistics accumulator (Welford's online algorithm).
+
+    Used by benchmark harnesses and instrumentation counters to summarize
+    per-operation costs without retaining samples. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+(** 0 when empty. *)
+
+val variance : t -> float
+(** Sample variance; 0 with fewer than two samples. *)
+
+val stddev : t -> float
+val min : t -> float
+(** [infinity] when empty. *)
+
+val max : t -> float
+(** [neg_infinity] when empty. *)
+
+val merge : t -> t -> t
+(** Combine two accumulators as if all samples were added to one. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/wal/log.ml: Bytes Codec Lbc_storage Lbc_util List Printf Record

@@ -1,0 +1,1 @@
+lib/wal/record.ml: Bytes Codec Crc32 Format Int32 Lbc_util List Printf

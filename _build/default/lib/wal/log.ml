@@ -1,0 +1,100 @@
+open Lbc_util
+
+exception Bad_log of string
+
+type t = {
+  dev : Lbc_storage.Dev.t;
+  mutable head : int;
+  mutable tail : int;
+  mutable record_count : int;
+}
+
+let log_magic = 0x4C42434C (* "LBCL" *)
+let version = 1
+let header_size = 16
+
+type scan_status = Clean | Torn_at of int * string
+
+let write_header t =
+  let w = Codec.writer ~capacity:header_size () in
+  Codec.u32 w log_magic;
+  Codec.u32 w version;
+  Codec.int_as_u64 w t.head;
+  let b = Codec.contents w in
+  Lbc_storage.Dev.write t.dev ~off:0 b ~pos:0 ~len:(Bytes.length b)
+
+let scan_tail dev ~from =
+  (* Walk records until a clean end or torn record; both mark the tail. *)
+  let image = Lbc_storage.Dev.snapshot dev in
+  let rec loop pos count =
+    match Record.decode image ~pos with
+    | Record.Txn (_, next) -> loop next (count + 1)
+    | Record.End -> (pos, count)
+    | Record.Torn _ -> (pos, count)
+  in
+  loop from 0
+
+let attach dev =
+  let size = Lbc_storage.Dev.size dev in
+  if size = 0 then begin
+    let t = { dev; head = header_size; tail = header_size; record_count = 0 } in
+    write_header t;
+    Lbc_storage.Dev.sync dev;
+    t
+  end
+  else if size < header_size then raise (Bad_log "short header")
+  else begin
+    let hdr = Lbc_storage.Dev.read dev ~off:0 ~len:header_size in
+    let r = Codec.reader hdr in
+    let m = Codec.get_u32 r in
+    if m <> log_magic then raise (Bad_log "bad magic");
+    let v = Codec.get_u32 r in
+    if v <> version then raise (Bad_log (Printf.sprintf "bad version %d" v));
+    let head = Codec.get_int_as_u64 r in
+    if head < header_size || head > size then raise (Bad_log "bad head offset");
+    let tail, count = scan_tail dev ~from:head in
+    { dev; head; tail; record_count = count }
+  end
+
+let dev t = t.dev
+let head t = t.head
+let tail t = t.tail
+let live_bytes t = t.tail - t.head
+let record_count t = t.record_count
+
+let append ?range_header_size t txn =
+  let b = Record.encode ?range_header_size txn in
+  let off = t.tail in
+  Lbc_storage.Dev.write t.dev ~off b ~pos:0 ~len:(Bytes.length b);
+  t.tail <- off + Bytes.length b;
+  t.record_count <- t.record_count + 1;
+  off
+
+let force t = Lbc_storage.Dev.sync t.dev
+
+let set_head t off =
+  if off < header_size || off > t.tail then
+    invalid_arg (Printf.sprintf "Log.set_head: offset %d out of [%d,%d]"
+                   off header_size t.tail);
+  t.head <- off;
+  write_header t;
+  Lbc_storage.Dev.sync t.dev;
+  let _, count = scan_tail t.dev ~from:t.head in
+  t.record_count <- count
+
+let fold t ?from ~init f =
+  let from = match from with Some o -> o | None -> t.head in
+  let image = Lbc_storage.Dev.snapshot t.dev in
+  let rec loop pos acc =
+    if pos >= t.tail then (acc, Clean)
+    else
+      match Record.decode image ~pos with
+      | Record.Txn (txn, next) -> loop next (f acc pos txn)
+      | Record.End -> (acc, Clean)
+      | Record.Torn why -> (acc, Torn_at (pos, why))
+  in
+  loop from init
+
+let read_all t =
+  let acc, status = fold t ~init:[] (fun acc _ txn -> txn :: acc) in
+  (List.rev acc, status)

@@ -1,0 +1,57 @@
+(** An append-only redo log on a simulated device.
+
+    Layout: a 16-byte header ([magic], [version], [head] offset of the
+    first live record) followed by records ({!Record}).  The log is
+    write-ahead: {!append} buffers the record on the device and {!force}
+    issues the synchronous barrier that makes the commit durable.
+
+    {!attach} scans the device to find the usable tail, stopping at a clean
+    end or a torn record — so re-attaching after a crash silently discards
+    the unsynced tail, which is exactly RVM's recovery-time behaviour.
+
+    Trimming (checkpointing) advances [head]; records before [head] are
+    dead and their space is not reused (offline compaction is the job of
+    the tools layer, as in RVM). *)
+
+type t
+
+exception Bad_log of string
+(** Raised by {!attach} when the device holds something that is not a log. *)
+
+val header_size : int
+
+val attach : Lbc_storage.Dev.t -> t
+(** Open the log on [dev], initializing a fresh header if the device is
+    empty.  Scans for the tail. *)
+
+val dev : t -> Lbc_storage.Dev.t
+val head : t -> int
+(** Offset of the first live record. *)
+
+val tail : t -> int
+(** Offset where the next record will be appended. *)
+
+val live_bytes : t -> int
+(** [tail - head]: bytes of live log, the quantity RVM's high-water-mark
+    trimming watches. *)
+
+val record_count : t -> int
+(** Number of live records appended or scanned since attach. *)
+
+val append : ?range_header_size:int -> t -> Record.txn -> int
+(** Append one record (buffered); returns its offset. *)
+
+val force : t -> unit
+(** Synchronous barrier: all appended records become durable. *)
+
+val set_head : t -> int -> unit
+(** Trim the log head (checkpoint); durable immediately. *)
+
+type scan_status = Clean | Torn_at of int * string
+
+val fold : t -> ?from:int -> init:'a -> ('a -> int -> Record.txn -> 'a) -> 'a * scan_status
+(** Fold over live records from [from] (default [head t]); the callback
+    receives each record's offset.  Returns the accumulator and whether the
+    scan ended cleanly or at a torn record. *)
+
+val read_all : t -> Record.txn list * scan_status

@@ -1,0 +1,175 @@
+open Lbc_util
+
+type lock_info = { lock_id : int; seqno : int; prev_write_seq : int }
+type range = { region : int; offset : int; data : Bytes.t }
+
+type txn = {
+  node : int;
+  tid : int;
+  locks : lock_info list;
+  ranges : range list;
+}
+
+let magic = 0x4C424354 (* "LBCT" *)
+let rvm_disk_header_size = 104
+let min_header_size = 4 + 8 + 8 (* region, offset, length *)
+
+let check_header_size n =
+  if n < min_header_size then
+    invalid_arg
+      (Printf.sprintf "Record: range_header_size %d < minimum %d" n
+         min_header_size)
+
+let encode_body ~range_header_size t =
+  check_header_size range_header_size;
+  let w = Codec.writer ~capacity:1024 () in
+  Codec.u16 w t.node;
+  Codec.int_as_u64 w t.tid;
+  Codec.u16 w range_header_size;
+  Codec.varint w (List.length t.locks);
+  List.iter
+    (fun l ->
+      Codec.varint w l.lock_id;
+      Codec.varint w l.seqno;
+      Codec.varint w l.prev_write_seq)
+    t.locks;
+  Codec.varint w (List.length t.ranges);
+  let pad = Bytes.make (range_header_size - min_header_size) '\000' in
+  List.iter
+    (fun r ->
+      Codec.u32 w r.region;
+      Codec.int_as_u64 w r.offset;
+      Codec.int_as_u64 w (Bytes.length r.data);
+      Codec.raw w pad ~pos:0 ~len:(Bytes.length pad);
+      Codec.raw w r.data ~pos:0 ~len:(Bytes.length r.data))
+    t.ranges;
+  Codec.contents w
+
+let encode ?(range_header_size = rvm_disk_header_size) t =
+  let body = encode_body ~range_header_size t in
+  let total = 4 + 4 + Bytes.length body + 4 in
+  let w = Codec.writer ~capacity:total () in
+  Codec.u32 w magic;
+  Codec.u32 w total;
+  Codec.raw w body ~pos:0 ~len:(Bytes.length body);
+  let so_far = Codec.contents w in
+  let crc = Crc32.bytes so_far ~pos:0 ~len:(Bytes.length so_far) in
+  Codec.u32 w (Int32.to_int crc land 0xFFFFFFFF);
+  Codec.contents w
+
+let encoded_size ?(range_header_size = rvm_disk_header_size) t =
+  check_header_size range_header_size;
+  let locks =
+    List.fold_left
+      (fun acc l ->
+        let w = Codec.writer () in
+        Codec.varint w l.lock_id;
+        Codec.varint w l.seqno;
+        Codec.varint w l.prev_write_seq;
+        acc + Codec.length w)
+      0 t.locks
+  in
+  let counts =
+    let w = Codec.writer () in
+    Codec.varint w (List.length t.locks);
+    Codec.varint w (List.length t.ranges);
+    Codec.length w
+  in
+  let ranges =
+    List.fold_left
+      (fun acc r -> acc + range_header_size + Bytes.length r.data)
+      0 t.ranges
+  in
+  4 + 4 + 2 + 8 + 2 + counts + locks + ranges + 4
+
+type decode_result = Txn of txn * int | End | Torn of string
+
+let all_zero b ~pos =
+  let rec loop i = i >= Bytes.length b || (Bytes.get b i = '\000' && loop (i + 1)) in
+  loop pos
+
+let decode b ~pos =
+  let len = Bytes.length b in
+  if pos >= len then End
+  else if len - pos < 8 then if all_zero b ~pos then End else Torn "short tail"
+  else begin
+    let r = Codec.reader ~pos b in
+    let m = Codec.get_u32 r in
+    if m <> magic then
+      if all_zero b ~pos then End else Torn "bad magic"
+    else begin
+      let total = Codec.get_u32 r in
+      if total < 12 then Torn "bad length"
+      else if pos + total > len then Torn "truncated record"
+      else begin
+        let stored_crc =
+          let cr = Codec.reader ~pos:(pos + total - 4) b in
+          Codec.get_u32 cr
+        in
+        let crc =
+          Int32.to_int (Crc32.bytes b ~pos ~len:(total - 4)) land 0xFFFFFFFF
+        in
+        if crc <> stored_crc then Torn "bad crc"
+        else begin
+          try
+            let body = Codec.reader ~pos:(pos + 8) ~len:(total - 12) b in
+            let node = Codec.get_u16 body in
+            let tid = Codec.get_int_as_u64 body in
+            let header_size = Codec.get_u16 body in
+            if header_size < min_header_size then raise (Codec.Truncated "header size")
+            else begin
+              let n_locks = Codec.get_varint body in
+              let locks =
+                List.init n_locks (fun _ ->
+                    let lock_id = Codec.get_varint body in
+                    let seqno = Codec.get_varint body in
+                    let prev_write_seq = Codec.get_varint body in
+                    { lock_id; seqno; prev_write_seq })
+              in
+              let n_ranges = Codec.get_varint body in
+              let ranges =
+                List.init n_ranges (fun _ ->
+                    let region = Codec.get_u32 body in
+                    let offset = Codec.get_int_as_u64 body in
+                    let dlen = Codec.get_int_as_u64 body in
+                    Codec.skip body (header_size - min_header_size);
+                    let data = Codec.get_raw body ~len:dlen in
+                    { region; offset; data })
+              in
+              Txn ({ node; tid; locks; ranges }, pos + total)
+            end
+          with Codec.Truncated why -> Torn ("malformed body: " ^ why)
+        end
+      end
+    end
+  end
+
+let ranges_bytes t =
+  List.fold_left (fun acc r -> acc + Bytes.length r.data) 0 t.ranges
+
+let equal_lock a b =
+  a.lock_id = b.lock_id && a.seqno = b.seqno
+  && a.prev_write_seq = b.prev_write_seq
+
+let equal_range a b =
+  a.region = b.region && a.offset = b.offset && Bytes.equal a.data b.data
+
+let equal_txn a b =
+  a.node = b.node && a.tid = b.tid
+  && List.length a.locks = List.length b.locks
+  && List.for_all2 equal_lock a.locks b.locks
+  && List.length a.ranges = List.length b.ranges
+  && List.for_all2 equal_range a.ranges b.ranges
+
+let pp_txn ppf t =
+  Format.fprintf ppf "@[<h>txn node=%d tid=%d locks=[%a] ranges=[%a]@]" t.node
+    t.tid
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       (fun ppf l -> Format.fprintf ppf "%d@%d<-%d" l.lock_id l.seqno l.prev_write_seq))
+    t.locks
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       (fun ppf r ->
+         Format.fprintf ppf "r%d+%d:%dB" r.region r.offset (Bytes.length r.data)))
+    t.ranges

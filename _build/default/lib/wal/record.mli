@@ -1,0 +1,67 @@
+(** Redo-log record format (write-ahead logging, new-value only).
+
+    One record per committed transaction, carrying:
+
+    - {b lock records}: for every lock held by the transaction, its id, the
+      sequence number stamped at acquire, and the sequence number of the
+      previous {e writing} acquire of that lock.  These drive both the
+      coherency receiver's ordering (Section 3.4 of the paper) and the
+      offline merge of per-node logs before recovery.
+    - {b new-value range records}: the modified byte ranges captured by
+      [set_range], with their current (post-transaction) contents.
+
+    On disk each range carries a fixed-size header padded to
+    [range_header_size] bytes; CMU RVM's disk header was 104 bytes, which
+    is the default and is what makes the paper's compressed 4-24 byte
+    {e wire} headers (module [Lbc_core.Wire]) worthwhile.  The whole record
+    is covered by a CRC-32 so that torn tails are detected and ignored by
+    recovery. *)
+
+type lock_info = {
+  lock_id : int;
+  seqno : int;  (** sequence number stamped when this txn acquired the lock *)
+  prev_write_seq : int;
+      (** seqno of the previous committed writing transaction under this
+          lock; 0 if none.  Receivers apply this record only once their
+          applied seqno equals this value. *)
+}
+
+type range = {
+  region : int;  (** RVM region identifier *)
+  offset : int;  (** byte offset within the region *)
+  data : Bytes.t;  (** new value of the range *)
+}
+
+type txn = {
+  node : int;  (** writing node *)
+  tid : int;  (** node-local transaction number, increasing per node *)
+  locks : lock_info list;
+  ranges : range list;
+}
+
+val rvm_disk_header_size : int
+(** 104 — the standard RVM range-header size the paper compresses from. *)
+
+val min_header_size : int
+(** Smallest legal [range_header_size] (the unpadded fixed fields). *)
+
+val encoded_size : ?range_header_size:int -> txn -> int
+(** Exact on-disk size of [encode t]. *)
+
+val encode : ?range_header_size:int -> txn -> Bytes.t
+(** Serialize one record.  [range_header_size] defaults to
+    {!rvm_disk_header_size}. *)
+
+type decode_result =
+  | Txn of txn * int  (** decoded record and offset just past it *)
+  | End  (** clean end of log: zero fill or end of data *)
+  | Torn of string  (** partial or corrupt record (reason) *)
+
+val decode : Bytes.t -> pos:int -> decode_result
+(** Decode the record starting at [pos]. *)
+
+val ranges_bytes : txn -> int
+(** Total payload bytes across the record's ranges. *)
+
+val equal_txn : txn -> txn -> bool
+val pp_txn : Format.formatter -> txn -> unit

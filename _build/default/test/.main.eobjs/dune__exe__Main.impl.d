@@ -1,0 +1,1 @@
+test/main.ml: Alcotest List Test_chaos Test_core Test_dsm Test_locks Test_net Test_oo7 Test_pheap Test_rvm Test_sim Test_storage Test_util Test_wal

@@ -1,0 +1,1 @@
+test/test_chaos.ml: Alcotest Bytes Cluster Config Lbc_core Lbc_sim Lbc_storage Lbc_util List Node QCheck QCheck_alcotest

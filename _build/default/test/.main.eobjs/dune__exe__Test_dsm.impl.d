@@ -1,0 +1,1 @@
+test/test_dsm.ml: Adaptive Alcotest Array Backend Bytes Cluster Database Lbc_core Lbc_dsm Lbc_oo7 Lbc_pheap Lbc_wal List Node Option Printf QCheck QCheck_alcotest Runner Schema String Traversal Twin

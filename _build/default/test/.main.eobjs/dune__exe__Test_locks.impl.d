@@ -1,0 +1,1 @@
+test/test_locks.ml: Alcotest Array Engine Fabric Lbc_locks Lbc_net Lbc_sim Lbc_util List Option Params Printf Proc Table

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Engine Fabric Lbc_net Lbc_sim List Params Proc String

@@ -1,0 +1,1 @@
+test/test_oo7.ml: Alcotest Builder Bytes Cluster Database Int64 Lbc_core Lbc_costmodel Lbc_oo7 Lbc_pheap Lbc_rvm Lbc_util List Node Operations Option Printf Queries Runner Schema Traversal

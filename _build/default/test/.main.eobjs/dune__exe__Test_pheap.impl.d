@@ -1,0 +1,1 @@
+test/test_pheap.ml: Alcotest Array Avl Bytes Heap Iavl Int Int64 Layout Lbc_pheap List Printf QCheck QCheck_alcotest Set

@@ -1,0 +1,1 @@
+test/test_rvm.ml: Alcotest Array Bytes Dev Lbc_rvm Lbc_storage Lbc_wal List Printf QCheck QCheck_alcotest Range_tree Recovery Region Rvm

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Condvar Engine Ivar Lbc_sim List Mailbox Proc

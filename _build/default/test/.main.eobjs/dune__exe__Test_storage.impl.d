@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Bytes Dev Engine Gen Latency Lbc_sim Lbc_storage List Proc QCheck QCheck_alcotest Store

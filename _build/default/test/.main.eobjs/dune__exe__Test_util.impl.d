@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Char Codec Crc32 Fun Gen Int Lbc_util List Pqueue QCheck QCheck_alcotest Rng Stats String

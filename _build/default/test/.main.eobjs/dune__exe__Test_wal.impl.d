@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Bytes Char Dev Lbc_storage Lbc_wal List Log QCheck QCheck_alcotest Record

@@ -1,0 +1,211 @@
+(* Whole-system randomized stress ("chaos") tests: many nodes, several
+   regions and locks, mixed configurations, interleaved online
+   checkpoints, pin/accept readers — always ending with the two global
+   invariants: every cache converges to the same image, and server-side
+   recovery reproduces it. *)
+
+open Lbc_core
+
+let regions = 2
+let locks_per_region = 2
+let region_size = 2048
+
+(* lock l covers region (l / locks_per_region), byte range partitioned by
+   (l mod locks_per_region). *)
+let lock_region l = l / locks_per_region
+
+let lock_offset rng l =
+  let part = l mod locks_per_region in
+  let span = region_size / locks_per_region in
+  (part * span) + (8 * Lbc_util.Rng.int rng (span / 8))
+
+let mk_cluster config nodes =
+  let c = Cluster.create ~config ~nodes () in
+  for r = 0 to regions - 1 do
+    Cluster.add_region c ~id:r ~size:region_size;
+    Cluster.map_region_all c ~region:r
+  done;
+  c
+
+let worker c rng n iterations =
+  let rng = Lbc_util.Rng.split rng in
+  Cluster.spawn c ~node:n (fun node ->
+      for _ = 1 to iterations do
+        let txn = Node.Txn.begin_ node in
+        (* Acquire 1-2 locks in canonical order (avoiding deadlock, as
+           the paper's applications must). *)
+        let l1 = Lbc_util.Rng.int rng (regions * locks_per_region) in
+        let l2 = Lbc_util.Rng.int rng (regions * locks_per_region) in
+        let ls = List.sort_uniq compare [ l1; l2 ] in
+        List.iter (fun l -> Node.Txn.acquire txn l) ls;
+        List.iter
+          (fun l ->
+            (* Writes stay inside the acquired lock's partition. *)
+            if Lbc_util.Rng.int rng 4 > 0 then
+              Node.Txn.set_u64 txn ~region:(lock_region l)
+                ~offset:(lock_offset rng l)
+                (Lbc_util.Rng.int64 rng))
+          ls;
+        if Lbc_util.Rng.int rng 10 = 0 then Node.Txn.abort txn
+        else Node.Txn.commit txn;
+        Lbc_sim.Proc.sleep (Lbc_util.Rng.float rng 30.0)
+      done)
+
+let converged c nodes =
+  let image n r = Node.read (Cluster.node c n) ~region:r ~offset:0 ~len:region_size in
+  let ok = ref true in
+  for r = 0 to regions - 1 do
+    for n = 1 to nodes - 1 do
+      if not (Bytes.equal (image 0 r) (image n r)) then ok := false
+    done
+  done;
+  !ok
+
+let recovery_matches c =
+  ignore (Cluster.recover_database c);
+  let ok = ref true in
+  for r = 0 to regions - 1 do
+    let dev = Cluster.region_dev c r in
+    let len = min region_size (Lbc_storage.Dev.size dev) in
+    let db = Lbc_storage.Dev.read dev ~off:0 ~len in
+    let cache = Node.read (Cluster.node c 0) ~region:r ~offset:0 ~len in
+    if not (Bytes.equal db cache) then ok := false
+  done;
+  !ok
+
+let run_chaos ~config ~nodes ~seed ~checkpoints =
+  let c = mk_cluster config nodes in
+  let rng = Lbc_util.Rng.create seed in
+  for n = 0 to nodes - 1 do
+    worker c rng n 20
+  done;
+  if checkpoints then begin
+    (* Interleave online checkpoints with the running workload. *)
+    Cluster.run ~until:300.0 c;
+    ignore (Cluster.online_checkpoint c);
+    Cluster.run ~until:600.0 c;
+    ignore (Cluster.online_checkpoint c)
+  end;
+  Cluster.run c;
+  Alcotest.(check bool) "caches converged" true (converged c nodes);
+  Alcotest.(check bool) "recovery matches caches" true (recovery_matches c)
+
+let test_chaos_eager () =
+  run_chaos ~config:Config.default ~nodes:4 ~seed:101 ~checkpoints:false
+
+let test_chaos_eager_checkpoints () =
+  run_chaos ~config:Config.default ~nodes:3 ~seed:202 ~checkpoints:true
+
+let test_chaos_multicast () =
+  run_chaos
+    ~config:{ Config.default with Config.multicast = true }
+    ~nodes:5 ~seed:303 ~checkpoints:false
+
+let test_chaos_costs_charged () =
+  run_chaos ~config:{ Config.measured with Config.disk_logging = true }
+    ~nodes:3 ~seed:404 ~checkpoints:false
+
+(* Lazy mode: convergence happens on demand, so instead of comparing raw
+   caches we make every node acquire every lock at the end (pulling the
+   chains), then compare. *)
+let test_chaos_lazy () =
+  let config = { Config.default with Config.propagation = Config.Lazy } in
+  let nodes = 3 in
+  let c = mk_cluster config nodes in
+  let rng = Lbc_util.Rng.create 505 in
+  for n = 0 to nodes - 1 do
+    worker c rng n 15
+  done;
+  Cluster.run c;
+  for n = 0 to nodes - 1 do
+    Cluster.spawn c ~node:n (fun node ->
+        let txn = Node.Txn.begin_ node in
+        for l = 0 to (regions * locks_per_region) - 1 do
+          Node.Txn.acquire txn l
+        done;
+        Node.Txn.commit txn)
+  done;
+  Cluster.run c;
+  Alcotest.(check bool) "caches converged after pulls" true (converged c nodes);
+  Alcotest.(check bool) "recovery matches" true (recovery_matches c)
+
+(* Random pin/accept readers interleaved with writers. *)
+let test_chaos_pinned_readers () =
+  let nodes = 3 in
+  let c = mk_cluster Config.default nodes in
+  let rng = Lbc_util.Rng.create 606 in
+  worker c rng 0 25;
+  worker c rng 1 25;
+  Cluster.spawn c ~node:2 (fun node ->
+      for _ = 1 to 6 do
+        Node.pin node;
+        Lbc_sim.Proc.sleep 50.0;
+        (* While pinned, the cache must not change. *)
+        let before = Node.read node ~region:0 ~offset:0 ~len:region_size in
+        Lbc_sim.Proc.sleep 50.0;
+        let after = Node.read node ~region:0 ~offset:0 ~len:region_size in
+        if not (Bytes.equal before after) then
+          Alcotest.fail "pinned cache changed";
+        Node.accept node;
+        Lbc_sim.Proc.sleep 20.0
+      done);
+  Cluster.run c;
+  Node.accept (Cluster.node c 2);
+  Alcotest.(check bool) "caches converged" true (converged c nodes);
+  Alcotest.(check bool) "recovery matches" true (recovery_matches c)
+
+(* QCheck-driven version: the same invariants over arbitrary seeds and
+   cluster shapes. *)
+let prop_random_clusters_converge =
+  QCheck.Test.make ~name:"random clusters converge and recover" ~count:30
+    QCheck.(pair (int_range 2 5) small_nat)
+    (fun (nodes, seed) ->
+      let c = mk_cluster Config.default nodes in
+      let rng = Lbc_util.Rng.create (seed + 1) in
+      for n = 0 to nodes - 1 do
+        worker c rng n 8
+      done;
+      Cluster.run c;
+      converged c nodes && recovery_matches c)
+
+(* The simulator promises determinism: identical seeds must give
+   bit-identical final states and identical virtual completion times. *)
+let test_simulation_deterministic () =
+  let run () =
+    let c = mk_cluster Config.default 3 in
+    let rng = Lbc_util.Rng.create 777 in
+    for n = 0 to 2 do
+      worker c rng n 12
+    done;
+    Cluster.run c;
+    let images =
+      List.concat_map
+        (fun r ->
+          List.init 3 (fun n ->
+              Node.read (Cluster.node c n) ~region:r ~offset:0 ~len:region_size))
+        [ 0; 1 ]
+    in
+    (Cluster.now c, Bytes.concat Bytes.empty images, Cluster.total_messages c)
+  in
+  let t1, img1, m1 = run () in
+  let t2, img2, m2 = run () in
+  Alcotest.(check (float 0.0)) "same virtual end time" t1 t2;
+  Alcotest.(check bool) "same final images" true (Bytes.equal img1 img2);
+  Alcotest.(check int) "same message count" m1 m2
+
+let suites =
+  [
+    ( "chaos",
+      [
+        Alcotest.test_case "eager 4 nodes" `Quick test_chaos_eager;
+        Alcotest.test_case "eager + online checkpoints" `Quick
+          test_chaos_eager_checkpoints;
+        Alcotest.test_case "multicast 5 nodes" `Quick test_chaos_multicast;
+        Alcotest.test_case "costs charged" `Quick test_chaos_costs_charged;
+        Alcotest.test_case "lazy propagation" `Quick test_chaos_lazy;
+        Alcotest.test_case "pinned readers" `Quick test_chaos_pinned_readers;
+        QCheck_alcotest.to_alcotest prop_random_clusters_converge;
+        Alcotest.test_case "simulation deterministic" `Quick
+          test_simulation_deterministic;
+      ] );
+  ]

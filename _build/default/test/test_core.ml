@@ -1,0 +1,935 @@
+(* Integration tests for log-based coherency: wire format, propagation,
+   ordering interlock, lazy mode, log merge, distributed recovery. *)
+
+open Lbc_core
+
+let check_int = Alcotest.(check int)
+let check_i64 = Alcotest.(check int64)
+
+let region = 0
+let lock = 0
+
+let mk ?(config = Config.default) ?(nodes = 2) ?(region_size = 4096) () =
+  let c = Cluster.create ~config ~nodes () in
+  Cluster.add_region c ~id:region ~size:region_size;
+  Cluster.map_region_all c ~region;
+  c
+
+(* A counter stored as a u64 at a fixed offset, updated under the lock. *)
+let increment node ~offset =
+  let txn = Node.Txn.begin_ node in
+  Node.Txn.acquire txn lock;
+  let v = Node.Txn.get_u64 txn ~region ~offset in
+  Node.Txn.set_u64 txn ~region ~offset (Int64.add v 1L);
+  Node.Txn.commit txn
+
+(* ------------------------------------------------------------------ *)
+(* Wire format *)
+
+let wire_txn =
+  {
+    Lbc_wal.Record.node = 2;
+    tid = 99;
+    locks = [ { Lbc_wal.Record.lock_id = 4; seqno = 17; prev_write_seq = 12 } ];
+    ranges =
+      [
+        { Lbc_wal.Record.region = 0; offset = 1000; data = Bytes.of_string "abcd" };
+        { Lbc_wal.Record.region = 0; offset = 5000; data = Bytes.of_string "efgh" };
+        { Lbc_wal.Record.region = 1; offset = 64; data = Bytes.of_string "Z" };
+      ];
+  }
+
+let test_wire_roundtrip () =
+  let b = Wire.encode wire_txn in
+  let t' = Wire.decode b in
+  Alcotest.(check bool) "roundtrip" true (Lbc_wal.Record.equal_txn wire_txn t')
+
+let test_wire_compression () =
+  let compressed = Wire.size wire_txn in
+  let full = Wire.size_uncompressed wire_txn in
+  Alcotest.(check bool)
+    (Printf.sprintf "compressed (%d) much smaller than full headers (%d)"
+       compressed full)
+    true
+    (compressed * 3 < full);
+  (* Per-range header overhead must be in the paper's 4-24 byte window
+     (ours: tag + varint delta + varint size, plus the message header). *)
+  let per_range =
+    float_of_int (Wire.header_overhead wire_txn) /. 3.0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "per-range overhead %.1f in [2,24]" per_range)
+    true
+    (per_range >= 2.0 && per_range <= 24.0)
+
+let prop_wire_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      let range =
+        map
+          (fun (region, offset, s) ->
+            { Lbc_wal.Record.region; offset; data = Bytes.of_string s })
+          (triple (int_bound 2) (int_bound 100_000)
+             (string_size ~gen:printable (1 -- 16)))
+      in
+      let lockinfo =
+        map
+          (fun (l, s, p) ->
+            { Lbc_wal.Record.lock_id = l; seqno = s + 1; prev_write_seq = p })
+          (triple (int_bound 50) (int_bound 500) (int_bound 500))
+      in
+      map
+        (fun (node, tid, locks, ranges) ->
+          (* The wire format sorts ranges; sort here so equality holds, and
+             drop duplicate (region,offset) keys as RVM would have
+             coalesced them. *)
+          let cmp a b =
+            compare
+              (a.Lbc_wal.Record.region, a.Lbc_wal.Record.offset)
+              (b.Lbc_wal.Record.region, b.Lbc_wal.Record.offset)
+          in
+          let ranges =
+            List.sort_uniq
+              (fun a b ->
+                let c = cmp a b in
+                if c <> 0 then c else 0)
+              ranges
+          in
+          { Lbc_wal.Record.node; tid; locks; ranges })
+        (quad (int_bound 30) (int_bound 10_000) (list_size (0 -- 4) lockinfo)
+           (list_size (0 -- 10) range)))
+  in
+  QCheck.Test.make ~name:"wire roundtrip (random)" ~count:300 (QCheck.make gen)
+    (fun t ->
+      Lbc_wal.Record.equal_txn t (Wire.decode (Wire.encode t)))
+
+(* ------------------------------------------------------------------ *)
+(* Eager propagation *)
+
+let test_update_propagates () =
+  let c = mk () in
+  Cluster.spawn c ~node:0 (fun node ->
+      let txn = Node.Txn.begin_ node in
+      Node.Txn.acquire txn lock;
+      Node.Txn.write txn ~region ~offset:128 (Bytes.of_string "hello peer");
+      Node.Txn.commit txn);
+  Cluster.run c;
+  Alcotest.(check string) "peer cache updated" "hello peer"
+    (Bytes.to_string (Node.read (Cluster.node c 1) ~region ~offset:128 ~len:10));
+  check_int "peer applied seq" 1 (Node.applied_seq (Cluster.node c 1) lock)
+
+let test_counter_three_nodes () =
+  let c = mk ~nodes:3 () in
+  for n = 0 to 2 do
+    Cluster.spawn c ~node:n (fun node ->
+        for _ = 1 to 10 do
+          increment node ~offset:0
+        done)
+  done;
+  Cluster.run c;
+  for n = 0 to 2 do
+    check_i64
+      (Printf.sprintf "node %d sees 30" n)
+      30L
+      (Node.get_u64 (Cluster.node c n) ~region ~offset:0)
+  done;
+  (* All caches identical, nothing left pending. *)
+  for n = 0 to 2 do
+    check_int "no pending" 0 (Node.pending_count (Cluster.node c n))
+  done
+
+let test_interlock_token_overtakes_updates () =
+  (* Commit releases the lock (token may fly) before broadcasting the
+     update, so a waiting peer's acquire must block on the interlock. *)
+  let c = mk () in
+  Cluster.spawn c ~node:0 (fun node ->
+      let txn = Node.Txn.begin_ node in
+      Node.Txn.acquire txn lock;
+      Node.Txn.set_u64 txn ~region ~offset:0 7L;
+      (* Give node 1 time to enqueue its request so the token is passed
+         directly from the release path. *)
+      Lbc_sim.Proc.sleep 100.0;
+      Node.Txn.commit txn);
+  let seen = ref 0L in
+  Cluster.spawn c ~node:1 (fun node ->
+      Lbc_sim.Proc.sleep 10.0;
+      let txn = Node.Txn.begin_ node in
+      Node.Txn.acquire txn lock;
+      seen := Node.Txn.get_u64 txn ~region ~offset:0;
+      Node.Txn.commit txn);
+  Cluster.run c;
+  check_i64 "reader saw the write" 7L !seen;
+  check_int "interlock engaged" 1 (Node.stats (Cluster.node c 1)).Node.interlock_waits
+
+let test_out_of_order_updates_held () =
+  (* Three nodes, writes chained 0 -> 1 -> 2 ... node 2 receives node 1's
+     update on a different channel than node 0's and may have to hold it. *)
+  let c = mk ~nodes:3 () in
+  let chain = Lbc_sim.Mailbox.create () in
+  Cluster.spawn c ~node:0 (fun node ->
+      let txn = Node.Txn.begin_ node in
+      Node.Txn.acquire txn lock;
+      Node.Txn.write txn ~region ~offset:0 (Bytes.of_string "A");
+      Node.Txn.commit txn;
+      Lbc_sim.Mailbox.send chain ());
+  Cluster.spawn c ~node:1 (fun node ->
+      Lbc_sim.Mailbox.recv chain;
+      let txn = Node.Txn.begin_ node in
+      Node.Txn.acquire txn lock;
+      Node.Txn.write txn ~region ~offset:1 (Bytes.of_string "B");
+      Node.Txn.commit txn);
+  Cluster.run c;
+  let n2 = Cluster.node c 2 in
+  Alcotest.(check string) "both updates applied in order" "AB"
+    (Bytes.to_string (Node.read n2 ~region ~offset:0 ~len:2));
+  check_int "nothing pending" 0 (Node.pending_count n2)
+
+let test_fine_grained_updates_coarse_lock () =
+  (* The paper's headline: coarse-grain locks, fine-grain coherency.  The
+     whole 4 KB region is under one lock but only the modified bytes
+     travel. *)
+  let c = mk () in
+  Cluster.spawn c ~node:0 (fun node ->
+      let txn = Node.Txn.begin_ node in
+      Node.Txn.acquire txn lock;
+      Node.Txn.set_u64 txn ~region ~offset:0 1L;
+      Node.Txn.commit txn);
+  Cluster.run c;
+  let st = Node.stats (Cluster.node c 0) in
+  check_int "one update message" 1 st.Node.updates_sent;
+  Alcotest.(check bool)
+    (Printf.sprintf "message is tiny (%d bytes), not the 4 KB segment"
+       st.Node.update_bytes_sent)
+    true
+    (st.Node.update_bytes_sent < 64)
+
+let test_no_broadcast_for_readonly () =
+  let c = mk () in
+  Cluster.spawn c ~node:0 (fun node ->
+      let txn = Node.Txn.begin_ node in
+      Node.Txn.acquire txn lock;
+      ignore (Node.Txn.get_u64 txn ~region ~offset:0);
+      Node.Txn.commit txn);
+  Cluster.run c;
+  check_int "no update traffic" 0 (Node.stats (Cluster.node c 0)).Node.updates_sent
+
+let test_update_only_to_mapping_peers () =
+  let c = Cluster.create ~nodes:3 () in
+  Cluster.add_region c ~id:region ~size:1024;
+  ignore (Cluster.map_region c ~node:0 ~region);
+  ignore (Cluster.map_region c ~node:2 ~region);
+  (* node 1 does not map the region and must not receive updates *)
+  Cluster.spawn c ~node:0 (fun node ->
+      let txn = Node.Txn.begin_ node in
+      Node.Txn.acquire txn lock;
+      Node.Txn.set_u64 txn ~region ~offset:0 5L;
+      Node.Txn.commit txn);
+  Cluster.run c;
+  check_int "one peer only" 1 (Node.stats (Cluster.node c 0)).Node.updates_sent;
+  check_int "node2 received" 1 (Node.stats (Cluster.node c 2)).Node.records_received;
+  check_int "node1 received nothing" 0
+    (Node.stats (Cluster.node c 1)).Node.records_received
+
+let test_abort_propagates_nothing () =
+  let c = mk () in
+  Cluster.spawn c ~node:0 (fun node ->
+      let txn = Node.Txn.begin_ node in
+      Node.Txn.acquire txn lock;
+      Node.Txn.write txn ~region ~offset:0 (Bytes.of_string "oops");
+      Node.Txn.abort txn);
+  Cluster.spawn c ~node:1 (fun node ->
+      Lbc_sim.Proc.sleep 50.0;
+      (* The lock must be acquirable again after the abort. *)
+      let txn = Node.Txn.begin_ node in
+      Node.Txn.acquire txn lock;
+      Node.Txn.commit txn);
+  Cluster.run c;
+  check_int "no updates sent" 0 (Node.stats (Cluster.node c 0)).Node.updates_sent;
+  Alcotest.(check string) "writer's own cache rolled back" "\000\000\000\000"
+    (Bytes.to_string (Node.read (Cluster.node c 0) ~region ~offset:0 ~len:4))
+
+(* ------------------------------------------------------------------ *)
+(* Lazy propagation (Section 2.2 extension) *)
+
+let lazy_config = { Config.default with Config.propagation = Config.Lazy }
+
+let test_lazy_no_eager_traffic () =
+  let c = mk ~config:lazy_config () in
+  Cluster.spawn c ~node:0 (fun node ->
+      let txn = Node.Txn.begin_ node in
+      Node.Txn.acquire txn lock;
+      Node.Txn.set_u64 txn ~region ~offset:0 11L;
+      Node.Txn.commit txn);
+  Cluster.run c;
+  check_int "no update messages" 0 (Node.stats (Cluster.node c 0)).Node.updates_sent;
+  Alcotest.(check bool) "writer retained the record" true
+    (Node.retained_count (Cluster.node c 0) > 0);
+  (* Peer cache is stale — by design, until it acquires. *)
+  check_i64 "peer stale" 0L (Node.get_u64 (Cluster.node c 1) ~region ~offset:0)
+
+let test_lazy_fetch_on_acquire () =
+  let c = mk ~config:lazy_config () in
+  Cluster.spawn c ~node:0 (fun node ->
+      for _ = 1 to 3 do
+        increment node ~offset:0
+      done);
+  Cluster.spawn c ~node:1 (fun node ->
+      Lbc_sim.Proc.sleep 500.0;
+      let txn = Node.Txn.begin_ node in
+      Node.Txn.acquire txn lock;
+      Alcotest.(check int64) "reader caught up on acquire" 3L
+        (Node.Txn.get_u64 txn ~region ~offset:0);
+      Node.Txn.commit txn);
+  Cluster.run c;
+  let st = Node.stats (Cluster.node c 1) in
+  check_int "one fetch" 1 st.Node.fetches_sent;
+  check_int "three records fetched" 3 st.Node.records_fetched
+
+let test_lazy_chain_through_writers () =
+  (* 0 writes, 1 writes (fetching 0's update first), then 2 fetches from 1
+     and must receive the whole chain. *)
+  let c = mk ~config:lazy_config ~nodes:3 () in
+  let step = Lbc_sim.Mailbox.create () in
+  Cluster.spawn c ~node:0 (fun node ->
+      increment node ~offset:0;
+      Lbc_sim.Mailbox.send step ());
+  Cluster.spawn c ~node:1 (fun node ->
+      Lbc_sim.Mailbox.recv step;
+      increment node ~offset:0;
+      Lbc_sim.Mailbox.send step ());
+  Cluster.spawn c ~node:2 (fun node ->
+      Lbc_sim.Mailbox.recv step;
+      let txn = Node.Txn.begin_ node in
+      Node.Txn.acquire txn lock;
+      Alcotest.(check int64) "chain complete" 2L
+        (Node.Txn.get_u64 txn ~region ~offset:0);
+      Node.Txn.commit txn);
+  Cluster.run c;
+  check_int "no eager updates anywhere" 0
+    ((Node.stats (Cluster.node c 0)).Node.updates_sent
+    + (Node.stats (Cluster.node c 1)).Node.updates_sent)
+
+let test_lazy_multilock_falls_back_to_eager () =
+  let c = mk ~config:lazy_config () in
+  Cluster.spawn c ~node:0 (fun node ->
+      let txn = Node.Txn.begin_ node in
+      Node.Txn.acquire txn 0;
+      Node.Txn.acquire txn 1;
+      Node.Txn.set_u64 txn ~region ~offset:0 4L;
+      Node.Txn.set_u64 txn ~region ~offset:64 5L;
+      Node.Txn.commit txn);
+  Cluster.run c;
+  check_int "multi-lock record broadcast" 1
+    (Node.stats (Cluster.node c 0)).Node.updates_sent;
+  check_i64 "peer updated" 4L (Node.get_u64 (Cluster.node c 1) ~region ~offset:0)
+
+(* ------------------------------------------------------------------ *)
+(* Merge + distributed recovery *)
+
+let test_merge_orders_by_lock_seq () =
+  let mk_txn node tid seqno prev ranges =
+    {
+      Lbc_wal.Record.node;
+      tid;
+      locks = [ { Lbc_wal.Record.lock_id = 0; seqno; prev_write_seq = prev } ];
+      ranges;
+    }
+  in
+  (* Node 0 committed seq 1 and 3; node 1 committed seq 2. *)
+  let log0 = [ mk_txn 0 1 1 0 []; mk_txn 0 2 3 2 [] ] in
+  let log1 = [ mk_txn 1 1 2 1 [] ] in
+  match Merge.merge_records [ log0; log1 ] with
+  | Error _ -> Alcotest.fail "merge failed"
+  | Ok merged ->
+      Alcotest.(check (list (pair int int)))
+        "interleaved by sequence number"
+        [ (0, 1); (1, 2); (0, 3) ]
+        (List.map
+           (fun t -> (t.Lbc_wal.Record.node, t.Lbc_wal.Record.tid))
+           merged
+        |> List.map2
+             (fun seq (node, _) -> (node, seq))
+             [ 1; 2; 3 ])
+
+let test_merge_unorderable () =
+  let t node seqno =
+    {
+      Lbc_wal.Record.node;
+      tid = 1;
+      locks = [ { Lbc_wal.Record.lock_id = 0; seqno; prev_write_seq = 0 } ];
+      ranges = [];
+    }
+  in
+  (* Node 0's log has seq 2 then 1 — impossible under 2PL. *)
+  (match Merge.merge_records [ [ t 0 2; t 0 1 ] ] with
+  | Error (Merge.Unorderable _) -> ()
+  | Ok _ -> Alcotest.fail "expected Unorderable")
+
+let test_distributed_recovery_matches_caches () =
+  let c = mk ~nodes:3 () in
+  let rng = Lbc_util.Rng.create 7 in
+  for n = 0 to 2 do
+    let rng = Lbc_util.Rng.split rng in
+    Cluster.spawn c ~node:n (fun node ->
+        for _ = 1 to 15 do
+          let txn = Node.Txn.begin_ node in
+          Node.Txn.acquire txn lock;
+          let offset = 8 * Lbc_util.Rng.int rng 64 in
+          Node.Txn.set_u64 txn ~region ~offset
+            (Int64.of_int (Lbc_util.Rng.int rng 1_000_000));
+          Node.Txn.commit txn;
+          Lbc_sim.Proc.sleep (Lbc_util.Rng.float rng 10.0)
+        done)
+  done;
+  Cluster.run c;
+  (* All caches agree. *)
+  let image n = Node.read (Cluster.node c n) ~region ~offset:0 ~len:4096 in
+  Alcotest.(check bool) "caches 0=1" true (Bytes.equal (image 0) (image 1));
+  Alcotest.(check bool) "caches 0=2" true (Bytes.equal (image 0) (image 2));
+  (* Server-side recovery from the merged logs reproduces that state. *)
+  let outcome = Cluster.recover_database c in
+  check_int "all 45 transactions" 45 outcome.Lbc_rvm.Recovery.records_replayed;
+  let dev = Cluster.region_dev c region in
+  let db = Lbc_storage.Dev.read dev ~off:0 ~len:(min 4096 (Lbc_storage.Dev.size dev)) in
+  Alcotest.(check bool) "recovered db = caches" true
+    (Bytes.equal db (Bytes.sub (image 0) 0 (Bytes.length db)))
+
+let test_checkpoint_trims_and_preserves () =
+  let c = mk () in
+  Cluster.spawn c ~node:0 (fun node ->
+      for _ = 1 to 5 do
+        increment node ~offset:0
+      done);
+  Cluster.run c;
+  Cluster.checkpoint c;
+  check_int "log 0 trimmed" 0
+    (Lbc_wal.Log.live_bytes (Lbc_rvm.Rvm.log (Node.rvm (Cluster.node c 0))));
+  (* A brand-new cluster sharing the same database devices would see the
+     counter; simulate by reading the region device directly. *)
+  let dev = Cluster.region_dev c region in
+  check_i64 "db has checkpointed counter" 5L
+    (Bytes.get_int64_le (Lbc_storage.Dev.read dev ~off:0 ~len:8) 0)
+
+let test_client_crash_loses_uncommitted_only () =
+  let c = mk () in
+  Cluster.spawn c ~node:0 (fun node ->
+      increment node ~offset:0;
+      (* Uncommitted work at crash: written into the cache but never
+         committed, so it never reaches the log. *)
+      let txn = Node.Txn.begin_ node in
+      Node.Txn.acquire txn lock;
+      Node.Txn.set_u64 txn ~region ~offset:0 999L);
+  Cluster.run c;
+  let outcome = Cluster.recover_database c in
+  check_int "only the committed txn" 1 outcome.Lbc_rvm.Recovery.records_replayed;
+  let dev = Cluster.region_dev c region in
+  check_i64 "recovered value is the committed one" 1L
+    (Bytes.get_int64_le (Lbc_storage.Dev.read dev ~off:0 ~len:8) 0)
+
+(* Wire decoder robustness: arbitrary bytes must fail cleanly. *)
+let prop_wire_decode_never_crashes =
+  QCheck.Test.make ~name:"wire decode of junk raises Truncated" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 200))
+    (fun junk ->
+      match Wire.decode (Bytes.of_string junk) with
+      | _ -> true (* decoding junk successfully is acceptable only if it
+                     parses as a record; no crash either way *)
+      | exception Lbc_util.Codec.Truncated _ -> true
+      | exception _ -> false)
+
+let prop_wire_truncation_detected =
+  QCheck.Test.make ~name:"truncated wire messages raise Truncated" ~count:200
+    QCheck.(int_bound 200)
+    (fun cut ->
+      let b = Wire.encode wire_txn in
+      QCheck.assume (cut > 0 && cut < Bytes.length b);
+      match Wire.decode (Bytes.sub b 0 cut) with
+      | _ -> false
+      | exception Lbc_util.Codec.Truncated _ -> true)
+
+(* Merge correctness on randomly generated serializable histories: a
+   virtual total order of transactions touching random locks is split
+   into per-node logs; the merge must respect, for every lock, the
+   sequence-number order. *)
+let prop_merge_respects_lock_order =
+  let gen =
+    QCheck.Gen.(
+      list_size (1 -- 40) (pair (int_bound 2) (list_size (1 -- 3) (int_bound 4))))
+  in
+  QCheck.Test.make ~name:"merge respects per-lock sequence order" ~count:200
+    (QCheck.make gen)
+    (fun history ->
+      (* Simulate strict 2PL: walk the history in serial order handing
+         out per-lock sequence numbers. *)
+      let seqs = Hashtbl.create 8 in
+      let next_seq l =
+        let s = 1 + Option.value ~default:0 (Hashtbl.find_opt seqs l) in
+        Hashtbl.replace seqs l s;
+        s
+      in
+      let logs = Array.make 3 [] in
+      List.iteri
+        (fun i (node, locks) ->
+          let locks = List.sort_uniq compare locks in
+          let lock_infos =
+            List.map
+              (fun l ->
+                let s = next_seq l in
+                { Lbc_wal.Record.lock_id = l; seqno = s; prev_write_seq = s - 1 })
+              locks
+          in
+          let txn =
+            { Lbc_wal.Record.node; tid = i; locks = lock_infos; ranges = [] }
+          in
+          logs.(node) <- txn :: logs.(node))
+        history;
+      let logs = Array.to_list (Array.map List.rev logs) in
+      match Merge.merge_records logs with
+      | Error _ -> false
+      | Ok merged ->
+          List.length merged = List.length history
+          &&
+          (* For every lock, seqnos must appear in increasing order. *)
+          let last = Hashtbl.create 8 in
+          List.for_all
+            (fun (t : Lbc_wal.Record.txn) ->
+              List.for_all
+                (fun l ->
+                  let ok =
+                    l.Lbc_wal.Record.seqno
+                    > Option.value ~default:0
+                        (Hashtbl.find_opt last l.Lbc_wal.Record.lock_id)
+                  in
+                  Hashtbl.replace last l.Lbc_wal.Record.lock_id
+                    l.Lbc_wal.Record.seqno;
+                  ok)
+                t.Lbc_wal.Record.locks)
+            merged)
+
+(* ------------------------------------------------------------------ *)
+(* Version-pinned readers (Section 2.1's accept primitive) *)
+
+let test_pin_defers_updates () =
+  let c = mk () in
+  let observed_while_pinned = ref (-1L) in
+  let observed_after_accept = ref (-1L) in
+  Node.pin (Cluster.node c 1);
+  Cluster.spawn c ~node:0 (fun node ->
+      let txn = Node.Txn.begin_ node in
+      Node.Txn.acquire txn lock;
+      Node.Txn.set_u64 txn ~region ~offset:0 42L;
+      Node.Txn.commit txn);
+  Cluster.spawn c ~node:1 (fun node ->
+      Lbc_sim.Proc.sleep 100.0;
+      (* The update has arrived but must not have been applied. *)
+      observed_while_pinned := Node.get_u64 node ~region ~offset:0;
+      Node.accept node;
+      observed_after_accept := Node.get_u64 node ~region ~offset:0);
+  Cluster.run c;
+  check_i64 "pinned reader sees old version" 0L !observed_while_pinned;
+  check_i64 "accept moves forward" 42L !observed_after_accept;
+  check_int "record was buffered" 1 (Node.stats (Cluster.node c 1)).Node.records_received
+
+let test_pin_blocks_acquire () =
+  let c = mk () in
+  let raised = ref false in
+  Node.pin (Cluster.node c 0);
+  Cluster.spawn c ~node:0 (fun node ->
+      let txn = Node.Txn.begin_ node in
+      (try Node.Txn.acquire txn lock
+       with Node.Coherency_error _ -> raised := true));
+  Cluster.run c;
+  Alcotest.(check bool) "acquire rejected while pinned" true !raised
+
+let test_pin_accept_ordering_preserved () =
+  (* Buffered records must still apply in lock-sequence order. *)
+  let c = mk ~nodes:3 () in
+  Node.pin (Cluster.node c 2);
+  let chain = Lbc_sim.Mailbox.create () in
+  Cluster.spawn c ~node:0 (fun node ->
+      let txn = Node.Txn.begin_ node in
+      Node.Txn.acquire txn lock;
+      Node.Txn.write txn ~region ~offset:0 (Bytes.of_string "first");
+      Node.Txn.commit txn;
+      Lbc_sim.Mailbox.send chain ());
+  Cluster.spawn c ~node:1 (fun node ->
+      Lbc_sim.Mailbox.recv chain;
+      let txn = Node.Txn.begin_ node in
+      Node.Txn.acquire txn lock;
+      Node.Txn.write txn ~region ~offset:0 (Bytes.of_string "SECON");
+      Node.Txn.commit txn);
+  Cluster.run c;
+  let n2 = Cluster.node c 2 in
+  check_int "both buffered" 2 (Node.pending_count n2);
+  Node.accept n2;
+  Alcotest.(check string) "newest version after accept" "SECON"
+    (Bytes.to_string (Node.read n2 ~region ~offset:0 ~len:5));
+  check_int "drained" 0 (Node.pending_count n2)
+
+let test_duplicate_delivery_ignored () =
+  (* Deliver the same committed record twice by hand: the second copy is
+     recognized by its sequence numbers and dropped. *)
+  let c = mk () in
+  let record = ref None in
+  Cluster.spawn c ~node:0 (fun node ->
+      let txn = Node.Txn.begin_ node in
+      Node.Txn.acquire txn lock;
+      Node.Txn.set_u64 txn ~region ~offset:0 5L;
+      record := Some (Node.Txn.commit_record txn));
+  Cluster.run c;
+  let n1 = Cluster.node c 1 in
+  let payload = Wire.encode (Option.get !record) in
+  Node.handle n1 ~src:0 (Msg.Update payload);
+  Node.handle n1 ~src:0 (Msg.Update payload);
+  check_i64 "value intact" 5L (Node.get_u64 n1 ~region ~offset:0);
+  check_int "applied seq not advanced twice" 1 (Node.applied_seq n1 lock);
+  check_int "no pending garbage" 0 (Node.pending_count n1)
+
+let test_double_acquire_same_lock_rejected () =
+  let c = mk () in
+  let raised = ref false in
+  Cluster.spawn c ~node:0 (fun node ->
+      let txn = Node.Txn.begin_ node in
+      Node.Txn.acquire txn lock;
+      (try Node.Txn.acquire txn lock
+       with Node.Coherency_error _ -> raised := true);
+      Node.Txn.commit txn);
+  Cluster.run c;
+  Alcotest.(check bool) "second acquire rejected" true !raised
+
+let test_wire_large_offsets () =
+  let t =
+    {
+      Lbc_wal.Record.node = 1;
+      tid = 1;
+      locks = [];
+      ranges =
+        [
+          {
+            Lbc_wal.Record.region = 7;
+            offset = 1 lsl 40;  (* beyond 32 bits: varints must cope *)
+            data = Bytes.of_string "far";
+          };
+        ];
+    }
+  in
+  Alcotest.(check bool) "roundtrip" true
+    (Lbc_wal.Record.equal_txn t (Wire.decode (Wire.encode t)))
+
+(* ------------------------------------------------------------------ *)
+(* Multicast (Section 4.3.1) *)
+
+let test_multicast_single_transmission () =
+  let config = { Config.default with Config.multicast = true } in
+  let c = mk ~config ~nodes:4 () in
+  Cluster.spawn c ~node:0 (fun node ->
+      let txn = Node.Txn.begin_ node in
+      Node.Txn.acquire txn lock;
+      Node.Txn.set_u64 txn ~region ~offset:0 9L;
+      Node.Txn.commit txn);
+  Cluster.run c;
+  (* One transmission on the wire; all three peers updated. *)
+  check_int "one message" 1 (Cluster.total_messages c);
+  for n = 1 to 3 do
+    check_i64 (Printf.sprintf "peer %d" n) 9L
+      (Node.get_u64 (Cluster.node c n) ~region ~offset:0)
+  done
+
+let test_multicast_sender_time_constant_in_peers () =
+  let elapsed_with nodes multicast =
+    let config =
+      { Config.measured with Config.multicast; Config.disk_logging = false }
+    in
+    let c = mk ~config ~nodes () in
+    let finish = ref 0.0 in
+    Cluster.spawn c ~node:0 (fun node ->
+        let txn = Node.Txn.begin_ node in
+        Node.Txn.acquire txn lock;
+        Node.Txn.write txn ~region ~offset:0 (Bytes.make 256 'x');
+        Node.Txn.commit txn;
+        finish := Lbc_sim.Proc.now ());
+    Cluster.run c;
+    !finish
+  in
+  let uni2 = elapsed_with 2 false and uni5 = elapsed_with 5 false in
+  let multi2 = elapsed_with 2 true and multi5 = elapsed_with 5 true in
+  Alcotest.(check bool)
+    (Printf.sprintf "unicast writer cost grows with peers (%.1f -> %.1f)" uni2 uni5)
+    true (uni5 > uni2 +. 100.0);
+  Alcotest.(check (float 1e-6))
+    "multicast writer cost independent of peers" multi2 multi5
+
+(* ------------------------------------------------------------------ *)
+(* Failure injection *)
+
+let test_recovery_ignores_torn_tails () =
+  let c = mk () in
+  Cluster.spawn c ~node:0 (fun node ->
+      increment node ~offset:0;
+      increment node ~offset:0);
+  Cluster.run c;
+  (* Tear the tail of node 0's log: crash keeps only a 30-byte prefix of
+     the last unsynced write.  Committed (forced) records survive. *)
+  let log_dev =
+    match Lbc_storage.Store.find (Cluster.store c) "log.0" with
+    | Some d -> d
+    | None -> Alcotest.fail "no log device"
+  in
+  Lbc_storage.Dev.write_string log_dev ~off:(Lbc_storage.Dev.size log_dev) "partial garbage after the real records";
+  Lbc_storage.Dev.crash ~tear_bytes:10 log_dev;
+  let outcome = Cluster.recover_database c in
+  check_int "both committed txns recovered" 2
+    outcome.Lbc_rvm.Recovery.records_replayed;
+  let dev = Cluster.region_dev c region in
+  check_i64 "value intact" 2L
+    (Bytes.get_int64_le (Lbc_storage.Dev.read dev ~off:0 ~len:8) 0)
+
+let test_server_crash_then_recovery () =
+  (* Flush-on-commit means every committed transaction survives a full
+     storage-server crash. *)
+  let c = mk ~nodes:3 () in
+  for n = 0 to 2 do
+    Cluster.spawn c ~node:n (fun node ->
+        for _ = 1 to 5 do
+          increment node ~offset:(8 * n);
+          Lbc_sim.Proc.sleep 7.0
+        done)
+  done;
+  Cluster.run c;
+  Lbc_storage.Store.crash_all (Cluster.store c);
+  let outcome = Cluster.recover_database c in
+  check_int "15 transactions" 15 outcome.Lbc_rvm.Recovery.records_replayed;
+  let dev = Cluster.region_dev c region in
+  for n = 0 to 2 do
+    check_i64
+      (Printf.sprintf "counter %d" n)
+      5L
+      (Bytes.get_int64_le (Lbc_storage.Dev.read dev ~off:(8 * n) ~len:8) 0)
+  done
+
+let test_no_flush_commits_lost_on_server_crash () =
+  let config = { Config.default with Config.flush_on_commit = false } in
+  let c = mk ~config () in
+  Cluster.spawn c ~node:0 (fun node ->
+      increment node ~offset:0;
+      increment node ~offset:0);
+  Cluster.run c;
+  (* Nothing was forced: the server crash wipes the buffered log. *)
+  Lbc_storage.Store.crash_all (Cluster.store c);
+  let outcome = Cluster.recover_database c in
+  check_int "lazy commits lost" 0 outcome.Lbc_rvm.Recovery.records_replayed
+
+(* ------------------------------------------------------------------ *)
+(* Online incremental checkpointing (Section 3.5) *)
+
+let test_online_checkpoint_midstream () =
+  let c = mk () in
+  Cluster.spawn c ~node:0 (fun node ->
+      for _ = 1 to 10 do
+        increment node ~offset:0
+      done);
+  Cluster.run c;
+  let n = Cluster.online_checkpoint c in
+  check_int "first batch checkpointed" 10 n;
+  check_int "log 0 trimmed" 0
+    (Lbc_wal.Log.live_bytes (Lbc_rvm.Rvm.log (Node.rvm (Cluster.node c 0))));
+  (* The cluster keeps running afterwards... *)
+  Cluster.spawn c ~node:1 (fun node ->
+      for _ = 1 to 10 do
+        increment node ~offset:0
+      done);
+  Cluster.run c;
+  (* ...and full recovery = checkpointed database + remaining logs. *)
+  let outcome = Cluster.recover_database c in
+  check_int "only the new records replayed" 10
+    outcome.Lbc_rvm.Recovery.records_replayed;
+  let dev = Cluster.region_dev c region in
+  check_i64 "final value durable" 20L
+    (Bytes.get_int64_le (Lbc_storage.Dev.read dev ~off:0 ~len:8) 0)
+
+let test_online_checkpoint_idempotent () =
+  let c = mk () in
+  Cluster.spawn c ~node:0 (fun node -> increment node ~offset:0);
+  Cluster.run c;
+  check_int "first" 1 (Cluster.online_checkpoint c);
+  check_int "second finds nothing" 0 (Cluster.online_checkpoint c)
+
+let test_checkpoint_resyncs_lazy_stragglers () =
+  (* In lazy mode a checkpoint drops the writers' retained chains; the
+     checkpoint must therefore bring stale caches to the checkpointed
+     state, or later acquires could never catch up. *)
+  let c = mk ~config:{ Config.default with Config.propagation = Config.Lazy } () in
+  Cluster.spawn c ~node:0 (fun node ->
+      for _ = 1 to 5 do
+        increment node ~offset:0
+      done);
+  Cluster.run c;
+  (* Node 1 never acquired: its cache is stale and no chain was pushed. *)
+  check_i64 "stale before checkpoint" 0L
+    (Node.get_u64 (Cluster.node c 1) ~region ~offset:0);
+  Cluster.checkpoint c;
+  check_i64 "resynced by checkpoint" 5L
+    (Node.get_u64 (Cluster.node c 1) ~region ~offset:0);
+  check_int "retained chains dropped" 0 (Node.retained_count (Cluster.node c 0));
+  (* And the reader can acquire without any fetch. *)
+  let fetches0 = (Node.stats (Cluster.node c 1)).Node.fetches_sent in
+  Cluster.spawn c ~node:1 (fun node ->
+      let txn = Node.Txn.begin_ node in
+      Node.Txn.acquire txn lock;
+      Alcotest.(check int64) "reads checkpointed value" 5L
+        (Node.Txn.get_u64 txn ~region ~offset:0);
+      Node.Txn.commit txn);
+  Cluster.run c;
+  check_int "no fetch needed" fetches0 (Node.stats (Cluster.node c 1)).Node.fetches_sent
+
+let test_online_after_offline_checkpoint () =
+  (* The offline checkpoint must feed the incremental baseline: a write
+     whose predecessor was trimmed offline is still trimmable online. *)
+  let c = mk () in
+  Cluster.spawn c ~node:0 (fun node -> increment node ~offset:0);
+  Cluster.run c;
+  Cluster.checkpoint c;
+  Cluster.spawn c ~node:0 (fun node -> increment node ~offset:0);
+  Cluster.run c;
+  check_int "second write checkpointed online" 1 (Cluster.online_checkpoint c)
+
+let test_merge_prefix_holds_back_gaps () =
+  (* Log 0 holds (lock 0, seq 2) but seq 1 is nowhere (a lazy commit that
+     never became durable): nothing can be emitted. *)
+  let t seqno =
+    {
+      Lbc_wal.Record.node = 0;
+      tid = 1;
+      locks = [ { Lbc_wal.Record.lock_id = 0; seqno; prev_write_seq = seqno - 1 } ];
+      ranges = [];
+    }
+  in
+  let dev = Lbc_storage.Dev.create () in
+  let log = Lbc_wal.Log.attach dev in
+  ignore (Lbc_wal.Log.append log (t 2));
+  let p = Merge.merge_logs_prefix [ log ] in
+  check_int "nothing ordered" 0 (List.length p.Merge.ordered);
+  check_int "one leftover" 1 p.Merge.leftover;
+  Alcotest.(check (list int)) "head unchanged" [ Lbc_wal.Log.head log ]
+    p.Merge.new_heads;
+  (* Once seq 1 appears (in another log), everything merges. *)
+  let dev1 = Lbc_storage.Dev.create () in
+  let log1 = Lbc_wal.Log.attach dev1 in
+  ignore
+    (Lbc_wal.Log.append log1
+       {
+         Lbc_wal.Record.node = 1;
+         tid = 1;
+         locks = [ { Lbc_wal.Record.lock_id = 0; seqno = 1; prev_write_seq = 0 } ];
+         (* seq 1 is referenced as a *write*, so it carries data *)
+         ranges = [ { Lbc_wal.Record.region = 0; offset = 0; data = Bytes.of_string "w" } ];
+       });
+  let p = Merge.merge_logs_prefix [ log; log1 ] in
+  check_int "both ordered" 2 (List.length p.Merge.ordered);
+  check_int "no leftover" 0 p.Merge.leftover;
+  Alcotest.(check (list int)) "heads at tails"
+    [ Lbc_wal.Log.tail log; Lbc_wal.Log.tail log1 ]
+    p.Merge.new_heads
+
+let contains_substring haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_report_renders () =
+  let c = mk () in
+  Cluster.spawn c ~node:0 (fun node -> increment node ~offset:0);
+  Cluster.run c;
+  let s = Format.asprintf "%a" Report.pp_cluster c in
+  Alcotest.(check bool) "mentions both nodes" true
+    (contains_substring s "node 0:" && contains_substring s "node 1:");
+  Alcotest.(check bool) "mentions one commit" true
+    (contains_substring s "1 commits")
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "core.wire",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip;
+        Alcotest.test_case "compression" `Quick test_wire_compression;
+        qtest prop_wire_roundtrip;
+        qtest prop_wire_decode_never_crashes;
+        qtest prop_wire_truncation_detected;
+      ] );
+    ( "core.eager",
+      [
+        Alcotest.test_case "update propagates" `Quick test_update_propagates;
+        Alcotest.test_case "counter x3 nodes" `Quick test_counter_three_nodes;
+        Alcotest.test_case "interlock" `Quick
+          test_interlock_token_overtakes_updates;
+        Alcotest.test_case "out-of-order held" `Quick
+          test_out_of_order_updates_held;
+        Alcotest.test_case "fine-grained under coarse lock" `Quick
+          test_fine_grained_updates_coarse_lock;
+        Alcotest.test_case "read-only silent" `Quick test_no_broadcast_for_readonly;
+        Alcotest.test_case "only mapping peers" `Quick
+          test_update_only_to_mapping_peers;
+        Alcotest.test_case "abort propagates nothing" `Quick
+          test_abort_propagates_nothing;
+        Alcotest.test_case "duplicate delivery" `Quick
+          test_duplicate_delivery_ignored;
+        Alcotest.test_case "double acquire rejected" `Quick
+          test_double_acquire_same_lock_rejected;
+        Alcotest.test_case "wire large offsets" `Quick test_wire_large_offsets;
+      ] );
+    ( "core.lazy",
+      [
+        Alcotest.test_case "no eager traffic" `Quick test_lazy_no_eager_traffic;
+        Alcotest.test_case "fetch on acquire" `Quick test_lazy_fetch_on_acquire;
+        Alcotest.test_case "chain through writers" `Quick
+          test_lazy_chain_through_writers;
+        Alcotest.test_case "multi-lock falls back" `Quick
+          test_lazy_multilock_falls_back_to_eager;
+      ] );
+    ( "core.recovery",
+      [
+        Alcotest.test_case "merge orders by lock seq" `Quick
+          test_merge_orders_by_lock_seq;
+        Alcotest.test_case "merge unorderable" `Quick test_merge_unorderable;
+        qtest prop_merge_respects_lock_order;
+        Alcotest.test_case "distributed recovery" `Quick
+          test_distributed_recovery_matches_caches;
+        Alcotest.test_case "checkpoint" `Quick test_checkpoint_trims_and_preserves;
+        Alcotest.test_case "online checkpoint" `Quick
+          test_online_checkpoint_midstream;
+        Alcotest.test_case "online checkpoint idempotent" `Quick
+          test_online_checkpoint_idempotent;
+        Alcotest.test_case "merge prefix holds gaps" `Quick
+          test_merge_prefix_holds_back_gaps;
+        Alcotest.test_case "checkpoint resyncs lazy stragglers" `Quick
+          test_checkpoint_resyncs_lazy_stragglers;
+        Alcotest.test_case "online after offline checkpoint" `Quick
+          test_online_after_offline_checkpoint;
+        Alcotest.test_case "report renders" `Quick test_report_renders;
+        Alcotest.test_case "client crash" `Quick
+          test_client_crash_loses_uncommitted_only;
+      ] );
+    ( "core.versioned",
+      [
+        Alcotest.test_case "pin defers updates" `Quick test_pin_defers_updates;
+        Alcotest.test_case "pin blocks acquire" `Quick test_pin_blocks_acquire;
+        Alcotest.test_case "accept preserves order" `Quick
+          test_pin_accept_ordering_preserved;
+      ] );
+    ( "core.multicast",
+      [
+        Alcotest.test_case "single transmission" `Quick
+          test_multicast_single_transmission;
+        Alcotest.test_case "sender time constant" `Quick
+          test_multicast_sender_time_constant_in_peers;
+      ] );
+    ( "core.failures",
+      [
+        Alcotest.test_case "torn log tail" `Quick test_recovery_ignores_torn_tails;
+        Alcotest.test_case "server crash" `Quick test_server_crash_then_recovery;
+        Alcotest.test_case "no-flush lost" `Quick
+          test_no_flush_commits_lost_on_server_crash;
+      ] );
+  ]

@@ -1,0 +1,120 @@
+(* Tests for the simulated network fabric. *)
+
+open Lbc_sim
+open Lbc_net
+
+let mk ?(params = Params.instant) ?(nodes = 3) () =
+  let e = Engine.create () in
+  let f = Fabric.create ~params ~engine:e ~nodes ~size:String.length () in
+  (e, f)
+
+let test_send_recv () =
+  let e, f = mk () in
+  let got = ref "" in
+  Proc.spawn e (fun () -> got := Fabric.recv f ~dst:1 ~src:0);
+  Proc.spawn e (fun () -> Fabric.send f ~src:0 ~dst:1 "ping");
+  Engine.run e;
+  Alcotest.(check string) "delivered" "ping" !got
+
+let test_fifo_per_channel () =
+  let e, f = mk () in
+  let got = ref [] in
+  Proc.spawn e (fun () ->
+      for _ = 1 to 3 do
+        let m = Fabric.recv f ~dst:1 ~src:0 in
+        got := m :: !got
+      done);
+  Proc.spawn e (fun () ->
+      List.iter (fun m -> Fabric.send f ~src:0 ~dst:1 m) [ "a"; "b"; "c" ]);
+  Engine.run e;
+  Alcotest.(check (list string)) "fifo" [ "a"; "b"; "c" ] (List.rev !got)
+
+let test_send_cost_blocks_sender () =
+  let params =
+    { Params.send_base = 100.0; send_per_byte = 1.0; propagation = 10.0 }
+  in
+  let e, f = mk ~params () in
+  let sent_at = ref 0.0 and got_at = ref 0.0 in
+  Proc.spawn e (fun () ->
+      Fabric.send f ~src:0 ~dst:1 "12345";
+      sent_at := Proc.now ());
+  Proc.spawn e (fun () ->
+      ignore (Fabric.recv f ~dst:1 ~src:0);
+      got_at := Proc.now ());
+  Engine.run e;
+  (* writev cost = 100 + 5 = 105; delivery 10 later. *)
+  Alcotest.(check (float 1e-9)) "sender blocked" 105.0 !sent_at;
+  Alcotest.(check (float 1e-9)) "delivery time" 115.0 !got_at
+
+let test_channels_independent () =
+  let e, f = mk () in
+  (* A message from 2 must not appear on the 0->1 channel. *)
+  let got = ref [] in
+  Proc.spawn e (fun () ->
+      let m = Fabric.recv f ~dst:1 ~src:0 in
+      got := ("from0", m) :: !got);
+  Proc.spawn e (fun () ->
+      let m = Fabric.recv f ~dst:1 ~src:2 in
+      got := ("from2", m) :: !got);
+  Proc.spawn e (fun () -> Fabric.send f ~src:2 ~dst:1 "two");
+  Proc.spawn e (fun () ->
+      Proc.sleep 5.0;
+      Fabric.send f ~src:0 ~dst:1 "zero");
+  Engine.run e;
+  Alcotest.(check (list (pair string string)))
+    "right channels"
+    [ ("from2", "two"); ("from0", "zero") ]
+    (List.rev !got)
+
+let test_self_send_rejected () =
+  let e, f = mk () in
+  let raised = ref false in
+  Proc.spawn e (fun () ->
+      try Fabric.send f ~src:1 ~dst:1 "loop"
+      with Invalid_argument _ -> raised := true);
+  Engine.run e;
+  Alcotest.(check bool) "rejected" true !raised
+
+let test_drop_injection () =
+  let e, f = mk () in
+  Fabric.set_drop f ~src:0 ~dst:1 true;
+  let got = ref None in
+  Proc.spawn e (fun () ->
+      Fabric.send f ~src:0 ~dst:1 "lost";
+      Fabric.set_drop f ~src:0 ~dst:1 false;
+      Fabric.send f ~src:0 ~dst:1 "kept");
+  Proc.spawn e (fun () -> got := Some (Fabric.recv f ~dst:1 ~src:0));
+  Engine.run e;
+  Alcotest.(check (option string)) "only undropped arrives" (Some "kept") !got
+
+let test_accounting () =
+  let e, f = mk () in
+  Proc.spawn e (fun () ->
+      Fabric.send f ~src:0 ~dst:1 "xxxx";
+      Fabric.send f ~src:0 ~dst:2 "yy";
+      Fabric.send f ~src:1 ~dst:2 "z");
+  (* Drain receivers so the run terminates cleanly. *)
+  Proc.spawn e (fun () -> ignore (Fabric.recv f ~dst:1 ~src:0));
+  Proc.spawn e (fun () -> ignore (Fabric.recv f ~dst:2 ~src:0));
+  Proc.spawn e (fun () -> ignore (Fabric.recv f ~dst:2 ~src:1));
+  Engine.run e;
+  Alcotest.(check int) "msgs from 0" 2 (Fabric.messages_sent f ~src:0);
+  Alcotest.(check int) "bytes from 0" 6 (Fabric.bytes_sent f ~src:0);
+  Alcotest.(check int) "total msgs" 3 (Fabric.total_messages f);
+  Alcotest.(check int) "total bytes" 7 (Fabric.total_bytes f)
+
+let suites =
+  [
+    ( "net.fabric",
+      [
+        Alcotest.test_case "send/recv" `Quick test_send_recv;
+        Alcotest.test_case "fifo per channel" `Quick test_fifo_per_channel;
+        Alcotest.test_case "send cost blocks sender" `Quick
+          test_send_cost_blocks_sender;
+        Alcotest.test_case "channels independent" `Quick
+          test_channels_independent;
+        Alcotest.test_case "self send rejected" `Quick test_self_send_rejected;
+        Alcotest.test_case "drop injection" `Quick test_drop_injection;
+        Alcotest.test_case "accounting" `Quick test_accounting;
+      ] );
+  ]

@@ -1,0 +1,309 @@
+(* Tests for the OO7 benchmark database and traversals, including the
+   structural counts that feed Table 3. *)
+
+open Lbc_oo7
+open Lbc_core
+
+let check_int = Alcotest.(check int)
+
+let tiny = Schema.tiny
+let tiny_db () = Database.attach_bytes tiny (Builder.build tiny)
+
+(* ------------------------------------------------------------------ *)
+(* Construction *)
+
+let test_build_deterministic () =
+  let a = Builder.build tiny and b = Builder.build tiny in
+  Alcotest.(check bool) "identical images" true (Bytes.equal a b)
+
+let test_build_structure () =
+  let db = tiny_db () in
+  check_int "composites" tiny.Schema.num_composites (Database.num_composites db);
+  (* Index holds one entry per atomic part. *)
+  check_int "index cardinality"
+    (tiny.Schema.num_composites * tiny.Schema.atomics_per_composite)
+    (Lbc_pheap.Iavl.cardinal (Database.index db));
+  Lbc_pheap.Iavl.check_invariants (Database.index db)
+
+let test_atomic_clustering () =
+  (* The atomic parts of one composite are contiguous — the layout property
+     behind the paper's pages-updated numbers. *)
+  let db = tiny_db () in
+  let comp = Database.composite db 0 in
+  let parts =
+    List.init tiny.Schema.atomics_per_composite (fun i ->
+        Database.composite_get db ~addr:comp (Schema.part_slot i))
+  in
+  let sorted = List.sort compare parts in
+  Alcotest.(check (list int)) "contiguous 200-byte objects"
+    (List.init (List.length parts) (fun i -> List.hd sorted + (200 * i)))
+    sorted
+
+let test_graph_connected () =
+  (* DFS from the root part must reach every atomic part (ring edge). *)
+  let db = tiny_db () in
+  let r = Traversal.run db Traversal.T1 in
+  check_int "every atomic visited per composite visit"
+    (r.Traversal.composite_visits * tiny.Schema.atomics_per_composite)
+    r.Traversal.atomic_visits
+
+(* ------------------------------------------------------------------ *)
+(* Traversal counts (structure of Table 3) *)
+
+let visits = Schema.composite_visits tiny
+
+let test_traversal_counts () =
+  let db = tiny_db () in
+  let expect kind field_updates index_ops =
+    let r = Traversal.run db kind in
+    check_int (Traversal.name kind ^ " updates") field_updates
+      r.Traversal.field_updates;
+    check_int (Traversal.name kind ^ " index ops") index_ops r.Traversal.index_ops
+  in
+  let atomics = tiny.Schema.atomics_per_composite in
+  expect Traversal.T6 0 0;
+  expect (Traversal.T12 Traversal.A) visits 0;
+  expect (Traversal.T12 Traversal.C) (4 * visits) 0;
+  expect (Traversal.T2 Traversal.A) visits 0;
+  expect (Traversal.T2 Traversal.B) (visits * atomics) 0;
+  expect (Traversal.T2 Traversal.C) (4 * visits * atomics) 0;
+  expect (Traversal.T3 Traversal.A) visits visits;
+  expect (Traversal.T3 Traversal.B) (visits * atomics) (visits * atomics)
+
+let test_t3_preserves_index () =
+  let db = tiny_db () in
+  let before = Lbc_pheap.Iavl.cardinal (Database.index db) in
+  ignore (Traversal.run db (Traversal.T3 Traversal.B));
+  check_int "cardinality preserved" before
+    (Lbc_pheap.Iavl.cardinal (Database.index db));
+  Lbc_pheap.Iavl.check_invariants (Database.index db)
+
+let test_t2_actually_updates () =
+  let db = tiny_db () in
+  let before = Database.checksum db in
+  ignore (Traversal.run db (Traversal.T2 Traversal.B));
+  Alcotest.(check bool) "checksum changed" false
+    (Int64.equal before (Database.checksum db))
+
+let test_readonly_traversals_no_mutation () =
+  let image = Builder.build tiny in
+  let db = Database.attach_bytes tiny image in
+  let before = Bytes.copy image in
+  ignore (Traversal.run db Traversal.T1);
+  ignore (Traversal.run db Traversal.T6);
+  Alcotest.(check bool) "image untouched" true (Bytes.equal before image)
+
+let test_traversal_names () =
+  List.iter
+    (fun k ->
+      Alcotest.(check (option string))
+        "name roundtrip"
+        (Some (Traversal.name k))
+        (Option.map Traversal.name (Traversal.of_name (Traversal.name k))))
+    (Traversal.T1 :: Traversal.T6 :: Traversal.table3_kinds)
+
+(* ------------------------------------------------------------------ *)
+(* Coherency integration: a traversal on one node updates its peer *)
+
+let test_traversal_propagates_to_peer () =
+  let cluster = Runner.setup ~nodes:2 tiny in
+  let outcome = Runner.run ~cluster ~writer:0 tiny (Traversal.T2 Traversal.B) in
+  Alcotest.(check bool) "updates happened" true
+    (outcome.Runner.result.Traversal.field_updates > 0);
+  let db0 = Database.attach_node tiny (Cluster.node cluster 0) ~region:Runner.region in
+  let db1 = Database.attach_node tiny (Cluster.node cluster 1) ~region:Runner.region in
+  Alcotest.(check int64) "peer cache converged" (Database.checksum db0)
+    (Database.checksum db1)
+
+let test_t3_propagates_index_updates () =
+  let cluster = Runner.setup ~nodes:2 tiny in
+  ignore (Runner.run ~cluster ~writer:0 tiny (Traversal.T3 Traversal.A));
+  (* The receiver's copy of the index must be structurally valid and equal. *)
+  let db1 = Database.attach_node tiny (Cluster.node cluster 1) ~region:Runner.region in
+  Lbc_pheap.Iavl.check_invariants (Database.index db1);
+  let db0 = Database.attach_node tiny (Cluster.node cluster 0) ~region:Runner.region in
+  Alcotest.(check int64) "caches equal" (Database.checksum db0)
+    (Database.checksum db1)
+
+let test_profile_plausible () =
+  let cluster = Runner.setup ~nodes:2 tiny in
+  let o = Runner.run ~cluster ~writer:0 tiny (Traversal.T2 Traversal.A) in
+  let p = o.Runner.profile in
+  (* One 8-byte update per composite visit; every composite covered at
+     most once in unique bytes. *)
+  check_int "updates = visits" visits p.Lbc_costmodel.Model.updates;
+  Alcotest.(check bool) "unique bytes = 8 * unique composites" true
+    (p.Lbc_costmodel.Model.unique_bytes <= 8 * tiny.Schema.num_composites
+    && p.Lbc_costmodel.Model.unique_bytes >= 8);
+  Alcotest.(check bool) "message bigger than payload" true
+    (p.Lbc_costmodel.Model.message_bytes > p.Lbc_costmodel.Model.unique_bytes);
+  Alcotest.(check bool) "pages > 0" true (p.Lbc_costmodel.Model.pages_updated > 0)
+
+let test_consecutive_traversals_two_writers () =
+  let cluster = Runner.setup ~nodes:2 tiny in
+  ignore (Runner.run ~cluster ~writer:0 tiny (Traversal.T2 Traversal.A));
+  ignore (Runner.run ~cluster ~writer:1 tiny (Traversal.T2 Traversal.B));
+  let db0 = Database.attach_node tiny (Cluster.node cluster 0) ~region:Runner.region in
+  let db1 = Database.attach_node tiny (Cluster.node cluster 1) ~region:Runner.region in
+  Alcotest.(check int64) "converged after alternating writers"
+    (Database.checksum db0) (Database.checksum db1)
+
+(* The paper-scale configuration: structural counts of Table 3 rows that
+   are exact (updates and unique bytes for T12/T2). *)
+let test_small_config_table3_anchors () =
+  let small = Schema.small in
+  check_int "2187 composite visits" 2187 (Schema.composite_visits small);
+  let cluster = Runner.setup ~nodes:2 small in
+  let o = Runner.run ~cluster ~writer:0 small (Traversal.T2 Traversal.A) in
+  let p = o.Runner.profile in
+  check_int "T2-A updates = 2187" 2187 p.Lbc_costmodel.Model.updates;
+  check_int "T2-A unique bytes = 4000" 4000 p.Lbc_costmodel.Model.unique_bytes;
+  check_int "T2-A pages = 500" 500 p.Lbc_costmodel.Model.pages_updated
+
+(* ------------------------------------------------------------------ *)
+(* Full-suite traversals (T4, T5, T7), queries, structural operations *)
+
+let test_t4_scans_documents () =
+  let db = tiny_db () in
+  let r = Traversal.run db Traversal.T4 in
+  check_int "visits all composites" visits r.Traversal.composite_visits;
+  (* Documents are filled with a repeated letter; composite 0 gets 'A's,
+     so scans find plenty. *)
+  Alcotest.(check bool) "found characters" true (Int64.compare r.Traversal.read_sum 0L > 0);
+  check_int "no updates" 0 r.Traversal.field_updates
+
+let test_t5_updates_documents () =
+  let image = Builder.build tiny in
+  let db = Database.attach_bytes tiny image in
+  let r = Traversal.run db Traversal.T5 in
+  check_int "one doc update per visit" visits r.Traversal.field_updates;
+  let comp = Database.composite db 0 in
+  let doc = Database.composite_get db ~addr:comp "document" in
+  Alcotest.(check string) "document rewritten" "REVISED!"
+    (Bytes.to_string (Lbc_pheap.Heap.get_bytes (Database.heap db) doc ~len:8))
+
+let test_t7_visits_one_assembly () =
+  let db = tiny_db () in
+  let r = Traversal.run db Traversal.T7 in
+  check_int "one base assembly's composites"
+    tiny.Schema.composites_per_base r.Traversal.composite_visits;
+  check_int "full graphs walked"
+    (tiny.Schema.composites_per_base * tiny.Schema.atomics_per_composite)
+    r.Traversal.atomic_visits
+
+let test_queries () =
+  let db = tiny_db () in
+  let atoms = tiny.Schema.num_composites * tiny.Schema.atomics_per_composite in
+  check_int "q1 finds everything" 20 (Queries.q1_exact_lookups db ~lookups:20);
+  check_int "q7 full scan" atoms (Queries.q7_full_scan db);
+  let q2 = Queries.q2_range_1pct db and q3 = Queries.q3_range_10pct db in
+  Alcotest.(check bool)
+    (Printf.sprintf "ranges nested (q2=%d <= q3=%d <= all=%d)" q2 q3 atoms)
+    true
+    (q2 <= q3 && q3 <= atoms);
+  (* Exhaustive cross-check of the range scan against a full fold. *)
+  let manual frac =
+    let hi = Int64.of_int (int_of_float (frac *. float_of_int tiny.Schema.date_range)) in
+    Lbc_pheap.Iavl.fold (Database.index db) ~init:0 ~f:(fun acc part ->
+        if Int64.compare (Database.atomic_get db ~addr:part "date") hi <= 0 then
+          acc + 1
+        else acc)
+  in
+  check_int "q2 matches manual count" (manual 0.01) q2;
+  check_int "q3 matches manual count" (manual 0.10) q3;
+  Alcotest.(check bool) "q4 counts pattern" true
+    (Queries.q4_document_scan db ~pattern:'A' >= Schema.doc_size)
+
+let test_insert_and_delete_composites () =
+  let db = tiny_db () in
+  let before = Database.num_composites db in
+  let idx_before = Queries.q7_full_scan db in
+  let rng = Lbc_util.Rng.create 99 in
+  let added = Operations.insert_composites db ~rng ~count:3 in
+  check_int "directory grew" (before + 3) (Database.num_composites db);
+  check_int "index grew"
+    (idx_before + (3 * tiny.Schema.atomics_per_composite))
+    (Queries.q7_full_scan db);
+  Lbc_pheap.Iavl.check_invariants (Database.index db);
+  List.iter (fun addr -> Operations.delete_composite db ~addr) added;
+  check_int "directory restored" before (Database.num_composites db);
+  check_int "index restored" idx_before (Queries.q7_full_scan db);
+  Lbc_pheap.Iavl.check_invariants (Database.index db)
+
+let test_delete_unknown_composite_rejected () =
+  let db = tiny_db () in
+  Alcotest.(check bool) "raises" true
+    (try Operations.delete_composite db ~addr:12345; false
+     with Database.Bad_database _ -> true)
+
+let test_structural_insert_propagates () =
+  (* A whole insertion — allocator bump, cluster init, directory and
+     index updates — commits atomically and replicates to the peer. *)
+  let cluster = Runner.setup ~nodes:2 tiny in
+  Cluster.spawn cluster ~node:0 (fun node ->
+      let txn = Node.Txn.begin_ node in
+      Node.Txn.acquire txn Runner.lock;
+      let db = Database.attach_txn tiny txn ~region:Runner.region in
+      let rng = Lbc_util.Rng.create 5 in
+      ignore (Operations.insert_composites db ~rng ~count:2);
+      Node.Txn.commit txn);
+  Cluster.run cluster;
+  let db1 =
+    Database.attach_node tiny (Cluster.node cluster 1) ~region:Runner.region
+  in
+  check_int "peer sees new composites"
+    (tiny.Schema.num_composites + 2)
+    (Database.num_composites db1);
+  check_int "peer index grew"
+    ((tiny.Schema.num_composites + 2) * tiny.Schema.atomics_per_composite)
+    (Queries.q7_full_scan db1);
+  Lbc_pheap.Iavl.check_invariants (Database.index db1);
+  (* The insertion is durable too. *)
+  let outcome = Cluster.recover_database cluster in
+  Alcotest.(check bool) "recovered" true
+    (outcome.Lbc_rvm.Recovery.records_replayed = 1)
+
+let suites =
+  [
+    ( "oo7.build",
+      [
+        Alcotest.test_case "deterministic" `Quick test_build_deterministic;
+        Alcotest.test_case "structure" `Quick test_build_structure;
+        Alcotest.test_case "atomic clustering" `Quick test_atomic_clustering;
+        Alcotest.test_case "graph connected" `Quick test_graph_connected;
+      ] );
+    ( "oo7.traversal",
+      [
+        Alcotest.test_case "update counts" `Quick test_traversal_counts;
+        Alcotest.test_case "t3 preserves index" `Quick test_t3_preserves_index;
+        Alcotest.test_case "t2 updates data" `Quick test_t2_actually_updates;
+        Alcotest.test_case "read-only no mutation" `Quick
+          test_readonly_traversals_no_mutation;
+        Alcotest.test_case "names roundtrip" `Quick test_traversal_names;
+      ] );
+    ( "oo7.coherency",
+      [
+        Alcotest.test_case "T2-B propagates" `Quick
+          test_traversal_propagates_to_peer;
+        Alcotest.test_case "T3-A propagates index" `Quick
+          test_t3_propagates_index_updates;
+        Alcotest.test_case "profile plausible" `Quick test_profile_plausible;
+        Alcotest.test_case "two writers converge" `Quick
+          test_consecutive_traversals_two_writers;
+        Alcotest.test_case "small-config anchors" `Slow
+          test_small_config_table3_anchors;
+      ] );
+    ( "oo7.fullsuite",
+      [
+        Alcotest.test_case "T4 document scan" `Quick test_t4_scans_documents;
+        Alcotest.test_case "T5 document update" `Quick test_t5_updates_documents;
+        Alcotest.test_case "T7 single assembly" `Quick test_t7_visits_one_assembly;
+        Alcotest.test_case "queries" `Quick test_queries;
+        Alcotest.test_case "insert/delete composites" `Quick
+          test_insert_and_delete_composites;
+        Alcotest.test_case "delete unknown rejected" `Quick
+          test_delete_unknown_composite_rejected;
+        Alcotest.test_case "structural insert propagates" `Quick
+          test_structural_insert_propagates;
+      ] );
+  ]

@@ -1,0 +1,461 @@
+(* Tests for the RVM work-alike: range tree policies, regions,
+   transactions, abort, recovery. *)
+
+open Lbc_storage
+open Lbc_rvm
+
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Range_tree *)
+
+let test_tree_ordered_appends () =
+  let t = Range_tree.create Range_tree.Optimized in
+  Alcotest.(check bool) "first is ordered" true
+    (Range_tree.add t ~offset:0 ~len:8 = Range_tree.Ordered_append);
+  Alcotest.(check bool) "forward is ordered" true
+    (Range_tree.add t ~offset:16 ~len:8 = Range_tree.Ordered_append);
+  Alcotest.(check bool) "adjacent forward is ordered" true
+    (Range_tree.add t ~offset:24 ~len:8 = Range_tree.Ordered_append);
+  check_int "three ranges" 3 (Range_tree.count t)
+
+let test_tree_exact_match_last_cache () =
+  let t = Range_tree.create Range_tree.Optimized in
+  ignore (Range_tree.add t ~offset:100 ~len:8);
+  Alcotest.(check bool) "same range again" true
+    (Range_tree.add t ~offset:100 ~len:8 = Range_tree.Exact_match);
+  Alcotest.(check bool) "shorter subsumed" true
+    (Range_tree.add t ~offset:100 ~len:4 = Range_tree.Exact_match);
+  check_int "still one range" 1 (Range_tree.count t);
+  check_int "bytes" 8 (Range_tree.total_bytes t)
+
+let test_tree_exact_match_via_search () =
+  let t = Range_tree.create Range_tree.Optimized in
+  ignore (Range_tree.add t ~offset:0 ~len:8);
+  ignore (Range_tree.add t ~offset:50 ~len:8);
+  (* Not the last range, so it must be found by search. *)
+  Alcotest.(check bool) "tree hit" true
+    (Range_tree.add t ~offset:0 ~len:8 = Range_tree.Exact_match)
+
+let test_tree_optimized_extend () =
+  let t = Range_tree.create Range_tree.Optimized in
+  ignore (Range_tree.add t ~offset:0 ~len:4);
+  ignore (Range_tree.add t ~offset:100 ~len:4);
+  Alcotest.(check bool) "longer at same offset extends" true
+    (Range_tree.add t ~offset:0 ~len:10 = Range_tree.Extended);
+  Alcotest.(check (list (pair int int))) "ranges" [ (0, 10); (100, 4) ]
+    (Range_tree.ranges t)
+
+let test_tree_optimized_keeps_overlap () =
+  (* The Optimized policy does not merge mere overlaps: both ranges are
+     stored and their bytes are logged redundantly. *)
+  let t = Range_tree.create Range_tree.Optimized in
+  ignore (Range_tree.add t ~offset:0 ~len:10);
+  ignore (Range_tree.add t ~offset:4 ~len:10);
+  (* starts inside the previous range, so it is not an ordered append *)
+  check_int "two ranges" 2 (Range_tree.count t);
+  check_int "redundant bytes counted" 20 (Range_tree.total_bytes t)
+
+let test_tree_standard_merges_overlap () =
+  let t = Range_tree.create Range_tree.Standard in
+  ignore (Range_tree.add t ~offset:0 ~len:10);
+  Alcotest.(check bool) "overlap merges" true
+    (Range_tree.add t ~offset:4 ~len:10 = Range_tree.Merged);
+  Alcotest.(check (list (pair int int))) "merged" [ (0, 14) ] (Range_tree.ranges t);
+  check_int "no redundancy" 14 (Range_tree.total_bytes t)
+
+let test_tree_standard_merges_adjacent () =
+  let t = Range_tree.create Range_tree.Standard in
+  ignore (Range_tree.add t ~offset:10 ~len:5);
+  ignore (Range_tree.add t ~offset:30 ~len:5);
+  (* Fills the gap and touches both: all three coalesce. *)
+  Alcotest.(check bool) "bridging range merges" true
+    (Range_tree.add t ~offset:15 ~len:15 = Range_tree.Merged);
+  Alcotest.(check (list (pair int int))) "single span" [ (10, 25) ]
+    (Range_tree.ranges t)
+
+let test_tree_standard_merge_backward () =
+  let t = Range_tree.create Range_tree.Standard in
+  ignore (Range_tree.add t ~offset:100 ~len:10);
+  Alcotest.(check bool) "backward insert merges into successor" true
+    (Range_tree.add t ~offset:95 ~len:10 = Range_tree.Merged);
+  Alcotest.(check (list (pair int int))) "span" [ (95, 15) ] (Range_tree.ranges t)
+
+let test_tree_bad_args () =
+  let t = Range_tree.create Range_tree.Optimized in
+  Alcotest.(check bool) "zero len rejected" true
+    (try ignore (Range_tree.add t ~offset:0 ~len:0); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative offset rejected" true
+    (try ignore (Range_tree.add t ~offset:(-1) ~len:4); false
+     with Invalid_argument _ -> true)
+
+(* Model-based property: coverage equals a naive interval model; under
+   Standard the stored ranges are disjoint, sorted and non-adjacent. *)
+let gen_ops = QCheck.Gen.(list_size (1 -- 60) (pair (int_bound 200) (1 -- 20)))
+
+let coverage_matches policy =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "coverage matches model (%s)"
+         (match policy with Range_tree.Standard -> "standard" | _ -> "optimized"))
+    ~count:200 (QCheck.make gen_ops)
+    (fun ops ->
+      let t = Range_tree.create policy in
+      let model = Array.make 256 false in
+      List.iter
+        (fun (offset, len) ->
+          ignore (Range_tree.add t ~offset ~len);
+          for i = offset to offset + len - 1 do
+            if i < 256 then model.(i) <- true
+          done)
+        ops;
+      let ok = ref true in
+      for i = 0 to 255 do
+        if Range_tree.mem_byte t i <> model.(i) then ok := false
+      done;
+      !ok)
+
+let prop_standard_disjoint =
+  QCheck.Test.make ~name:"standard ranges disjoint and sorted" ~count:200
+    (QCheck.make gen_ops)
+    (fun ops ->
+      let t = Range_tree.create Range_tree.Standard in
+      List.iter (fun (offset, len) -> ignore (Range_tree.add t ~offset ~len)) ops;
+      let rs = Range_tree.ranges t in
+      let rec check = function
+        | (o1, l1) :: ((o2, _) :: _ as rest) ->
+            (* strictly increasing and not even adjacent *)
+            o1 + l1 < o2 && check rest
+        | _ -> true
+      in
+      check rs
+      && Range_tree.total_bytes t
+         = List.fold_left (fun a (_, l) -> a + l) 0 rs)
+
+(* ------------------------------------------------------------------ *)
+(* Region *)
+
+let test_region_map_loads_db () =
+  let db = Dev.create () in
+  Dev.write_string db ~off:0 "persist";
+  Dev.sync db;
+  let r = Region.map ~id:0 ~db ~size:16 in
+  Alcotest.(check string) "loaded" "persist"
+    (Bytes.to_string (Region.read r ~offset:0 ~len:7));
+  Alcotest.(check string) "zero filled" "\000\000"
+    (Bytes.to_string (Region.read r ~offset:7 ~len:2))
+
+let test_region_u64 () =
+  let r = Region.map ~id:0 ~db:(Dev.create ()) ~size:64 in
+  Region.set_u64 r ~offset:8 0x1122334455667788L;
+  Alcotest.(check int64) "u64 roundtrip" 0x1122334455667788L
+    (Region.get_u64 r ~offset:8)
+
+let test_region_flush () =
+  let db = Dev.create () in
+  let r = Region.map ~id:0 ~db ~size:8 in
+  Region.write r ~offset:0 (Bytes.of_string "ABCDEFGH");
+  Region.flush_to_db r;
+  Dev.crash db;
+  Alcotest.(check string) "flushed image stable" "ABCDEFGH"
+    (Bytes.to_string (Dev.read db ~off:0 ~len:8))
+
+(* ------------------------------------------------------------------ *)
+(* Rvm transactions *)
+
+let mk_node ?(options = Rvm.default_options) ?(size = 256) () =
+  let log_dev = Dev.create ~name:"log" () in
+  let db = Dev.create ~name:"db" () in
+  let rvm = Rvm.init ~options ~node:0 ~log_dev () in
+  let region = Rvm.map_region rvm ~id:0 ~db ~size in
+  (rvm, region, db, log_dev)
+
+let test_txn_commit_record () =
+  let rvm, _region, _, _ = mk_node () in
+  let txn = Rvm.begin_txn rvm in
+  Rvm.write txn ~region:0 ~offset:10 (Bytes.of_string "hello");
+  Rvm.set_u64 txn ~region:0 ~offset:32 42L;
+  Rvm.set_lock txn ~lock_id:7 ~seqno:3 ~prev_write_seq:1;
+  let record = Rvm.commit txn in
+  check_int "two ranges" 2 (List.length record.Lbc_wal.Record.ranges);
+  check_int "one lock" 1 (List.length record.Lbc_wal.Record.locks);
+  let r1 = List.hd record.Lbc_wal.Record.ranges in
+  Alcotest.(check string) "new value captured" "hello"
+    (Bytes.to_string r1.Lbc_wal.Record.data);
+  Alcotest.(check bool) "txn dead" false (Rvm.is_live txn)
+
+let test_txn_coalesces_repeated_updates () =
+  let rvm, _, _, _ = mk_node () in
+  let txn = Rvm.begin_txn rvm in
+  for _ = 1 to 10 do
+    Rvm.set_u64 txn ~region:0 ~offset:16 9L
+  done;
+  let record = Rvm.commit txn in
+  check_int "one coalesced range" 1 (List.length record.Lbc_wal.Record.ranges);
+  let st = Rvm.stats rvm in
+  check_int "9 redundant calls" 9 st.Rvm.redundant_calls
+
+let test_txn_commit_goes_to_log () =
+  let rvm, _, _, log_dev = mk_node () in
+  let txn = Rvm.begin_txn rvm in
+  Rvm.write txn ~region:0 ~offset:0 (Bytes.of_string "logme");
+  ignore (Rvm.commit txn);
+  Dev.crash log_dev;
+  (* Flush mode: record survives the crash. *)
+  let log = Lbc_wal.Log.attach log_dev in
+  let records, _ = Lbc_wal.Log.read_all log in
+  check_int "one record" 1 (List.length records)
+
+let test_txn_no_flush_lost_on_crash () =
+  let rvm, _, _, log_dev = mk_node () in
+  let txn = Rvm.begin_txn rvm in
+  Rvm.write txn ~region:0 ~offset:0 (Bytes.of_string "gone");
+  ignore (Rvm.commit ~mode:Rvm.No_flush txn);
+  Dev.crash log_dev;
+  let log = Lbc_wal.Log.attach log_dev in
+  let records, _ = Lbc_wal.Log.read_all log in
+  check_int "lazy commit lost" 0 (List.length records)
+
+let test_txn_disk_logging_disabled () =
+  let options = { Rvm.default_options with Rvm.disk_logging = false } in
+  let rvm, _, _, log_dev = mk_node ~options () in
+  let txn = Rvm.begin_txn rvm in
+  Rvm.write txn ~region:0 ~offset:0 (Bytes.of_string "ether");
+  let record = Rvm.commit txn in
+  check_int "record still built" 1 (List.length record.Lbc_wal.Record.ranges);
+  check_int "log empty" Lbc_wal.Log.header_size (Dev.size log_dev |> min 16)
+
+let test_txn_abort_restores () =
+  let rvm, region, _, _ = mk_node () in
+  let seed = Rvm.begin_txn rvm in
+  Rvm.write seed ~region:0 ~offset:0 (Bytes.of_string "original");
+  ignore (Rvm.commit seed);
+  let txn = Rvm.begin_txn ~restore:Rvm.Restore rvm in
+  Rvm.write txn ~region:0 ~offset:0 (Bytes.of_string "scribble");
+  Rvm.write txn ~region:0 ~offset:4 (Bytes.of_string "more");
+  Rvm.abort txn;
+  Alcotest.(check string) "restored" "original"
+    (Bytes.to_string (Region.read region ~offset:0 ~len:8))
+
+let test_txn_abort_no_restore_rejected () =
+  let rvm, _, _, _ = mk_node () in
+  let txn = Rvm.begin_txn rvm in
+  Alcotest.(check bool) "abort rejected" true
+    (try Rvm.abort txn; false with Rvm.Txn_error _ -> true)
+
+let test_txn_dead_rejects_ops () =
+  let rvm, _, _, _ = mk_node () in
+  let txn = Rvm.begin_txn rvm in
+  ignore (Rvm.commit txn);
+  Alcotest.(check bool) "set_range on dead txn" true
+    (try Rvm.set_range txn ~region:0 ~offset:0 ~len:1; false
+     with Rvm.Txn_error _ -> true);
+  Alcotest.(check bool) "double commit" true
+    (try ignore (Rvm.commit txn); false with Rvm.Txn_error _ -> true)
+
+let test_txn_unmapped_region () =
+  let rvm, _, _, _ = mk_node () in
+  let txn = Rvm.begin_txn rvm in
+  Alcotest.(check bool) "unmapped region" true
+    (try Rvm.set_range txn ~region:9 ~offset:0 ~len:1; false
+     with Rvm.Txn_error _ -> true)
+
+let test_apply_record_peer_update () =
+  (* Node B applies a record produced by node A: the DSM apply path. *)
+  let a, _, _, _ = mk_node () in
+  let b, region_b, _, _ = mk_node () in
+  let txn = Rvm.begin_txn a in
+  Rvm.write txn ~region:0 ~offset:5 (Bytes.of_string "shared");
+  let record = Rvm.commit txn in
+  Rvm.apply_record b record;
+  Alcotest.(check string) "propagated" "shared"
+    (Bytes.to_string (Region.read region_b ~offset:5 ~len:6));
+  check_int "stats" 1 (Rvm.stats b).Rvm.records_applied
+
+let test_apply_record_skips_unmapped () =
+  let b, _, _, _ = mk_node () in
+  let record =
+    {
+      Lbc_wal.Record.node = 9;
+      tid = 1;
+      locks = [];
+      ranges = [ { Lbc_wal.Record.region = 5; offset = 0; data = Bytes.of_string "x" } ];
+    }
+  in
+  Rvm.apply_record b record;
+  check_int "applied count still bumps" 1 (Rvm.stats b).Rvm.records_applied;
+  check_int "no bytes" 0 (Rvm.stats b).Rvm.bytes_applied
+
+let test_recovery_replays_log () =
+  let rvm, _, db, log_dev = mk_node () in
+  let txn = Rvm.begin_txn rvm in
+  Rvm.write txn ~region:0 ~offset:0 (Bytes.of_string "committed");
+  ignore (Rvm.commit txn);
+  let txn2 = Rvm.begin_txn rvm in
+  Rvm.write txn2 ~region:0 ~offset:9 (Bytes.of_string "!too");
+  ignore (Rvm.commit txn2);
+  (* The node dies: memory is lost, only devices survive. *)
+  Dev.crash log_dev;
+  Dev.crash db;
+  let log = Lbc_wal.Log.attach log_dev in
+  let outcome =
+    Recovery.replay ~log ~db_for_region:(fun id ->
+        if id = 0 then Some db else None)
+  in
+  check_int "two records" 2 outcome.Recovery.records_replayed;
+  Alcotest.(check bool) "clean" false outcome.Recovery.torn_tail;
+  (* The database device now holds the committed state, durably. *)
+  Dev.crash db;
+  Alcotest.(check string) "db recovered" "committed!too"
+    (Bytes.to_string (Dev.read db ~off:0 ~len:13))
+
+let test_truncate_then_recover () =
+  let rvm, _, db, log_dev = mk_node () in
+  let txn = Rvm.begin_txn rvm in
+  Rvm.write txn ~region:0 ~offset:0 (Bytes.of_string "check");
+  ignore (Rvm.commit txn);
+  Rvm.truncate rvm;
+  check_int "log trimmed" 0 (Lbc_wal.Log.live_bytes (Rvm.log rvm));
+  (* After truncation, replaying the (empty) log over the checkpointed db
+     must still give the committed state. *)
+  Dev.crash db;
+  Dev.crash log_dev;
+  let log = Lbc_wal.Log.attach log_dev in
+  let outcome =
+    Recovery.replay ~log ~db_for_region:(fun _ -> Some db)
+  in
+  check_int "nothing to replay" 0 outcome.Recovery.records_replayed;
+  Alcotest.(check string) "db has checkpoint" "check"
+    (Bytes.to_string (Dev.read db ~off:0 ~len:5))
+
+let test_maybe_truncate_high_water () =
+  let rvm, _, _, _ = mk_node () in
+  let txn = Rvm.begin_txn rvm in
+  Rvm.write txn ~region:0 ~offset:0 (Bytes.make 64 'x');
+  ignore (Rvm.commit txn);
+  Alcotest.(check bool) "below water: no trim" false
+    (Rvm.maybe_truncate rvm ~high_water:1_000_000);
+  Alcotest.(check bool) "above water: trims" true
+    (Rvm.maybe_truncate rvm ~high_water:10);
+  check_int "truncations" 1 (Rvm.stats rvm).Rvm.truncations
+
+let test_multi_region_txn () =
+  let log_dev = Dev.create () in
+  let rvm = Rvm.init ~node:0 ~log_dev () in
+  let _r0 = Rvm.map_region rvm ~id:0 ~db:(Dev.create ()) ~size:64 in
+  let _r1 = Rvm.map_region rvm ~id:1 ~db:(Dev.create ()) ~size:64 in
+  let txn = Rvm.begin_txn rvm in
+  Rvm.write txn ~region:1 ~offset:0 (Bytes.of_string "one");
+  Rvm.write txn ~region:0 ~offset:0 (Bytes.of_string "zero");
+  let record = Rvm.commit txn in
+  let regions =
+    List.map (fun r -> r.Lbc_wal.Record.region) record.Lbc_wal.Record.ranges
+  in
+  Alcotest.(check (list int)) "regions ordered" [ 0; 1 ] regions
+
+(* End-to-end property: random transactional writes, then crash and
+   recover; the recovered database must equal an independent model. *)
+let prop_recovery_matches_model =
+  QCheck.Test.make ~name:"recovery matches shadow model" ~count:60
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (1 -- 10)
+           (list_size (1 -- 5)
+              (triple (int_bound 200) (1 -- 20) (char_range 'a' 'z')))))
+    (fun txns ->
+      let size = 256 in
+      let rvm, _, db, log_dev =
+        let log_dev = Dev.create () in
+        let db = Dev.create () in
+        let rvm = Rvm.init ~node:0 ~log_dev () in
+        let r = Rvm.map_region rvm ~id:0 ~db ~size in
+        (rvm, r, db, log_dev)
+      in
+      let shadow = Bytes.make size '\000' in
+      List.iter
+        (fun writes ->
+          let txn = Rvm.begin_txn rvm in
+          List.iter
+            (fun (offset, len, c) ->
+              let len = min len (size - offset) in
+              if len > 0 then begin
+                let data = Bytes.make len c in
+                Rvm.write txn ~region:0 ~offset data;
+                Bytes.blit data 0 shadow offset len
+              end)
+            writes;
+          ignore (Rvm.commit txn))
+        txns;
+      Dev.crash log_dev;
+      Dev.crash db;
+      let log = Lbc_wal.Log.attach log_dev in
+      ignore (Recovery.replay ~log ~db_for_region:(fun _ -> Some db));
+      let recovered = Bytes.make size '\000' in
+      let have = min size (Dev.size db) in
+      if have > 0 then
+        Bytes.blit (Dev.read db ~off:0 ~len:have) 0 recovered 0 have;
+      Bytes.equal shadow recovered)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "rvm.range_tree",
+      [
+        Alcotest.test_case "ordered appends" `Quick test_tree_ordered_appends;
+        Alcotest.test_case "exact match (cache)" `Quick
+          test_tree_exact_match_last_cache;
+        Alcotest.test_case "exact match (search)" `Quick
+          test_tree_exact_match_via_search;
+        Alcotest.test_case "optimized extend" `Quick test_tree_optimized_extend;
+        Alcotest.test_case "optimized keeps overlap" `Quick
+          test_tree_optimized_keeps_overlap;
+        Alcotest.test_case "standard merges overlap" `Quick
+          test_tree_standard_merges_overlap;
+        Alcotest.test_case "standard merges adjacent" `Quick
+          test_tree_standard_merges_adjacent;
+        Alcotest.test_case "standard merges backward" `Quick
+          test_tree_standard_merge_backward;
+        Alcotest.test_case "bad args" `Quick test_tree_bad_args;
+        qtest (coverage_matches Range_tree.Standard);
+        qtest (coverage_matches Range_tree.Optimized);
+        qtest prop_standard_disjoint;
+      ] );
+    ( "rvm.region",
+      [
+        Alcotest.test_case "map loads db" `Quick test_region_map_loads_db;
+        Alcotest.test_case "u64 accessors" `Quick test_region_u64;
+        Alcotest.test_case "flush to db" `Quick test_region_flush;
+      ] );
+    ( "rvm.txn",
+      [
+        Alcotest.test_case "commit builds record" `Quick test_txn_commit_record;
+        Alcotest.test_case "coalesces repeats" `Quick
+          test_txn_coalesces_repeated_updates;
+        Alcotest.test_case "commit reaches log" `Quick test_txn_commit_goes_to_log;
+        Alcotest.test_case "no_flush lost on crash" `Quick
+          test_txn_no_flush_lost_on_crash;
+        Alcotest.test_case "disk logging disabled" `Quick
+          test_txn_disk_logging_disabled;
+        Alcotest.test_case "abort restores" `Quick test_txn_abort_restores;
+        Alcotest.test_case "abort needs Restore" `Quick
+          test_txn_abort_no_restore_rejected;
+        Alcotest.test_case "dead txn rejected" `Quick test_txn_dead_rejects_ops;
+        Alcotest.test_case "unmapped region" `Quick test_txn_unmapped_region;
+        Alcotest.test_case "multi-region" `Quick test_multi_region_txn;
+      ] );
+    ( "rvm.apply",
+      [
+        Alcotest.test_case "peer update" `Quick test_apply_record_peer_update;
+        Alcotest.test_case "skips unmapped" `Quick test_apply_record_skips_unmapped;
+      ] );
+    ( "rvm.recovery",
+      [
+        Alcotest.test_case "replay log" `Quick test_recovery_replays_log;
+        Alcotest.test_case "truncate then recover" `Quick
+          test_truncate_then_recover;
+        Alcotest.test_case "high-water trim" `Quick test_maybe_truncate_high_water;
+        qtest prop_recovery_matches_model;
+      ] );
+  ]

@@ -1,0 +1,292 @@
+(* Tests for the discrete-event simulator: engine, processes, sync. *)
+
+open Lbc_sim
+
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_engine_time_order () =
+  let e = Engine.create () in
+  let order = ref [] in
+  let mark tag () = order := tag :: !order in
+  Engine.schedule e ~delay:30.0 (mark "c");
+  Engine.schedule e ~delay:10.0 (mark "a");
+  Engine.schedule e ~delay:20.0 (mark "b");
+  Engine.run e;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ]
+    (List.rev !order);
+  check_float "clock at last event" 30.0 (Engine.now e)
+
+let test_engine_same_instant_fifo () =
+  let e = Engine.create () in
+  let order = ref [] in
+  for i = 1 to 5 do
+    Engine.schedule e ~delay:1.0 (fun () -> order := i :: !order)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+let test_engine_nested_schedule () =
+  let e = Engine.create () in
+  let hits = ref [] in
+  Engine.schedule e ~delay:5.0 (fun () ->
+      hits := ("outer", Engine.now e) :: !hits;
+      Engine.schedule e ~delay:2.5 (fun () ->
+          hits := ("inner", Engine.now e) :: !hits));
+  Engine.run e;
+  match List.rev !hits with
+  | [ ("outer", t1); ("inner", t2) ] ->
+      check_float "outer" 5.0 t1;
+      check_float "inner" 7.5 t2
+  | _ -> Alcotest.fail "wrong event sequence"
+
+let test_engine_negative_delay () =
+  let e = Engine.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+      Engine.schedule e ~delay:(-1.0) ignore)
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  Engine.schedule e ~delay:10.0 (fun () -> incr fired);
+  Engine.schedule e ~delay:100.0 (fun () -> incr fired);
+  Engine.run ~until:50.0 e;
+  check_int "only first fired" 1 !fired;
+  check_float "clock parked at until" 50.0 (Engine.now e);
+  check_int "one pending" 1 (Engine.pending e);
+  Engine.run e;
+  check_int "second fired" 2 !fired
+
+(* ------------------------------------------------------------------ *)
+(* Processes *)
+
+let test_proc_sleep_advances_time () =
+  let e = Engine.create () in
+  let finish = ref 0.0 in
+  Proc.spawn e (fun () ->
+      Proc.sleep 12.0;
+      Proc.sleep 30.0;
+      finish := Proc.now ());
+  Engine.run e;
+  check_float "slept 42" 42.0 !finish
+
+let test_proc_interleaving () =
+  let e = Engine.create () in
+  let trace = ref [] in
+  let mark tag = trace := (tag, Engine.now e) :: !trace in
+  Proc.spawn e ~name:"a" (fun () ->
+      mark "a0";
+      Proc.sleep 10.0;
+      mark "a1";
+      Proc.sleep 10.0;
+      mark "a2");
+  Proc.spawn e ~name:"b" (fun () ->
+      mark "b0";
+      Proc.sleep 15.0;
+      mark "b1");
+  Engine.run e;
+  Alcotest.(check (list string)) "interleaving"
+    [ "a0"; "b0"; "a1"; "b1"; "a2" ]
+    (List.rev_map fst !trace)
+
+let test_proc_exception_propagates () =
+  let e = Engine.create () in
+  Proc.spawn e ~name:"boom" (fun () -> failwith "kaput");
+  Alcotest.check_raises "exception surfaces" (Failure "kaput") (fun () ->
+      Engine.run e)
+
+let test_proc_outside_process () =
+  Alcotest.check_raises "sleep outside process" Proc.Not_in_process (fun () ->
+      Proc.sleep 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Ivar *)
+
+let test_ivar_read_after_fill () =
+  let e = Engine.create () in
+  let iv = Ivar.create () in
+  let got = ref 0 in
+  Ivar.fill iv 99;
+  Proc.spawn e (fun () -> got := Ivar.read iv);
+  Engine.run e;
+  check_int "value" 99 !got
+
+let test_ivar_read_blocks_until_fill () =
+  let e = Engine.create () in
+  let iv = Ivar.create () in
+  let got_at = ref (-1.0) in
+  Proc.spawn e (fun () ->
+      ignore (Ivar.read iv);
+      got_at := Proc.now ());
+  Proc.spawn e (fun () ->
+      Proc.sleep 25.0;
+      Ivar.fill iv "done");
+  Engine.run e;
+  check_float "woken at fill time" 25.0 !got_at
+
+let test_ivar_double_fill () =
+  let iv = Ivar.create () in
+  Ivar.fill iv 1;
+  Alcotest.check_raises "double fill"
+    (Invalid_argument "Ivar.fill: already filled") (fun () -> Ivar.fill iv 2)
+
+let test_ivar_multiple_readers_fifo () =
+  let e = Engine.create () in
+  let iv = Ivar.create () in
+  let order = ref [] in
+  for i = 1 to 3 do
+    Proc.spawn e (fun () ->
+        ignore (Ivar.read iv);
+        order := i :: !order)
+  done;
+  Proc.spawn e (fun () ->
+      Proc.sleep 1.0;
+      Ivar.fill iv ());
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo wakeup" [ 1; 2; 3 ] (List.rev !order)
+
+(* ------------------------------------------------------------------ *)
+(* Mailbox *)
+
+let test_mailbox_fifo () =
+  let e = Engine.create () in
+  let mb = Mailbox.create () in
+  let got = ref [] in
+  Proc.spawn e (fun () ->
+      for _ = 1 to 3 do
+        got := Mailbox.recv mb :: !got
+      done);
+  Proc.spawn e (fun () ->
+      Mailbox.send mb 1;
+      Proc.sleep 5.0;
+      Mailbox.send mb 2;
+      Mailbox.send mb 3);
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] (List.rev !got)
+
+let test_mailbox_try_recv () =
+  let mb = Mailbox.create () in
+  Alcotest.(check (option int)) "empty" None (Mailbox.try_recv mb);
+  Mailbox.send mb 7;
+  Alcotest.(check (option int)) "one" (Some 7) (Mailbox.try_recv mb);
+  Alcotest.(check bool) "drained" true (Mailbox.is_empty mb)
+
+let test_mailbox_two_receivers () =
+  let e = Engine.create () in
+  let mb = Mailbox.create () in
+  let who = ref [] in
+  Proc.spawn e ~name:"r1" (fun () ->
+      let v = Mailbox.recv mb in
+      who := ("r1", v) :: !who);
+  Proc.spawn e ~name:"r2" (fun () ->
+      let v = Mailbox.recv mb in
+      who := ("r2", v) :: !who);
+  Proc.spawn e (fun () ->
+      Proc.sleep 1.0;
+      Mailbox.send mb "x";
+      Mailbox.send mb "y");
+  Engine.run e;
+  Alcotest.(check (list (pair string string)))
+    "receivers served in order"
+    [ ("r1", "x"); ("r2", "y") ]
+    (List.rev !who)
+
+(* ------------------------------------------------------------------ *)
+(* Condvar *)
+
+let test_condvar_broadcast_wakes_all () =
+  let e = Engine.create () in
+  let c = Condvar.create () in
+  let woken = ref 0 in
+  for _ = 1 to 4 do
+    Proc.spawn e (fun () ->
+        Condvar.wait c;
+        incr woken)
+  done;
+  Proc.spawn e (fun () ->
+      Proc.sleep 1.0;
+      Condvar.broadcast c);
+  Engine.run e;
+  check_int "all woken" 4 !woken
+
+let test_condvar_signal_wakes_one () =
+  let e = Engine.create () in
+  let c = Condvar.create () in
+  let woken = ref 0 in
+  for _ = 1 to 3 do
+    Proc.spawn e (fun () ->
+        Condvar.wait c;
+        incr woken)
+  done;
+  Proc.spawn e (fun () ->
+      Proc.sleep 1.0;
+      Condvar.signal c);
+  Engine.run e;
+  check_int "one woken" 1 !woken
+
+let test_condvar_await_predicate () =
+  let e = Engine.create () in
+  let c = Condvar.create () in
+  let counter = ref 0 in
+  let done_at = ref (-1.0) in
+  Proc.spawn e (fun () ->
+      Condvar.await c (fun () -> !counter >= 3);
+      done_at := Proc.now ());
+  Proc.spawn e (fun () ->
+      for _ = 1 to 3 do
+        Proc.sleep 10.0;
+        incr counter;
+        Condvar.broadcast c
+      done);
+  Engine.run e;
+  check_float "resumed after third bump" 30.0 !done_at
+
+(* ------------------------------------------------------------------ *)
+
+let suites =
+  [
+    ( "sim.engine",
+      [
+        Alcotest.test_case "time order" `Quick test_engine_time_order;
+        Alcotest.test_case "same-instant fifo" `Quick
+          test_engine_same_instant_fifo;
+        Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
+        Alcotest.test_case "negative delay" `Quick test_engine_negative_delay;
+        Alcotest.test_case "run until" `Quick test_engine_run_until;
+      ] );
+    ( "sim.proc",
+      [
+        Alcotest.test_case "sleep advances time" `Quick
+          test_proc_sleep_advances_time;
+        Alcotest.test_case "interleaving" `Quick test_proc_interleaving;
+        Alcotest.test_case "exception propagates" `Quick
+          test_proc_exception_propagates;
+        Alcotest.test_case "outside process" `Quick test_proc_outside_process;
+      ] );
+    ( "sim.ivar",
+      [
+        Alcotest.test_case "read after fill" `Quick test_ivar_read_after_fill;
+        Alcotest.test_case "read blocks" `Quick test_ivar_read_blocks_until_fill;
+        Alcotest.test_case "double fill" `Quick test_ivar_double_fill;
+        Alcotest.test_case "multiple readers fifo" `Quick
+          test_ivar_multiple_readers_fifo;
+      ] );
+    ( "sim.mailbox",
+      [
+        Alcotest.test_case "fifo" `Quick test_mailbox_fifo;
+        Alcotest.test_case "try_recv" `Quick test_mailbox_try_recv;
+        Alcotest.test_case "two receivers" `Quick test_mailbox_two_receivers;
+      ] );
+    ( "sim.condvar",
+      [
+        Alcotest.test_case "broadcast wakes all" `Quick
+          test_condvar_broadcast_wakes_all;
+        Alcotest.test_case "signal wakes one" `Quick
+          test_condvar_signal_wakes_one;
+        Alcotest.test_case "await predicate" `Quick test_condvar_await_predicate;
+      ] );
+  ]

@@ -1,0 +1,169 @@
+(* Tests for the simulated durable storage: sync/crash semantics,
+   latency charging, the named-device store. *)
+
+open Lbc_storage
+
+let check_int = Alcotest.(check int)
+let check_bytes msg a b = Alcotest.(check string) msg (Bytes.to_string a) (Bytes.to_string b)
+
+let test_write_read () =
+  let d = Dev.create () in
+  Dev.write_string d ~off:0 "hello world";
+  check_bytes "read back" (Bytes.of_string "world") (Dev.read d ~off:6 ~len:5);
+  check_int "size" 11 (Dev.size d)
+
+let test_read_beyond_end () =
+  let d = Dev.create () in
+  Dev.write_string d ~off:0 "abc";
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Dev.read d ~off:0 ~len:4);
+       false
+     with Invalid_argument _ -> true)
+
+let test_sparse_write_zero_fill () =
+  let d = Dev.create () in
+  Dev.write_string d ~off:4 "x";
+  check_bytes "zero filled" (Bytes.of_string "\000\000\000\000x")
+    (Dev.read d ~off:0 ~len:5)
+
+let test_crash_loses_unsynced () =
+  let d = Dev.create () in
+  Dev.write_string d ~off:0 "stable!";
+  Dev.sync d;
+  Dev.write_string d ~off:0 "gone...";
+  check_bytes "cache sees new" (Bytes.of_string "gone...")
+    (Dev.read d ~off:0 ~len:7);
+  Dev.crash d;
+  check_bytes "stable survives" (Bytes.of_string "stable!")
+    (Dev.read d ~off:0 ~len:7)
+
+let test_crash_applies_prefix () =
+  let d = Dev.create () in
+  Dev.write_string d ~off:0 "00000000";
+  Dev.sync d;
+  Dev.write_string d ~off:0 "AA";
+  Dev.write_string d ~off:2 "BB";
+  Dev.write_string d ~off:4 "CC";
+  Dev.crash ~apply:2 d;
+  check_bytes "first two writes survive" (Bytes.of_string "AABB0000")
+    (Dev.read d ~off:0 ~len:8)
+
+let test_crash_torn_write () =
+  let d = Dev.create () in
+  Dev.write_string d ~off:0 "........";
+  Dev.sync d;
+  Dev.write_string d ~off:0 "WXYZ";
+  Dev.crash ~tear_bytes:2 d;
+  check_bytes "torn prefix applied" (Bytes.of_string "WX......")
+    (Dev.read d ~off:0 ~len:8)
+
+let test_crash_then_write_again () =
+  let d = Dev.create () in
+  Dev.write_string d ~off:0 "one";
+  Dev.sync d;
+  Dev.write_string d ~off:0 "two";
+  Dev.crash d;
+  Dev.write_string d ~off:0 "tri";
+  Dev.sync d;
+  Dev.crash d;
+  check_bytes "resynced" (Bytes.of_string "tri") (Dev.read d ~off:0 ~len:3)
+
+let test_stable_size_lags () =
+  let d = Dev.create () in
+  Dev.write_string d ~off:0 "0123456789";
+  check_int "current" 10 (Dev.size d);
+  check_int "stable lags" 0 (Dev.stable_size d);
+  Dev.sync d;
+  check_int "stable catches up" 10 (Dev.stable_size d)
+
+let test_latency_charged () =
+  let open Lbc_sim in
+  let e = Engine.create () in
+  let lat =
+    {
+      Latency.none with
+      Latency.write_base = 10.0;
+      write_per_byte = 1.0;
+      sync_base = 1000.0;
+    }
+  in
+  let d = Dev.create ~latency:lat () in
+  let elapsed = ref 0.0 in
+  Proc.spawn e (fun () ->
+      Dev.write_string d ~off:0 "12345";
+      (* 10 + 5*1 = 15 *)
+      Dev.sync d;
+      (* + 1000 *)
+      elapsed := Proc.now ());
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "time charged" 1015.0 !elapsed
+
+let test_load_replaces () =
+  let d = Dev.create () in
+  Dev.write_string d ~off:0 "junk";
+  Dev.load d (Bytes.of_string "fresh");
+  check_bytes "loaded" (Bytes.of_string "fresh") (Dev.read d ~off:0 ~len:5);
+  Dev.crash d;
+  check_bytes "load is stable" (Bytes.of_string "fresh")
+    (Dev.read d ~off:0 ~len:5)
+
+let prop_sync_then_crash_is_identity =
+  QCheck.Test.make ~name:"sync+crash preserves current image" ~count:100
+    QCheck.(small_list (pair (int_bound 64) (string_of_size Gen.(1 -- 16))))
+    (fun writes ->
+      QCheck.assume (writes <> []);
+      let d = Dev.create () in
+      List.iter (fun (off, s) -> Dev.write_string d ~off s) writes;
+      let before = Dev.snapshot d in
+      Dev.sync d;
+      Dev.crash d;
+      Bytes.equal before (Dev.snapshot d))
+
+let test_store_named_devices () =
+  let s = Store.create () in
+  let a = Store.open_dev s "db" in
+  let a' = Store.open_dev s "db" in
+  Alcotest.(check bool) "same device" true (a == a');
+  ignore (Store.open_dev s "log.0");
+  Alcotest.(check (list string)) "names" [ "db"; "log.0" ] (Store.names s);
+  Alcotest.(check (option reject)) "find missing" None (Store.find s "nope")
+
+let test_store_crash_all () =
+  let s = Store.create () in
+  let db = Store.open_dev s "db" and log = Store.open_dev s "log" in
+  Dev.write_string db ~off:0 "D1";
+  Dev.write_string log ~off:0 "L1";
+  Store.sync_all s;
+  Dev.write_string db ~off:0 "D2";
+  Dev.write_string log ~off:0 "L2";
+  Store.crash_all s;
+  check_bytes "db reverted" (Bytes.of_string "D1") (Dev.read db ~off:0 ~len:2);
+  check_bytes "log reverted" (Bytes.of_string "L1") (Dev.read log ~off:0 ~len:2)
+
+let suites =
+  [
+    ( "storage.dev",
+      [
+        Alcotest.test_case "write/read" `Quick test_write_read;
+        Alcotest.test_case "read beyond end" `Quick test_read_beyond_end;
+        Alcotest.test_case "sparse write zero-fills" `Quick
+          test_sparse_write_zero_fill;
+        Alcotest.test_case "crash loses unsynced" `Quick
+          test_crash_loses_unsynced;
+        Alcotest.test_case "crash applies prefix" `Quick
+          test_crash_applies_prefix;
+        Alcotest.test_case "crash torn write" `Quick test_crash_torn_write;
+        Alcotest.test_case "crash then write again" `Quick
+          test_crash_then_write_again;
+        Alcotest.test_case "stable size lags" `Quick test_stable_size_lags;
+        Alcotest.test_case "latency charged" `Quick test_latency_charged;
+        Alcotest.test_case "load replaces" `Quick test_load_replaces;
+        QCheck_alcotest.to_alcotest prop_sync_then_crash_is_identity;
+      ] );
+    ( "storage.store",
+      [
+        Alcotest.test_case "named devices" `Quick test_store_named_devices;
+        Alcotest.test_case "crash all" `Quick test_store_crash_all;
+      ] );
+  ]

@@ -1,0 +1,243 @@
+(* Tests for the lbc.util substrate: CRC-32, codecs, RNG, stats, pqueue. *)
+
+open Lbc_util
+
+let check_int32 = Alcotest.(check int32)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Crc32 *)
+
+let test_crc_known_vector () =
+  (* The standard CRC-32 check value. *)
+  check_int32 "crc(123456789)" 0xCBF43926l (Crc32.string "123456789")
+
+let test_crc_empty () = check_int32 "crc(empty)" 0l (Crc32.string "")
+
+let test_crc_incremental () =
+  let s = "the quick brown fox jumps over the lazy dog" in
+  let direct = Crc32.string s in
+  let a = String.sub s 0 10 and b = String.sub s 10 (String.length s - 10) in
+  let crc = Crc32.update_string (Crc32.update_string Crc32.empty a) b in
+  check_int32 "incremental = one-shot" direct (Crc32.finish crc)
+
+let test_crc_bounds () =
+  let b = Bytes.create 4 in
+  Alcotest.check_raises "out of bounds" (Invalid_argument "Crc32.update")
+    (fun () -> ignore (Crc32.update Crc32.empty b ~pos:2 ~len:3))
+
+let prop_crc_detects_flip =
+  QCheck.Test.make ~name:"crc detects single-byte flip" ~count:200
+    QCheck.(pair (string_of_size Gen.(1 -- 64)) small_nat)
+    (fun (s, i) ->
+      QCheck.assume (String.length s > 0);
+      let i = i mod String.length s in
+      let b = Bytes.of_string s in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x5A));
+      Crc32.string s <> Crc32.bytes b ~pos:0 ~len:(Bytes.length b))
+
+(* ------------------------------------------------------------------ *)
+(* Codec *)
+
+let test_codec_roundtrip_fixed () =
+  let w = Codec.writer () in
+  Codec.u8 w 0xAB;
+  Codec.u16 w 0xBEEF;
+  Codec.u32 w 0xDEADBEEF;
+  Codec.u64 w 0x0123456789ABCDEFL;
+  Codec.int_as_u64 w max_int;
+  Codec.raw_string w "hello";
+  let r = Codec.reader (Codec.contents w) in
+  check_int "u8" 0xAB (Codec.get_u8 r);
+  check_int "u16" 0xBEEF (Codec.get_u16 r);
+  check_int "u32" 0xDEADBEEF (Codec.get_u32 r);
+  Alcotest.(check int64) "u64" 0x0123456789ABCDEFL (Codec.get_u64 r);
+  check_int "int_as_u64" max_int (Codec.get_int_as_u64 r);
+  Alcotest.(check string) "raw" "hello"
+    (Bytes.to_string (Codec.get_raw r ~len:5));
+  check_int "exhausted" 0 (Codec.remaining r)
+
+let test_codec_truncated () =
+  let r = Codec.reader (Bytes.of_string "\x01") in
+  ignore (Codec.get_u8 r);
+  Alcotest.check_raises "truncated u8" (Codec.Truncated "u8") (fun () ->
+      ignore (Codec.get_u8 r))
+
+let test_codec_patch () =
+  let w = Codec.writer () in
+  Codec.u8 w 0x11;
+  let at = Codec.length w in
+  Codec.u32 w 0;
+  Codec.u8 w 0x22;
+  Codec.patch_u32 w ~at 0xCAFEBABE;
+  let r = Codec.reader (Codec.contents w) in
+  check_int "before" 0x11 (Codec.get_u8 r);
+  check_int "patched" 0xCAFEBABE (Codec.get_u32 r);
+  check_int "after" 0x22 (Codec.get_u8 r)
+
+let prop_varint_roundtrip =
+  QCheck.Test.make ~name:"varint roundtrip" ~count:500
+    QCheck.(oneof [ small_nat; int_range 0 max_int ])
+    (fun n ->
+      let w = Codec.writer () in
+      Codec.varint w n;
+      let r = Codec.reader (Codec.contents w) in
+      Codec.get_varint r = n && Codec.remaining r = 0)
+
+let prop_u32_roundtrip =
+  QCheck.Test.make ~name:"u32 roundtrip" ~count:500
+    QCheck.(int_bound 0xFFFFFFF)
+    (fun n ->
+      let w = Codec.writer () in
+      Codec.u32 w n;
+      Codec.get_u32 (Codec.reader (Codec.contents w)) = n)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  (* After splitting, the two generators should not produce the same
+     stream. *)
+  let same = ref true in
+  for _ = 1 to 16 do
+    if Rng.int64 a <> Rng.int64 b then same := false
+  done;
+  Alcotest.(check bool) "streams diverge" false !same
+
+let prop_rng_int_in_bounds =
+  QCheck.Test.make ~name:"Rng.int within bounds" ~count:300
+    QCheck.(pair small_nat (int_range 1 10_000))
+    (fun (seed, bound) ->
+      let t = Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let v = Rng.int t bound in
+        if v < 0 || v >= bound then ok := false
+      done;
+      !ok)
+
+let test_rng_shuffle_permutes () =
+  let t = Rng.create 3 in
+  let a = Array.init 100 Fun.id in
+  Rng.shuffle t a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 100 Fun.id) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  check_int "count" 8 (Stats.count s);
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.mean s);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Stats.min s);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Stats.max s);
+  (* Sample variance of this classic data set is 32/7. *)
+  Alcotest.(check (float 1e-9)) "variance" (32.0 /. 7.0) (Stats.variance s)
+
+let test_stats_merge () =
+  let all = Stats.create () and a = Stats.create () and b = Stats.create () in
+  let data = List.init 37 (fun i -> float_of_int (i * i) /. 3.0) in
+  List.iteri
+    (fun i x ->
+      Stats.add all x;
+      Stats.add (if i mod 2 = 0 then a else b) x)
+    data;
+  let m = Stats.merge a b in
+  check_int "count" (Stats.count all) (Stats.count m);
+  Alcotest.(check (float 1e-6)) "mean" (Stats.mean all) (Stats.mean m);
+  Alcotest.(check (float 1e-6)) "variance" (Stats.variance all)
+    (Stats.variance m)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  Alcotest.(check (float 0.0)) "mean" 0.0 (Stats.mean s);
+  Alcotest.(check (float 0.0)) "variance" 0.0 (Stats.variance s)
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue *)
+
+let test_pqueue_ordering () =
+  let q = Pqueue.create ~compare:Int.compare in
+  List.iter (Pqueue.push q) [ 5; 1; 4; 1; 3; 9; 2 ];
+  let drained = List.init 7 (fun _ -> Pqueue.pop_exn q) in
+  Alcotest.(check (list int)) "sorted" [ 1; 1; 2; 3; 4; 5; 9 ] drained;
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty q)
+
+let test_pqueue_fifo_ties () =
+  (* Equal keys must come out in insertion order (determinism). *)
+  let q = Pqueue.create ~compare:(fun (a, _) (b, _) -> Int.compare a b) in
+  List.iter (Pqueue.push q) [ (1, "a"); (1, "b"); (0, "z"); (1, "c") ];
+  let tags = List.init 4 (fun _ -> snd (Pqueue.pop_exn q)) in
+  Alcotest.(check (list string)) "fifo ties" [ "z"; "a"; "b"; "c" ] tags
+
+let test_pqueue_to_list_nondestructive () =
+  let q = Pqueue.create ~compare:Int.compare in
+  List.iter (Pqueue.push q) [ 3; 1; 2 ];
+  Alcotest.(check (list int)) "to_list" [ 1; 2; 3 ] (Pqueue.to_list q);
+  check_int "length unchanged" 3 (Pqueue.length q);
+  Alcotest.(check (option int)) "peek" (Some 1) (Pqueue.peek q)
+
+let prop_pqueue_sorts =
+  QCheck.Test.make ~name:"pqueue drains sorted" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let q = Pqueue.create ~compare:Int.compare in
+      List.iter (Pqueue.push q) xs;
+      let rec drain acc =
+        match Pqueue.pop q with None -> List.rev acc | Some v -> drain (v :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ( "util.crc32",
+      [
+        Alcotest.test_case "known vector" `Quick test_crc_known_vector;
+        Alcotest.test_case "empty" `Quick test_crc_empty;
+        Alcotest.test_case "incremental" `Quick test_crc_incremental;
+        Alcotest.test_case "bounds" `Quick test_crc_bounds;
+        qtest prop_crc_detects_flip;
+      ] );
+    ( "util.codec",
+      [
+        Alcotest.test_case "roundtrip fixed" `Quick test_codec_roundtrip_fixed;
+        Alcotest.test_case "truncated" `Quick test_codec_truncated;
+        Alcotest.test_case "patch_u32" `Quick test_codec_patch;
+        qtest prop_varint_roundtrip;
+        qtest prop_u32_roundtrip;
+      ] );
+    ( "util.rng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+        Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+        qtest prop_rng_int_in_bounds;
+      ] );
+    ( "util.stats",
+      [
+        Alcotest.test_case "basic" `Quick test_stats_basic;
+        Alcotest.test_case "merge" `Quick test_stats_merge;
+        Alcotest.test_case "empty" `Quick test_stats_empty;
+      ] );
+    ( "util.pqueue",
+      [
+        Alcotest.test_case "ordering" `Quick test_pqueue_ordering;
+        Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties;
+        Alcotest.test_case "to_list nondestructive" `Quick
+          test_pqueue_to_list_nondestructive;
+        qtest prop_pqueue_sorts;
+      ] );
+  ]

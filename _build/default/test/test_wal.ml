@@ -1,0 +1,248 @@
+(* Tests for the write-ahead log: record codec, log device management,
+   crash/torn-tail behaviour. *)
+
+open Lbc_storage
+open Lbc_wal
+
+let txn_testable = Alcotest.testable Record.pp_txn Record.equal_txn
+
+let mk_txn ?(node = 1) ?(tid = 7) ?(locks = []) ranges =
+  {
+    Record.node;
+    tid;
+    locks;
+    ranges =
+      List.map
+        (fun (region, offset, s) ->
+          { Record.region; offset; data = Bytes.of_string s })
+        ranges;
+  }
+
+let lock lock_id seqno prev_write_seq = { Record.lock_id; seqno; prev_write_seq }
+
+(* ------------------------------------------------------------------ *)
+(* Record codec *)
+
+let test_record_roundtrip () =
+  let t =
+    mk_txn ~node:3 ~tid:42
+      ~locks:[ lock 5 10 8; lock 77 1 0 ]
+      [ (0, 100, "hello"); (1, 4096, "world!") ]
+  in
+  let b = Record.encode t in
+  match Record.decode b ~pos:0 with
+  | Record.Txn (t', next) ->
+      Alcotest.check txn_testable "roundtrip" t t';
+      Alcotest.(check int) "consumed all" (Bytes.length b) next
+  | _ -> Alcotest.fail "decode failed"
+
+let test_record_empty () =
+  let t = mk_txn ~node:0 ~tid:0 [] in
+  match Record.decode (Record.encode t) ~pos:0 with
+  | Record.Txn (t', _) -> Alcotest.check txn_testable "empty txn" t t'
+  | _ -> Alcotest.fail "decode failed"
+
+let test_record_encoded_size () =
+  let t =
+    mk_txn ~locks:[ lock 1 2 0 ] [ (0, 0, "abcdefgh"); (0, 64, "Z") ]
+  in
+  Alcotest.(check int) "size matches (default header)"
+    (Bytes.length (Record.encode t))
+    (Record.encoded_size t);
+  Alcotest.(check int) "size matches (compact header)"
+    (Bytes.length (Record.encode ~range_header_size:20 t))
+    (Record.encoded_size ~range_header_size:20 t)
+
+let test_record_header_padding () =
+  let t = mk_txn [ (0, 0, "x") ] in
+  let fat = Record.encoded_size t in
+  let slim = Record.encoded_size ~range_header_size:Record.min_header_size t in
+  Alcotest.(check int) "104-byte RVM headers cost 84 bytes more per range"
+    (Record.rvm_disk_header_size - Record.min_header_size)
+    (fat - slim)
+
+let test_record_decode_zeros_is_end () =
+  match Record.decode (Bytes.make 64 '\000') ~pos:0 with
+  | Record.End -> ()
+  | _ -> Alcotest.fail "expected End"
+
+let test_record_decode_corrupt_is_torn () =
+  let t = mk_txn [ (0, 0, "payload") ] in
+  let b = Record.encode t in
+  (* Flip a payload byte: CRC must catch it. *)
+  let i = Bytes.length b - 6 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+  (match Record.decode b ~pos:0 with
+  | Record.Torn _ -> ()
+  | _ -> Alcotest.fail "expected Torn (bad crc)");
+  (* Truncate: also torn. *)
+  let b = Record.encode t in
+  let cut = Bytes.sub b 0 (Bytes.length b - 3) in
+  match Record.decode cut ~pos:0 with
+  | Record.Torn _ -> ()
+  | _ -> Alcotest.fail "expected Torn (truncated)"
+
+let test_record_garbage_is_torn () =
+  match Record.decode (Bytes.of_string "garbage-not-a-record") ~pos:0 with
+  | Record.Torn _ -> ()
+  | _ -> Alcotest.fail "expected Torn"
+
+let gen_txn =
+  let open QCheck.Gen in
+  let gen_range =
+    triple (int_bound 3) (int_bound 100_000) (string_size ~gen:printable (1 -- 32))
+  in
+  let gen_lock =
+    map
+      (fun (a, b, c) -> lock a (b + 1) c)
+      (triple (int_bound 500) (int_bound 1000) (int_bound 1000))
+  in
+  map
+    (fun (node, tid, locks, ranges) ->
+      mk_txn ~node ~tid ~locks ranges)
+    (quad (int_bound 100) (int_bound 10_000) (list_size (0 -- 5) gen_lock)
+       (list_size (0 -- 8) gen_range))
+
+let prop_record_roundtrip =
+  QCheck.Test.make ~name:"record roundtrip (random)" ~count:300
+    (QCheck.make gen_txn) (fun t ->
+      match Record.decode (Record.encode t) ~pos:0 with
+      | Record.Txn (t', next) ->
+          Record.equal_txn t t' && next = Bytes.length (Record.encode t)
+      | _ -> false)
+
+let prop_records_concatenate =
+  QCheck.Test.make ~name:"back-to-back records decode in sequence" ~count:100
+    (QCheck.make (QCheck.Gen.list_size QCheck.Gen.(1 -- 5) gen_txn))
+    (fun txns ->
+      let blob =
+        Bytes.concat Bytes.empty (List.map (fun t -> Record.encode t) txns)
+      in
+      let rec loop pos acc =
+        match Record.decode blob ~pos with
+        | Record.Txn (t, next) -> loop next (t :: acc)
+        | Record.End -> List.rev acc
+        | Record.Torn _ -> []
+      in
+      let decoded = loop 0 [] in
+      List.length decoded = List.length txns
+      && List.for_all2 Record.equal_txn txns decoded)
+
+(* ------------------------------------------------------------------ *)
+(* Log *)
+
+let test_log_fresh_attach () =
+  let d = Dev.create () in
+  let log = Log.attach d in
+  Alcotest.(check int) "head" Log.header_size (Log.head log);
+  Alcotest.(check int) "tail" Log.header_size (Log.tail log);
+  Alcotest.(check int) "live" 0 (Log.live_bytes log)
+
+let test_log_append_read () =
+  let d = Dev.create () in
+  let log = Log.attach d in
+  let t1 = mk_txn ~tid:1 [ (0, 0, "one") ] in
+  let t2 = mk_txn ~tid:2 ~locks:[ lock 3 1 0 ] [ (0, 8, "two") ] in
+  ignore (Log.append log t1);
+  ignore (Log.append log t2);
+  let txns, status = Log.read_all log in
+  Alcotest.(check (list txn_testable)) "both records" [ t1; t2 ] txns;
+  Alcotest.(check bool) "clean" true (status = Log.Clean);
+  Alcotest.(check int) "count" 2 (Log.record_count log)
+
+let test_log_force_survives_crash () =
+  let d = Dev.create () in
+  let log = Log.attach d in
+  ignore (Log.append log (mk_txn ~tid:1 [ (0, 0, "durable") ]));
+  Log.force log;
+  ignore (Log.append log (mk_txn ~tid:2 [ (0, 0, "volatile") ]));
+  Dev.crash d;
+  let log' = Log.attach d in
+  let txns, status = Log.read_all log' in
+  Alcotest.(check int) "only forced record" 1 (List.length txns);
+  Alcotest.(check bool) "clean" true (status = Log.Clean);
+  Alcotest.(check int) "tid" 1 (List.hd txns).Record.tid
+
+let test_log_torn_tail_ignored () =
+  let d = Dev.create () in
+  let log = Log.attach d in
+  ignore (Log.append log (mk_txn ~tid:1 [ (0, 0, "good") ]));
+  Log.force log;
+  ignore (Log.append log (mk_txn ~tid:2 [ (0, 0, "half-written") ]));
+  (* Crash with the second record torn mid-way. *)
+  Dev.crash ~tear_bytes:30 d;
+  let log' = Log.attach d in
+  let txns, _ = Log.read_all log' in
+  Alcotest.(check int) "torn tail dropped" 1 (List.length txns);
+  (* Appending after the torn tail overwrites it cleanly. *)
+  ignore (Log.append log' (mk_txn ~tid:3 [ (0, 0, "after") ]));
+  Log.force log';
+  let log'' = Log.attach d in
+  let txns, status = Log.read_all log'' in
+  Alcotest.(check (list int)) "records after repair" [ 1; 3 ]
+    (List.map (fun t -> t.Record.tid) txns);
+  Alcotest.(check bool) "clean" true (status = Log.Clean)
+
+let test_log_trim () =
+  let d = Dev.create () in
+  let log = Log.attach d in
+  let off1 = Log.append log (mk_txn ~tid:1 [ (0, 0, "aa") ]) in
+  let off2 = Log.append log (mk_txn ~tid:2 [ (0, 0, "bb") ]) in
+  Log.force log;
+  Alcotest.(check int) "first at header" Log.header_size off1;
+  Log.set_head log off2;
+  let txns, _ = Log.read_all log in
+  Alcotest.(check (list int)) "only second lives" [ 2 ]
+    (List.map (fun t -> t.Record.tid) txns);
+  (* Trim point survives reattach. *)
+  let log' = Log.attach d in
+  Alcotest.(check int) "head persisted" off2 (Log.head log');
+  Alcotest.(check int) "count" 1 (Log.record_count log')
+
+let test_log_bad_device () =
+  let d = Dev.create () in
+  Dev.write_string d ~off:0 "this is definitely not a log header";
+  Alcotest.(check bool) "raises Bad_log" true
+    (try
+       ignore (Log.attach d);
+       false
+     with Log.Bad_log _ -> true)
+
+let test_log_fold_offsets () =
+  let d = Dev.create () in
+  let log = Log.attach d in
+  let offs =
+    List.map
+      (fun tid -> Log.append log (mk_txn ~tid [ (0, 0, "r") ]))
+      [ 1; 2; 3 ]
+  in
+  let seen, _ = Log.fold log ~init:[] (fun acc off _ -> off :: acc) in
+  Alcotest.(check (list int)) "offsets" offs (List.rev seen)
+
+let suites =
+  [
+    ( "wal.record",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_record_roundtrip;
+        Alcotest.test_case "empty txn" `Quick test_record_empty;
+        Alcotest.test_case "encoded_size" `Quick test_record_encoded_size;
+        Alcotest.test_case "header padding" `Quick test_record_header_padding;
+        Alcotest.test_case "zeros = End" `Quick test_record_decode_zeros_is_end;
+        Alcotest.test_case "corrupt = Torn" `Quick
+          test_record_decode_corrupt_is_torn;
+        Alcotest.test_case "garbage = Torn" `Quick test_record_garbage_is_torn;
+        QCheck_alcotest.to_alcotest prop_record_roundtrip;
+        QCheck_alcotest.to_alcotest prop_records_concatenate;
+      ] );
+    ( "wal.log",
+      [
+        Alcotest.test_case "fresh attach" `Quick test_log_fresh_attach;
+        Alcotest.test_case "append/read" `Quick test_log_append_read;
+        Alcotest.test_case "force survives crash" `Quick
+          test_log_force_survives_crash;
+        Alcotest.test_case "torn tail ignored" `Quick test_log_torn_tail_ignored;
+        Alcotest.test_case "trim" `Quick test_log_trim;
+        Alcotest.test_case "bad device" `Quick test_log_bad_device;
+        Alcotest.test_case "fold offsets" `Quick test_log_fold_offsets;
+      ] );
+  ]
