@@ -1,0 +1,296 @@
+(* Repo-specific source lint.  Three rules, all lexical over comment- and
+   string-stripped source text:
+
+   - poly-compare: a bare (or Stdlib-qualified) [compare] applied as a
+     function.  Polymorphic compare on wire/record types silently orders
+     by field declaration order and breaks when a field becomes abstract
+     or mutable; the repo's record types must use explicit comparators.
+   - catch-all-handler: [try ... with _ ->] in recovery-path code
+     (rvm/wal/core/storage/locks).  Recovery must distinguish a torn
+     record from a programming error; a wildcard handler converts
+     corruption into silent data loss.
+   - obj-magic: any use of [Obj.magic].
+
+   The scanner blanks comments, string literals and character literals
+   (preserving newlines and byte positions), so mentions of [compare] in
+   docs or in this very file's rule table do not trip the lint. *)
+
+let rules = [ "poly-compare"; "catch-all-handler"; "obj-magic" ]
+
+(* Directories whose files are considered recovery paths for the
+   catch-all-handler rule. *)
+let recovery_dirs = [ "rvm"; "wal"; "core"; "storage"; "locks"; "analysis" ]
+
+let in_recovery_path file =
+  let parts = String.split_on_char '/' file in
+  List.exists (fun p -> List.mem p recovery_dirs) parts
+
+(* --------------------------------------------------------------- *)
+(* Comment / string stripping *)
+
+let effective src =
+  let n = String.length src in
+  let out = Bytes.of_string src in
+  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  let i = ref 0 in
+  let depth = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if !depth > 0 then begin
+      (* Inside a (possibly nested) comment. *)
+      if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+        blank !i;
+        blank (!i + 1);
+        incr depth;
+        i := !i + 2
+      end
+      else if c = '*' && !i + 1 < n && src.[!i + 1] = ')' then begin
+        blank !i;
+        blank (!i + 1);
+        decr depth;
+        i := !i + 2
+      end
+      else begin
+        blank !i;
+        incr i
+      end
+    end
+    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      blank !i;
+      blank (!i + 1);
+      incr depth;
+      i := !i + 2
+    end
+    else if c = '"' then begin
+      blank !i;
+      incr i;
+      let fin = ref false in
+      while (not !fin) && !i < n do
+        (match src.[!i] with
+        | '\\' when !i + 1 < n ->
+            blank !i;
+            blank (!i + 1);
+            incr i
+        | '"' -> fin := true
+        | _ -> blank !i);
+        incr i
+      done
+    end
+    else if
+      (* Character literal: 'x' or '\x..'; leave type variables ('a)
+         alone by requiring the closing quote. *)
+      c = '\''
+      && ((!i + 2 < n && src.[!i + 2] = '\'' && src.[!i + 1] <> '\\')
+         || (!i + 3 < n && src.[!i + 1] = '\\' && src.[!i + 3] = '\''))
+    then begin
+      let len = if src.[!i + 1] = '\\' then 4 else 3 in
+      for j = !i to !i + len - 1 do
+        blank j
+      done;
+      i := !i + len
+    end
+    else incr i
+  done;
+  Bytes.to_string out
+
+let line_of src pos =
+  let line = ref 1 in
+  for i = 0 to min pos (String.length src - 1) - 1 do
+    if src.[i] = '\n' then incr line
+  done;
+  !line
+
+let is_ident c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+(* All positions where [word] occurs as a whole token. *)
+let token_positions text word =
+  let wl = String.length word and n = String.length text in
+  let rec loop from acc =
+    if from + wl > n then List.rev acc
+    else
+      match String.index_from_opt text from word.[0] with
+      | None -> List.rev acc
+      | Some p when p + wl > n -> List.rev acc
+      | Some p ->
+          let matches =
+            String.sub text p wl = word
+            && (p = 0 || not (is_ident text.[p - 1]))
+            && (p + wl = n || not (is_ident text.[p + wl]))
+          in
+          loop (p + 1) (if matches then p :: acc else acc)
+  in
+  loop 0 []
+
+let prev_nonspace text pos =
+  let rec loop i =
+    if i < 0 then None
+    else
+      match text.[i] with ' ' | '\t' | '\n' -> loop (i - 1) | c -> Some (i, c)
+  in
+  loop (pos - 1)
+
+let next_nonspace text pos =
+  let n = String.length text in
+  let rec loop i =
+    if i >= n then None
+    else
+      match text.[i] with ' ' | '\t' | '\n' -> loop (i + 1) | c -> Some (i, c)
+  in
+  loop pos
+
+let word_ending_at text pos =
+  (* The identifier whose last char is at [pos]. *)
+  let rec start i = if i >= 0 && is_ident text.[i] then start (i - 1) else i in
+  let s = start pos in
+  String.sub text (s + 1) (pos - s)
+
+(* --------------------------------------------------------------- *)
+(* Rules *)
+
+let check_poly_compare ~file text =
+  List.filter_map
+    (fun p ->
+      let flagged_qualifier =
+        match prev_nonspace text p with
+        | Some (i, '.') -> (
+            (* Qualified: only Stdlib/Pervasives count as polymorphic. *)
+            match word_ending_at text (i - 1) with
+            | "Stdlib" | "Pervasives" -> Some true
+            | _ -> Some false)
+        | Some (_, '~') -> Some false (* labelled argument *)
+        | Some (i, c) when is_ident c -> (
+            match word_ending_at text i with
+            | "let" | "and" | "val" | "external" | "method" ->
+                Some false (* a definition of compare, not a use *)
+            | _ -> None)
+        | _ -> None
+      in
+      let declaration_like =
+        match next_nonspace text (p + String.length "compare") with
+        | Some (_, (':' | ';' | '=' | '}')) ->
+            true (* type/field declaration or record pun *)
+        | _ -> false
+      in
+      match flagged_qualifier with
+      | Some false -> None
+      | Some true ->
+          Some
+            (Violation.Lint
+               {
+                 file;
+                 line = line_of text p;
+                 rule = "poly-compare";
+                 detail =
+                   "Stdlib.compare is polymorphic; use an explicit comparator";
+               })
+      | None ->
+          if declaration_like then None
+          else
+            Some
+              (Violation.Lint
+                 {
+                   file;
+                   line = line_of text p;
+                   rule = "poly-compare";
+                   detail =
+                     "bare polymorphic compare; use Int.compare / \
+                      String.compare or a per-type comparator";
+                 }))
+    (token_positions text "compare")
+
+let check_catch_all ~file text =
+  if not (in_recovery_path file) then []
+  else
+    List.filter_map
+      (fun p ->
+        (* with [|] _ -> *)
+        let after = p + String.length "with" in
+        let after =
+          match next_nonspace text after with
+          | Some (i, '|') -> i + 1
+          | _ -> after
+        in
+        let arrow_follows i =
+          match next_nonspace text (i + 1) with
+          | Some (j, '-') -> j + 1 < String.length text && text.[j + 1] = '>'
+          | _ -> false
+        in
+        match next_nonspace text after with
+        | Some (i, '_')
+          when (i + 1 >= String.length text || not (is_ident text.[i + 1]))
+               && arrow_follows i ->
+            Some
+              (Violation.Lint
+                 {
+                   file;
+                   line = line_of text p;
+                   rule = "catch-all-handler";
+                   detail =
+                     "catch-all exception handler in a recovery path; match \
+                      the expected exceptions explicitly";
+                 })
+        | _ -> None)
+      (token_positions text "with")
+
+let check_obj_magic ~file text =
+  List.filter_map
+    (fun p ->
+      match next_nonspace text (p + String.length "Obj") with
+      | Some (i, '.') -> (
+          match next_nonspace text (i + 1) with
+          | Some (j, 'm')
+            when j + 5 <= String.length text
+                 && String.sub text j 5 = "magic"
+                 && (j + 5 = String.length text
+                    || not (is_ident text.[j + 5])) ->
+              Some
+                (Violation.Lint
+                   {
+                     file;
+                     line = line_of text p;
+                     rule = "obj-magic";
+                     detail = "Obj.magic defeats the type system";
+                   })
+          | _ -> None)
+      | _ -> None)
+    (token_positions text "Obj")
+
+(* --------------------------------------------------------------- *)
+(* Entry points *)
+
+let scan_source ~file src =
+  let text = effective src in
+  List.concat
+    [
+      check_poly_compare ~file text;
+      check_catch_all ~file text;
+      check_obj_magic ~file text;
+    ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let b = really_input_string ic len in
+  close_in ic;
+  b
+
+let scan_file path = scan_source ~file:path (read_file path)
+
+let lintable path =
+  Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+
+let rec scan_path path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.concat_map (fun entry ->
+           if entry = "_build" || String.length entry = 0 || entry.[0] = '.'
+           then []
+           else scan_path (Filename.concat path entry))
+  else if lintable path then scan_file path
+  else []
+
+let scan_paths paths = List.concat_map scan_path paths

@@ -1,0 +1,184 @@
+(* Vector-clock happens-before race detector over committed transaction
+   streams.
+
+   Events are committed transactions; stream i is node i's redo log in
+   commit order.  Happens-before is the transitive closure of two edge
+   families:
+
+   - program order: consecutive records of one stream;
+   - lock order: for each lock, records carrying that lock, in seqno
+     order (the token hands the lock from seqno s to the next observed
+     seqno on that lock).
+
+   Two transactions that write overlapping (region, offset, len) ranges
+   and are concurrent under this relation form exactly the race class the
+   paper's interlock is supposed to exclude: nothing forces one node to
+   have applied the other's update before writing over it. *)
+
+module R = Lbc_wal.Record
+
+type event = { stream : int; pos : int; txn : R.txn }
+
+(* Happens-before via vector clocks: clock.(s) = number of events of
+   stream s known to precede (or be) this event.  [a] happens before [b]
+   iff b's clock has seen a's position in a's own stream. *)
+let precedes clocks a b = clocks.(b).(a.stream) >= a.pos + 1
+
+let build_events streams =
+  let events = ref [] and n = ref 0 in
+  List.iteri
+    (fun si stream ->
+      List.iteri
+        (fun pos txn ->
+          events := { stream = si; pos; txn } :: !events;
+          incr n)
+        stream)
+    streams;
+  Array.of_list (List.rev !events)
+
+(* Successor edges for every lock: sort that lock's events by seqno and
+   link neighbours.  Returns an adjacency list (edges i -> j). *)
+let lock_edges events =
+  let by_lock : (int, (int * int) list) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun idx ev ->
+      List.iter
+        (fun l ->
+          let lock = l.R.lock_id in
+          let prev = Option.value ~default:[] (Hashtbl.find_opt by_lock lock) in
+          Hashtbl.replace by_lock lock ((l.R.seqno, idx) :: prev))
+        ev.txn.R.locks)
+    events;
+  let edges = ref [] in
+  Hashtbl.iter
+    (fun _lock entries ->
+      let sorted =
+        List.sort (fun (s1, _) (s2, _) -> Int.compare s1 s2) entries
+      in
+      let rec link = function
+        | (_, a) :: ((_, b) :: _ as rest) ->
+            if a <> b then edges := (a, b) :: !edges;
+            link rest
+        | _ -> ()
+      in
+      link sorted)
+    by_lock;
+  !edges
+
+(* Kahn topological order over program-order + lock edges, computing the
+   vector clocks as we go.  Returns Error on a cycle (the streams admit no
+   serial order at all). *)
+let vector_clocks streams events =
+  let n = Array.length events in
+  let n_streams = List.length streams in
+  let adj = Array.make n [] and indeg = Array.make n 0 in
+  let add_edge a b =
+    adj.(a) <- b :: adj.(a);
+    indeg.(b) <- indeg.(b) + 1
+  in
+  (* Program order: events were built stream-major, so consecutive
+     positions of a stream are adjacent indices. *)
+  Array.iteri
+    (fun idx ev ->
+      if idx + 1 < n && events.(idx + 1).stream = ev.stream then
+        add_edge idx (idx + 1))
+    events;
+  List.iter (fun (a, b) -> add_edge a b) (lock_edges events);
+  let clocks = Array.init n (fun _ -> Array.make n_streams 0) in
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.take queue in
+    incr seen;
+    let ev = events.(i) in
+    clocks.(i).(ev.stream) <- max clocks.(i).(ev.stream) (ev.pos + 1);
+    List.iter
+      (fun j ->
+        Array.iteri
+          (fun s v -> if v > clocks.(j).(s) then clocks.(j).(s) <- v)
+          clocks.(i);
+        indeg.(j) <- indeg.(j) - 1;
+        if indeg.(j) = 0 then Queue.add j queue)
+      adj.(i)
+  done;
+  if !seen < n then
+    Error
+      (Violation.Order_cycle
+         {
+           detail =
+             Printf.sprintf
+               "lock seqno edges and commit order form a cycle (%d of %d \
+                events unreachable)"
+               (n - !seen) n;
+         })
+  else Ok clocks
+
+type write = { region : int; offset : int; len : int; owner : int }
+
+let overlapping_writes events =
+  let writes = ref [] in
+  Array.iteri
+    (fun idx ev ->
+      List.iter
+        (fun r ->
+          let len = Bytes.length r.R.data in
+          if len > 0 then
+            writes :=
+              { region = r.R.region; offset = r.R.offset; len; owner = idx }
+              :: !writes)
+        ev.txn.R.ranges)
+    events;
+  let sorted =
+    List.sort
+      (fun a b ->
+        let c = Int.compare a.region b.region in
+        if c <> 0 then c else Int.compare a.offset b.offset)
+      !writes
+  in
+  (* Sweep in address order, keeping the active set of ranges whose end
+     extends past the current offset. *)
+  let pairs = ref [] in
+  let active = ref [] in
+  List.iter
+    (fun w ->
+      active :=
+        List.filter
+          (fun a -> a.region = w.region && a.offset + a.len > w.offset)
+          !active;
+      List.iter
+        (fun a -> if a.owner <> w.owner then pairs := (a, w) :: !pairs)
+        !active;
+      active := w :: !active)
+    sorted;
+  !pairs
+
+let check streams =
+  let events = build_events streams in
+  match vector_clocks streams events with
+  | Error v -> [ v ]
+  | Ok clocks ->
+      let reported = Hashtbl.create 16 in
+      List.filter_map
+        (fun (a, b) ->
+          let ea = events.(a.owner) and eb = events.(b.owner) in
+          let key = (min a.owner b.owner, max a.owner b.owner) in
+          if
+            ea.stream = eb.stream
+            || precedes clocks ea b.owner
+            || precedes clocks eb a.owner
+            || Hashtbl.mem reported key
+          then None
+          else begin
+            Hashtbl.add reported key ();
+            Some
+              (Violation.Unlocked_race
+                 {
+                   region = a.region;
+                   a = Violation.txn_id_of ea.txn;
+                   a_range = (a.offset, a.len);
+                   b = Violation.txn_id_of eb.txn;
+                   b_range = (b.offset, b.len);
+                 })
+          end)
+        (overlapping_writes events)

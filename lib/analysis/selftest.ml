@@ -1,0 +1,329 @@
+(* End-to-end self-test for the checker itself.
+
+   Positive half: run chaos-style simulated workloads (the same shape as
+   test/test_chaos.ml) under several configurations and require that the
+   verifier accepts every per-node redo log it produces.
+
+   Negative half ("mutation check"): seed one corruption per invariant
+   into otherwise-valid streams and require that the verifier reports a
+   violation with the right name:
+
+   - seqno swap        -> seqno-monotonicity
+   - seqno gap         -> seqno-gap (a write drops out of the chain)
+   - unlocked write    -> unlocked-race
+   - codec truncation  -> codec-decode
+
+   Plus a lint self-check on a synthetic source fragment. *)
+
+module R = Lbc_wal.Record
+open Lbc_core
+
+type result = { check : string; ok : bool; detail : string }
+
+let all_ok results = List.for_all (fun r -> r.ok) results
+
+(* --------------------------------------------------------------- *)
+(* Workload (mirrors test/test_chaos.ml, scaled down) *)
+
+let regions = 2
+let locks_per_region = 2
+let region_size = 2048
+let lock_region l = l / locks_per_region
+
+let lock_offset rng l =
+  let part = l mod locks_per_region in
+  let span = region_size / locks_per_region in
+  (part * span) + (8 * Lbc_util.Rng.int rng (span / 8))
+
+let build_sim_logs ?(checkpoints = false) ~config ~nodes ~seed ~iterations ()
+    =
+  let c = Cluster.create ~config ~nodes () in
+  for r = 0 to regions - 1 do
+    Cluster.add_region c ~id:r ~size:region_size;
+    Cluster.map_region_all c ~region:r
+  done;
+  let rng = Lbc_util.Rng.create seed in
+  for n = 0 to nodes - 1 do
+    let rng = Lbc_util.Rng.split rng in
+    Cluster.spawn c ~node:n (fun node ->
+        for _ = 1 to iterations do
+          let txn = Node.Txn.begin_ node in
+          let l1 = Lbc_util.Rng.int rng (regions * locks_per_region) in
+          let l2 = Lbc_util.Rng.int rng (regions * locks_per_region) in
+          let ls = List.sort_uniq Int.compare [ l1; l2 ] in
+          List.iter (fun l -> Node.Txn.acquire txn l) ls;
+          List.iter
+            (fun l ->
+              if Lbc_util.Rng.int rng 4 > 0 then
+                Node.Txn.set_u64 txn ~region:(lock_region l)
+                  ~offset:(lock_offset rng l)
+                  (Lbc_util.Rng.int64 rng))
+            ls;
+          if Lbc_util.Rng.int rng 10 = 0 then Node.Txn.abort txn
+          else Node.Txn.commit txn;
+          Lbc_sim.Proc.sleep (Lbc_util.Rng.float rng 30.0)
+        done)
+  done;
+  if checkpoints then begin
+    Cluster.run ~until:300.0 c;
+    ignore (Cluster.online_checkpoint c)
+  end;
+  Cluster.run c;
+  List.init nodes (fun n -> Lbc_rvm.Rvm.log (Node.rvm (Cluster.node c n)))
+
+let build_sim_streams ?checkpoints ~config ~nodes ~seed ~iterations () =
+  List.map Invariants.stream_of_log
+    (build_sim_logs ?checkpoints ~config ~nodes ~seed ~iterations ())
+
+(* --------------------------------------------------------------- *)
+(* Corruption seeding *)
+
+(* Replace the [i]-th record of stream [si]. *)
+let patch streams si i f =
+  List.mapi
+    (fun s stream ->
+      if s <> si then stream
+      else List.mapi (fun j txn -> if j = i then f txn else txn) stream)
+    streams
+
+let set_seqno lock seqno (txn : R.txn) =
+  {
+    txn with
+    R.locks =
+      List.map
+        (fun l -> if l.R.lock_id = lock then { l with R.seqno } else l)
+        txn.R.locks;
+  }
+
+(* Two records of the same stream holding the same lock, to swap. *)
+let find_swap_target streams =
+  let found = ref None in
+  List.iteri
+    (fun si stream ->
+      List.iteri
+        (fun i (txn : R.txn) ->
+          List.iter
+            (fun l ->
+              List.iteri
+                (fun j (txn2 : R.txn) ->
+                  if j > i && !found = None then
+                    List.iter
+                      (fun l2 ->
+                        if l2.R.lock_id = l.R.lock_id && !found = None then
+                          found :=
+                            Some (si, i, j, l.R.lock_id, l.R.seqno, l2.R.seqno))
+                      txn2.R.locks)
+                stream)
+            txn.R.locks)
+        stream)
+    streams;
+  !found
+
+let corrupt_seqno_swap streams =
+  match find_swap_target streams with
+  | None -> None
+  | Some (si, i, j, lock, s1, s2) ->
+      Some
+        (patch
+           (patch streams si i (set_seqno lock s2))
+           si j (set_seqno lock s1))
+
+(* A writing record, not the first of its lock's chain, whose seqno a
+   later record names as prev_write_seq: dropping it leaves a hole the
+   chain check must flag as seqno-gap. *)
+let find_drop_target streams =
+  let all = List.concat streams in
+  let referenced lock seqno =
+    List.exists
+      (fun (t : R.txn) ->
+        List.exists
+          (fun l -> l.R.lock_id = lock && l.R.prev_write_seq = seqno)
+          t.R.locks)
+      all
+  in
+  let has_earlier lock seqno =
+    List.exists
+      (fun (t : R.txn) ->
+        List.exists
+          (fun l -> l.R.lock_id = lock && l.R.seqno < seqno)
+          t.R.locks)
+      all
+  in
+  let found = ref None in
+  List.iteri
+    (fun si stream ->
+      List.iteri
+        (fun i (txn : R.txn) ->
+          if !found = None && txn.R.ranges <> [] then
+            List.iter
+              (fun l ->
+                if
+                  !found = None
+                  && referenced l.R.lock_id l.R.seqno
+                  && has_earlier l.R.lock_id l.R.seqno
+                then found := Some (si, i))
+              txn.R.locks)
+        stream)
+    streams;
+  !found
+
+let corrupt_seqno_gap streams =
+  match find_drop_target streams with
+  | None -> None
+  | Some (si, i) ->
+      Some
+        (List.mapi
+           (fun s stream ->
+             if s <> si then stream
+             else List.filteri (fun j _ -> j <> i) stream)
+           streams)
+
+(* Append a fresh stream holding one lock-less transaction that rewrites
+   bytes some properly-locked transaction also wrote. *)
+let corrupt_unlocked_write streams =
+  let target =
+    List.find_opt
+      (fun (t : R.txn) -> t.R.ranges <> [])
+      (List.concat streams)
+  in
+  match target with
+  | None -> None
+  | Some t ->
+      let r = List.hd t.R.ranges in
+      let rogue =
+        {
+          R.node = List.length streams;
+          tid = 999_999;
+          locks = [];
+          ranges = [ r ];
+        }
+      in
+      Some (streams @ [ [ rogue ] ])
+
+let corrupt_codec_truncation streams =
+  let target =
+    List.find_opt
+      (fun (t : R.txn) -> t.R.ranges <> [])
+      (List.concat streams)
+  in
+  match target with
+  | None -> None
+  | Some t ->
+      let payload = Wire.encode t in
+      Some (Bytes.sub payload 0 (Bytes.length payload - 5))
+
+(* --------------------------------------------------------------- *)
+(* The self-test proper *)
+
+let names violations =
+  List.sort_uniq String.compare (List.map Violation.name violations)
+
+let expect_clean check streams =
+  match Invariants.check_streams streams with
+  | [] -> { check; ok = true; detail = "no violations" }
+  | vs ->
+      {
+        check;
+        ok = false;
+        detail =
+          Printf.sprintf "%d unexpected violations: %s" (List.length vs)
+            (String.concat "; " (List.map Violation.to_string vs));
+      }
+
+let expect_violation check name violations =
+  if List.mem name (names violations) then
+    {
+      check;
+      ok = true;
+      detail = Printf.sprintf "flagged as expected (%s)" name;
+    }
+  else
+    {
+      check;
+      ok = false;
+      detail =
+        Printf.sprintf "expected a %s violation, got [%s]" name
+          (String.concat "; " (names violations));
+    }
+
+let missing check what = { check; ok = false; detail = "no target: " ^ what }
+
+let lint_fixture =
+  String.concat "\n"
+    [
+      "let sorted xs = List.sort compare xs";
+      "let f () = try g () with _ -> 0";
+      "let cast (x : int) : float = Obj.magic x";
+    ]
+
+let run () =
+  let streams =
+    build_sim_streams ~config:Config.default ~nodes:4 ~seed:101 ~iterations:20
+      ()
+  in
+  let clean_cases =
+    [
+      ("clean: eager", streams);
+      ( "clean: multicast",
+        build_sim_streams
+          ~config:{ Config.default with Config.multicast = true }
+          ~nodes:5 ~seed:303 ~iterations:15 () );
+      ( "clean: lazy propagation",
+        build_sim_streams
+          ~config:{ Config.default with Config.propagation = Config.Lazy }
+          ~nodes:3 ~seed:505 ~iterations:15 () );
+      ( "clean: online checkpoint (trimmed logs)",
+        build_sim_streams ~checkpoints:true ~config:Config.default ~nodes:3
+          ~seed:202 ~iterations:15 () );
+    ]
+  in
+  let clean = List.map (fun (n, s) -> expect_clean n s) clean_cases in
+  let swap =
+    match corrupt_seqno_swap streams with
+    | None -> missing "corrupt: seqno swap" "no lock used twice in one log"
+    | Some mutated ->
+        expect_violation "corrupt: seqno swap" "seqno-monotonicity"
+          (Invariants.check_streams mutated)
+  in
+  let gap =
+    match corrupt_seqno_gap streams with
+    | None -> missing "corrupt: seqno gap" "no referenced mid-chain write"
+    | Some mutated ->
+        expect_violation "corrupt: seqno gap" "seqno-gap"
+          (Invariants.check_streams mutated)
+  in
+  let race =
+    match corrupt_unlocked_write streams with
+    | None -> missing "corrupt: unlocked write" "no writing record"
+    | Some mutated ->
+        expect_violation "corrupt: unlocked overlapping write" "unlocked-race"
+          (Invariants.check_streams mutated)
+  in
+  let trunc =
+    match corrupt_codec_truncation streams with
+    | None -> missing "corrupt: codec truncation" "no writing record"
+    | Some payload ->
+        expect_violation "corrupt: codec truncation" "codec-decode"
+          (Invariants.check_wire_image payload)
+  in
+  let lint =
+    let vs = Lint.scan_source ~file:"lib/core/fixture.ml" lint_fixture in
+    let got = names vs in
+    if
+      List.mem "poly-compare" got
+      && List.mem "catch-all-handler" got
+      && List.mem "obj-magic" got
+    then
+      {
+        check = "lint: fixture";
+        ok = true;
+        detail = "all three rules fire on the fixture";
+      }
+    else
+      {
+        check = "lint: fixture";
+        ok = false;
+        detail = Printf.sprintf "rules fired: [%s]" (String.concat "; " got);
+      }
+  in
+  clean @ [ swap; gap; race; trunc; lint ]

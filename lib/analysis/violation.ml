@@ -1,0 +1,110 @@
+(* A violation is one broken invariant, tagged with the invariant's name so
+   callers (CLI, tests, selftest) can assert *which* check fired, not just
+   that something did. *)
+
+(* (node, tid) — enough to find a transaction in any log dump. *)
+type txn_id = { node : int; tid : int }
+
+let txn_id_of (t : Lbc_wal.Record.txn) =
+  { node = t.Lbc_wal.Record.node; tid = t.Lbc_wal.Record.tid }
+
+type kind =
+  | Seqno_regression of {
+      log : int;  (* index of the offending stream *)
+      lock : int;
+      seqno : int;
+      after : int;  (* the earlier, larger-or-equal seqno in the same log *)
+      txn : txn_id;
+    }
+      (* Within one node's log, seqnos for a lock must strictly increase:
+         the log is written in commit order and the token serializes
+         acquires. *)
+  | Seqno_duplicate of { lock : int; seqno : int; a : txn_id; b : txn_id }
+      (* A lock's sequence numbers are globally unique (one per acquire). *)
+  | Seqno_gap of { lock : int; missing : int; referenced_by : txn_id }
+      (* A record's prev_write_seq names a write that appears in no log:
+         the write chain has a hole. *)
+  | Chain_broken of {
+      lock : int;
+      seqno : int;
+      prev_write_seq : int;
+      expected : int;
+      txn : txn_id;
+    }
+      (* prev_write_seq must equal the seqno of the closest earlier
+         *writing* record on the lock (aborted and read-only acquires do
+         not advance the chain). *)
+  | Unlocked_race of {
+      region : int;
+      a : txn_id;
+      a_range : int * int;  (* offset, len *)
+      b : txn_id;
+      b_range : int * int;
+    }
+      (* Two transactions wrote overlapping bytes but are not ordered by
+         the happens-before relation induced by lock sequence numbers and
+         per-node commit order — the race class the interlock excludes. *)
+  | Codec_mismatch of { txn : txn_id; detail : string }
+      (* Wire.encode/Wire.decode is not the identity on this record. *)
+  | Codec_error of { detail : string }
+      (* A wire image failed to decode at all. *)
+  | Merge_unorderable of { detail : string }
+      (* Merge.merge_records could not serialize the streams. *)
+  | Merge_not_serial of { detail : string }
+      (* The merged log is not a legal serial order of its inputs. *)
+  | Order_cycle of { detail : string }
+      (* The happens-before graph has a cycle; no serial order exists. *)
+  | Lint of { file : string; line : int; rule : string; detail : string }
+
+type t = kind
+
+(* Stable short names, used by the CLI ("violated invariant: <name>") and
+   asserted by the mutation tests. *)
+let name = function
+  | Seqno_regression _ -> "seqno-monotonicity"
+  | Seqno_duplicate _ -> "seqno-uniqueness"
+  | Seqno_gap _ -> "seqno-gap"
+  | Chain_broken _ -> "write-chain"
+  | Unlocked_race _ -> "unlocked-race"
+  | Codec_mismatch _ -> "codec-roundtrip"
+  | Codec_error _ -> "codec-decode"
+  | Merge_unorderable _ -> "merge-unorderable"
+  | Merge_not_serial _ -> "merge-serial-order"
+  | Order_cycle _ -> "order-cycle"
+  | Lint { rule; _ } -> rule
+
+let pp_txn_id ppf { node; tid } = Format.fprintf ppf "n%d/t%d" node tid
+
+let pp ppf v =
+  match v with
+  | Seqno_regression { log; lock; seqno; after; txn } ->
+      Format.fprintf ppf
+        "[%s] log %d: lock %d seqno %d appears after seqno %d (txn %a)"
+        (name v) log lock seqno after pp_txn_id txn
+  | Seqno_duplicate { lock; seqno; a; b } ->
+      Format.fprintf ppf "[%s] lock %d seqno %d used by both %a and %a"
+        (name v) lock seqno pp_txn_id a pp_txn_id b
+  | Seqno_gap { lock; missing; referenced_by } ->
+      Format.fprintf ppf
+        "[%s] lock %d: write seqno %d referenced by %a appears in no log"
+        (name v) lock missing pp_txn_id referenced_by
+  | Chain_broken { lock; seqno; prev_write_seq; expected; txn } ->
+      Format.fprintf ppf
+        "[%s] lock %d seqno %d (txn %a): prev_write_seq=%d but last write \
+         was %d"
+        (name v) lock seqno pp_txn_id txn prev_write_seq expected
+  | Unlocked_race { region; a; a_range = ao, al; b; b_range = bo, bl } ->
+      Format.fprintf ppf
+        "[%s] region %d: %a writes [%d,%d) and %a writes [%d,%d) with no \
+         ordering lock"
+        (name v) region pp_txn_id a ao (ao + al) pp_txn_id b bo (bo + bl)
+  | Codec_mismatch { txn; detail } ->
+      Format.fprintf ppf "[%s] txn %a: %s" (name v) pp_txn_id txn detail
+  | Codec_error { detail } -> Format.fprintf ppf "[%s] %s" (name v) detail
+  | Merge_unorderable { detail } | Merge_not_serial { detail }
+  | Order_cycle { detail } ->
+      Format.fprintf ppf "[%s] %s" (name v) detail
+  | Lint { file; line; rule; detail } ->
+      Format.fprintf ppf "%s:%d: [%s] %s" file line rule detail
+
+let to_string v = Format.asprintf "%a" pp v

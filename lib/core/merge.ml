@@ -22,7 +22,7 @@ let merge_records logs =
       Imap.empty logs
   in
   let expected =
-    Imap.map (fun seqs -> ref (List.sort_uniq compare seqs)) all_seqs
+    Imap.map (fun seqs -> ref (List.sort_uniq Int.compare seqs)) all_seqs
   in
   let next_expected lock_id =
     match Imap.find_opt lock_id expected with
@@ -135,7 +135,7 @@ let merge_logs_prefix ?(checkpointed = fun _ -> 0) logs =
             acc items)
         Imap.empty contents
     in
-    Imap.map (fun seqs -> ref (List.sort_uniq compare seqs)) all
+    Imap.map (fun seqs -> ref (List.sort_uniq Int.compare seqs)) all
   in
   let next_expected lock_id =
     match Imap.find_opt lock_id expected with

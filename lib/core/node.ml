@@ -172,7 +172,7 @@ let retained_after t ~lock ~have =
   in
   Option.value ~default:[] (Hashtbl.find_opt t.retained lock)
   |> List.filter (fun r -> seq_for r > have)
-  |> List.sort (fun a b -> compare (seq_for a) (seq_for b))
+  |> List.sort (fun a b -> Int.compare (seq_for a) (seq_for b))
 
 (* --------------------------------------------------------------- *)
 (* Applying received records in lock-sequence order *)

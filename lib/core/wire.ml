@@ -7,8 +7,9 @@ let tag_abs_addr = 0x02 (* absolute address instead of delta *)
 let sort_ranges ranges =
   List.sort
     (fun a b ->
-      let c = compare a.Lbc_wal.Record.region b.Lbc_wal.Record.region in
-      if c <> 0 then c else compare a.Lbc_wal.Record.offset b.Lbc_wal.Record.offset)
+      let c = Int.compare a.Lbc_wal.Record.region b.Lbc_wal.Record.region in
+      if c <> 0 then c
+      else Int.compare a.Lbc_wal.Record.offset b.Lbc_wal.Record.offset)
     ranges
 
 let encode (t : Lbc_wal.Record.txn) =

@@ -21,7 +21,7 @@ let touch t ~read ~offset ~len =
   !faults
 
 let dirty_pages t =
-  Hashtbl.fold (fun p _ acc -> p :: acc) t.twins [] |> List.sort compare
+  Hashtbl.fold (fun p _ acc -> p :: acc) t.twins [] |> List.sort Int.compare
 
 let diff t ~read =
   let runs = ref [] in
@@ -50,7 +50,13 @@ let diff t ~read =
       done)
     (dirty_pages t);
   (* Ascending, merging runs that abut across page boundaries. *)
-  let sorted = List.sort compare (List.rev !runs) in
+  let sorted =
+    List.sort
+      (fun (o1, l1) (o2, l2) ->
+        let c = Int.compare o1 o2 in
+        if c <> 0 then c else Int.compare l1 l2)
+      (List.rev !runs)
+  in
   let rec merge = function
     | (o1, l1) :: (o2, l2) :: rest when o1 + l1 = o2 ->
         merge ((o1, l1 + l2) :: rest)

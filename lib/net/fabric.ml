@@ -49,7 +49,9 @@ let send t ~src ~dst msg =
 
 let broadcast t ~src ~dsts msg =
   check_node t "src" src;
-  let dsts = List.sort_uniq compare (List.filter (fun d -> d <> src) dsts) in
+  let dsts =
+    List.sort_uniq Int.compare (List.filter (fun d -> d <> src) dsts)
+  in
   List.iter (fun d -> check_node t "dst" d) dsts;
   let len = t.size msg in
   t.messages_sent.(src) <- t.messages_sent.(src) + 1;

@@ -111,7 +111,7 @@ let region t id =
 
 let regions t =
   Hashtbl.fold (fun _ r acc -> r :: acc) t.regions []
-  |> List.sort (fun a b -> compare (Region.id a) (Region.id b))
+  |> List.sort (fun a b -> Int.compare (Region.id a) (Region.id b))
 
 let begin_txn ?(restore = No_restore) t =
   let tid = t.next_tid in
@@ -191,7 +191,7 @@ let build_record txn =
   let ranges = ref [] and n = ref 0 and bytes = ref 0 in
   let region_ids =
     Hashtbl.fold (fun id _ acc -> id :: acc) txn.trees []
-    |> List.sort compare
+    |> List.sort Int.compare
   in
   List.iter
     (fun region_id ->

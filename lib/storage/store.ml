@@ -14,7 +14,7 @@ let find t name = Hashtbl.find_opt t.devs name
 
 let names t =
   Hashtbl.fold (fun name _ acc -> name :: acc) t.devs []
-  |> List.sort compare
+  |> List.sort String.compare
 
 let sync_all t = Hashtbl.iter (fun _ d -> Dev.sync d) t.devs
 let crash_all t = Hashtbl.iter (fun _ d -> Dev.crash d) t.devs

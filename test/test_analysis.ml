@@ -1,0 +1,403 @@
+(* Tests for lbc.analysis: the race detector, log invariant verifier and
+   source lint, over both model-generated histories (qcheck) and logs
+   produced by real simulated workloads. *)
+
+open Lbc_analysis
+module R = Lbc_wal.Record
+
+let names vs = List.sort_uniq String.compare (List.map Violation.name vs)
+
+let check_no_violations what vs =
+  Alcotest.(check (list string)) what [] (List.map Violation.to_string vs)
+
+(* ------------------------------------------------------------------ *)
+(* Model-level generator: a random valid multi-node history, built by
+   simulating a serial execution with per-lock seqno counters.  Locks
+   partition the address space (lock l covers region l/2, half l mod 2),
+   exactly like the chaos tests, so properly-locked writes never race. *)
+
+let build_random_streams ~nodes ~locks ~txns ~seed =
+  let rng = Lbc_util.Rng.create (seed + 1) in
+  let next_seq = Array.make locks 0 in
+  let last_write = Array.make locks 0 in
+  let next_tid = Array.make nodes 1 in
+  let streams = Array.make nodes [] in
+  let span = 128 in
+  for _ = 1 to txns do
+    let node = Lbc_util.Rng.int rng nodes in
+    let l1 = Lbc_util.Rng.int rng locks in
+    let l2 = Lbc_util.Rng.int rng locks in
+    let ls = List.sort_uniq Int.compare [ l1; l2 ] in
+    let aborted = Lbc_util.Rng.int rng 10 = 0 in
+    let lock_infos =
+      List.map
+        (fun l ->
+          next_seq.(l) <- next_seq.(l) + 1;
+          {
+            R.lock_id = l;
+            seqno = next_seq.(l);
+            prev_write_seq = last_write.(l);
+          })
+        ls
+    in
+    if not aborted then begin
+      let ranges =
+        List.concat_map
+          (fun l ->
+            if Lbc_util.Rng.int rng 4 > 0 then begin
+              let len = 1 + Lbc_util.Rng.int rng 16 in
+              let offset = (l mod 2 * span) + Lbc_util.Rng.int rng (span - len) in
+              let data =
+                Bytes.init len (fun _ -> Char.chr (Lbc_util.Rng.int rng 256))
+              in
+              [ { R.region = l / 2; offset; data } ]
+            end
+            else [])
+          ls
+      in
+      let txn = { R.node; tid = next_tid.(node); locks = lock_infos; ranges } in
+      next_tid.(node) <- next_tid.(node) + 1;
+      streams.(node) <- txn :: streams.(node);
+      if ranges <> [] then
+        List.iter
+          (fun (l : R.lock_info) -> last_write.(l.R.lock_id) <- l.R.seqno)
+          lock_infos
+    end
+  done;
+  Array.to_list (Array.map List.rev streams)
+
+let shape_gen =
+  QCheck.make
+    ~print:(fun (n, l, t, s) -> Printf.sprintf "nodes=%d locks=%d txns=%d seed=%d" n l t s)
+    QCheck.Gen.(
+      map
+        (fun ((n, l), (t, s)) -> (n, l, t, s))
+        (pair (pair (int_range 2 4) (int_range 1 6))
+           (pair (int_range 0 60) (int_range 0 10_000))))
+
+(* (a) the verifier accepts every valid history, the merged log it
+   induces, and Merge.merge_records's own output re-checked as a single
+   serial stream. *)
+let prop_valid_histories_accepted =
+  QCheck.Test.make ~name:"verifier accepts valid histories and their merge"
+    ~count:60 shape_gen (fun (nodes, locks, txns, seed) ->
+      let streams = build_random_streams ~nodes ~locks ~txns ~seed in
+      Invariants.check_streams streams = []
+      &&
+      match Lbc_core.Merge.merge_records streams with
+      | Error _ -> false
+      | Ok merged -> Invariants.check_streams [ merged ] = [])
+
+(* ------------------------------------------------------------------ *)
+(* (b) mutation properties: each corruption is caught with the right
+   violation kind.  Histories too small to host a given corruption pass
+   trivially (the generator makes them rare). *)
+
+let prop_swap_caught =
+  QCheck.Test.make ~name:"seqno swap -> seqno-monotonicity" ~count:60
+    shape_gen (fun (nodes, locks, txns, seed) ->
+      let streams = build_random_streams ~nodes ~locks ~txns ~seed in
+      match Selftest.corrupt_seqno_swap streams with
+      | None -> true
+      | Some mutated ->
+          List.mem "seqno-monotonicity"
+            (names (Invariants.check_streams mutated)))
+
+let prop_gap_caught =
+  QCheck.Test.make ~name:"dropped write record -> seqno-gap" ~count:60
+    shape_gen (fun (nodes, locks, txns, seed) ->
+      let streams = build_random_streams ~nodes ~locks ~txns ~seed in
+      match Selftest.corrupt_seqno_gap streams with
+      | None -> true
+      | Some mutated ->
+          List.mem "seqno-gap" (names (Invariants.check_streams mutated)))
+
+(* Drop one lock record (the lock_info, not the whole transaction) from a
+   writing transaction whose seqno a later record references: the write
+   chain now names a write no log carries. *)
+let drop_lock_record streams =
+  let all = List.concat streams in
+  let referenced lock seqno =
+    List.exists
+      (fun (t : R.txn) ->
+        List.exists
+          (fun l -> l.R.lock_id = lock && l.R.prev_write_seq = seqno)
+          t.R.locks)
+      all
+  in
+  let has_earlier lock seqno =
+    List.exists
+      (fun (t : R.txn) ->
+        List.exists (fun l -> l.R.lock_id = lock && l.R.seqno < seqno) t.R.locks)
+      all
+  in
+  let target = ref None in
+  List.iteri
+    (fun si stream ->
+      List.iteri
+        (fun i (txn : R.txn) ->
+          if Option.is_none !target && txn.R.ranges <> [] then
+            List.iter
+              (fun l ->
+                if
+                  Option.is_none !target
+                  && referenced l.R.lock_id l.R.seqno
+                  && has_earlier l.R.lock_id l.R.seqno
+                then target := Some (si, i, l.R.lock_id))
+              txn.R.locks)
+        stream)
+    streams;
+  match !target with
+  | None -> None
+  | Some (si, i, lock) ->
+      Some
+        (List.mapi
+           (fun s stream ->
+             if s <> si then stream
+             else
+               List.mapi
+                 (fun j (txn : R.txn) ->
+                   if j <> i then txn
+                   else
+                     {
+                       txn with
+                       R.locks =
+                         List.filter
+                           (fun l -> l.R.lock_id <> lock)
+                           txn.R.locks;
+                     })
+                 stream)
+           streams)
+
+let prop_dropped_lock_record_caught =
+  QCheck.Test.make ~name:"dropped lock record -> seqno-gap" ~count:60
+    shape_gen (fun (nodes, locks, txns, seed) ->
+      let streams = build_random_streams ~nodes ~locks ~txns ~seed in
+      match drop_lock_record streams with
+      | None -> true
+      | Some mutated ->
+          List.mem "seqno-gap" (names (Invariants.check_streams mutated)))
+
+(* Corrupt a range: a negative offset can never have been produced by
+   set_range and the wire codec cannot represent it. *)
+let corrupt_range streams =
+  let target = ref None in
+  List.iteri
+    (fun si stream ->
+      List.iteri
+        (fun i (txn : R.txn) ->
+          if Option.is_none !target && txn.R.ranges <> [] then
+            target := Some (si, i))
+        stream)
+    streams;
+  match !target with
+  | None -> None
+  | Some (si, i) ->
+      Some
+        (List.mapi
+           (fun s stream ->
+             if s <> si then stream
+             else
+               List.mapi
+                 (fun j (txn : R.txn) ->
+                   if j <> i then txn
+                   else
+                     {
+                       txn with
+                       R.ranges =
+                         (match txn.R.ranges with
+                         | r :: rest -> { r with R.offset = -1 } :: rest
+                         | [] -> []);
+                     })
+                 stream)
+           streams)
+
+let prop_corrupt_range_caught =
+  QCheck.Test.make ~name:"corrupted range -> codec-roundtrip" ~count:60
+    shape_gen (fun (nodes, locks, txns, seed) ->
+      let streams = build_random_streams ~nodes ~locks ~txns ~seed in
+      match corrupt_range streams with
+      | None -> true
+      | Some mutated ->
+          List.mem "codec-roundtrip"
+            (names (Invariants.check_streams mutated)))
+
+let prop_unlocked_write_caught =
+  QCheck.Test.make ~name:"unlocked overlapping write -> unlocked-race"
+    ~count:60 shape_gen (fun (nodes, locks, txns, seed) ->
+      let streams = build_random_streams ~nodes ~locks ~txns ~seed in
+      match Selftest.corrupt_unlocked_write streams with
+      | None -> true
+      | Some mutated ->
+          List.mem "unlocked-race" (names (Invariants.check_streams mutated)))
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic unit tests *)
+
+let test_chain_break_detected () =
+  let streams = build_random_streams ~nodes:3 ~locks:4 ~txns:40 ~seed:7 in
+  (* Find a record whose prev_write_seq is non-zero and damage it. *)
+  let mutated =
+    List.map
+      (List.map (fun (txn : R.txn) ->
+           {
+             txn with
+             R.locks =
+               List.map
+                 (fun l ->
+                   if l.R.prev_write_seq > 1 then
+                     { l with R.prev_write_seq = l.R.prev_write_seq - 1 }
+                   else l)
+                 txn.R.locks;
+           }))
+      streams
+  in
+  if mutated = streams then ()
+  else
+    Alcotest.(check bool)
+      "write-chain violation reported" true
+      (List.exists
+         (fun n -> n = "write-chain" || n = "seqno-gap")
+         (names (Invariants.check_streams mutated)))
+
+let test_codec_truncation_detected () =
+  let streams = build_random_streams ~nodes:2 ~locks:2 ~txns:20 ~seed:3 in
+  match Selftest.corrupt_codec_truncation streams with
+  | None -> Alcotest.fail "no writing record to truncate"
+  | Some payload ->
+      Alcotest.(check (list string))
+        "codec-decode violation" [ "codec-decode" ]
+        (names (Invariants.check_wire_image payload))
+
+let test_merge_output_is_serial () =
+  let streams = build_random_streams ~nodes:4 ~locks:6 ~txns:80 ~seed:11 in
+  check_no_violations "merge legality" (Invariants.check_merge streams)
+
+let test_race_detector_orders_by_common_lock () =
+  (* Two writers to the same bytes under the same lock: ordered, silent. *)
+  let t1 =
+    {
+      R.node = 0;
+      tid = 1;
+      locks = [ { R.lock_id = 0; seqno = 1; prev_write_seq = 0 } ];
+      ranges = [ { R.region = 0; offset = 0; data = Bytes.make 8 'a' } ];
+    }
+  in
+  let t2 =
+    {
+      R.node = 1;
+      tid = 1;
+      locks = [ { R.lock_id = 0; seqno = 2; prev_write_seq = 1 } ];
+      ranges = [ { R.region = 0; offset = 4; data = Bytes.make 8 'b' } ];
+    }
+  in
+  check_no_violations "locked overlap is ordered" (Race.check [ [ t1 ]; [ t2 ] ]);
+  (* The same two writes without the common lock race. *)
+  let t2' = { t2 with R.locks = [] } in
+  Alcotest.(check (list string))
+    "unlocked overlap races" [ "unlocked-race" ]
+    (names (Race.check [ [ t1 ]; [ t2' ] ]))
+
+let test_race_detector_transitive_order () =
+  (* t1 -> t2 via lock 0, t2 -> t3 via lock 1; t1 and t3 share no lock but
+     overlap — happens-before through the chain, so no race. *)
+  let mk node tid locks ranges = { R.node; tid; locks; ranges } in
+  let li lock_id seqno prev_write_seq = { R.lock_id; seqno; prev_write_seq } in
+  let t1 =
+    mk 0 1 [ li 0 1 0 ] [ { R.region = 0; offset = 0; data = Bytes.make 8 'x' } ]
+  in
+  let t2 = mk 1 1 [ li 0 2 1; li 1 1 0 ] [] in
+  let t3 =
+    mk 2 1 [ li 1 2 1 ] [ { R.region = 0; offset = 4; data = Bytes.make 8 'y' } ]
+  in
+  check_no_violations "transitive happens-before"
+    (Race.check [ [ t1 ]; [ t2 ]; [ t3 ] ])
+
+let test_lint_rules () =
+  let vs =
+    Lint.scan_source ~file:"lib/rvm/fixture.ml"
+      (String.concat "\n"
+         [
+           "let a = List.sort compare xs";
+           "let b = Stdlib.compare x y";
+           "let c = try f () with _ -> 0";
+           "let d : int = Obj.magic e";
+           "(* compare in a comment is fine *)";
+           "let e = \"with _ -> compare Obj.magic\"";
+           "let sort = List.sort ~cmp:Int.compare";
+           "let g ~compare = compare";
+         ])
+  in
+  let lines =
+    List.filter_map
+      (function Violation.Lint { line; rule; _ } -> Some (line, rule) | _ -> None)
+      vs
+  in
+  Alcotest.(check (list (pair int string)))
+    "exact findings"
+    [
+      (1, "poly-compare");
+      (2, "poly-compare");
+      (3, "catch-all-handler");
+      (4, "obj-magic");
+      (8, "poly-compare");
+    ]
+    (List.sort
+       (fun (l1, _) (l2, _) -> Int.compare l1 l2)
+       lines)
+
+let test_lint_tree_clean () =
+  check_no_violations "lib/ lints clean" (Lint.scan_paths [ "../lib" ])
+
+(* ------------------------------------------------------------------ *)
+(* Against real workloads: the sim's chaos-style traffic and OO7 *)
+
+let test_selftest_passes () =
+  let results = Selftest.run () in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (r.Selftest.check ^ ": " ^ r.Selftest.detail)
+        true r.Selftest.ok)
+    results
+
+let test_oo7_logs_verify () =
+  let open Lbc_oo7 in
+  let tiny = Schema.tiny in
+  let cluster = Runner.setup ~nodes:2 tiny in
+  ignore (Runner.run ~cluster ~writer:0 tiny (Traversal.T2 Traversal.A));
+  ignore (Runner.run ~cluster ~writer:1 tiny (Traversal.T2 Traversal.B));
+  let logs =
+    List.init 2 (fun n ->
+        Lbc_rvm.Rvm.log (Lbc_core.Node.rvm (Lbc_core.Cluster.node cluster n)))
+  in
+  check_no_violations "OO7 logs verify" (Invariants.check_logs logs)
+
+let suites =
+  [
+    ( "analysis",
+      [
+        QCheck_alcotest.to_alcotest prop_valid_histories_accepted;
+        QCheck_alcotest.to_alcotest prop_swap_caught;
+        QCheck_alcotest.to_alcotest prop_gap_caught;
+        QCheck_alcotest.to_alcotest prop_dropped_lock_record_caught;
+        QCheck_alcotest.to_alcotest prop_corrupt_range_caught;
+        QCheck_alcotest.to_alcotest prop_unlocked_write_caught;
+        Alcotest.test_case "chain break detected" `Quick
+          test_chain_break_detected;
+        Alcotest.test_case "codec truncation detected" `Quick
+          test_codec_truncation_detected;
+        Alcotest.test_case "merge output is serial" `Quick
+          test_merge_output_is_serial;
+        Alcotest.test_case "race: common lock orders" `Quick
+          test_race_detector_orders_by_common_lock;
+        Alcotest.test_case "race: transitive order" `Quick
+          test_race_detector_transitive_order;
+        Alcotest.test_case "lint rules" `Quick test_lint_rules;
+        Alcotest.test_case "lint: lib tree clean" `Quick test_lint_tree_clean;
+        Alcotest.test_case "self-test (sim logs + corruptions)" `Quick
+          test_selftest_passes;
+        Alcotest.test_case "OO7 cluster logs verify" `Quick
+          test_oo7_logs_verify;
+      ] );
+  ]
