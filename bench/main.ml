@@ -563,6 +563,56 @@ let bechamel () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable output: every Table-3 traversal under each
+   propagation policy, written to BENCH_oo7.json for CI trending. *)
+
+let json () =
+  let buf = Buffer.create 4096 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let measured =
+    { Lbc_core.Config.measured with Lbc_core.Config.disk_logging = false }
+  in
+  let configs =
+    [
+      ("eager", measured);
+      ("multicast", { measured with Lbc_core.Config.multicast = true });
+      ( "lazy",
+        { measured with Lbc_core.Config.propagation = Lbc_core.Config.Lazy } );
+    ]
+  in
+  addf "{\n  \"schema\": \"BENCH_oo7/v1\",\n  \"configs\": [";
+  List.iteri
+    (fun ci (cname, config) ->
+      if ci > 0 then addf ",";
+      addf "\n    {\n      \"name\": %S,\n      \"traversals\": [" cname;
+      List.iteri
+        (fun ti kind ->
+          let cluster = Runner.setup ~config ~nodes:2 small in
+          let o = Runner.run ~cluster ~writer:0 small kind in
+          let p = o.Runner.profile in
+          if ti > 0 then addf ",";
+          addf
+            "\n        { \"name\": %S, \"elapsed_us\": %.1f, \
+             \"messages\": %d, \"wire_bytes\": %d, \"updates\": %d, \
+             \"unique_bytes\": %d, \"message_bytes\": %d, \
+             \"pages_updated\": %d }"
+            (Traversal.name kind) o.Runner.elapsed
+            (Lbc_core.Cluster.total_messages cluster)
+            (Lbc_core.Cluster.total_bytes cluster)
+            p.Model.updates p.Model.unique_bytes p.Model.message_bytes
+            p.Model.pages_updated)
+        Traversal.table3_kinds;
+      addf "\n      ]\n    }")
+    configs;
+  addf "\n  ]\n}\n";
+  let oc = open_out "BENCH_oo7.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  pr "wrote BENCH_oo7.json (%d configs x %d traversals)@."
+    (List.length configs)
+    (List.length Traversal.table3_kinds)
+
+(* ------------------------------------------------------------------ *)
 
 let all () =
   table2 ();
@@ -600,6 +650,7 @@ let () =
           | "ablations" -> ablations ()
           | "macro" -> macro ()
           | "bechamel" -> bechamel ()
+          | "json" -> json ()
           | other ->
               Format.eprintf "unknown benchmark %S@." other;
               exit 2)

@@ -14,6 +14,9 @@ type t = {
   checkpointed : (int, int) Hashtbl.t;
       (* per lock: highest write seq already replayed into the database by
          an online checkpoint *)
+  crashed : bool array;
+  reclaimed : bool array;  (* lease expired, lock tokens reclaimed *)
+  epoch : int array;  (* bumped at every crash; stale app processes die *)
 }
 
 let engine t = t.engine
@@ -61,6 +64,7 @@ let create ?(config = Config.default) ?net_params ?disk ~nodes () =
             Node.node_id = i;
             nodes;
             config;
+            engine;
             send = (fun ~dst m -> Lbc_net.Fabric.send fabric ~src:i ~dst m);
             multicast_send =
               (fun ~dsts m -> Lbc_net.Fabric.broadcast fabric ~src:i ~dsts m);
@@ -69,11 +73,13 @@ let create ?(config = Config.default) ?net_params ?disk ~nodes () =
           })
   in
   (* One dispatcher per peer channel, like the prototype's per-connection
-     receiver threads. *)
+     receiver threads.  Daemons: being forever blocked on an idle channel
+     is their normal state, not a hang worth reporting. *)
   for n = 0 to nodes - 1 do
     for p = 0 to nodes - 1 do
       if p <> n then
         Lbc_sim.Proc.spawn engine ~name:(Printf.sprintf "dispatch-%d<-%d" n p)
+          ~daemon:true
           (fun () ->
             while true do
               let m = Lbc_net.Fabric.recv fabric ~dst:n ~src:p in
@@ -89,6 +95,9 @@ let create ?(config = Config.default) ?net_params ?disk ~nodes () =
     nodes = cluster_nodes;
     regions;
     checkpointed = Hashtbl.create 16;
+    crashed = Array.make nodes false;
+    reclaimed = Array.make nodes false;
+    epoch = Array.make nodes 0;
   }
 
 let region_info t id =
@@ -118,13 +127,68 @@ let map_region_all t ~region =
 
 let spawn t ~node:n f =
   let target = node t n in
-  Lbc_sim.Proc.spawn t.engine ~name:(Printf.sprintf "app-%d" n) (fun () ->
-      f target)
+  let epoch0 = t.epoch.(n) in
+  (* The process dies with its node: a crash bumps the epoch, and the
+     scheduler kills the process at its next resumption. *)
+  Lbc_sim.Proc.spawn t.engine
+    ~name:(Printf.sprintf "app-%d" n)
+    ~alive:(fun () -> (not t.crashed.(n)) && t.epoch.(n) = epoch0)
+    (fun () -> f target)
 
-let run ?until t = Lbc_sim.Engine.run ?until t.engine
+let run ?until ?(check_stranded = true) t =
+  Lbc_sim.Engine.run ?until t.engine;
+  (* Only a drained queue proves the blocked processes can never resume;
+     a [~until] pause is not a verdict. *)
+  if until = None && check_stranded then
+    match Lbc_sim.Engine.blocked t.engine with
+    | [] -> ()
+    | descs -> raise (Lbc_sim.Engine.Stranded descs)
+
 let now t = Lbc_sim.Engine.now t.engine
+let blocked t = Lbc_sim.Engine.blocked t.engine
 let total_messages t = Lbc_net.Fabric.total_messages t.fabric
 let total_bytes t = Lbc_net.Fabric.total_bytes t.fabric
+let total_dropped t = Lbc_net.Fabric.total_dropped t.fabric
+let fabric t = t.fabric
+
+(* --------------------------------------------------------------- *)
+(* Node crash and rejoin *)
+
+let crash t ~node:n =
+  ignore (node t n : Node.t);
+  if t.crashed.(n) then invalid_arg "Cluster.crash: node already down";
+  t.crashed.(n) <- true;
+  t.reclaimed.(n) <- false;
+  t.epoch.(n) <- t.epoch.(n) + 1;
+  Lbc_net.Fabric.set_down t.fabric n true;
+  (* Lease expiry: once the dead node's lease runs out, a recovery agent
+     rebuilds the lock service without it. *)
+  Lbc_sim.Engine.schedule t.engine ~delay:t.config.Config.lease_timeout
+    (fun () ->
+      if t.crashed.(n) then
+        Lbc_sim.Proc.spawn t.engine
+          ~name:(Printf.sprintf "lease-reclaim-%d" n)
+          ~daemon:true
+          (fun () ->
+            Lbc_locks.Table.reclaim (Array.map Node.locks t.nodes) ~failed:n;
+            t.reclaimed.(n) <- true))
+
+let rejoin t ~node:n =
+  ignore (node t n : Node.t);
+  if not t.crashed.(n) then invalid_arg "Cluster.rejoin: node is not down";
+  if not t.reclaimed.(n) then
+    invalid_arg "Cluster.rejoin: node's lease has not expired yet";
+  Lbc_net.Fabric.set_down t.fabric n false;
+  Lbc_locks.Table.rejoin_reset (Node.locks t.nodes.(n));
+  let applied =
+    Hashtbl.fold (fun lock seq acc -> (lock, seq) :: acc) t.checkpointed []
+  in
+  Node.rejoin t.nodes.(n) ~applied;
+  t.crashed.(n) <- false
+
+let is_crashed t n =
+  ignore (node t n : Node.t);
+  t.crashed.(n)
 
 let merged_records t =
   Merge.merge_logs

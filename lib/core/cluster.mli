@@ -46,15 +46,58 @@ val map_region : t -> node:int -> region:int -> Lbc_rvm.Region.t
 val map_region_all : t -> region:int -> unit
 
 val spawn : t -> node:int -> (Node.t -> unit) -> unit
-(** Start an application process on a node. *)
+(** Start an application process on a node.  The process dies with its
+    node: if the node crashes, the process is killed at its next
+    scheduling point. *)
 
-val run : ?until:Lbc_sim.Engine.time -> t -> unit
+val run : ?until:Lbc_sim.Engine.time -> ?check_stranded:bool -> t -> unit
+(** Drive the simulation.  When the event queue drains completely (no
+    [until] cutoff) while some processes are still blocked — say on a
+    receive whose message was dropped, or in a lock-wait cycle — the run
+    did not end, it hung; raise {!Lbc_sim.Engine.Stranded} with one
+    description per stuck process instead of returning as if all work
+    completed.  Pass [~check_stranded:false] to opt out (e.g. to inspect
+    the wreckage of an expected hang with {!blocked}). *)
+
 val now : t -> Lbc_sim.Engine.time
+
+val blocked : t -> string list
+(** Descriptions of the application processes currently blocked (waiting
+    for a message, an update, or a lock).  Empty for a quiescent,
+    completed cluster. *)
+
+(** {1 Faults} *)
+
+val crash : t -> node:int -> unit
+(** Take a node down mid-flight: its processes are killed at their next
+    scheduling point (tearing any transaction in progress — committed
+    work is durable in its log, uncommitted work vanishes), its network
+    traffic is cut, and queued inbound messages are lost.  After
+    [config.lease_timeout] virtual µs the lock service reclaims the
+    tokens the node held ({!Lbc_locks.Table.reclaim}), unblocking
+    survivors that were queued behind it. *)
+
+val rejoin : t -> node:int -> unit
+(** Bring a crashed node back, once its lease has expired (raises
+    [Invalid_argument] before that): reconnects it, resets its lock
+    table, reloads its regions from the database image and replays its
+    own durable log tail.  Updates it missed while down are pulled in on
+    demand through the acquire interlock (with [config.repair] for
+    gap repair).  New application work needs fresh {!spawn}s. *)
+
+val is_crashed : t -> int -> bool
+
+val fabric : t -> Msg.t Lbc_net.Fabric.t
+(** The underlying fabric, for fault injection in tests
+    ({!Lbc_net.Fabric.set_drop}, {!Lbc_net.Fabric.set_drop_filter}). *)
 
 (** {1 Traffic} *)
 
 val total_messages : t -> int
 val total_bytes : t -> int
+
+val total_dropped : t -> int
+(** Messages lost to fault injection (dropped channels, down nodes). *)
 
 (** {1 Distributed recovery and trimming} *)
 

@@ -8,6 +8,10 @@ type t = {
   propagation : propagation;
   multicast : bool;
   charge_costs : bool;
+  repair : bool;
+  repair_timeout : float;
+  repair_retries : int;
+  lease_timeout : float;
 }
 
 let default =
@@ -19,6 +23,11 @@ let default =
     propagation = Eager;
     multicast = false;
     charge_costs = false;
+    repair = false;
+    repair_timeout = 2_000.0;
+    repair_retries = 8;
+    lease_timeout = 10_000.0;
   }
 
 let measured = { default with disk_logging = false; charge_costs = true }
+let fault_tolerant = { default with repair = true }

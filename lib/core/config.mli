@@ -30,6 +30,23 @@ type t = {
   charge_costs : bool;
       (** charge the paper's measured operation costs (Table 2 /
           Figures 5-6) as virtual time; off for pure functional tests *)
+  repair : bool;
+      (** detect lost update records via sequence-number gaps and repair
+          them by fetching from a peer (re-using the Lazy-mode fetch
+          path); also makes every node retain applied records so it can
+          serve such fetches.  Off by default: the paper assumes reliable
+          transport, and repair retention changes memory behaviour. *)
+  repair_timeout : float;
+      (** virtual µs a node waits on a sequence-number gap before issuing
+          a repair fetch *)
+  repair_retries : int;
+      (** repair fetch attempts (cycling over peers, with exponential
+          backoff) before giving up; a gap that outlives all retries
+          leaves the waiter blocked and is reported by the stranded-
+          process check *)
+  lease_timeout : float;
+      (** virtual µs after a node crash before the lock managers reclaim
+          the tokens it held (models lease expiry / epoch change) *)
 }
 
 val default : t
@@ -38,3 +55,6 @@ val measured : t
 (** The configuration of the paper's Section 4 measurements: costs
     charged, disk logging {e disabled} ("we disabled RVM disk logging so
     that we could isolate the costs associated with coherency"). *)
+
+val fault_tolerant : t
+(** [default] with [repair = true]. *)

@@ -12,11 +12,23 @@ type stats = {
   mutable interlock_waits : int;
   mutable fetches_sent : int;
   mutable records_fetched : int;
+  mutable repair_fetches : int;
+}
+
+(* A sequence-number gap under watch: we wait for [need] on the lock, and
+   fetch from a peer if the gap outlives the repair timeout. *)
+type repair = {
+  mutable need : int;
+  mutable retries : int;
+  mutable delay : float;
+  prefer : int;  (* first fetch target: the last known writer *)
 }
 
 type t = {
   id : int;
+  nodes : int;
   config : Config.t;
+  engine : Lbc_sim.Engine.t;
   rvm : Lbc_rvm.Rvm.t;
   locks : Lbc_locks.Table.t;
   send : dst:int -> Msg.t -> unit;
@@ -27,6 +39,7 @@ type t = {
   mutable pending : Lbc_wal.Record.txn list;  (* arrival order *)
   retained : (int, Lbc_wal.Record.txn list) Hashtbl.t;  (* newest first *)
   fetch_marks : (int * int, unit) Hashtbl.t;  (* (lock, have) fetches sent *)
+  repairs : (int, repair) Hashtbl.t;  (* lock id -> gap under watch *)
   txn_updates : int ref;  (* set_range calls in the running transaction *)
   mutable pinned : bool;  (* version-pinned reader: buffer, don't apply *)
   stats : stats;
@@ -36,6 +49,7 @@ type deps = {
   node_id : int;
   nodes : int;
   config : Config.t;
+  engine : Lbc_sim.Engine.t;
   send : dst:int -> Msg.t -> unit;
   multicast_send : dsts:int list -> Msg.t -> unit;
   peers_with_region : int -> int list;
@@ -86,7 +100,9 @@ let create (deps : deps) =
   in
   {
     id = deps.node_id;
+    nodes = deps.nodes;
     config = deps.config;
+    engine = deps.engine;
     rvm;
     locks;
     send = deps.send;
@@ -97,6 +113,7 @@ let create (deps : deps) =
     pending = [];
     retained = Hashtbl.create 16;
     fetch_marks = Hashtbl.create 16;
+    repairs = Hashtbl.create 8;
     txn_updates;
     pinned = false;
     stats =
@@ -108,6 +125,7 @@ let create (deps : deps) =
         interlock_waits = 0;
         fetches_sent = 0;
         records_fetched = 0;
+        repair_fetches = 0;
       };
   }
 
@@ -134,7 +152,13 @@ let get_u64 t ~region ~offset =
   Lbc_rvm.Region.get_u64 (Lbc_rvm.Rvm.region t.rvm region) ~offset
 
 (* --------------------------------------------------------------- *)
-(* Retention (lazy propagation) *)
+(* Retention (lazy propagation, and repair service) *)
+
+(* Lazy mode retains committed records so readers can fetch them; repair
+   mode additionally retains applied records on every node, so a repair
+   fetch can be served by any peer that has the data. *)
+let retains (t : t) =
+  t.config.Config.propagation = Config.Lazy || t.config.Config.repair
 
 let retain (t : t) (record : Lbc_wal.Record.txn) =
   List.iter
@@ -153,6 +177,7 @@ let resync (t : t) ~applied =
   List.iter (fun (lock, seq) -> set_applied t lock seq) applied;
   Hashtbl.reset t.retained;
   Hashtbl.reset t.fetch_marks;
+  Hashtbl.reset t.repairs;
   Lbc_sim.Condvar.broadcast t.applied_cv
 
 let retained_count t =
@@ -199,7 +224,7 @@ let apply_now t record =
   List.iter
     (fun l -> set_applied t l.Lbc_wal.Record.lock_id l.Lbc_wal.Record.seqno)
     record.Lbc_wal.Record.locks;
-  if t.config.Config.propagation = Config.Lazy then retain t record;
+  if retains t then retain t record;
   Lbc_sim.Condvar.broadcast t.applied_cv
 
 (* Apply everything applicable, holding the rest; newly applied records can
@@ -224,19 +249,87 @@ let send_fetch (t : t) ~lock ~have ~from =
     t.send ~dst:from (Msg.Fetch { lock; have })
   end
 
+(* --------------------------------------------------------------- *)
+(* Loss detection and repair (sequence-number gap watchdog)
+
+   The interlock already tells a receiver that records are missing: a
+   sequence-number gap that does not close means the carrying message was
+   lost (or its sender crashed).  With [config.repair] set, a watchdog is
+   armed whenever a node starts waiting on a gap; if the gap outlives
+   [repair_timeout], the node fetches the missing records — first from the
+   last known writer, then cycling over the other peers with doubled
+   backoff — up to [repair_retries] attempts.  A gap that survives all
+   attempts leaves the waiter blocked, which the engine's stranded-process
+   report surfaces. *)
+
+let rec repair_check (t : t) lock =
+  match Hashtbl.find_opt t.repairs lock with
+  | None -> ()
+  | Some r ->
+      if applied_seq t lock >= r.need then Hashtbl.remove t.repairs lock
+      else if r.retries >= t.config.Config.repair_retries then begin
+        Hashtbl.remove t.repairs lock;
+        L.warn (fun m ->
+            m "node %d gives up repairing lock %d (need %d, have %d)" t.id
+              lock r.need (applied_seq t lock))
+      end
+      else begin
+        let rec pick k =
+          let c = (max r.prefer 0 + k) mod t.nodes in
+          if c = t.id then pick (k + 1) else c
+        in
+        let target = pick r.retries in
+        let have = applied_seq t lock in
+        r.retries <- r.retries + 1;
+        t.stats.repair_fetches <- t.stats.repair_fetches + 1;
+        L.debug (fun m ->
+            m "node %d repair-fetches lock %d > %d from node %d (try %d)"
+              t.id lock have target r.retries);
+        (* Sending costs virtual time, so it needs a process context;
+           repair_check itself runs as an engine callback. *)
+        Lbc_sim.Proc.spawn t.engine
+          ~name:(Printf.sprintf "n%d repair l%d" t.id lock)
+          ~daemon:true
+          (fun () -> t.send ~dst:target (Msg.Fetch { lock; have }));
+        r.delay <- r.delay *. 2.0;
+        Lbc_sim.Engine.schedule t.engine ~delay:r.delay (fun () ->
+            repair_check t lock)
+      end
+
+let arm_repair (t : t) ~lock ~need ~from =
+  if t.config.Config.repair && need > applied_seq t lock then
+    match Hashtbl.find_opt t.repairs lock with
+    | Some r -> if need > r.need then r.need <- need
+    | None ->
+        let r =
+          {
+            need;
+            retries = 0;
+            delay = t.config.Config.repair_timeout;
+            prefer = from;
+          }
+        in
+        Hashtbl.replace t.repairs lock r;
+        Lbc_sim.Engine.schedule t.engine ~delay:r.delay (fun () ->
+            repair_check t lock)
+
 (* Lazy mode: a held record's author must itself have applied everything
    the record depends on, so it can supply the missing chains.  Without
    this cascade a multi-lock record can deadlock an interlocked acquire
-   whose per-lock fetch covers only one of the record's locks. *)
+   whose per-lock fetch covers only one of the record's locks.  Repair
+   mode arms the gap watchdog on the same dependencies. *)
 let request_dependencies (t : t) (record : Lbc_wal.Record.txn) =
-  if t.config.Config.propagation = Config.Lazy then
-    List.iter
-      (fun l ->
-        let have = applied_seq t l.Lbc_wal.Record.lock_id in
-        if have < l.Lbc_wal.Record.prev_write_seq then
-          send_fetch t ~lock:l.Lbc_wal.Record.lock_id ~have
-            ~from:record.Lbc_wal.Record.node)
-      record.Lbc_wal.Record.locks
+  List.iter
+    (fun l ->
+      let lock = l.Lbc_wal.Record.lock_id in
+      let have = applied_seq t lock in
+      if have < l.Lbc_wal.Record.prev_write_seq then begin
+        if t.config.Config.propagation = Config.Lazy then
+          send_fetch t ~lock ~have ~from:record.Lbc_wal.Record.node;
+        arm_repair t ~lock ~need:l.Lbc_wal.Record.prev_write_seq
+          ~from:record.Lbc_wal.Record.node
+      end)
+    record.Lbc_wal.Record.locks
 
 let receive_record t record =
   t.stats.records_received <- t.stats.records_received + 1;
@@ -317,6 +410,48 @@ let broadcast (t : t) record =
         peers
 
 (* --------------------------------------------------------------- *)
+(* Crash rejoin *)
+
+(* Bring a crashed node back: every volatile structure is rebuilt from
+   what survives a crash — the database image (as of [applied], the last
+   checkpoint) and the node's own durable log.  Replaying the log tail
+   through [receive_record] re-applies our own commits in order; records
+   whose cross-lock dependencies are missing are held and, with repair
+   enabled, trigger repair fetches from the peers.  Updates committed
+   elsewhere since the checkpoint are recovered on demand: the first
+   acquire of each lock interlocks on the token's last-write sequence
+   number and repairs the gap.
+
+   The replayed tail is also rebroadcast to the peers.  A crash can land
+   between logging a commit and propagating it, leaving the record in
+   our durable log only; peers that already applied it discard the
+   duplicate, peers that missed it heal.  Without the rebroadcast such a
+   record would be invisible to everyone until server-side recovery. *)
+let rejoin (t : t) ~applied =
+  t.pinned <- false;
+  t.pending <- [];
+  Hashtbl.reset t.retained;
+  Hashtbl.reset t.fetch_marks;
+  Hashtbl.reset t.repairs;
+  Hashtbl.reset t.applied;
+  List.iter
+    (fun region -> Lbc_rvm.Region.reload_from_db region)
+    (Lbc_rvm.Rvm.regions t.rvm);
+  List.iter (fun (lock, seq) -> set_applied t lock seq) applied;
+  let records, _status = Lbc_wal.Log.read_all (Lbc_rvm.Rvm.log t.rvm) in
+  List.iter (receive_record t) records;
+  Lbc_sim.Condvar.broadcast t.applied_cv;
+  let own_writes =
+    List.filter (fun (r : Lbc_wal.Record.txn) -> r.Lbc_wal.Record.ranges <> [])
+      records
+  in
+  if own_writes <> [] then
+    (* Fabric sends charge wire time, so they need process context. *)
+    Lbc_sim.Proc.spawn t.engine
+      ~name:(Printf.sprintf "n%d rejoin-sync" t.id)
+      (fun () -> List.iter (broadcast t) own_writes)
+
+(* --------------------------------------------------------------- *)
 (* Application transactions *)
 
 module Txn = struct
@@ -348,8 +483,14 @@ module Txn = struct
        then
          send_fetch node ~lock ~have:(applied_seq node lock)
            ~from:g.Lbc_locks.Table.last_writer);
-      Lbc_sim.Condvar.await node.applied_cv (fun () ->
-          applied_seq node lock >= g.Lbc_locks.Table.prev_write_seq)
+      arm_repair node ~lock ~need:g.Lbc_locks.Table.prev_write_seq
+        ~from:g.Lbc_locks.Table.last_writer;
+      Lbc_sim.Condvar.await
+        ~info:
+          (Printf.sprintf "interlock l%d need %d have %d" lock
+             g.Lbc_locks.Table.prev_write_seq (applied_seq node lock))
+        node.applied_cv
+        (fun () -> applied_seq node lock >= g.Lbc_locks.Table.prev_write_seq)
     end;
     Lbc_rvm.Rvm.set_lock t.rvm_txn ~lock_id:lock ~seqno:g.Lbc_locks.Table.seqno
       ~prev_write_seq:g.Lbc_locks.Table.prev_write_seq;
@@ -395,7 +536,7 @@ module Txn = struct
       List.iter
         (fun l -> set_applied node l.Lbc_wal.Record.lock_id l.Lbc_wal.Record.seqno)
         record.Lbc_wal.Record.locks;
-      if node.config.Config.propagation = Config.Lazy then retain node record
+      if retains node then retain node record
     end;
     (* Two-phase: release everything at commit (paper Section 2.1), then
        propagate; receivers' interlock tolerates a token overtaking its

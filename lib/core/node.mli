@@ -26,6 +26,8 @@ type deps = {
   node_id : int;
   nodes : int;  (** cluster size *)
   config : Config.t;
+  engine : Lbc_sim.Engine.t;
+      (** used to schedule the loss-repair watchdog *)
   send : dst:int -> Msg.t -> unit;
   multicast_send : dsts:int list -> Msg.t -> unit;
       (** one-transmission delivery to several peers (used when
@@ -67,6 +69,8 @@ type stats = {
   mutable interlock_waits : int;  (** acquires that waited for updates *)
   mutable fetches_sent : int;  (** lazy-mode fetch requests *)
   mutable records_fetched : int;
+  mutable repair_fetches : int;
+      (** fetches issued by the loss-repair watchdog ([config.repair]) *)
 }
 
 val stats : t -> stats
@@ -105,6 +109,17 @@ val resync : t -> applied:(int * int) list -> unit
     checkpointed values, and drop retained records and held state.  Only
     valid when the node is quiescent (no transaction in progress, nothing
     pending). *)
+
+val rejoin : t -> applied:(int * int) list -> unit
+(** Bring a crashed node back into the cluster (called by
+    [Cluster.rejoin] after its lock table has been reset).  All volatile
+    state is rebuilt from what survives a crash: regions reload from the
+    database image, [applied] is the per-lock sequence state of the last
+    checkpoint, and the node's own durable log tail is replayed — then
+    rebroadcast to the peers, healing commits the crash cut off between
+    logging and propagation (receivers discard duplicates).  Updates
+    committed elsewhere since the checkpoint are re-fetched on demand via
+    the acquire interlock and, with [config.repair], the gap watchdog. *)
 
 exception Coherency_error of string
 

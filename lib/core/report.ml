@@ -6,23 +6,36 @@ let pp_node ppf node =
   Format.fprintf ppf
     "node %d: %d commits (%d aborts), %d set_ranges | sent %d upd/%dB, \
      recv %d (%d held) | locks %d local/%d remote, %d interlock waits | \
-     log %dB live%s"
+     log %dB live%s%s"
     (Node.id node) rvm.Lbc_rvm.Rvm.commits rvm.Lbc_rvm.Rvm.aborts
     rvm.Lbc_rvm.Rvm.set_ranges st.Node.updates_sent st.Node.update_bytes_sent
     st.Node.records_received st.Node.records_held
     locks.Lbc_locks.Table.local_grants locks.Lbc_locks.Table.remote_grants
     st.Node.interlock_waits
     (Lbc_wal.Log.live_bytes log)
+    (if st.Node.repair_fetches > 0 || locks.Lbc_locks.Table.stale_msgs > 0
+     then
+       Printf.sprintf " | %d repair fetches, %d stale lock msgs"
+         st.Node.repair_fetches locks.Lbc_locks.Table.stale_msgs
+     else "")
     (if Node.pending_count node > 0 then
        Printf.sprintf " | %d PENDING" (Node.pending_count node)
      else "")
 
 let pp_cluster ppf cluster =
-  Format.fprintf ppf "@[<v>cluster: %d nodes, %d messages, %d bytes on the wire"
+  let dropped = Cluster.total_dropped cluster in
+  Format.fprintf ppf
+    "@[<v>cluster: %d nodes, %d messages, %d bytes on the wire%s"
     (Cluster.size cluster)
     (Cluster.total_messages cluster)
-    (Cluster.total_bytes cluster);
+    (Cluster.total_bytes cluster)
+    (if dropped > 0 then Printf.sprintf ", %d dropped" dropped else "");
   for n = 0 to Cluster.size cluster - 1 do
-    Format.fprintf ppf "@,  %a" pp_node (Cluster.node cluster n)
+    Format.fprintf ppf "@,  %a%s" pp_node
+      (Cluster.node cluster n)
+      (if Cluster.is_crashed cluster n then " [DOWN]" else "")
   done;
-  Format.fprintf ppf "@]"
+  match Cluster.blocked cluster with
+  | [] -> Format.fprintf ppf "@]"
+  | blocked ->
+      Format.fprintf ppf "@,  blocked: %s@]" (String.concat "; " blocked)

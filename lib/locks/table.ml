@@ -1,22 +1,31 @@
 type grant = { seqno : int; prev_write_seq : int; last_writer : int }
 
 type msg =
-  | Request of { lock : int; requester : int }
-  | Forward of { lock : int; requester : int }
-  | Token of { lock : int; seqno : int; last_write_seq : int; last_writer : int }
+  | Request of { epoch : int; lock : int; requester : int }
+  | Forward of { epoch : int; lock : int; requester : int }
+  | Token of {
+      epoch : int;
+      lock : int;
+      seqno : int;
+      last_write_seq : int;
+      last_writer : int;
+    }
 
 (* Nominal sizes: two small ints for requests, three for a token, plus a
-   small header — comparable to the prototype's control messages. *)
+   small header carrying the epoch — comparable to the prototype's control
+   messages. *)
 let msg_size = function
   | Request _ | Forward _ -> 16
   | Token _ -> 24
 
 let pp_msg ppf = function
-  | Request { lock; requester } -> Format.fprintf ppf "Request(l%d<-n%d)" lock requester
-  | Forward { lock; requester } -> Format.fprintf ppf "Forward(l%d<-n%d)" lock requester
-  | Token { lock; seqno; last_write_seq; last_writer } ->
-      Format.fprintf ppf "Token(l%d seq=%d lws=%d lw=%d)" lock seqno
-        last_write_seq last_writer
+  | Request { epoch; lock; requester } ->
+      Format.fprintf ppf "Request(l%d<-n%d e%d)" lock requester epoch
+  | Forward { epoch; lock; requester } ->
+      Format.fprintf ppf "Forward(l%d<-n%d e%d)" lock requester epoch
+  | Token { epoch; lock; seqno; last_write_seq; last_writer } ->
+      Format.fprintf ppf "Token(l%d seq=%d lws=%d lw=%d e%d)" lock seqno
+        last_write_seq last_writer epoch
 
 exception Protocol_error of string
 
@@ -41,6 +50,7 @@ type stats = {
   mutable remote_grants : int;
   mutable tokens_passed : int;
   mutable requests_sent : int;
+  mutable stale_msgs : int;
 }
 
 (* Pop waiters until one that has not timed out. *)
@@ -58,6 +68,7 @@ type t = {
   send : dst:int -> msg -> unit;
   locks : (int, lstate) Hashtbl.t;
   stats : stats;
+  mutable epoch : int;  (* lease epoch; messages from older epochs are stale *)
 }
 
 let create ~node ~nodes ~send () =
@@ -68,12 +79,21 @@ let create ~node ~nodes ~send () =
     nodes;
     send;
     locks = Hashtbl.create 16;
-    stats = { local_grants = 0; remote_grants = 0; tokens_passed = 0; requests_sent = 0 };
+    stats =
+      {
+        local_grants = 0;
+        remote_grants = 0;
+        tokens_passed = 0;
+        requests_sent = 0;
+        stale_msgs = 0;
+      };
+    epoch = 0;
   }
 
 let node t = t.node
 let manager_of t lock = lock mod t.nodes
 let stats t = t.stats
+let epoch t = t.epoch
 
 let state t lock =
   if lock < 0 then invalid_arg "Table: negative lock id";
@@ -116,6 +136,7 @@ let pass_token t s ~to_ =
   t.send ~dst:to_
     (Token
        {
+         epoch = t.epoch;
          lock = s.id;
          seqno = s.seqno;
          last_write_seq = s.last_write_seq;
@@ -130,7 +151,7 @@ let rec request_token t s =
     if mgr = t.node then
       (* We are the manager: short-circuit the self-send. *)
       handle_request t s.id t.node
-    else t.send ~dst:mgr (Request { lock = s.id; requester = t.node })
+    else t.send ~dst:mgr (Request { epoch = t.epoch; lock = s.id; requester = t.node })
   end
 
 and handle_request t lock requester =
@@ -142,7 +163,7 @@ and handle_request t lock requester =
   if prev = requester then
     raise (Protocol_error "requester already at queue tail");
   if prev = t.node then handle_forward t lock requester
-  else t.send ~dst:prev (Forward { lock; requester })
+  else t.send ~dst:prev (Forward { epoch = t.epoch; lock; requester })
 
 and handle_forward t lock requester =
   let s = state t lock in
@@ -181,11 +202,18 @@ let handle_token t lock ~seqno ~last_write_seq ~last_writer =
       | None -> ())
 
 let handle t ~src:_ msg =
-  match msg with
-  | Request { lock; requester } -> handle_request t lock requester
-  | Forward { lock; requester } -> handle_forward t lock requester
-  | Token { lock; seqno; last_write_seq; last_writer } ->
-      handle_token t lock ~seqno ~last_write_seq ~last_writer
+  let msg_epoch =
+    match msg with
+    | Request { epoch; _ } | Forward { epoch; _ } | Token { epoch; _ } -> epoch
+  in
+  (* Lease fencing: traffic from before the last reclaim is void. *)
+  if msg_epoch <> t.epoch then t.stats.stale_msgs <- t.stats.stale_msgs + 1
+  else
+    match msg with
+    | Request { lock; requester; _ } -> handle_request t lock requester
+    | Forward { lock; requester; _ } -> handle_forward t lock requester
+    | Token { lock; seqno; last_write_seq; last_writer; _ } ->
+        handle_token t lock ~seqno ~last_write_seq ~last_writer
 
 let enqueue_waiter t s =
   let w = { iv = Lbc_sim.Ivar.create (); cancelled = false } in
@@ -201,7 +229,9 @@ let acquire t lock =
   end
   else begin
     let w = enqueue_waiter t s in
-    match Lbc_sim.Ivar.read w.iv with
+    match
+      Lbc_sim.Ivar.read ~info:(Printf.sprintf "lock-wait l%d" lock) w.iv
+    with
     | Some g -> g
     | None -> raise (Protocol_error "acquire: waiter cancelled unexpectedly")
   end
@@ -220,7 +250,9 @@ let acquire_timeout t lock ~timeout =
           w.cancelled <- true;
           Lbc_sim.Ivar.fill w.iv None
         end);
-    Lbc_sim.Ivar.read w.iv
+    Lbc_sim.Ivar.read
+      ~info:(Printf.sprintf "lock-wait l%d (timeout %.0f)" lock timeout)
+      w.iv
   end
 
 let release t lock ~wrote =
@@ -244,3 +276,166 @@ let release t lock ~wrote =
           t.stats.local_grants <- t.stats.local_grants + 1;
           Lbc_sim.Ivar.fill w.iv (Some g)
       | None -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery: lease-expiry reclaim and rejoin reset.              *)
+
+(* Grant to a local waiter or honour a pending forward, if idle. *)
+let dispatch t s =
+  if s.have_token && not s.busy then
+    match next_waiter s.waiters with
+    | Some w ->
+        let g = grant_locally s in
+        t.stats.local_grants <- t.stats.local_grants + 1;
+        Lbc_sim.Ivar.fill w.iv (Some g)
+    | None -> (
+        match s.pending_remote with
+        | Some r ->
+            s.pending_remote <- None;
+            pass_token t s ~to_:r
+        | None -> ())
+
+let lock_ids tables =
+  let set = Hashtbl.create 64 in
+  Array.iter
+    (fun t -> Hashtbl.iter (fun id _ -> Hashtbl.replace set id ()) t.locks)
+    tables;
+  List.sort Int.compare (Hashtbl.fold (fun id () acc -> id :: acc) set [])
+
+(* Rebuild one lock after [failed]'s lease expired.  Pure state surgery:
+   no suspension point, so the caller can fence and repair every lock in
+   one atomic step.  Returns the sends to perform afterwards (each may
+   suspend the calling process) as thunks that re-check their
+   preconditions, since earlier sends may have let the cluster move. *)
+let reclaim_lock tables ~failed lock =
+  let n = Array.length tables in
+  let mgr = lock mod n in
+  if mgr <> failed then begin
+    let entry i = Hashtbl.find_opt tables.(i).locks lock in
+    (* Splice [failed] out of the pending chain: its predecessor now owes
+       the token directly to its successor. *)
+    let f_next =
+      match entry failed with
+      | Some fs -> (
+          match fs.pending_remote with
+          | Some q when q <> failed -> Some q
+          | _ -> None)
+      | None -> None
+    in
+    Array.iteri
+      (fun i _ ->
+        if i <> failed then
+          match entry i with
+          | Some s when s.pending_remote = Some failed ->
+              s.pending_remote <- f_next
+          | _ -> ())
+      tables;
+    (* Find the surviving token owner, if any. *)
+    let holder = ref None in
+    Array.iteri
+      (fun i _ ->
+        if i <> failed then
+          match entry i with
+          | Some s when s.have_token -> holder := Some i
+          | _ -> ())
+      tables;
+    let holder =
+      match !holder with
+      | Some h -> h
+      | None when not (Hashtbl.mem tables.(mgr).locks lock) ->
+          (* Token never left the manager. *)
+          ignore (state tables.(mgr) lock : lstate);
+          mgr
+      | None ->
+          (* The token went down with [failed] (held there, or in flight
+             to or from it).  Rematerialize it at the manager, seeded with
+             the highest sequence state any table recorded: the fields are
+             monotone and travel with the token, so the maximum over all
+             copies is exactly what the lost token carried. *)
+          let s_m = state tables.(mgr) lock in
+          let best_seq = ref 0 and best_lws = ref 0 and best_lw = ref (-1) in
+          Array.iter
+            (fun t_i ->
+              match Hashtbl.find_opt t_i.locks lock with
+              | Some s ->
+                  if (s.seqno, s.last_write_seq) > (!best_seq, !best_lws)
+                  then begin
+                    best_seq := s.seqno;
+                    best_lws := s.last_write_seq;
+                    best_lw := s.last_writer
+                  end
+              | None -> ())
+            tables;
+          s_m.have_token <- true;
+          s_m.requesting <- false;
+          s_m.seqno <- !best_seq;
+          s_m.last_write_seq <- !best_lws;
+          s_m.last_writer <- !best_lw;
+          mgr
+    in
+    (* Walk the surviving chain; everything on it keeps its links and is
+       served normally. *)
+    let reachable = Array.make n false in
+    let rec walk i =
+      reachable.(i) <- true;
+      match (match entry i with Some s -> s.pending_remote | None -> None) with
+      | Some j when j <> failed && not reachable.(j) -> walk j
+      | _ -> i
+    in
+    let chain_end = walk holder in
+    (state tables.(mgr) lock).tail <- chain_end;
+    (* Nodes cut off from the chain (their request or its forward was lost
+       with the failure) re-enter the queue from scratch. *)
+    let rekicks = ref [] in
+    Array.iteri
+      (fun i _ ->
+        if i <> failed && not reachable.(i) then
+          match entry i with
+          | Some s ->
+              s.pending_remote <- None;
+              if s.requesting then begin
+                s.requesting <- false;
+                if live_waiters s.waiters > 0 then rekicks := i :: !rekicks
+              end
+          | None -> ())
+      tables;
+    (fun () -> dispatch tables.(holder) (state tables.(holder) lock))
+    :: List.map
+         (fun i () ->
+           let s = state tables.(i) lock in
+           if
+             (not s.have_token) && (not s.requesting)
+             && live_waiters s.waiters > 0
+           then request_token tables.(i) s)
+         (List.sort Int.compare !rekicks)
+  end
+  else []
+
+let reclaim tables ~failed =
+  let n = Array.length tables in
+  if n = 0 then invalid_arg "Table.reclaim: no tables";
+  if failed < 0 || failed >= n then invalid_arg "Table.reclaim: bad failed node";
+  (* Epoch fence (lease expiry): bump every table so that messages still
+     in flight from the old epoch are discarded on receipt.  The fence and
+     the per-lock surgery run in one atomic step (no suspension point), so
+     the surgery sees a frozen, consistent snapshot: pre-fence traffic is
+     void on arrival and no post-fence traffic exists yet.  Only then do
+     the deferred sends run. *)
+  let epoch = 1 + Array.fold_left (fun m t_i -> max m t_i.epoch) 0 tables in
+  Array.iter (fun t_i -> t_i.epoch <- epoch) tables;
+  let sends = List.concat_map (reclaim_lock tables ~failed) (lock_ids tables) in
+  List.iter (fun f -> f ()) sends
+
+let rejoin_reset t =
+  Hashtbl.iter
+    (fun _ s ->
+      s.busy <- false;
+      s.held_seq <- 0;
+      s.pending_remote <- None;
+      s.requesting <- false;
+      Queue.clear s.waiters;
+      (* Tokens this node held were invalidated by the reclaim; locks it
+         manages were skipped (manager failure is outside the fault
+         model), so their manager-side state stays. *)
+      if manager_of t s.id <> t.node then s.have_token <- false)
+    t.locks

@@ -32,10 +32,17 @@ type grant = {
 }
 
 type msg =
-  | Request of { lock : int; requester : int }  (** to the lock's manager *)
-  | Forward of { lock : int; requester : int }  (** manager to queue tail *)
-  | Token of { lock : int; seqno : int; last_write_seq : int; last_writer : int }
-      (** ownership transfer to a requester *)
+  | Request of { epoch : int; lock : int; requester : int }
+      (** to the lock's manager *)
+  | Forward of { epoch : int; lock : int; requester : int }
+      (** manager to queue tail *)
+  | Token of {
+      epoch : int;
+      lock : int;
+      seqno : int;
+      last_write_seq : int;
+      last_writer : int;
+    }  (** ownership transfer to a requester *)
 
 val msg_size : msg -> int
 (** Nominal wire size in bytes, for traffic accounting. *)
@@ -77,11 +84,48 @@ val held : t -> int -> bool
 
 val has_token : t -> int -> bool
 
+val epoch : t -> int
+(** Current lease epoch.  Messages stamped with an older epoch are
+    discarded by {!handle}; {!reclaim} advances it on every table. *)
+
+(** {1 Crash recovery}
+
+    The lock service tolerates the crash of a node that manages no locks
+    involved in the failure: after its lease expires, {!reclaim} rebuilds
+    every lock's distributed state without it.  A crash of a lock's
+    {e manager} is outside the fault model and leaves that lock broken. *)
+
+val reclaim : t array -> failed:int -> unit
+(** Lease-expiry recovery, run by an omniscient recovery agent over the
+    tables of {e all} nodes (it stands in for the survivor-side state
+    exchange a real lease/epoch protocol would perform).  Must be called
+    from a simulated process.
+
+    It (1) bumps the epoch on every table so in-flight lock traffic is
+    fenced off (discarded on arrival), then — atomically with the fence,
+    so no new traffic can race the surgery — per lock not managed by
+    [failed]: splices [failed] out of
+    the token-forwarding chain, rematerializes the token at the manager if
+    it was lost with the failure (seeded with the highest sequence state
+    any surviving table recorded — the fields are monotone, so that is
+    what the lost token carried), repairs the manager's queue tail, and
+    re-enqueues requesters whose request or forward was lost.  Waiting
+    acquires on surviving nodes are served in a possibly different order
+    afterwards, but none are lost. *)
+
+val rejoin_reset : t -> unit
+(** Reset a crashed node's table before it re-enters the protocol: local
+    protocol state is cleared, waiters (owned by killed processes) are
+    discarded, and tokens it held are forgotten — the reclaim re-issued
+    them.  Manager-side state of locks this node manages is kept. *)
+
 type stats = {
   mutable local_grants : int;  (** acquires satisfied without communication *)
   mutable remote_grants : int;  (** acquires that waited for the token *)
   mutable tokens_passed : int;
   mutable requests_sent : int;
+  mutable stale_msgs : int;
+      (** messages discarded by the epoch fence after a reclaim *)
 }
 
 val stats : t -> stats

@@ -5,8 +5,11 @@ type 'm t = {
   size : 'm -> int;
   channels : 'm Lbc_sim.Mailbox.t array array;  (* channels.(src).(dst) *)
   drop : bool array array;
+  drop_filter : ('m -> bool) option array array;
+  down : bool array;
   messages_sent : int array;
   bytes_sent : int array;
+  dropped : int array array;  (* dropped.(src).(dst) *)
 }
 
 let create ?(params = Params.an1) ~engine ~nodes ~size () =
@@ -20,8 +23,11 @@ let create ?(params = Params.an1) ~engine ~nodes ~size () =
       Array.init nodes (fun _ ->
           Array.init nodes (fun _ -> Lbc_sim.Mailbox.create ()));
     drop = Array.make_matrix nodes nodes false;
+    drop_filter = Array.make_matrix nodes nodes None;
+    down = Array.make nodes false;
     messages_sent = Array.make nodes 0;
     bytes_sent = Array.make nodes 0;
+    dropped = Array.make_matrix nodes nodes 0;
   }
 
 let engine t = t.engine
@@ -32,19 +38,35 @@ let check_node t who n =
   if n < 0 || n >= t.nodes then
     invalid_arg (Printf.sprintf "Fabric: bad %s node %d" who n)
 
+let count_drop t ~src ~dst = t.dropped.(src).(dst) <- t.dropped.(src).(dst) + 1
+
+let should_drop t ~src ~dst msg =
+  t.drop.(src).(dst)
+  || (match t.drop_filter.(src).(dst) with Some f -> f msg | None -> false)
+
+(* Put one message on the wire: it is dropped at delivery time if the
+   destination is down by then (the crash loses in-flight traffic). *)
+let deliver t ~src ~dst msg =
+  if should_drop t ~src ~dst msg then count_drop t ~src ~dst
+  else
+    Lbc_sim.Engine.schedule t.engine ~delay:t.params.Params.propagation
+      (fun () ->
+        if t.down.(dst) then count_drop t ~src ~dst
+        else Lbc_sim.Mailbox.send t.channels.(src).(dst) msg)
+
 let send t ~src ~dst msg =
   check_node t "src" src;
   check_node t "dst" dst;
   if src = dst then invalid_arg "Fabric.send: src = dst";
-  let len = t.size msg in
-  t.messages_sent.(src) <- t.messages_sent.(src) + 1;
-  t.bytes_sent.(src) <- t.bytes_sent.(src) + len;
-  (* Block the sender for the writev cost, then put the message on the wire. *)
-  Lbc_sim.Proc.sleep (Params.send_cost t.params len);
-  if not t.drop.(src).(dst) then begin
-    let mailbox = t.channels.(src).(dst) in
-    Lbc_sim.Engine.schedule t.engine ~delay:t.params.Params.propagation
-      (fun () -> Lbc_sim.Mailbox.send mailbox msg)
+  if t.down.(src) then count_drop t ~src ~dst
+  else begin
+    let len = t.size msg in
+    t.messages_sent.(src) <- t.messages_sent.(src) + 1;
+    t.bytes_sent.(src) <- t.bytes_sent.(src) + len;
+    (* Block the sender for the writev cost, then put the message on the
+       wire. *)
+    Lbc_sim.Proc.sleep (Params.send_cost t.params len);
+    deliver t ~src ~dst msg
   end
 
 let broadcast t ~src ~dsts msg =
@@ -53,23 +75,21 @@ let broadcast t ~src ~dsts msg =
     List.sort_uniq Int.compare (List.filter (fun d -> d <> src) dsts)
   in
   List.iter (fun d -> check_node t "dst" d) dsts;
-  let len = t.size msg in
-  t.messages_sent.(src) <- t.messages_sent.(src) + 1;
-  t.bytes_sent.(src) <- t.bytes_sent.(src) + len;
-  Lbc_sim.Proc.sleep (Params.send_cost t.params len);
-  List.iter
-    (fun dst ->
-      if not t.drop.(src).(dst) then begin
-        let mailbox = t.channels.(src).(dst) in
-        Lbc_sim.Engine.schedule t.engine ~delay:t.params.Params.propagation
-          (fun () -> Lbc_sim.Mailbox.send mailbox msg)
-      end)
-    dsts
+  if t.down.(src) then List.iter (fun dst -> count_drop t ~src ~dst) dsts
+  else begin
+    let len = t.size msg in
+    t.messages_sent.(src) <- t.messages_sent.(src) + 1;
+    t.bytes_sent.(src) <- t.bytes_sent.(src) + len;
+    Lbc_sim.Proc.sleep (Params.send_cost t.params len);
+    List.iter (fun dst -> deliver t ~src ~dst msg) dsts
+  end
 
 let recv t ~dst ~src =
   check_node t "src" src;
   check_node t "dst" dst;
-  Lbc_sim.Mailbox.recv t.channels.(src).(dst)
+  Lbc_sim.Mailbox.recv
+    ~info:(Printf.sprintf "net recv %d<-%d" dst src)
+    t.channels.(src).(dst)
 
 let try_recv t ~dst ~src =
   check_node t "src" src;
@@ -81,6 +101,36 @@ let set_drop t ~src ~dst v =
   check_node t "dst" dst;
   t.drop.(src).(dst) <- v
 
+let set_drop_filter t ~src ~dst f =
+  check_node t "src" src;
+  check_node t "dst" dst;
+  t.drop_filter.(src).(dst) <- f
+
+let purge_inbound t node =
+  for src = 0 to t.nodes - 1 do
+    if src <> node then
+      let mailbox = t.channels.(src).(node) in
+      let rec drain () =
+        match Lbc_sim.Mailbox.try_recv mailbox with
+        | None -> ()
+        | Some _ ->
+            count_drop t ~src ~dst:node;
+            drain ()
+      in
+      drain ()
+  done
+
+let set_down t node v =
+  check_node t "node" node;
+  t.down.(node) <- v;
+  (* A crashing node loses the messages its receiver threads had not yet
+     consumed; count them as dropped traffic. *)
+  if v then purge_inbound t node
+
+let is_down t node =
+  check_node t "node" node;
+  t.down.(node)
+
 let messages_sent t ~src =
   check_node t "src" src;
   t.messages_sent.(src)
@@ -89,5 +139,13 @@ let bytes_sent t ~src =
   check_node t "src" src;
   t.bytes_sent.(src)
 
+let messages_dropped t ~src ~dst =
+  check_node t "src" src;
+  check_node t "dst" dst;
+  t.dropped.(src).(dst)
+
 let total_messages t = Array.fold_left ( + ) 0 t.messages_sent
 let total_bytes t = Array.fold_left ( + ) 0 t.bytes_sent
+
+let total_dropped t =
+  Array.fold_left (fun acc row -> Array.fold_left ( + ) acc row) 0 t.dropped

@@ -6,7 +6,12 @@
     implementation would move.  Ordering guarantee: messages from one
     sender to one receiver are delivered in send order (TCP); there is no
     ordering across different sender/receiver pairs — exactly the situation
-    that forces the paper's sequence-number interlock (Section 3.4). *)
+    that forces the paper's sequence-number interlock (Section 3.4).
+
+    Fault injection: individual channels can be made lossy ({!set_drop},
+    {!set_drop_filter}) and whole nodes can be taken down ({!set_down}).
+    Every message discarded for any reason is counted per (src, dst) pair
+    and reported by {!messages_dropped} / {!total_dropped}. *)
 
 type 'm t
 
@@ -36,11 +41,33 @@ val try_recv : 'm t -> dst:int -> src:int -> 'm option
 (** {1 Fault injection} *)
 
 val set_drop : 'm t -> src:int -> dst:int -> bool -> unit
-(** While set, messages from [src] to [dst] are silently discarded. *)
+(** While set, messages from [src] to [dst] are discarded (and counted). *)
+
+val set_drop_filter : 'm t -> src:int -> dst:int -> ('m -> bool) option -> unit
+(** Selective loss: while a filter is installed, messages from [src] to
+    [dst] for which it returns [true] are discarded (and counted).
+    Composes with {!set_drop} (either one dropping suffices).  Chaos tests
+    use this to lose only data-plane traffic while keeping the lock
+    control plane reliable. *)
+
+val set_down : 'm t -> int -> bool -> unit
+(** [set_down t n true] models a crash of node [n]: messages to or from
+    [n] are discarded from now on, and messages already queued in [n]'s
+    inbound channels are purged (all counted as drops).  Messages in
+    flight on the wire are lost when they arrive.  [set_down t n false]
+    restores connectivity (the channels start empty). *)
+
+val is_down : 'm t -> int -> bool
 
 (** {1 Traffic accounting} *)
 
 val messages_sent : 'm t -> src:int -> int
 val bytes_sent : 'm t -> src:int -> int
+val messages_dropped : 'm t -> src:int -> dst:int -> int
+(** Messages from [src] to [dst] discarded by fault injection. *)
+
 val total_messages : 'm t -> int
 val total_bytes : 'm t -> int
+
+val total_dropped : 'm t -> int
+(** Total messages discarded across all channels. *)

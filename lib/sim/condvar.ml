@@ -1,7 +1,9 @@
 type t = { waiters : (unit -> unit) Queue.t }
 
 let create () = { waiters = Queue.create () }
-let wait t = Proc.suspend (fun resume -> Queue.add resume t.waiters)
+
+let wait ?(info = "condvar.wait") t =
+  Proc.suspend ~info (fun resume -> Queue.add resume t.waiters)
 
 let signal t =
   match Queue.take_opt t.waiters with Some resume -> resume () | None -> ()
@@ -13,4 +15,5 @@ let broadcast t =
   Queue.transfer t.waiters current;
   Queue.iter (fun resume -> resume ()) current
 
-let rec await t pred = if pred () then () else (wait t; await t pred)
+let rec await ?info t pred =
+  if pred () then () else (wait ?info t; await ?info t pred)

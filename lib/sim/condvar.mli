@@ -7,8 +7,10 @@ type t
 
 val create : unit -> t
 
-val wait : t -> unit
-(** Suspend until the next {!broadcast} or {!signal}. *)
+val wait : ?info:string -> t -> unit
+(** Suspend until the next {!broadcast} or {!signal}.  [info] (default
+    ["condvar.wait"]) describes the wait in the engine's blocked-process
+    registry. *)
 
 val signal : t -> unit
 (** Wake one waiter (FIFO), if any. *)
@@ -16,6 +18,6 @@ val signal : t -> unit
 val broadcast : t -> unit
 (** Wake all current waiters. *)
 
-val await : t -> (unit -> bool) -> unit
+val await : ?info:string -> t -> (unit -> bool) -> unit
 (** [await c pred] returns once [pred ()] is true, waiting on [c] between
     checks. *)

@@ -2,12 +2,35 @@ type time = float
 
 type event = { at : time; callback : unit -> unit }
 
-type t = { mutable clock : time; queue : event Lbc_util.Pqueue.t }
+type waiting = { desc : string; daemon : bool; alive : unit -> bool }
+
+type t = {
+  mutable clock : time;
+  queue : event Lbc_util.Pqueue.t;
+  waiting : (int, waiting) Hashtbl.t;
+  mutable next_wait : int;
+}
+
+exception Stranded of string list
+
+let () =
+  Printexc.register_printer (function
+    | Stranded descs ->
+        Some
+          (Printf.sprintf "Stranded: %d process(es) blocked forever:\n  %s"
+             (List.length descs)
+             (String.concat "\n  " descs))
+    | _ -> None)
 
 let compare_event a b = Float.compare a.at b.at
 
 let create () =
-  { clock = 0.0; queue = Lbc_util.Pqueue.create ~compare:compare_event }
+  {
+    clock = 0.0;
+    queue = Lbc_util.Pqueue.create ~compare:compare_event;
+    waiting = Hashtbl.create 16;
+    next_wait = 0;
+  }
 
 let now t = t.clock
 
@@ -22,6 +45,41 @@ let schedule t ?(delay = 0.0) callback =
   schedule_at t ~at:(t.clock +. delay) callback
 
 let pending t = Lbc_util.Pqueue.length t.queue
+
+(* --------------------------------------------------------------- *)
+(* Blocked-process registry.
+
+   Processes that suspend on a synchronization primitive register a
+   description of what they are waiting for; the registration is removed
+   when they are resumed.  When the event queue drains while non-daemon
+   registrations remain, the simulation is stranded: those processes can
+   never run again (nothing is left to resume them), which is how a
+   dropped message or a lost lock token turns a hung cluster into a
+   diagnosable failure instead of a silent pass. *)
+
+let block_begin t ~desc ~daemon ~alive =
+  let id = t.next_wait in
+  t.next_wait <- id + 1;
+  Hashtbl.replace t.waiting id { desc; daemon; alive };
+  id
+
+let block_end t id = Hashtbl.remove t.waiting id
+
+let blocked t =
+  (* Prune registrations of processes that died (e.g. a crashed node's
+     torn transaction): they are parked forever but intentionally so. *)
+  let dead =
+    Hashtbl.fold
+      (fun id w acc -> if w.alive () then acc else id :: acc)
+      t.waiting []
+  in
+  List.iter (Hashtbl.remove t.waiting) dead;
+  Hashtbl.fold
+    (fun _ w acc -> if w.daemon then acc else w.desc :: acc)
+    t.waiting []
+  |> List.sort String.compare
+
+let blocked_count t = List.length (blocked t)
 
 let step t =
   match Lbc_util.Pqueue.pop t.queue with

@@ -34,3 +34,29 @@ val run : ?until:time -> t -> unit
 
 val step : t -> bool
 (** Run a single event.  Returns [false] if the queue was empty. *)
+
+(** {1 Blocked-process registry}
+
+    Synchronization primitives ({!Mailbox}, {!Ivar}, {!Condvar}) register
+    every suspended process here with a description of what it waits for.
+    When {!run} returns with the queue empty, any remaining non-daemon
+    registration is a process stranded forever — nothing is left that
+    could resume it.  [Cluster.run] turns that into {!Stranded} so a hung
+    cluster fails loudly instead of looking like a passing test. *)
+
+exception Stranded of string list
+(** One description per process that can never run again. *)
+
+val block_begin : t -> desc:string -> daemon:bool -> alive:(unit -> bool) -> int
+(** Register a suspended process; returns a token for {!block_end}.
+    [daemon] processes (e.g. per-channel dispatchers) are excluded from
+    {!blocked}; registrations whose [alive] turns false (killed processes
+    of a crashed node) are pruned. *)
+
+val block_end : t -> int -> unit
+
+val blocked : t -> string list
+(** Descriptions of the live, non-daemon processes currently suspended on
+    a synchronization primitive, sorted for determinism. *)
+
+val blocked_count : t -> int

@@ -14,11 +14,11 @@ let fill t v =
 let is_filled t = match t.state with Full _ -> true | Empty _ -> false
 let peek t = match t.state with Full v -> Some v | Empty _ -> None
 
-let read t =
+let read ?(info = "ivar.read") t =
   match t.state with
   | Full v -> v
   | Empty _ ->
-      Proc.suspend (fun resume ->
+      Proc.suspend ~info (fun resume ->
           match t.state with
           | Full v -> resume v
           | Empty waiters -> t.state <- Empty (resume :: waiters))

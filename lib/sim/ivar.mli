@@ -13,5 +13,7 @@ val is_filled : 'a t -> bool
 
 val peek : 'a t -> 'a option
 
-val read : 'a t -> 'a
-(** Return the value, suspending the calling process until filled. *)
+val read : ?info:string -> 'a t -> 'a
+(** Return the value, suspending the calling process until filled.
+    [info] (default ["ivar.read"]) describes the wait in the engine's
+    blocked-process registry. *)

@@ -9,10 +9,10 @@ let send t v =
 
 let try_recv t = Queue.take_opt t.items
 
-let recv t =
+let recv ?(info = "mailbox.recv") t =
   match Queue.take_opt t.items with
   | Some v -> v
-  | None -> Proc.suspend (fun resume -> Queue.add resume t.waiters)
+  | None -> Proc.suspend ~info (fun resume -> Queue.add resume t.waiters)
 
 let length t = Queue.length t.items
 let is_empty t = Queue.is_empty t.items

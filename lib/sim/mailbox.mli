@@ -7,7 +7,10 @@ type 'a t
 
 val create : unit -> 'a t
 val send : 'a t -> 'a -> unit
-val recv : 'a t -> 'a
+val recv : ?info:string -> 'a t -> 'a
+(** [info] (default ["mailbox.recv"]) describes the wait in the engine's
+    blocked-process registry. *)
+
 val try_recv : 'a t -> 'a option
 val length : 'a t -> int
 val is_empty : 'a t -> bool

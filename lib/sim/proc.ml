@@ -1,52 +1,91 @@
 exception Not_in_process
+exception Killed
+
+type meta = { name : string; daemon : bool; alive : unit -> bool }
 
 type _ Effect.t +=
   | Sleep : Engine.time -> unit Effect.t
   | Suspend : (('a -> unit) -> unit) -> 'a Effect.t
   | Current_engine : Engine.t Effect.t
+  | Self_meta : meta Effect.t
 
 let sleep dt =
   try Effect.perform (Sleep dt) with Effect.Unhandled _ -> raise Not_in_process
-
-let suspend register =
-  try Effect.perform (Suspend register)
-  with Effect.Unhandled _ -> raise Not_in_process
 
 let engine () =
   try Effect.perform Current_engine
   with Effect.Unhandled _ -> raise Not_in_process
 
+let self_meta () =
+  try Effect.perform Self_meta
+  with Effect.Unhandled _ -> raise Not_in_process
+
+let suspend ?info register =
+  match info with
+  | None -> (
+      try Effect.perform (Suspend register)
+      with Effect.Unhandled _ -> raise Not_in_process)
+  | Some info ->
+      (* Register in the engine's blocked-process registry for the
+         duration of the suspension, so a process that is never resumed
+         shows up in the stranded report. *)
+      let eng = engine () in
+      let m = self_meta () in
+      let id =
+        Engine.block_begin eng
+          ~desc:(m.name ^ ": " ^ info)
+          ~daemon:m.daemon ~alive:m.alive
+      in
+      Effect.perform
+        (Suspend
+           (fun resume ->
+             register (fun v ->
+                 Engine.block_end eng id;
+                 resume v)))
+
 let now () = Engine.now (engine ())
 let yield () = sleep 0.0
 
-let spawn eng ?(name = "proc") f =
+let spawn eng ?(name = "proc") ?(daemon = false) ?(alive = fun () -> true) f =
   let open Effect.Deep in
+  let meta = { name; daemon; alive } in
   let handler =
     {
       retc = (fun () -> ());
       exnc =
         (fun e ->
-          let bt = Printexc.get_raw_backtrace () in
-          let e' =
-            match e with
-            | Failure _ -> e
-            | _ -> Failure (Printf.sprintf "process %s: %s" name (Printexc.to_string e))
-          in
-          Printexc.raise_with_backtrace e' bt);
+          match e with
+          | Killed -> ()  (* the process's node crashed; die silently *)
+          | Failure _ ->
+              let bt = Printexc.get_raw_backtrace () in
+              Printexc.raise_with_backtrace e bt
+          | _ ->
+              let bt = Printexc.get_raw_backtrace () in
+              let e' =
+                Failure
+                  (Printf.sprintf "process %s: %s" name (Printexc.to_string e))
+              in
+              Printexc.raise_with_backtrace e' bt);
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
           | Sleep dt ->
               Some
                 (fun (k : (a, unit) continuation) ->
-                  Engine.schedule eng ~delay:dt (fun () -> continue k ()))
+                  Engine.schedule eng ~delay:dt (fun () ->
+                      if alive () then continue k ()
+                      else discontinue k Killed))
           | Suspend register ->
               Some
                 (fun (k : (a, unit) continuation) ->
-                  register (fun v -> continue k v))
+                  register (fun v ->
+                      if alive () then continue k v
+                      else discontinue k Killed))
           | Current_engine ->
               Some (fun (k : (a, unit) continuation) -> continue k eng)
+          | Self_meta ->
+              Some (fun (k : (a, unit) continuation) -> continue k meta)
           | _ -> None);
     }
   in
-  Engine.schedule eng (fun () -> match_with f () handler)
+  Engine.schedule eng (fun () -> if alive () then match_with f () handler)

@@ -11,10 +11,30 @@
 exception Not_in_process
 (** Raised when [sleep]/[suspend]/[now] is called outside [spawn]. *)
 
-val spawn : Engine.t -> ?name:string -> (unit -> unit) -> unit
+exception Killed
+(** Raised {e inside} a process when it is resumed after its [alive]
+    predicate turned false (its node crashed): the process unwinds and
+    dies silently instead of continuing with torn state. *)
+
+val spawn :
+  Engine.t ->
+  ?name:string ->
+  ?daemon:bool ->
+  ?alive:(unit -> bool) ->
+  (unit -> unit) ->
+  unit
 (** [spawn engine f] schedules process [f] to start at the current virtual
     instant.  An exception escaping [f] is wrapped in [Failure] with the
-    process [name] and propagates out of {!Engine.run}. *)
+    process [name] and propagates out of {!Engine.run}.
+
+    [daemon] (default [false]) marks system service processes (message
+    dispatchers) that legitimately block forever: they are excluded from
+    the engine's stranded-process report.
+
+    [alive] (default always-true) is checked every time the process is
+    (re)started or resumed; when it returns [false] the process is killed
+    by raising {!Killed} at its suspension point.  This is how a crashed
+    node's in-flight transaction is torn down. *)
 
 val sleep : Engine.time -> unit
 (** Advance this process's virtual time.  Other events run meanwhile. *)
@@ -23,11 +43,12 @@ val yield : unit -> unit
 (** Re-enter the event queue at the current instant (runs after events
     already scheduled for this instant). *)
 
-val suspend : (('a -> unit) -> unit) -> 'a
+val suspend : ?info:string -> (('a -> unit) -> unit) -> 'a
 (** [suspend register] parks the process and calls [register resume]
     immediately; a later call of [resume v] (from any event callback)
     continues the process with [v].  [resume] must be called exactly
-    once. *)
+    once.  With [?info], the suspension is recorded in the engine's
+    blocked-process registry (see {!Engine.blocked}) until resumed. *)
 
 val now : unit -> Engine.time
 (** Virtual time, usable only inside a process. *)

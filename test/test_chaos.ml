@@ -193,6 +193,176 @@ let test_simulation_deterministic () =
   Alcotest.(check bool) "same final images" true (Bytes.equal img1 img2);
   Alcotest.(check int) "same message count" m1 m2
 
+(* ----------------------------------------------------------------- *)
+(* Fault injection: message loss, node crash and rejoin *)
+
+let all_locks = regions * locks_per_region
+
+(* Every node acquires every lock once: the interlock (plus the repair
+   watchdog) forces each cache to pull in whatever it missed. *)
+let final_pull c nodes =
+  for n = 0 to nodes - 1 do
+    Cluster.spawn c ~node:n (fun node ->
+        let txn = Node.Txn.begin_ node in
+        for l = 0 to all_locks - 1 do
+          Node.Txn.acquire txn l
+        done;
+        Node.Txn.commit txn)
+  done;
+  Cluster.run c
+
+let logs_of c nodes =
+  List.init nodes (fun n -> Lbc_rvm.Rvm.log (Node.rvm (Cluster.node c n)))
+
+let check_logs_clean what c nodes =
+  let vs = Lbc_analysis.Invariants.check_logs (logs_of c nodes) in
+  Alcotest.(check (list string))
+    what []
+    (List.map Lbc_analysis.Violation.to_string vs)
+
+let drop_updates c ~src ~dst on =
+  let filter =
+    if on then Some (function Msg.Update _ -> true | _ -> false) else None
+  in
+  Lbc_net.Fabric.set_drop_filter (Cluster.fabric c) ~src ~dst filter
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* Data-plane loss with repair enabled: a channel silently eats every
+   update, yet the seqno-gap watchdog re-fetches the missing records and
+   the system converges — with the loss visible in the accounting. *)
+let test_chaos_drop_repair_heals () =
+  let config =
+    { Config.default with Config.repair = true; Config.repair_timeout = 100.0 }
+  in
+  let nodes = 3 in
+  let c = mk_cluster config nodes in
+  drop_updates c ~src:0 ~dst:1 true;
+  let rng = Lbc_util.Rng.create 808 in
+  for n = 0 to nodes - 1 do
+    worker c rng n 20
+  done;
+  Cluster.run c;
+  final_pull c nodes;
+  Alcotest.(check bool)
+    "updates were dropped" true
+    (Lbc_net.Fabric.messages_dropped (Cluster.fabric c) ~src:0 ~dst:1 > 0);
+  Alcotest.(check bool)
+    "drops surface in totals" true
+    (Cluster.total_dropped c > 0);
+  Alcotest.(check bool)
+    "repair fetches were issued" true
+    ((Node.stats (Cluster.node c 1)).Node.repair_fetches > 0);
+  Alcotest.(check bool) "caches converged" true (converged c nodes);
+  Alcotest.(check bool) "recovery matches" true (recovery_matches c);
+  check_logs_clean "merged logs clean after repair" c nodes
+
+(* The same loss without repair must not complete silently: the victim is
+   stranded in the acquire interlock and [Cluster.run] says so. *)
+let test_chaos_drop_without_repair_strands () =
+  let nodes = 3 in
+  let c = mk_cluster Config.default nodes in
+  drop_updates c ~src:0 ~dst:1 true;
+  Cluster.spawn c ~node:0 (fun node ->
+      let txn = Node.Txn.begin_ node in
+      Node.Txn.acquire txn 0;
+      Node.Txn.set_u64 txn ~region:0 ~offset:0 1234L;
+      Node.Txn.commit txn);
+  Cluster.spawn c ~node:1 (fun node ->
+      Lbc_sim.Proc.sleep 50.0;
+      let txn = Node.Txn.begin_ node in
+      Node.Txn.acquire txn 0;
+      (* unreachable: the update was dropped and nothing repairs it *)
+      Node.Txn.commit txn);
+  (match Cluster.run c with
+  | () -> Alcotest.fail "run completed despite a lost update"
+  | exception Lbc_sim.Engine.Stranded descs ->
+      Alcotest.(check bool) "stranded report non-empty" true (descs <> []);
+      Alcotest.(check bool)
+        "report names the interlock" true
+        (List.exists (fun d -> contains d "interlock") descs));
+  Alcotest.(check bool)
+    "the lost update was counted" true
+    (Lbc_net.Fabric.messages_dropped (Cluster.fabric c) ~src:0 ~dst:1 > 0)
+
+(* Node crash mid-flight, lease-based token reclaim, rejoin with log
+   replay — on top of a lossy channel.  Five nodes and four locks, so the
+   crashed node manages no lock (manager failure is out of the fault
+   model, see DESIGN.md). *)
+let test_chaos_crash_rejoin () =
+  let config =
+    {
+      Config.default with
+      Config.repair = true;
+      Config.repair_timeout = 100.0;
+      Config.lease_timeout = 500.0;
+    }
+  in
+  let nodes = 5 in
+  let c = mk_cluster config nodes in
+  drop_updates c ~src:0 ~dst:1 true;
+  drop_updates c ~src:2 ~dst:3 true;
+  let rng = Lbc_util.Rng.create 909 in
+  for n = 0 to nodes - 1 do
+    worker c rng n 20
+  done;
+  Lbc_sim.Proc.spawn (Cluster.engine c) ~name:"chaos-controller" (fun () ->
+      Lbc_sim.Proc.sleep 150.0;
+      Cluster.crash c ~node:4;
+      let rec rejoin_when_lease_expires () =
+        match Cluster.rejoin c ~node:4 with
+        | () -> ()
+        | exception Invalid_argument _ ->
+            Lbc_sim.Proc.sleep 50.0;
+            rejoin_when_lease_expires ()
+      in
+      rejoin_when_lease_expires ();
+      (* The node is back: give it fresh work. *)
+      worker c rng 4 5);
+  Cluster.run c;
+  Alcotest.(check bool) "node is back up" false (Cluster.is_crashed c 4);
+  final_pull c nodes;
+  Alcotest.(check bool)
+    "faults actually dropped traffic" true
+    (Cluster.total_dropped c > 0);
+  Alcotest.(check bool) "caches converged" true (converged c nodes);
+  Alcotest.(check bool) "recovery matches" true (recovery_matches c);
+  check_logs_clean "merged logs clean after crash+rejoin" c nodes
+
+(* Online checkpoints must keep working while a channel is lossy and a
+   node is down: each call merges whatever prefix is orderable (possibly
+   empty) without corrupting anything. *)
+let test_chaos_checkpoint_under_faults () =
+  let config =
+    {
+      Config.default with
+      Config.repair = true;
+      Config.repair_timeout = 100.0;
+      Config.lease_timeout = 400.0;
+    }
+  in
+  let nodes = 5 in
+  let c = mk_cluster config nodes in
+  drop_updates c ~src:0 ~dst:1 true;
+  let rng = Lbc_util.Rng.create 1010 in
+  for n = 0 to nodes - 1 do
+    worker c rng n 15
+  done;
+  Cluster.run ~until:100.0 c;
+  Cluster.crash c ~node:4;
+  let ckpt1 = Cluster.online_checkpoint c in
+  Alcotest.(check bool) "checkpoint under faults returns" true (ckpt1 >= 0);
+  Cluster.run ~until:900.0 c;
+  ignore (Cluster.online_checkpoint c);
+  Cluster.rejoin c ~node:4;
+  Cluster.run c;
+  final_pull c nodes;
+  Alcotest.(check bool) "caches converged" true (converged c nodes);
+  Alcotest.(check bool) "recovery matches" true (recovery_matches c)
+
 let suites =
   [
     ( "chaos",
@@ -207,5 +377,16 @@ let suites =
         QCheck_alcotest.to_alcotest prop_random_clusters_converge;
         Alcotest.test_case "simulation deterministic" `Quick
           test_simulation_deterministic;
+      ] );
+    ( "chaos-faults",
+      [
+        Alcotest.test_case "dropped updates heal via repair" `Quick
+          test_chaos_drop_repair_heals;
+        Alcotest.test_case "dropped updates strand without repair" `Quick
+          test_chaos_drop_without_repair_strands;
+        Alcotest.test_case "crash, lease reclaim, rejoin" `Quick
+          test_chaos_crash_rejoin;
+        Alcotest.test_case "online checkpoint under faults" `Quick
+          test_chaos_checkpoint_under_faults;
       ] );
   ]

@@ -831,6 +831,44 @@ let test_merge_prefix_holds_back_gaps () =
     [ Lbc_wal.Log.tail log; Lbc_wal.Log.tail log1 ]
     p.Merge.new_heads
 
+(* Two transactions acquire two locks in opposite order — the textbook
+   deadlock.  Both sit in [acquire_timeout] until it gives up, abort
+   (undoing their stores), retry in canonical order, and both commit. *)
+let test_deadlock_timeout_abort_retry () =
+  let c = mk ~nodes:2 () in
+  let deadlocked = ref 0 in
+  let worker n ~first ~second ~offset =
+    Cluster.spawn c ~node:n (fun node ->
+        let txn = Node.Txn.begin_ node in
+        Node.Txn.acquire txn first;
+        Node.Txn.set_u64 txn ~region ~offset (Int64.of_int (n + 1));
+        (* Both workers now hold their first lock. *)
+        Lbc_sim.Proc.sleep 20.0;
+        if Node.Txn.acquire_timeout txn second ~timeout:100.0 then
+          Node.Txn.commit txn
+        else begin
+          incr deadlocked;
+          Node.Txn.abort txn;
+          let txn = Node.Txn.begin_ node in
+          Node.Txn.acquire txn (min first second);
+          Node.Txn.acquire txn (max first second);
+          Node.Txn.set_u64 txn ~region ~offset (Int64.of_int (n + 1));
+          Node.Txn.commit txn
+        end)
+  in
+  worker 0 ~first:0 ~second:1 ~offset:0;
+  worker 1 ~first:1 ~second:0 ~offset:8;
+  Cluster.run c;
+  Alcotest.(check bool) "the deadlock was hit" true (!deadlocked >= 1);
+  check_i64 "node 0's write committed" 1L
+    (Node.get_u64 (Cluster.node c 0) ~region ~offset:0);
+  check_i64 "node 1's write committed" 2L
+    (Node.get_u64 (Cluster.node c 1) ~region ~offset:8);
+  Alcotest.(check bool) "caches agree" true
+    (Bytes.equal
+       (Node.read (Cluster.node c 0) ~region ~offset:0 ~len:16)
+       (Node.read (Cluster.node c 1) ~region ~offset:0 ~len:16))
+
 let contains_substring haystack needle =
   let n = String.length needle and h = String.length haystack in
   let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
@@ -931,5 +969,7 @@ let suites =
         Alcotest.test_case "server crash" `Quick test_server_crash_then_recovery;
         Alcotest.test_case "no-flush lost" `Quick
           test_no_flush_commits_lost_on_server_crash;
+        Alcotest.test_case "deadlock timeout, abort, retry" `Quick
+          test_deadlock_timeout_abort_retry;
       ] );
   ]

@@ -103,6 +103,74 @@ let test_accounting () =
   Alcotest.(check int) "total msgs" 3 (Fabric.total_messages f);
   Alcotest.(check int) "total bytes" 7 (Fabric.total_bytes f)
 
+(* ------------------------------------------------------------------ *)
+(* Fault injection accounting *)
+
+let test_drop_counted_per_channel () =
+  let e, f = mk () in
+  Fabric.set_drop f ~src:0 ~dst:1 true;
+  Proc.spawn e (fun () ->
+      Fabric.send f ~src:0 ~dst:1 "lost1";
+      Fabric.send f ~src:0 ~dst:1 "lost2";
+      Fabric.send f ~src:0 ~dst:2 "fine");
+  Proc.spawn e (fun () -> ignore (Fabric.recv f ~dst:2 ~src:0));
+  Engine.run e;
+  Alcotest.(check int) "two dropped on 0->1" 2
+    (Fabric.messages_dropped f ~src:0 ~dst:1);
+  Alcotest.(check int) "none dropped on 0->2" 0
+    (Fabric.messages_dropped f ~src:0 ~dst:2);
+  Alcotest.(check int) "total dropped" 2 (Fabric.total_dropped f)
+
+let test_drop_filter_selective () =
+  let e, f = mk () in
+  (* Lose only "data" traffic; "ctl" traffic stays reliable — the shape
+     chaos tests use to cut the data plane but not the lock plane. *)
+  Fabric.set_drop_filter f ~src:0 ~dst:1
+    (Some (fun m -> String.length m > 3));
+  let got = ref [] in
+  Proc.spawn e (fun () ->
+      Fabric.send f ~src:0 ~dst:1 "data-payload";
+      Fabric.send f ~src:0 ~dst:1 "ctl";
+      Fabric.set_drop_filter f ~src:0 ~dst:1 None;
+      Fabric.send f ~src:0 ~dst:1 "data-payload-2");
+  Proc.spawn e (fun () ->
+      for _ = 1 to 2 do
+        got := Fabric.recv f ~dst:1 ~src:0 :: !got
+      done);
+  Engine.run e;
+  Alcotest.(check (list string))
+    "filtered traffic lost, rest in order"
+    [ "ctl"; "data-payload-2" ]
+    (List.rev !got);
+  Alcotest.(check int) "the loss was counted" 1
+    (Fabric.messages_dropped f ~src:0 ~dst:1)
+
+let test_down_node_loses_traffic () =
+  let e, f = mk () in
+  let got = ref [] in
+  Proc.spawn e (fun () ->
+      (* Queued but never received: purged when the node goes down. *)
+      Fabric.send f ~src:0 ~dst:1 "queued";
+      Fabric.set_down f 1 true;
+      Alcotest.(check bool) "marked down" true (Fabric.is_down f 1);
+      Fabric.send f ~src:0 ~dst:1 "to-down";
+      Fabric.send f ~src:1 ~dst:2 "from-down";
+      (* Let the in-flight delivery reach the down node and be lost
+         before connectivity returns. *)
+      Proc.sleep 10.0;
+      Fabric.set_down f 1 false;
+      Fabric.send f ~src:0 ~dst:1 "after-restart");
+  Proc.spawn e (fun () -> got := [ Fabric.recv f ~dst:1 ~src:0 ]);
+  Engine.run e;
+  Alcotest.(check (list string)) "only post-restart traffic" [ "after-restart" ]
+    !got;
+  (* queued + to-down on 0->1, from-down on 1->2. *)
+  Alcotest.(check int) "channel 0->1 drops" 2
+    (Fabric.messages_dropped f ~src:0 ~dst:1);
+  Alcotest.(check int) "channel 1->2 drops" 1
+    (Fabric.messages_dropped f ~src:1 ~dst:2);
+  Alcotest.(check int) "total" 3 (Fabric.total_dropped f)
+
 let suites =
   [
     ( "net.fabric",
@@ -116,5 +184,14 @@ let suites =
         Alcotest.test_case "self send rejected" `Quick test_self_send_rejected;
         Alcotest.test_case "drop injection" `Quick test_drop_injection;
         Alcotest.test_case "accounting" `Quick test_accounting;
+      ] );
+    ( "net.faults",
+      [
+        Alcotest.test_case "drops counted per channel" `Quick
+          test_drop_counted_per_channel;
+        Alcotest.test_case "drop filter selective" `Quick
+          test_drop_filter_selective;
+        Alcotest.test_case "down node loses traffic" `Quick
+          test_down_node_loses_traffic;
       ] );
   ]

@@ -246,6 +246,68 @@ let test_condvar_await_predicate () =
   check_float "resumed after third bump" 30.0 !done_at
 
 (* ------------------------------------------------------------------ *)
+(* Blocked-process registry and process lifecycle *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_blocked_registry_reports_stuck () =
+  let e = Engine.create () in
+  let iv : int Ivar.t = Ivar.create () in
+  Proc.spawn e ~name:"stuck" (fun () ->
+      ignore (Ivar.read ~info:"nobody will fill this" iv));
+  Engine.run e;
+  (* The queue drained but the process is still suspended: the registry
+     names it and says what it waits on. *)
+  check_int "one blocked process" 1 (Engine.blocked_count e);
+  match Engine.blocked e with
+  | [ desc ] ->
+      Alcotest.(check bool) "names the process" true (contains desc "stuck");
+      Alcotest.(check bool) "says what it waits on" true
+        (contains desc "nobody will fill this")
+  | other ->
+      Alcotest.fail
+        (Printf.sprintf "expected one description, got %d" (List.length other))
+
+let test_blocked_excludes_daemons () =
+  let e = Engine.create () in
+  let mb : int Mailbox.t = Mailbox.create () in
+  (* Forever idle on an empty channel: a daemon's normal state, not a
+     hang worth reporting. *)
+  Proc.spawn e ~name:"dispatcher" ~daemon:true (fun () ->
+      ignore (Mailbox.recv mb));
+  Proc.spawn e ~name:"worker" (fun () -> Proc.sleep 5.0);
+  Engine.run e;
+  Alcotest.(check (list string)) "no blocked reported" [] (Engine.blocked e)
+
+let test_alive_kills_at_resume () =
+  let e = Engine.create () in
+  let dead = ref false in
+  let reached = ref false in
+  Proc.spawn e ~name:"victim"
+    ~alive:(fun () -> not !dead)
+    (fun () ->
+      Proc.sleep 10.0;
+      reached := true);
+  Engine.schedule e ~delay:5.0 (fun () -> dead := true);
+  Engine.run e;
+  Alcotest.(check bool) "killed before resuming" false !reached;
+  (* A killed process is not a stranded one. *)
+  Alcotest.(check (list string)) "not reported blocked" [] (Engine.blocked e)
+
+let test_blocked_clears_on_resume () =
+  let e = Engine.create () in
+  let iv : int Ivar.t = Ivar.create () in
+  let got = ref 0 in
+  Proc.spawn e ~name:"reader" (fun () -> got := Ivar.read iv);
+  Proc.spawn e ~name:"writer" (fun () ->
+      Proc.sleep 3.0;
+      Ivar.fill iv 42);
+  Engine.run e;
+  check_int "value delivered" 42 !got;
+  check_int "registry empty" 0 (Engine.blocked_count e)
 
 let suites =
   [
@@ -288,5 +350,14 @@ let suites =
         Alcotest.test_case "signal wakes one" `Quick
           test_condvar_signal_wakes_one;
         Alcotest.test_case "await predicate" `Quick test_condvar_await_predicate;
+      ] );
+    ( "sim.blocked",
+      [
+        Alcotest.test_case "registry reports stuck" `Quick
+          test_blocked_registry_reports_stuck;
+        Alcotest.test_case "daemons excluded" `Quick test_blocked_excludes_daemons;
+        Alcotest.test_case "alive kills at resume" `Quick
+          test_alive_kills_at_resume;
+        Alcotest.test_case "clears on resume" `Quick test_blocked_clears_on_resume;
       ] );
   ]
