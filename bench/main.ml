@@ -488,6 +488,8 @@ let macro () =
     { measured with Lbc_core.Config.propagation = Lbc_core.Config.Lazy };
   run "eager + disk logging"
     { measured with Lbc_core.Config.disk_logging = true };
+  run "eager + disk + group commit"
+    { measured with Lbc_core.Config.disk_logging = true; group_commit = true };
   pr "(200 transactions of 4 sparse 8-byte updates; 25%% cross-segment)@."
 
 (* ------------------------------------------------------------------ *)
@@ -580,7 +582,7 @@ let json () =
         { measured with Lbc_core.Config.propagation = Lbc_core.Config.Lazy } );
     ]
   in
-  addf "{\n  \"schema\": \"BENCH_oo7/v1\",\n  \"configs\": [";
+  addf "{\n  \"schema\": \"BENCH_oo7/v2\",\n  \"configs\": [";
   List.iteri
     (fun ci (cname, config) ->
       if ci > 0 then addf ",";
@@ -588,6 +590,8 @@ let json () =
       List.iteri
         (fun ti kind ->
           let cluster = Runner.setup ~config ~nodes:2 small in
+          (* Count only the measured run, not setup. *)
+          Lbc_util.Slice.reset_counters ();
           let o = Runner.run ~cluster ~writer:0 small kind in
           let p = o.Runner.profile in
           if ti > 0 then addf ",";
@@ -595,12 +599,16 @@ let json () =
             "\n        { \"name\": %S, \"elapsed_us\": %.1f, \
              \"messages\": %d, \"wire_bytes\": %d, \"updates\": %d, \
              \"unique_bytes\": %d, \"message_bytes\": %d, \
-             \"pages_updated\": %d }"
+             \"pages_updated\": %d, \"bytes_copied\": %d, \
+             \"bytes_copied_baseline\": %d, \"encode_allocs\": %d }"
             (Traversal.name kind) o.Runner.elapsed
             (Lbc_core.Cluster.total_messages cluster)
             (Lbc_core.Cluster.total_bytes cluster)
             p.Model.updates p.Model.unique_bytes p.Model.message_bytes
-            p.Model.pages_updated)
+            p.Model.pages_updated
+            (Lbc_util.Slice.bytes_copied ())
+            (Lbc_util.Slice.bytes_copied_baseline ())
+            (Lbc_util.Slice.encode_allocs ()))
         Traversal.table3_kinds;
       addf "\n      ]\n    }")
     configs;

@@ -10,12 +10,18 @@
      record from a programming error; a wildcard handler converts
      corruption into silent data loss.
    - obj-magic: any use of [Obj.magic].
+   - hot-path-copy: [Bytes.sub], [Bytes.copy] or [Buffer.to_bytes] in the
+     zero-copy data path (wal/net/core).  Those layers move committed
+     data by reference (Slice windows and gather lists); a materializing
+     copy belongs in lib/util where it is counted, or needs an explicit
+     [copy-ok] comment on the same line explaining why it is fine.
 
    The scanner blanks comments, string literals and character literals
    (preserving newlines and byte positions), so mentions of [compare] in
    docs or in this very file's rule table do not trip the lint. *)
 
-let rules = [ "poly-compare"; "catch-all-handler"; "obj-magic" ]
+let rules =
+  [ "poly-compare"; "catch-all-handler"; "obj-magic"; "hot-path-copy" ]
 
 (* Directories whose files are considered recovery paths for the
    catch-all-handler rule. *)
@@ -24,6 +30,13 @@ let recovery_dirs = [ "rvm"; "wal"; "core"; "storage"; "locks"; "analysis" ]
 let in_recovery_path file =
   let parts = String.split_on_char '/' file in
   List.exists (fun p -> List.mem p recovery_dirs) parts
+
+(* Directories forming the zero-copy data path, for hot-path-copy. *)
+let hot_path_dirs = [ "wal"; "net"; "core" ]
+
+let in_hot_path file =
+  let parts = String.split_on_char '/' file in
+  List.exists (fun p -> List.mem p hot_path_dirs) parts
 
 (* --------------------------------------------------------------- *)
 (* Comment / string stripping *)
@@ -259,6 +272,64 @@ let check_obj_magic ~file text =
       | _ -> None)
     (token_positions text "Obj")
 
+(* The raw source line containing byte position [pos] ([effective]
+   preserves byte positions, so positions in the stripped text index the
+   original source directly). *)
+let raw_line src pos =
+  let n = String.length src in
+  let pos = min pos (n - 1) in
+  let rec back i = if i > 0 && src.[i - 1] <> '\n' then back (i - 1) else i in
+  let rec fwd i = if i < n && src.[i] <> '\n' then fwd (i + 1) else i in
+  let s = back pos in
+  String.sub src s (fwd pos - s)
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec loop i = i + nn <= nh && (String.sub hay i nn = needle || loop (i + 1)) in
+  loop 0
+
+let check_hot_path_copy ~file ~src text =
+  if not (in_hot_path file) then []
+  else
+    let qualified_call ~modname ~fns p =
+      match next_nonspace text (p + String.length modname) with
+      | Some (i, '.') -> (
+          match next_nonspace text (i + 1) with
+          | Some (j, c) when is_ident c ->
+              let rec fin k =
+                if k < String.length text && is_ident text.[k] then fin (k + 1)
+                else k
+              in
+              let word = String.sub text j (fin j - j) in
+              if List.mem word fns then Some (modname ^ "." ^ word) else None
+          | _ -> None)
+      | _ -> None
+    in
+    let flag modname fns =
+      List.filter_map
+        (fun p ->
+          match qualified_call ~modname ~fns p with
+          | None -> None
+          | Some callee ->
+              (* copy-ok on the same source line opts the call out. *)
+              if contains_sub (raw_line src p) "copy-ok" then None
+              else
+                Some
+                  (Violation.Lint
+                     {
+                       file;
+                       line = line_of text p;
+                       rule = "hot-path-copy";
+                       detail =
+                         callee
+                         ^ " materializes a copy on the zero-copy data path; \
+                            use Slice windows / gather lists, or annotate the \
+                            line with copy-ok";
+                     }))
+        (token_positions text modname)
+    in
+    flag "Bytes" [ "sub"; "copy" ] @ flag "Buffer" [ "to_bytes" ]
+
 (* --------------------------------------------------------------- *)
 (* Entry points *)
 
@@ -269,6 +340,7 @@ let scan_source ~file src =
       check_poly_compare ~file text;
       check_catch_all ~file text;
       check_obj_magic ~file text;
+      check_hot_path_copy ~file ~src text;
     ]
 
 let read_file path =

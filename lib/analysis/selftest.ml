@@ -254,6 +254,8 @@ let lint_fixture =
       "let sorted xs = List.sort compare xs";
       "let f () = try g () with _ -> 0";
       "let cast (x : int) : float = Obj.magic x";
+      "let dup b = Bytes.sub b 0 4";
+      "let dup_ok b = Bytes.copy b (* copy-ok: fixture *)";
     ]
 
 let run () =
@@ -313,11 +315,15 @@ let run () =
       List.mem "poly-compare" got
       && List.mem "catch-all-handler" got
       && List.mem "obj-magic" got
+      && List.mem "hot-path-copy" got
+      (* the copy-ok line must be the one hot-path hit that is NOT
+         reported *)
+      && List.length (List.filter (String.equal "hot-path-copy") got) = 1
     then
       {
         check = "lint: fixture";
         ok = true;
-        detail = "all three rules fire on the fixture";
+        detail = "all four rules fire on the fixture; copy-ok suppresses";
       }
     else
       {

@@ -68,6 +68,13 @@ let create ?(config = Config.default) ?net_params ?disk ~nodes () =
             send = (fun ~dst m -> Lbc_net.Fabric.send fabric ~src:i ~dst m);
             multicast_send =
               (fun ~dsts m -> Lbc_net.Fabric.broadcast fabric ~src:i ~dsts m);
+            send_update =
+              (fun ~dst iov ->
+                Lbc_net.Fabric.send_v fabric ~src:i ~dst ~iov (Msg.Update iov));
+            multicast_update =
+              (fun ~dsts iov ->
+                Lbc_net.Fabric.broadcast_v fabric ~src:i ~dsts ~iov
+                  (Msg.Update iov));
             peers_with_region = peers_with_region i;
             log_dev = Lbc_storage.Store.open_dev store (Printf.sprintf "log.%d" i);
           })

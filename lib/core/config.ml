@@ -12,6 +12,9 @@ type t = {
   repair_timeout : float;
   repair_retries : int;
   lease_timeout : float;
+  group_commit : bool;
+  group_commit_max : int;
+  group_commit_delay : float;
 }
 
 let default =
@@ -27,6 +30,9 @@ let default =
     repair_timeout = 2_000.0;
     repair_retries = 8;
     lease_timeout = 10_000.0;
+    group_commit = false;
+    group_commit_max = 8;
+    group_commit_delay = 100.0;
   }
 
 let measured = { default with disk_logging = false; charge_costs = true }

@@ -47,6 +47,16 @@ type t = {
   lease_timeout : float;
       (** virtual µs after a node crash before the lock managers reclaim
           the tokens it held (models lease expiry / epoch change) *)
+  group_commit : bool;
+      (** batch concurrent commits on the same node into one log write +
+          one sync (group commit).  Takes effect only with
+          [disk_logging] and [flush_on_commit]; committers park until
+          their batch is durable. *)
+  group_commit_max : int;
+      (** records that close a batch by size *)
+  group_commit_delay : float;
+      (** virtual µs after a batch's first record before it is flushed
+          regardless of size *)
 }
 
 val default : t

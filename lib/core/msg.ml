@@ -1,19 +1,21 @@
 type t =
   | Lock of Lbc_locks.Table.msg
-  | Update of Bytes.t
+  | Update of Lbc_util.Slice.t list
   | Fetch of { lock : int; have : int }
-  | Fetched of { lock : int; payloads : Bytes.t list }
+  | Fetched of { lock : int; payloads : Lbc_util.Slice.t list list }
 
 let size = function
   | Lock m -> Lbc_locks.Table.msg_size m
-  | Update b -> 4 + Bytes.length b
+  | Update iov -> 4 + Lbc_util.Slice.iov_length iov
   | Fetch _ -> 16
   | Fetched { payloads; _ } ->
-      List.fold_left (fun acc b -> acc + 4 + Bytes.length b) 8 payloads
+      List.fold_left
+        (fun acc iov -> acc + 4 + Lbc_util.Slice.iov_length iov)
+        8 payloads
 
 let pp ppf = function
   | Lock m -> Format.fprintf ppf "Lock(%a)" Lbc_locks.Table.pp_msg m
-  | Update b -> Format.fprintf ppf "Update(%dB)" (Bytes.length b)
+  | Update iov -> Format.fprintf ppf "Update(%dB)" (Lbc_util.Slice.iov_length iov)
   | Fetch { lock; have } -> Format.fprintf ppf "Fetch(l%d>%d)" lock have
   | Fetched { lock; payloads } ->
       Format.fprintf ppf "Fetched(l%d,%d records)" lock (List.length payloads)

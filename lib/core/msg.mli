@@ -1,16 +1,22 @@
 (** Messages exchanged between coherency nodes.
 
     One simulated TCP channel per node pair carries lock traffic and
-    coherency data, like the prototype's per-peer connections. *)
+    coherency data, like the prototype's per-peer connections.  Data
+    payloads are gather lists ({!Lbc_util.Slice.t} iovecs): the committed
+    log tail travels by reference from the commit path through the
+    channel; sizes model the length-prefix framing a real writev-based
+    transport would add. *)
 
 type t =
   | Lock of Lbc_locks.Table.msg
-  | Update of Bytes.t  (** a {!Wire}-encoded committed log tail *)
+  | Update of Lbc_util.Slice.t list
+      (** a {!Wire}-encoded committed log tail, as a gather list (the
+          concatenation of the slices is the wire image) *)
   | Fetch of { lock : int; have : int }
       (** lazy propagation: request records under [lock] newer than
           sequence number [have] *)
-  | Fetched of { lock : int; payloads : Bytes.t list }
-      (** reply, oldest first *)
+  | Fetched of { lock : int; payloads : Lbc_util.Slice.t list list }
+      (** reply, oldest first; one gather list per record *)
 
 val size : t -> int
 val pp : Format.formatter -> t -> unit

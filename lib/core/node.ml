@@ -33,6 +33,8 @@ type t = {
   locks : Lbc_locks.Table.t;
   send : dst:int -> Msg.t -> unit;
   multicast_send : dsts:int list -> Msg.t -> unit;
+  send_update : dst:int -> Lbc_util.Slice.t list -> unit;
+  multicast_update : dsts:int list -> Lbc_util.Slice.t list -> unit;
   peers_with_region : int -> int list;
   applied : (int, int) Hashtbl.t;  (* lock id -> applied write seqno *)
   applied_cv : Lbc_sim.Condvar.t;
@@ -52,6 +54,10 @@ type deps = {
   engine : Lbc_sim.Engine.t;
   send : dst:int -> Msg.t -> unit;
   multicast_send : dsts:int list -> Msg.t -> unit;
+  send_update : dst:int -> Lbc_util.Slice.t list -> unit;
+      (** transmit [Msg.Update iov] with gather-list framing — the
+          committed log tail travels by reference to the channel *)
+  multicast_update : dsts:int list -> Lbc_util.Slice.t list -> unit;
   peers_with_region : int -> int list;
   log_dev : Lbc_storage.Dev.t;
 }
@@ -93,6 +99,14 @@ let create (deps : deps) =
     Lbc_rvm.Rvm.init ~options:rvm_options ~node:deps.node_id
       ~log_dev:deps.log_dev ()
   in
+  if
+    deps.config.Config.group_commit
+    && deps.config.Config.disk_logging
+    && deps.config.Config.flush_on_commit
+  then
+    Lbc_wal.Log.enable_group_commit (Lbc_rvm.Rvm.log rvm) ~engine:deps.engine
+      ~max_records:deps.config.Config.group_commit_max
+      ~delay:deps.config.Config.group_commit_delay;
   let locks =
     Lbc_locks.Table.create ~node:deps.node_id ~nodes:deps.nodes
       ~send:(fun ~dst m -> deps.send ~dst (Msg.Lock m))
@@ -107,6 +121,8 @@ let create (deps : deps) =
     locks;
     send = deps.send;
     multicast_send = deps.multicast_send;
+    send_update = deps.send_update;
+    multicast_update = deps.multicast_update;
     peers_with_region = deps.peers_with_region;
     applied = Hashtbl.create 16;
     applied_cv = Lbc_sim.Condvar.create ();
@@ -364,14 +380,22 @@ let accept (t : t) =
 let handle (t : t) ~src msg =
   match msg with
   | Msg.Lock m -> Lbc_locks.Table.handle t.locks ~src m
-  | Msg.Update payload -> receive_record t (Wire.decode payload)
+  | Msg.Update iov -> receive_record t (Wire.decode_iov iov)
   | Msg.Fetch { lock; have } ->
       let records = retained_after t ~lock ~have in
-      let payloads = List.map Wire.encode records in
+      let payloads =
+        List.map
+          (fun r ->
+            let iov = Wire.encode_iov r in
+            (* the pre-iovec path materialized each reply here *)
+            Lbc_util.Slice.count_saved (Lbc_util.Slice.iov_length iov);
+            iov)
+          records
+      in
       t.send ~dst:src (Msg.Fetched { lock; payloads })
   | Msg.Fetched { lock = _; payloads } ->
       t.stats.records_fetched <- t.stats.records_fetched + List.length payloads;
-      List.iter (fun p -> receive_record t (Wire.decode p)) payloads
+      List.iter (fun iov -> receive_record t (Wire.decode_iov iov)) payloads
 
 (* --------------------------------------------------------------- *)
 (* Propagation at commit *)
@@ -388,26 +412,30 @@ let propagation_peers (t : t) (record : Lbc_wal.Record.txn) =
   |> Iset.elements
 
 let broadcast (t : t) record =
-  let payload = Wire.encode record in
-  L.debug (fun m ->
-      m "node %d broadcasts tid %d: %d ranges, %d wire bytes" t.id
-        record.Lbc_wal.Record.tid
-        (List.length record.Lbc_wal.Record.ranges)
-        (Bytes.length payload));
   match propagation_peers t record with
   | [] -> ()
-  | peers when t.config.Config.multicast ->
-      t.stats.updates_sent <- t.stats.updates_sent + 1;
-      t.stats.update_bytes_sent <- t.stats.update_bytes_sent + Bytes.length payload;
-      t.multicast_send ~dsts:peers (Msg.Update payload)
   | peers ->
-      List.iter
-        (fun peer ->
-          t.stats.updates_sent <- t.stats.updates_sent + 1;
-          t.stats.update_bytes_sent <-
-            t.stats.update_bytes_sent + Bytes.length payload;
-          t.send ~dst:peer (Msg.Update payload))
-        peers
+      let iov = Wire.encode_iov record in
+      let len = Lbc_util.Slice.iov_length iov in
+      (* the pre-iovec path materialized the message once per broadcast *)
+      Lbc_util.Slice.count_saved len;
+      L.debug (fun m ->
+          m "node %d broadcasts tid %d: %d ranges, %d wire bytes" t.id
+            record.Lbc_wal.Record.tid
+            (List.length record.Lbc_wal.Record.ranges)
+            len);
+      if t.config.Config.multicast then begin
+        t.stats.updates_sent <- t.stats.updates_sent + 1;
+        t.stats.update_bytes_sent <- t.stats.update_bytes_sent + len;
+        t.multicast_update ~dsts:peers iov
+      end
+      else
+        List.iter
+          (fun peer ->
+            t.stats.updates_sent <- t.stats.updates_sent + 1;
+            t.stats.update_bytes_sent <- t.stats.update_bytes_sent + len;
+            t.send_update ~dst:peer iov)
+          peers
 
 (* --------------------------------------------------------------- *)
 (* Crash rejoin *)

@@ -6,7 +6,7 @@ let pp_node ppf node =
   Format.fprintf ppf
     "node %d: %d commits (%d aborts), %d set_ranges | sent %d upd/%dB, \
      recv %d (%d held) | locks %d local/%d remote, %d interlock waits | \
-     log %dB live%s%s"
+     log %dB live%s%s%s"
     (Node.id node) rvm.Lbc_rvm.Rvm.commits rvm.Lbc_rvm.Rvm.aborts
     rvm.Lbc_rvm.Rvm.set_ranges st.Node.updates_sent st.Node.update_bytes_sent
     st.Node.records_received st.Node.records_held
@@ -18,6 +18,11 @@ let pp_node ppf node =
        Printf.sprintf " | %d repair fetches, %d stale lock msgs"
          st.Node.repair_fetches locks.Lbc_locks.Table.stale_msgs
      else "")
+    (if Lbc_wal.Log.group_commit_enabled log then
+       Printf.sprintf " | group commit: %d records in %d batches"
+         (Lbc_wal.Log.records_batched log)
+         (Lbc_wal.Log.batches_flushed log)
+     else "")
     (if Node.pending_count node > 0 then
        Printf.sprintf " | %d PENDING" (Node.pending_count node)
      else "")
@@ -25,11 +30,15 @@ let pp_node ppf node =
 let pp_cluster ppf cluster =
   let dropped = Cluster.total_dropped cluster in
   Format.fprintf ppf
-    "@[<v>cluster: %d nodes, %d messages, %d bytes on the wire%s"
+    "@[<v>cluster: %d nodes, %d messages, %d bytes on the wire%s@,\
+    \  data path: %dB copied (baseline %dB), %d encode arenas"
     (Cluster.size cluster)
     (Cluster.total_messages cluster)
     (Cluster.total_bytes cluster)
-    (if dropped > 0 then Printf.sprintf ", %d dropped" dropped else "");
+    (if dropped > 0 then Printf.sprintf ", %d dropped" dropped else "")
+    (Lbc_util.Slice.bytes_copied ())
+    (Lbc_util.Slice.bytes_copied_baseline ())
+    (Lbc_util.Slice.encode_allocs ());
   for n = 0 to Cluster.size cluster - 1 do
     Format.fprintf ppf "@,  %a%s" pp_node
       (Cluster.node cluster n)

@@ -12,8 +12,21 @@ let sort_ranges ranges =
       else Int.compare a.Lbc_wal.Record.offset b.Lbc_wal.Record.offset)
     ranges
 
-let encode (t : Lbc_wal.Record.txn) =
-  let w = Codec.writer ~capacity:512 () in
+(* The gather-list encoder is the only encoder: message and range
+   headers are written into one arena, while each range's payload is
+   referenced in place — the committed data is never copied onto the
+   wire.  Header chunks are recorded as (start, len) marks and turned
+   into slices only after the last write, because the arena may
+   reallocate while growing. *)
+let encode_iov (t : Lbc_wal.Record.txn) =
+  let w = Codec.writer ~capacity:128 () in
+  let marks = ref [] in  (* reversed: `Hdr (start, len) | `Data bytes *)
+  let mark_from = ref 0 in
+  let cut () =
+    let len = Codec.length w - !mark_from in
+    if len > 0 then marks := `Hdr (!mark_from, len) :: !marks;
+    mark_from := Codec.length w
+  in
   Codec.u8 w 1;
   Codec.u16 w t.node;
   Codec.varint w t.tid;
@@ -43,16 +56,22 @@ let encode (t : Lbc_wal.Record.txn) =
       if abs then Codec.varint w offset
       else Codec.varint w (offset - !prev_offset);
       Codec.varint w (Bytes.length r.Lbc_wal.Record.data);
-      Codec.raw w r.Lbc_wal.Record.data ~pos:0
-        ~len:(Bytes.length r.Lbc_wal.Record.data);
+      cut ();
+      marks := `Data r.Lbc_wal.Record.data :: !marks;
       prev_region := region;
       prev_offset := offset;
       first := false)
     ranges;
-  Codec.contents w
+  cut ();
+  List.rev_map
+    (function
+      | `Hdr (start, len) -> Codec.slice_sub w ~pos:start ~len
+      | `Data b -> Slice.of_bytes b)
+    !marks
 
-let decode b =
-  let r = Codec.reader b in
+let encode t = Slice.concat (encode_iov t)
+
+let decode_reader r =
   let kind = Codec.get_u8 r in
   if kind <> 1 then raise (Codec.Truncated "Wire: bad message kind");
   let node = Codec.get_u16 r in
@@ -86,20 +105,26 @@ let decode b =
   in
   { Lbc_wal.Record.node; tid; locks; ranges }
 
-let size t = Bytes.length (encode t)
+let decode b = decode_reader (Codec.reader b)
+let decode_iov iov = decode_reader (Codec.reader_of_slices iov)
+let size t = Slice.iov_length (encode_iov t)
 
 let size_uncompressed (t : Lbc_wal.Record.txn) =
-  let w = Codec.writer () in
-  Codec.varint w t.tid;
-  Codec.varint w (List.length t.locks);
-  Codec.varint w (List.length t.ranges);
-  List.iter
-    (fun l ->
-      Codec.varint w l.Lbc_wal.Record.lock_id;
-      Codec.varint w l.Lbc_wal.Record.seqno;
-      Codec.varint w l.Lbc_wal.Record.prev_write_seq)
-    t.locks;
-  let fixed = 1 + 2 + Codec.length w in
+  let tail =
+    Codec.varint_size t.tid
+    + Codec.varint_size (List.length t.locks)
+    + Codec.varint_size (List.length t.ranges)
+  in
+  let locks =
+    List.fold_left
+      (fun acc l ->
+        acc
+        + Codec.varint_size l.Lbc_wal.Record.lock_id
+        + Codec.varint_size l.Lbc_wal.Record.seqno
+        + Codec.varint_size l.Lbc_wal.Record.prev_write_seq)
+      0 t.locks
+  in
+  let fixed = 1 + 2 + tail + locks in
   List.fold_left
     (fun acc r ->
       acc + Lbc_wal.Record.rvm_disk_header_size

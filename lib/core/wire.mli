@@ -10,10 +10,23 @@
 
     [encode]/[decode] round-trip a {!Lbc_wal.Record.txn} exactly. *)
 
+val encode_iov : Lbc_wal.Record.txn -> Lbc_util.Slice.t list
+(** Encode as a gather list: message and range headers live in one fresh
+    arena, each range's payload is referenced in place — the committed
+    data is not copied.  The concatenation of the slices is byte-identical
+    to {!encode}'s output. *)
+
 val encode : Lbc_wal.Record.txn -> Bytes.t
+(** [Slice.concat (encode_iov t)] — materializes the message (counted by
+    the {!Lbc_util.Slice} copy accounting); the broadcast path sends the
+    gather list instead. *)
 
 val decode : Bytes.t -> Lbc_wal.Record.txn
 (** @raise Lbc_util.Codec.Truncated on malformed input. *)
+
+val decode_iov : Lbc_util.Slice.t list -> Lbc_wal.Record.txn
+(** Decode a gather list without concatenating it first.
+    @raise Lbc_util.Codec.Truncated on malformed input. *)
 
 val size : Lbc_wal.Record.txn -> int
 (** [Bytes.length (encode t)], without building the message. *)

@@ -54,13 +54,12 @@ let deliver t ~src ~dst msg =
         if t.down.(dst) then count_drop t ~src ~dst
         else Lbc_sim.Mailbox.send t.channels.(src).(dst) msg)
 
-let send t ~src ~dst msg =
+let send_len t ~src ~dst ~len msg =
   check_node t "src" src;
   check_node t "dst" dst;
   if src = dst then invalid_arg "Fabric.send: src = dst";
   if t.down.(src) then count_drop t ~src ~dst
   else begin
-    let len = t.size msg in
     t.messages_sent.(src) <- t.messages_sent.(src) + 1;
     t.bytes_sent.(src) <- t.bytes_sent.(src) + len;
     (* Block the sender for the writev cost, then put the message on the
@@ -69,7 +68,14 @@ let send t ~src ~dst msg =
     deliver t ~src ~dst msg
   end
 
-let broadcast t ~src ~dsts msg =
+let send t ~src ~dst msg = send_len t ~src ~dst ~len:(t.size msg) msg
+
+(* Length-prefix framing for gather lists: a real transport would writev
+   [u32 total; slices...] straight from the iovec. *)
+let framed_length iov = 4 + Lbc_util.Slice.iov_length iov
+let send_v t ~src ~dst ~iov msg = send_len t ~src ~dst ~len:(framed_length iov) msg
+
+let broadcast_len t ~src ~dsts ~len msg =
   check_node t "src" src;
   let dsts =
     List.sort_uniq Int.compare (List.filter (fun d -> d <> src) dsts)
@@ -77,12 +83,16 @@ let broadcast t ~src ~dsts msg =
   List.iter (fun d -> check_node t "dst" d) dsts;
   if t.down.(src) then List.iter (fun dst -> count_drop t ~src ~dst) dsts
   else begin
-    let len = t.size msg in
     t.messages_sent.(src) <- t.messages_sent.(src) + 1;
     t.bytes_sent.(src) <- t.bytes_sent.(src) + len;
     Lbc_sim.Proc.sleep (Params.send_cost t.params len);
     List.iter (fun dst -> deliver t ~src ~dst msg) dsts
   end
+
+let broadcast t ~src ~dsts msg = broadcast_len t ~src ~dsts ~len:(t.size msg) msg
+
+let broadcast_v t ~src ~dsts ~iov msg =
+  broadcast_len t ~src ~dsts ~len:(framed_length iov) msg
 
 let recv t ~dst ~src =
   check_node t "src" src;

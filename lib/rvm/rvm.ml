@@ -224,14 +224,20 @@ let commit ?(mode = Flush) txn =
   t.stats.ranges_logged <- t.stats.ranges_logged + n_ranges;
   t.stats.bytes_logged <- t.stats.bytes_logged + bytes;
   if t.options.disk_logging then begin
-    ignore
-      (Lbc_wal.Log.append ~range_header_size:t.options.range_header_size t.log
-         record);
+    let rhs = t.options.range_header_size in
+    (match mode with
+    | Flush when Lbc_wal.Log.group_commit_enabled t.log ->
+        (* Group commit: join a batch and park until it is durable —
+           one device write + one sync cover the whole batch. *)
+        ignore (Lbc_wal.Log.append_durable ~range_header_size:rhs t.log record)
+    | Flush ->
+        ignore (Lbc_wal.Log.append ~range_header_size:rhs t.log record);
+        Lbc_wal.Log.force t.log
+    | No_flush ->
+        ignore (Lbc_wal.Log.append ~range_header_size:rhs t.log record));
     t.stats.log_bytes_written <-
       t.stats.log_bytes_written
-      + Lbc_wal.Record.encoded_size
-          ~range_header_size:t.options.range_header_size record;
-    match mode with Flush -> Lbc_wal.Log.force t.log | No_flush -> ()
+      + Lbc_wal.Record.encoded_size ~range_header_size:rhs record
   end;
   record
 

@@ -60,6 +60,7 @@ let read t ~off ~len =
       (Printf.sprintf "Dev.read %s: [%d,%d) beyond size %d" t.name off
          (off + len) t.current.len);
   charge t (t.latency.read_base +. (t.latency.read_per_byte *. float_of_int len));
+  Lbc_util.Slice.count_copy len;
   Bytes.sub t.current.data off len
 
 let write t ~off b ~pos ~len =
@@ -67,9 +68,17 @@ let write t ~off b ~pos ~len =
     invalid_arg (Printf.sprintf "Dev.write %s: bad range" t.name);
   charge t (t.latency.write_base +. (t.latency.write_per_byte *. float_of_int len));
   apply_to t.current ~off b ~pos ~len;
+  (* The pending queue owns its payload: the caller may reuse [b] (the
+     log's encode arena does) before the next sync.  This capture is the
+     one copy the write path keeps. *)
+  Lbc_util.Slice.count_copy len;
   Queue.add { off; payload = Bytes.sub b pos len } t.pending;
   t.pending_bytes <- t.pending_bytes + len;
   t.bytes_written <- t.bytes_written + len
+
+let write_slice t ~off s =
+  write t ~off (Lbc_util.Slice.base s) ~pos:(Lbc_util.Slice.pos s)
+    ~len:(Lbc_util.Slice.length s)
 
 let write_string t ~off s =
   write t ~off (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
@@ -111,8 +120,13 @@ let crash ?(apply = 0) ?(tear_bytes = 0) t =
   t.pending_bytes <- 0;
   copy_image ~src:t.stable ~dst:t.current
 
-let snapshot t = Bytes.sub t.current.data 0 t.current.len
-let stable_snapshot t = Bytes.sub t.stable.data 0 t.stable.len
+let snapshot t =
+  Lbc_util.Slice.count_copy t.current.len;
+  Bytes.sub t.current.data 0 t.current.len
+
+let stable_snapshot t =
+  Lbc_util.Slice.count_copy t.stable.len;
+  Bytes.sub t.stable.data 0 t.stable.len
 
 let load t b =
   let set img =

@@ -33,6 +33,10 @@ val read : t -> off:int -> len:int -> Bytes.t
 val write : t -> off:int -> Bytes.t -> pos:int -> len:int -> unit
 (** Buffered write at [off]; extends the device if needed. *)
 
+val write_slice : t -> off:int -> Lbc_util.Slice.t -> unit
+(** {!write} from a window; the device captures its own copy of the
+    payload, so the caller may reuse or clear the backing arena. *)
+
 val write_string : t -> off:int -> string -> unit
 
 val sync : t -> unit

@@ -1,11 +1,18 @@
 exception Truncated of string
 
-type writer = Buffer.t
+type writer = Slice.Arena.t
 
-let writer ?(capacity = 256) () = Buffer.create capacity
-let length = Buffer.length
-let contents w = Buffer.to_bytes w
-let u8 w v = Buffer.add_char w (Char.chr (v land 0xFF))
+let writer ?(capacity = 256) () = Slice.Arena.create ~capacity ()
+let length = Slice.Arena.length
+let clear = Slice.Arena.clear
+
+let contents w =
+  (* Materializing copy; zero-copy consumers use [slice] instead. *)
+  Slice.Arena.to_bytes w
+
+let slice = Slice.Arena.contents
+let slice_sub = Slice.Arena.sub
+let u8 w v = Slice.Arena.add_char w (Char.chr (v land 0xFF))
 
 let u16 w v =
   u8 w v;
@@ -32,36 +39,69 @@ let rec varint w v =
     varint w (v lsr 7)
   end
 
-let raw w b ~pos ~len = Buffer.add_subbytes w b pos len
-let raw_string = Buffer.add_string
+let varint_size v =
+  if v < 0 then invalid_arg "Codec.varint_size: negative";
+  let rec loop v n = if v < 0x80 then n else loop (v lsr 7) (n + 1) in
+  loop v 1
 
-(* Buffer has no in-place patching; emulate it by rebuilding.  Patching is
-   only used for fixed-size length fields in small headers, so the copy is
-   acceptable and keeps the writer type simple. *)
+let raw w b ~pos ~len = Slice.Arena.add_bytes w b ~pos ~len
+let raw_string = Slice.Arena.add_string
+let raw_slice = Slice.Arena.add_slice
+
 let patch_u32 w ~at v =
-  let b = Buffer.to_bytes w in
-  if at < 0 || at + 4 > Bytes.length b then invalid_arg "Codec.patch_u32";
-  Bytes.set_uint16_le b at (v land 0xFFFF);
-  Bytes.set_uint16_le b (at + 2) ((v lsr 16) land 0xFFFF);
-  Buffer.clear w;
-  Buffer.add_bytes w b
+  if at < 0 || at + 4 > Slice.Arena.length w then invalid_arg "Codec.patch_u32";
+  Slice.Arena.set_byte w ~at v;
+  Slice.Arena.set_byte w ~at:(at + 1) (v lsr 8);
+  Slice.Arena.set_byte w ~at:(at + 2) (v lsr 16);
+  Slice.Arena.set_byte w ~at:(at + 3) (v lsr 24)
 
-type reader = { buf : Bytes.t; mutable pos : int; limit : int }
+(* ---------------------------------------------------------------- *)
+(* Reading.  A reader walks either one byte range or a gather list of
+   slices; multi-byte primitives work across segment boundaries. *)
+
+type reader = {
+  mutable buf : Bytes.t;
+  mutable pos : int;
+  mutable limit : int;
+  mutable rest : Slice.t list;  (* segments not yet entered *)
+}
 
 let reader ?(pos = 0) ?len buf =
   let len = match len with Some l -> l | None -> Bytes.length buf - pos in
   if pos < 0 || len < 0 || pos + len > Bytes.length buf then
     invalid_arg "Codec.reader";
-  { buf; pos; limit = pos + len }
+  { buf; pos; limit = pos + len; rest = [] }
+
+let reader_of_slice s =
+  { buf = Slice.base s; pos = Slice.pos s; limit = Slice.pos s + Slice.length s;
+    rest = [] }
+
+let reader_of_slices = function
+  | [] -> { buf = Bytes.create 0; pos = 0; limit = 0; rest = [] }
+  | s :: rest ->
+      let r = reader_of_slice s in
+      { r with rest }
 
 let pos r = r.pos
-let remaining r = r.limit - r.pos
+let remaining r = r.limit - r.pos + Slice.iov_length r.rest
 
-let need r n what =
-  if remaining r < n then raise (Truncated what)
+(* Enter the next non-empty segment once the current one is exhausted. *)
+let rec advance r =
+  if r.pos = r.limit then
+    match r.rest with
+    | [] -> ()
+    | s :: tl ->
+        r.buf <- Slice.base s;
+        r.pos <- Slice.pos s;
+        r.limit <- Slice.pos s + Slice.length s;
+        r.rest <- tl;
+        advance r
+
+let need r n what = if remaining r < n then raise (Truncated what)
 
 let get_u8 r =
-  need r 1 "u8";
+  advance r;
+  if r.pos >= r.limit then raise (Truncated "u8");
   let v = Char.code (Bytes.unsafe_get r.buf r.pos) in
   r.pos <- r.pos + 1;
   v
@@ -100,10 +140,36 @@ let get_varint r =
 
 let get_raw r ~len =
   need r len "raw";
-  let b = Bytes.sub r.buf r.pos len in
-  r.pos <- r.pos + len;
-  b
+  advance r;
+  let out = Bytes.create len in
+  let filled = ref 0 in
+  while !filled < len do
+    advance r;
+    let n = min (len - !filled) (r.limit - r.pos) in
+    Bytes.blit r.buf r.pos out !filled n;
+    r.pos <- r.pos + n;
+    filled := !filled + n
+  done;
+  Slice.count_copy len;
+  out
+
+let get_slice r ~len =
+  need r len "raw";
+  advance r;
+  if len <= r.limit - r.pos then begin
+    (* Whole range lies in the current segment: a window, no copy. *)
+    let s = Slice.of_bytes r.buf ~pos:r.pos ~len in
+    r.pos <- r.pos + len;
+    s
+  end
+  else Slice.of_bytes (get_raw r ~len)
 
 let skip r n =
   need r n "skip";
-  r.pos <- r.pos + n
+  let left = ref n in
+  while !left > 0 do
+    advance r;
+    let k = min !left (r.limit - r.pos) in
+    r.pos <- r.pos + k;
+    left := !left - k
+  done

@@ -1,10 +1,12 @@
 (** Little-endian binary encoding and decoding.
 
     All on-disk and on-wire formats in this repository are built from these
-    primitives.  A {!writer} is a growable byte buffer; a {!reader} walks a
-    byte range with bounds checking and reports malformed input with
-    {!exception:Truncated} rather than [Invalid_argument], so callers can
-    distinguish "corrupt input" from programming errors. *)
+    primitives.  A {!writer} is a growable arena ({!Slice.Arena}) whose
+    contents can be taken as a zero-copy {!Slice.t}; a {!reader} walks a
+    byte range — or a gather list of slices — with bounds checking and
+    reports malformed input with {!exception:Truncated} rather than
+    [Invalid_argument], so callers can distinguish "corrupt input" from
+    programming errors. *)
 
 exception Truncated of string
 (** Raised by readers when the input ends before a complete value. *)
@@ -15,8 +17,21 @@ type writer
 
 val writer : ?capacity:int -> unit -> writer
 val length : writer -> int
+
+val clear : writer -> unit
+(** Reset to empty, keeping capacity (for writer reuse on hot paths).
+    Slices previously taken with {!slice} must not be used afterwards. *)
+
 val contents : writer -> Bytes.t
-(** Copy of the bytes written so far. *)
+(** Materializing copy of the bytes written so far (counted by the
+    {!Slice} copy accounting; prefer {!slice} on hot paths). *)
+
+val slice : writer -> Slice.t
+(** The bytes written so far as a zero-copy window; valid until the
+    writer is next written or cleared. *)
+
+val slice_sub : writer -> pos:int -> len:int -> Slice.t
+(** Zero-copy window of a range written so far; same validity. *)
 
 val u8 : writer -> int -> unit
 val u16 : writer -> int -> unit
@@ -29,18 +44,33 @@ val int_as_u64 : writer -> int -> unit
 val varint : writer -> int -> unit
 (** LEB128 varint; accepts any non-negative OCaml int. *)
 
+val varint_size : int -> int
+(** Encoded size of [varint v], without writing. *)
+
 val raw : writer -> Bytes.t -> pos:int -> len:int -> unit
 val raw_string : writer -> string -> unit
+val raw_slice : writer -> Slice.t -> unit
 
 val patch_u32 : writer -> at:int -> int -> unit
-(** Overwrite 4 bytes previously written at offset [at]. *)
+(** Overwrite 4 bytes previously written at offset [at]; in-place, O(1). *)
 
 (** {1 Reading} *)
 
 type reader
 
 val reader : ?pos:int -> ?len:int -> Bytes.t -> reader
+
+val reader_of_slice : Slice.t -> reader
+(** Read the slice's window without copying it. *)
+
+val reader_of_slices : Slice.t list -> reader
+(** Read a gather list as one logical byte stream; values may span
+    segment boundaries. *)
+
 val pos : reader -> int
+(** Absolute position in the current segment's buffer.  Only meaningful
+    for single-buffer readers (created with {!reader}). *)
+
 val remaining : reader -> int
 
 val get_u8 : reader -> int
@@ -49,5 +79,12 @@ val get_u32 : reader -> int
 val get_u64 : reader -> int64
 val get_int_as_u64 : reader -> int
 val get_varint : reader -> int
+
 val get_raw : reader -> len:int -> Bytes.t
+(** Materializing copy of the next [len] bytes (counted). *)
+
+val get_slice : reader -> len:int -> Slice.t
+(** The next [len] bytes; a zero-copy window when they lie within one
+    segment, a materializing copy (counted) when they span segments. *)
+
 val skip : reader -> int -> unit

@@ -1,0 +1,143 @@
+type t = { b : Bytes.t; off : int; len : int }
+
+(* ---------------------------------------------------------------- *)
+(* Copy accounting *)
+
+let copied = ref 0
+let saved = ref 0
+let allocs = ref 0
+let count_copy n = copied := !copied + n
+let count_saved n = saved := !saved + n
+let count_alloc () = incr allocs
+let bytes_copied () = !copied
+let bytes_copied_baseline () = !copied + !saved
+let encode_allocs () = !allocs
+
+let reset_counters () =
+  copied := 0;
+  saved := 0;
+  allocs := 0
+
+(* ---------------------------------------------------------------- *)
+
+let of_bytes ?(pos = 0) ?len b =
+  let len = match len with Some l -> l | None -> Bytes.length b - pos in
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Slice.of_bytes";
+  { b; off = pos; len }
+
+let of_string s = { b = Bytes.of_string s; off = 0; len = String.length s }
+let length s = s.len
+let is_empty s = s.len = 0
+let base s = s.b
+let pos s = s.off
+
+let get s i =
+  if i < 0 || i >= s.len then invalid_arg "Slice.get";
+  Bytes.get s.b (s.off + i)
+
+let sub s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > s.len then invalid_arg "Slice.sub";
+  { b = s.b; off = s.off + pos; len }
+
+let iter f s =
+  for i = s.off to s.off + s.len - 1 do
+    f (Bytes.get s.b i)
+  done
+
+let blit_to s dst ~pos =
+  Bytes.blit s.b s.off dst pos s.len;
+  count_copy s.len
+
+let to_bytes s =
+  count_copy s.len;
+  Bytes.sub s.b s.off s.len
+
+let to_string s = Bytes.sub_string s.b s.off s.len
+
+let equal a b =
+  a.len = b.len
+  &&
+  let rec loop i =
+    i >= a.len || (Bytes.get a.b (a.off + i) = Bytes.get b.b (b.off + i) && loop (i + 1))
+  in
+  loop 0
+
+let pp ppf s = Format.fprintf ppf "slice(%dB@@%d)" s.len s.off
+
+let iov_length iov = List.fold_left (fun acc s -> acc + s.len) 0 iov
+
+let concat iov =
+  let total = iov_length iov in
+  let out = Bytes.create total in
+  let p = ref 0 in
+  List.iter
+    (fun s ->
+      Bytes.blit s.b s.off out !p s.len;
+      p := !p + s.len)
+    iov;
+  count_copy total;
+  out
+
+(* ---------------------------------------------------------------- *)
+
+module Arena = struct
+  type slice = t
+  type t = { mutable buf : Bytes.t; mutable len : int }
+
+  let create ?(capacity = 256) () =
+    count_alloc ();
+    { buf = Bytes.create (max capacity 16); len = 0 }
+
+  let length a = a.len
+  let clear a = a.len <- 0
+
+  (* Growth reallocation is not charged to the copy counters: [Buffer]
+     grows the same way, so it cancels out of the before/after story. *)
+  let ensure a n =
+    if a.len + n > Bytes.length a.buf then begin
+      let cap = max (a.len + n) (2 * Bytes.length a.buf) in
+      let nb = Bytes.create cap in
+      Bytes.blit a.buf 0 nb 0 a.len;
+      a.buf <- nb
+    end
+
+  let add_char a c =
+    ensure a 1;
+    Bytes.unsafe_set a.buf a.len c;
+    a.len <- a.len + 1
+
+  let add_bytes a b ~pos ~len =
+    if pos < 0 || len < 0 || pos + len > Bytes.length b then
+      invalid_arg "Arena.add_bytes";
+    ensure a len;
+    Bytes.blit b pos a.buf a.len len;
+    a.len <- a.len + len
+
+  let add_string a s =
+    let len = String.length s in
+    ensure a len;
+    Bytes.blit_string s 0 a.buf a.len len;
+    a.len <- a.len + len
+
+  let add_slice a s = add_bytes a s.b ~pos:s.off ~len:s.len
+
+  let patch a ~at b =
+    let len = Bytes.length b in
+    if at < 0 || at + len > a.len then invalid_arg "Arena.patch";
+    Bytes.blit b 0 a.buf at len
+
+  let set_byte a ~at v =
+    if at < 0 || at >= a.len then invalid_arg "Arena.set_byte";
+    Bytes.unsafe_set a.buf at (Char.chr (v land 0xFF))
+
+  let contents a = { b = a.buf; off = 0; len = a.len }
+
+  let sub a ~pos ~len =
+    if pos < 0 || len < 0 || pos + len > a.len then invalid_arg "Arena.sub";
+    { b = a.buf; off = pos; len }
+
+  let to_bytes a =
+    count_copy a.len;
+    Bytes.sub a.buf 0 a.len
+end

@@ -8,6 +8,17 @@
     {!attach} scans the device to find the usable tail, stopping at a clean
     end or a torn record — so re-attaching after a crash silently discards
     the unsynced tail, which is exactly RVM's recovery-time behaviour.
+    Scans read the device through bounded windows (64 KiB, doubled when a
+    record does not fit) rather than snapshotting it whole.
+
+    {b Group commit}: with {!enable_group_commit}, {!append_durable}
+    coalesces concurrent commits into batches that ride one device write
+    and one sync.  A batch closes when it holds [max_records] records or
+    [delay] virtual µs after its first record; each committer parks on the
+    batch until it is durable.  Callers outside any simulated process fall
+    back to an immediate flush.  Batches keep device order equal to
+    logical order: a direct {!append}, {!force}, {!set_head} or {!fold}
+    first flushes the open batch.
 
     Trimming (checkpointing) advances [head]; records before [head] are
     dead and their space is not reused (offline compaction is the job of
@@ -42,7 +53,31 @@ val append : ?range_header_size:int -> t -> Record.txn -> int
 (** Append one record (buffered); returns its offset. *)
 
 val force : t -> unit
-(** Synchronous barrier: all appended records become durable. *)
+(** Synchronous barrier: all appended records become durable.  Flushes
+    the open group-commit batch, if any. *)
+
+(** {1 Group commit} *)
+
+val enable_group_commit :
+  ?max_records:int -> ?delay:float -> t -> engine:Lbc_sim.Engine.t -> unit
+(** Turn on commit batching.  [max_records] (default 8) closes a batch by
+    size; [delay] (default 100 virtual µs) closes it by time. *)
+
+val group_commit_enabled : t -> bool
+
+val append_durable : ?range_header_size:int -> t -> Record.txn -> int
+(** Append one record and return once it is durable; returns its offset.
+    With group commit enabled the record joins the open batch and the
+    caller parks until the batch syncs; otherwise this is
+    {!append} + {!force}. *)
+
+val flush_batch : t -> unit
+(** Write and sync the open batch now, waking its committers.  No-op
+    when no batch is open. *)
+
+val batches_flushed : t -> int
+val records_batched : t -> int
+(** Per-log group-commit accounting (0 when disabled). *)
 
 val set_head : t -> int -> unit
 (** Trim the log head (checkpoint); durable immediately. *)

@@ -20,9 +20,17 @@ let check_header_size n =
       (Printf.sprintf "Record: range_header_size %d < minimum %d" n
          min_header_size)
 
-let encode_body ~range_header_size t =
+(* Single-pass encode into a caller-supplied writer: the record may land
+   after bytes already in the arena (group commit batches several), so
+   every patch offset is relative to the arena length at entry.  The
+   total-length field is patched in place once the body size is known,
+   and the CRC is computed over the arena bytes directly — no
+   intermediate buffer is materialized. *)
+let encode_into ?(range_header_size = rvm_disk_header_size) w t =
   check_header_size range_header_size;
-  let w = Codec.writer ~capacity:1024 () in
+  let start = Codec.length w in
+  Codec.u32 w magic;
+  Codec.u32 w 0 (* total, patched below *);
   Codec.u16 w t.node;
   Codec.int_as_u64 w t.tid;
   Codec.u16 w range_header_size;
@@ -34,27 +42,29 @@ let encode_body ~range_header_size t =
       Codec.varint w l.prev_write_seq)
     t.locks;
   Codec.varint w (List.length t.ranges);
-  let pad = Bytes.make (range_header_size - min_header_size) '\000' in
+  let pad = range_header_size - min_header_size in
   List.iter
     (fun r ->
       Codec.u32 w r.region;
       Codec.int_as_u64 w r.offset;
       Codec.int_as_u64 w (Bytes.length r.data);
-      Codec.raw w pad ~pos:0 ~len:(Bytes.length pad);
+      for _ = 1 to pad do
+        Codec.u8 w 0
+      done;
       Codec.raw w r.data ~pos:0 ~len:(Bytes.length r.data))
     t.ranges;
-  Codec.contents w
+  let total = Codec.length w - start + 4 in
+  Codec.patch_u32 w ~at:(start + 4) total;
+  let covered = Codec.slice_sub w ~pos:start ~len:(total - 4) in
+  let crc =
+    Crc32.bytes (Slice.base covered) ~pos:(Slice.pos covered)
+      ~len:(Slice.length covered)
+  in
+  Codec.u32 w (Int32.to_int crc land 0xFFFFFFFF)
 
-let encode ?(range_header_size = rvm_disk_header_size) t =
-  let body = encode_body ~range_header_size t in
-  let total = 4 + 4 + Bytes.length body + 4 in
-  let w = Codec.writer ~capacity:total () in
-  Codec.u32 w magic;
-  Codec.u32 w total;
-  Codec.raw w body ~pos:0 ~len:(Bytes.length body);
-  let so_far = Codec.contents w in
-  let crc = Crc32.bytes so_far ~pos:0 ~len:(Bytes.length so_far) in
-  Codec.u32 w (Int32.to_int crc land 0xFFFFFFFF);
+let encode ?range_header_size t =
+  let w = Codec.writer ~capacity:1024 () in
+  encode_into ?range_header_size w t;
   Codec.contents w
 
 let encoded_size ?(range_header_size = rvm_disk_header_size) t =
@@ -62,18 +72,13 @@ let encoded_size ?(range_header_size = rvm_disk_header_size) t =
   let locks =
     List.fold_left
       (fun acc l ->
-        let w = Codec.writer () in
-        Codec.varint w l.lock_id;
-        Codec.varint w l.seqno;
-        Codec.varint w l.prev_write_seq;
-        acc + Codec.length w)
+        acc + Codec.varint_size l.lock_id + Codec.varint_size l.seqno
+        + Codec.varint_size l.prev_write_seq)
       0 t.locks
   in
   let counts =
-    let w = Codec.writer () in
-    Codec.varint w (List.length t.locks);
-    Codec.varint w (List.length t.ranges);
-    Codec.length w
+    Codec.varint_size (List.length t.locks)
+    + Codec.varint_size (List.length t.ranges)
   in
   let ranges =
     List.fold_left
@@ -84,35 +89,44 @@ let encoded_size ?(range_header_size = rvm_disk_header_size) t =
 
 type decode_result = Txn of txn * int | End | Torn of string
 
-let all_zero b ~pos =
-  let rec loop i = i >= Bytes.length b || (Bytes.get b i = '\000' && loop (i + 1)) in
+(* Decoding operates on a window so log scans can hand in bounded views
+   of the device instead of full snapshots; positions (including the
+   [Txn] continuation offset) are relative to the window. *)
+
+let all_zero s ~pos =
+  let n = Slice.length s in
+  let rec loop i = i >= n || (Slice.get s i = '\000' && loop (i + 1)) in
   loop pos
 
-let decode b ~pos =
-  let len = Bytes.length b in
+let decode_slice s ~pos =
+  let len = Slice.length s in
   if pos >= len then End
-  else if len - pos < 8 then if all_zero b ~pos then End else Torn "short tail"
+  else if len - pos < 8 then if all_zero s ~pos then End else Torn "short tail"
   else begin
-    let r = Codec.reader ~pos b in
+    let r = Codec.reader_of_slice (Slice.sub s ~pos ~len:(len - pos)) in
     let m = Codec.get_u32 r in
     if m <> magic then
-      if all_zero b ~pos then End else Torn "bad magic"
+      if all_zero s ~pos then End else Torn "bad magic"
     else begin
       let total = Codec.get_u32 r in
       if total < 12 then Torn "bad length"
       else if pos + total > len then Torn "truncated record"
       else begin
         let stored_crc =
-          let cr = Codec.reader ~pos:(pos + total - 4) b in
+          let cr = Codec.reader_of_slice (Slice.sub s ~pos:(pos + total - 4) ~len:4) in
           Codec.get_u32 cr
         in
         let crc =
-          Int32.to_int (Crc32.bytes b ~pos ~len:(total - 4)) land 0xFFFFFFFF
+          Int32.to_int
+            (Crc32.bytes (Slice.base s) ~pos:(Slice.pos s + pos) ~len:(total - 4))
+          land 0xFFFFFFFF
         in
         if crc <> stored_crc then Torn "bad crc"
         else begin
           try
-            let body = Codec.reader ~pos:(pos + 8) ~len:(total - 12) b in
+            let body =
+              Codec.reader_of_slice (Slice.sub s ~pos:(pos + 8) ~len:(total - 12))
+            in
             let node = Codec.get_u16 body in
             let tid = Codec.get_int_as_u64 body in
             let header_size = Codec.get_u16 body in
@@ -143,6 +157,8 @@ let decode b ~pos =
       end
     end
   end
+
+let decode b ~pos = decode_slice (Slice.of_bytes b) ~pos
 
 let ranges_bytes t =
   List.fold_left (fun acc r -> acc + Bytes.length r.data) 0 t.ranges

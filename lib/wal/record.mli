@@ -52,6 +52,13 @@ val encode : ?range_header_size:int -> txn -> Bytes.t
 (** Serialize one record.  [range_header_size] defaults to
     {!rvm_disk_header_size}. *)
 
+val encode_into : ?range_header_size:int -> Lbc_util.Codec.writer -> txn -> unit
+(** Append the record's encoding to [w] in a single pass — the
+    total-length field is patched in place and the CRC is computed over
+    the arena directly, so nothing is materialized.  Appending after
+    bytes already in the writer is fine (group commit batches records
+    this way); the output is byte-identical to {!encode}. *)
+
 type decode_result =
   | Txn of txn * int  (** decoded record and offset just past it *)
   | End  (** clean end of log: zero fill or end of data *)
@@ -59,6 +66,12 @@ type decode_result =
 
 val decode : Bytes.t -> pos:int -> decode_result
 (** Decode the record starting at [pos]. *)
+
+val decode_slice : Lbc_util.Slice.t -> pos:int -> decode_result
+(** Like {!decode} but over a window (log scans use bounded device
+    views); positions, including the [Txn] continuation offset, are
+    relative to the window.  A record running past the window decodes as
+    [Torn "truncated record"] — the scanner refills and retries. *)
 
 val ranges_bytes : txn -> int
 (** Total payload bytes across the record's ranges. *)

@@ -93,6 +93,107 @@ let prop_u32_roundtrip =
       Codec.get_u32 (Codec.reader (Codec.contents w)) = n)
 
 (* ------------------------------------------------------------------ *)
+(* Slice *)
+
+let test_slice_windows_share_base () =
+  let b = Bytes.of_string "0123456789" in
+  let s = Slice.of_bytes ~pos:2 ~len:6 b in
+  check_int "length" 6 (Slice.length s);
+  Alcotest.(check char) "get" '2' (Slice.get s 0);
+  let sub = Slice.sub s ~pos:1 ~len:3 in
+  Alcotest.(check string) "sub window" "345" (Slice.to_string sub);
+  Alcotest.(check bool) "same base, no copy" true (Slice.base sub == b);
+  check_int "sub pos is absolute" 3 (Slice.pos sub);
+  (* The window observes later mutation of the shared buffer. *)
+  Bytes.set b 3 'X';
+  Alcotest.(check string) "shared" "X45" (Slice.to_string sub)
+
+let test_slice_iov () =
+  let iov =
+    [ Slice.of_string "ab"; Slice.of_string ""; Slice.of_string "cde" ]
+  in
+  check_int "iov_length" 5 (Slice.iov_length iov);
+  Alcotest.(check string) "concat" "abcde"
+    (Bytes.to_string (Slice.concat iov))
+
+let test_slice_copy_accounting () =
+  Slice.reset_counters ();
+  let s = Slice.of_bytes (Bytes.of_string "0123456789") in
+  let sub = Slice.sub s ~pos:0 ~len:4 in
+  ignore (Slice.base sub);
+  check_int "windowing copies nothing" 0 (Slice.bytes_copied ());
+  ignore (Slice.to_bytes sub);
+  check_int "to_bytes counted" 4 (Slice.bytes_copied ());
+  Slice.count_saved 10;
+  check_int "baseline = copied + saved" 14 (Slice.bytes_copied_baseline ());
+  Slice.reset_counters ();
+  check_int "reset" 0 (Slice.bytes_copied ())
+
+let test_arena_patch_in_place () =
+  let a = Slice.Arena.create ~capacity:4 () in
+  Slice.Arena.add_string a "heXlo";
+  Slice.Arena.set_byte a ~at:2 (Char.code 'l');
+  Alcotest.(check string) "set_byte" "hello"
+    (Slice.to_string (Slice.Arena.contents a));
+  Slice.Arena.patch a ~at:0 (Bytes.of_string "HE");
+  Alcotest.(check string) "patch" "HEllo"
+    (Slice.to_string (Slice.Arena.contents a));
+  Slice.Arena.clear a;
+  check_int "clear" 0 (Slice.Arena.length a)
+
+let test_patch_u32_large_buffer () =
+  (* Regression: patching a length field inside a buffer much larger
+     than 64 KiB must be O(1) in-place, not a copy of the whole buffer.
+     The old Buffer-based writer did to_bytes + blit + re-add — O(n). *)
+  let w = Codec.writer () in
+  Codec.u32 w 0;  (* placeholder at offset 0 *)
+  for i = 1 to 80_000 do
+    Codec.u8 w (i land 0xff)
+  done;
+  let at = Codec.length w in
+  Codec.u32 w 0;  (* second placeholder, past 64 KiB *)
+  Codec.raw_string w "tail";
+  Slice.reset_counters ();
+  Codec.patch_u32 w ~at:0 0xAAAAAAAA;
+  Codec.patch_u32 w ~at 0xBBBBBBBB;
+  check_int "patches copy nothing" 0 (Slice.bytes_copied ());
+  let b = Codec.contents w in
+  check_int "first patched" 0xAAAAAAAA
+    (Codec.get_u32 (Codec.reader b));
+  let r = Codec.reader b in
+  Codec.skip r at;
+  check_int "second patched (inside >64 KiB buffer)" 0xBBBBBBBB
+    (Codec.get_u32 r);
+  check_int "bytes before intact" (80_000 land 0xff)
+    (Char.code (Bytes.get b (at - 1)));
+  Alcotest.(check string) "bytes after intact" "tail"
+    (Bytes.sub_string b (at + 4) 4)
+
+let test_reader_of_slices_spans_segments () =
+  (* A segmented reader must decode fields that straddle segment
+     boundaries — the decode side of gather lists. *)
+  let w = Codec.writer () in
+  Codec.u16 w 0xBEEF;
+  Codec.u32 w 0xDEADBEEF;
+  Codec.varint w 300;
+  Codec.raw_string w "payload";
+  let b = Codec.contents w in
+  (* Split into 3-byte segments. *)
+  let rec split pos =
+    if pos >= Bytes.length b then []
+    else
+      let len = min 3 (Bytes.length b - pos) in
+      Slice.of_bytes ~pos ~len b :: split (pos + len)
+  in
+  let r = Codec.reader_of_slices (split 0) in
+  check_int "u16 across segments" 0xBEEF (Codec.get_u16 r);
+  check_int "u32 across segments" 0xDEADBEEF (Codec.get_u32 r);
+  check_int "varint across segments" 300 (Codec.get_varint r);
+  Alcotest.(check string) "raw across segments" "payload"
+    (Bytes.to_string (Codec.get_raw r ~len:7));
+  check_int "exhausted" 0 (Codec.remaining r)
+
+(* ------------------------------------------------------------------ *)
 (* Rng *)
 
 let test_rng_deterministic () =
@@ -216,8 +317,21 @@ let suites =
         Alcotest.test_case "roundtrip fixed" `Quick test_codec_roundtrip_fixed;
         Alcotest.test_case "truncated" `Quick test_codec_truncated;
         Alcotest.test_case "patch_u32" `Quick test_codec_patch;
+        Alcotest.test_case "patch_u32 in >64 KiB buffer" `Quick
+          test_patch_u32_large_buffer;
+        Alcotest.test_case "segmented reader" `Quick
+          test_reader_of_slices_spans_segments;
         qtest prop_varint_roundtrip;
         qtest prop_u32_roundtrip;
+      ] );
+    ( "util.slice",
+      [
+        Alcotest.test_case "windows share the base" `Quick
+          test_slice_windows_share_base;
+        Alcotest.test_case "gather lists" `Quick test_slice_iov;
+        Alcotest.test_case "copy accounting" `Quick test_slice_copy_accounting;
+        Alcotest.test_case "arena patches in place" `Quick
+          test_arena_patch_in_place;
       ] );
     ( "util.rng",
       [

@@ -219,6 +219,266 @@ let test_log_fold_offsets () =
   let seen, _ = Log.fold log ~init:[] (fun acc off _ -> off :: acc) in
   Alcotest.(check (list int)) "offsets" offs (List.rev seen)
 
+(* ------------------------------------------------------------------ *)
+(* Golden vectors: byte-identity with the pre-slice encoders *)
+
+let hex_of_bytes b =
+  String.concat ""
+    (List.init (Bytes.length b) (fun i ->
+         Printf.sprintf "%02x" (Char.code (Bytes.get b i))))
+
+let bytes_of_hex s =
+  Bytes.init
+    (String.length s / 2)
+    (fun i -> Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
+
+(* golden_vectors.txt: "KIND name hex" lines, generated by the encoders
+   as they stood before the Slice refactor. *)
+let golden_vectors =
+  lazy
+    (let path =
+       (* dune stages the dep next to the test executable; resolve it
+          there so both `dune runtest` and `dune exec` find it. *)
+       let beside_exe =
+         Filename.concat (Filename.dirname Sys.executable_name)
+           "golden_vectors.txt"
+       in
+       if Sys.file_exists beside_exe then beside_exe
+       else if Sys.file_exists "test/golden_vectors.txt" then
+         "test/golden_vectors.txt"
+       else "golden_vectors.txt"
+     in
+     let ic = open_in path in
+     let rec loop acc =
+       match input_line ic with
+       | line -> (
+           match String.split_on_char ' ' (String.trim line) with
+           | [ kind; name; hex ] -> loop (((kind, name), hex) :: acc)
+           | _ -> loop acc)
+       | exception End_of_file ->
+           close_in ic;
+           acc
+     in
+     loop [])
+
+let golden kind name =
+  match List.assoc_opt (kind, name) (Lazy.force golden_vectors) with
+  | Some hex -> hex
+  | None -> Alcotest.fail (Printf.sprintf "no golden vector %s %s" kind name)
+
+(* The same four transactions the golden generator used. *)
+let golden_txns =
+  let open Record in
+  [
+    (* single lock, single range *)
+    ( "t1",
+      { node = 0; tid = 1;
+        locks = [ { lock_id = 0; seqno = 1; prev_write_seq = 0 } ];
+        ranges =
+          [ { region = 0; offset = 16; data = Bytes.of_string "hello world!" } ];
+      } );
+    (* multi-lock, multi-region, big varints *)
+    ( "t2",
+      { node = 3; tid = 200;
+        locks =
+          [
+            { lock_id = 7; seqno = 300; prev_write_seq = 299 };
+            { lock_id = 150; seqno = 2; prev_write_seq = 0 };
+          ];
+        ranges =
+          [
+            { region = 2; offset = 100_000; data = Bytes.make 40 '\x5a' };
+            { region = 2; offset = 100_300; data = Bytes.of_string "abc" };
+            { region = 5; offset = 0; data = Bytes.make 3 '\x00' };
+          ];
+      } );
+    (* read-only (no ranges) *)
+    ( "t3",
+      { node = 1; tid = 9;
+        locks = [ { lock_id = 2; seqno = 5; prev_write_seq = 4 } ];
+        ranges = [];
+      } );
+    (* unsorted ranges on input, zero-length data *)
+    ( "t4",
+      { node = 65535; tid = 1_000_000;
+        locks = [];
+        ranges =
+          [
+            { region = 1; offset = 512; data = Bytes.make 130 '\x41' };
+            { region = 1; offset = 0; data = Bytes.of_string "xy" };
+            { region = 0; offset = 8; data = Bytes.empty };
+          ];
+      } )
+  ]
+
+let test_record_golden () =
+  List.iter
+    (fun (name, t) ->
+      Alcotest.(check string)
+        (name ^ " encodes to the pre-refactor bytes (104B headers)")
+        (golden "REC" name)
+        (hex_of_bytes (Record.encode t));
+      Alcotest.(check string)
+        (name ^ " encodes to the pre-refactor bytes (20B headers)")
+        (golden "REC20" name)
+        (hex_of_bytes (Record.encode ~range_header_size:20 t));
+      (* and the golden bytes decode back to the transaction *)
+      match Record.decode (bytes_of_hex (golden "REC" name)) ~pos:0 with
+      | Record.Txn (t', _) ->
+          Alcotest.check txn_testable (name ^ " golden decodes") t t'
+      | _ -> Alcotest.fail (name ^ ": golden record did not decode"))
+    golden_txns
+
+let prop_encode_into_appends =
+  (* Encoding several records into one shared arena — what a group-commit
+     batch does — yields exactly the concatenation of their individual
+     encodings. *)
+  QCheck.Test.make ~name:"encode_into batches = concatenated encodes"
+    ~count:100
+    (QCheck.make (QCheck.Gen.list_size QCheck.Gen.(1 -- 5) gen_txn))
+    (fun txns ->
+      let w = Lbc_util.Codec.writer () in
+      List.iter (fun t -> Record.encode_into w t) txns;
+      let batched = Lbc_util.Codec.contents w in
+      let individual =
+        Bytes.concat Bytes.empty (List.map Record.encode txns)
+      in
+      Bytes.equal batched individual)
+
+(* ------------------------------------------------------------------ *)
+(* Windowed scans *)
+
+let test_scan_windowed_large_log () =
+  (* A log several windows long: attach must find every record without
+     snapshotting the device. *)
+  let d = Dev.create () in
+  let log = Log.attach d in
+  let payload = String.make 8192 'p' in
+  let n = 24 in  (* ~197 KiB of records, ~3 windows *)
+  for tid = 1 to n do
+    ignore (Log.append log (mk_txn ~tid [ (0, 0, payload) ]))
+  done;
+  Log.force log;
+  Alcotest.(check bool) "log spans several scan windows" true
+    (Log.tail log > 2 * 64 * 1024);
+  let log' = Log.attach d in
+  Alcotest.(check int) "all records found" n (Log.record_count log');
+  let txns, status = Log.read_all log' in
+  Alcotest.(check bool) "clean" true (status = Log.Clean);
+  Alcotest.(check (list int)) "tids in order"
+    (List.init n (fun i -> i + 1))
+    (List.map (fun t -> t.Record.tid) txns)
+
+let test_scan_record_larger_than_window () =
+  (* One record bigger than the 64 KiB scan window: the window must grow
+     until the record fits, then shrink back to normal progress. *)
+  let d = Dev.create () in
+  let log = Log.attach d in
+  ignore (Log.append log (mk_txn ~tid:1 [ (0, 0, "before") ]));
+  ignore (Log.append log (mk_txn ~tid:2 [ (0, 0, String.make 100_000 'B') ]));
+  ignore (Log.append log (mk_txn ~tid:3 [ (0, 0, "after") ]));
+  Log.force log;
+  let log' = Log.attach d in
+  let txns, status = Log.read_all log' in
+  Alcotest.(check bool) "clean" true (status = Log.Clean);
+  Alcotest.(check (list int)) "all three records" [ 1; 2; 3 ]
+    (List.map (fun t -> t.Record.tid) txns)
+
+(* ------------------------------------------------------------------ *)
+(* Group commit *)
+
+let run_commits ~max_records ~delay ~commits f =
+  let d = Dev.create () in
+  let log = Log.attach d in
+  let engine = Lbc_sim.Engine.create () in
+  Log.enable_group_commit ~max_records ~delay log ~engine;
+  let durable = ref [] in
+  for i = 1 to commits do
+    Lbc_sim.Proc.spawn engine ~name:(Printf.sprintf "committer-%d" i)
+      (fun () ->
+        let off =
+          Log.append_durable log (mk_txn ~tid:i [ (0, 0, "payload") ])
+        in
+        (* append_durable returns only once the record is on stable
+           storage *)
+        durable := (i, off) :: !durable)
+  done;
+  Lbc_sim.Engine.run engine;
+  f d log !durable
+
+let test_group_commit_batches_by_size () =
+  run_commits ~max_records:4 ~delay:1_000.0 ~commits:8 (fun d log durable ->
+      Alcotest.(check int) "all committers returned" 8 (List.length durable);
+      Alcotest.(check int) "two full batches" 2 (Log.batches_flushed log);
+      Alcotest.(check int) "records batched" 8 (Log.records_batched log);
+      (* 1 sync for the fresh header + 1 per batch *)
+      Alcotest.(check int) "one sync per batch" 3 (Dev.sync_count d);
+      let txns, status = Log.read_all log in
+      Alcotest.(check bool) "clean" true (status = Log.Clean);
+      Alcotest.(check int) "all records logged" 8 (List.length txns))
+
+let test_group_commit_flushes_by_delay () =
+  (* Fewer committers than max_records: only the timer can flush. *)
+  run_commits ~max_records:64 ~delay:100.0 ~commits:3 (fun d log durable ->
+      Alcotest.(check int) "all committers returned" 3 (List.length durable);
+      Alcotest.(check int) "one timed batch" 1 (Log.batches_flushed log);
+      Alcotest.(check int) "syncs: header + batch" 2 (Dev.sync_count d);
+      let txns, _ = Log.read_all log in
+      Alcotest.(check int) "all records logged" 3 (List.length txns))
+
+let test_group_commit_fewer_syncs_than_commits () =
+  run_commits ~max_records:8 ~delay:50.0 ~commits:24 (fun d log durable ->
+      Alcotest.(check int) "all committers returned" 24 (List.length durable);
+      Alcotest.(check bool)
+        (Printf.sprintf "syncs (%d) < commits (24)" (Dev.sync_count d))
+        true
+        (Dev.sync_count d < 24);
+      Alcotest.(check int) "records batched" 24 (Log.records_batched log))
+
+let test_group_commit_torn_batch_recovery () =
+  (* A crash can tear the batch's single gathered write mid-record:
+     recovery must keep the batch's leading records and drop the torn
+     tail. *)
+  run_commits ~max_records:4 ~delay:1_000.0 ~commits:4 (fun d log durable ->
+      ignore (log : Log.t);
+      let offs = List.sort Int.compare (List.map snd durable) in
+      (* Cut 10 bytes into the batch's third record. *)
+      let cut = List.nth offs 2 + 10 in
+      let d' = Dev.create () in
+      Dev.load d' (Dev.read d ~off:0 ~len:cut);
+      let log' = Log.attach d' in
+      let txns, status = Log.read_all log' in
+      Alcotest.(check bool) "tail reset past the tear" true
+        (status = Log.Clean);
+      Alcotest.(check int) "batch prefix survives" 2 (List.length txns);
+      (* The log keeps working after recovery. *)
+      ignore (Log.append log' (mk_txn ~tid:99 [ (0, 0, "post") ]));
+      Log.force log';
+      let txns', status' = Log.read_all log' in
+      Alcotest.(check bool) "clean after repair" true (status' = Log.Clean);
+      Alcotest.(check int) "new record appended" 3 (List.length txns'))
+
+let test_group_commit_direct_append_flushes () =
+  (* A direct append (no durability wait) must not overtake an open
+     batch: device order is logical order. *)
+  let d = Dev.create () in
+  let log = Log.attach d in
+  let engine = Lbc_sim.Engine.create () in
+  Log.enable_group_commit ~max_records:8 ~delay:1_000.0 log ~engine;
+  Lbc_sim.Proc.spawn engine ~name:"committer" (fun () ->
+      ignore (Log.append_durable log (mk_txn ~tid:1 [ (0, 0, "batched") ])));
+  Lbc_sim.Proc.spawn engine ~name:"direct" (fun () ->
+      Lbc_sim.Proc.sleep 10.0;
+      (* The batch is still open (delay 1000); this append must flush it
+         first so the records land in order. *)
+      ignore (Log.append log (mk_txn ~tid:2 [ (0, 0, "direct") ]));
+      Log.force log);
+  Lbc_sim.Engine.run engine;
+  let txns, status = Log.read_all log in
+  Alcotest.(check bool) "clean" true (status = Log.Clean);
+  Alcotest.(check (list int)) "device order = logical order" [ 1; 2 ]
+    (List.map (fun t -> t.Record.tid) txns)
+
 let suites =
   [
     ( "wal.record",
@@ -231,8 +491,10 @@ let suites =
         Alcotest.test_case "corrupt = Torn" `Quick
           test_record_decode_corrupt_is_torn;
         Alcotest.test_case "garbage = Torn" `Quick test_record_garbage_is_torn;
+        Alcotest.test_case "golden vectors" `Quick test_record_golden;
         QCheck_alcotest.to_alcotest prop_record_roundtrip;
         QCheck_alcotest.to_alcotest prop_records_concatenate;
+        QCheck_alcotest.to_alcotest prop_encode_into_appends;
       ] );
     ( "wal.log",
       [
@@ -244,5 +506,22 @@ let suites =
         Alcotest.test_case "trim" `Quick test_log_trim;
         Alcotest.test_case "bad device" `Quick test_log_bad_device;
         Alcotest.test_case "fold offsets" `Quick test_log_fold_offsets;
+        Alcotest.test_case "windowed scan: multi-window log" `Quick
+          test_scan_windowed_large_log;
+        Alcotest.test_case "windowed scan: record > window" `Quick
+          test_scan_record_larger_than_window;
+      ] );
+    ( "wal.group_commit",
+      [
+        Alcotest.test_case "batches by size" `Quick
+          test_group_commit_batches_by_size;
+        Alcotest.test_case "flushes by delay" `Quick
+          test_group_commit_flushes_by_delay;
+        Alcotest.test_case "fewer syncs than commits" `Quick
+          test_group_commit_fewer_syncs_than_commits;
+        Alcotest.test_case "torn batch recovery" `Quick
+          test_group_commit_torn_batch_recovery;
+        Alcotest.test_case "direct append flushes open batch" `Quick
+          test_group_commit_direct_append_flushes;
       ] );
   ]
