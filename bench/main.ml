@@ -569,10 +569,17 @@ let bechamel () =
    propagation policy, written to BENCH_oo7.json for CI trending. *)
 
 let json () =
+  let module H = Lbc_obs.Obs.Histogram in
   let buf = Buffer.create 4096 in
   let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let measured =
-    { Lbc_core.Config.measured with Lbc_core.Config.disk_logging = false }
+    {
+      Lbc_core.Config.measured with
+      Lbc_core.Config.disk_logging = false;
+      (* Tracing costs no virtual time; the histograms feed the
+         latency block below. *)
+      trace = true;
+    }
   in
   let configs =
     [
@@ -582,11 +589,14 @@ let json () =
         { measured with Lbc_core.Config.propagation = Lbc_core.Config.Lazy } );
     ]
   in
-  addf "{\n  \"schema\": \"BENCH_oo7/v2\",\n  \"configs\": [";
+  addf "{\n  \"schema\": \"BENCH_oo7/v3\",\n  \"configs\": [";
   List.iteri
     (fun ci (cname, config) ->
       if ci > 0 then addf ",";
       addf "\n    {\n      \"name\": %S,\n      \"traversals\": [" cname;
+      (* Latency percentiles are aggregated across the config's
+         traversals by merging the per-run histogram buckets. *)
+      let agg : (string, H.t) Hashtbl.t = Hashtbl.create 8 in
       List.iteri
         (fun ti kind ->
           let cluster = Runner.setup ~config ~nodes:2 small in
@@ -594,6 +604,18 @@ let json () =
           Lbc_util.Slice.reset_counters ();
           let o = Runner.run ~cluster ~writer:0 small kind in
           let p = o.Runner.profile in
+          List.iter
+            (fun (name, h) ->
+              let into =
+                match Hashtbl.find_opt agg name with
+                | Some x -> x
+                | None ->
+                    let x = H.create () in
+                    Hashtbl.add agg name x;
+                    x
+              in
+              H.merge ~into h)
+            (Lbc_obs.Obs.hists (Lbc_core.Cluster.obs cluster));
           if ti > 0 then addf ",";
           addf
             "\n        { \"name\": %S, \"elapsed_us\": %.1f, \
@@ -610,7 +632,23 @@ let json () =
             (Lbc_util.Slice.bytes_copied_baseline ())
             (Lbc_util.Slice.encode_allocs ()))
         Traversal.table3_kinds;
-      addf "\n      ]\n    }")
+      addf "\n      ],\n      \"latency\": {";
+      List.iteri
+        (fun mi metric ->
+          let h =
+            match Hashtbl.find_opt agg metric with
+            | Some h -> h
+            | None -> H.create ()
+          in
+          if mi > 0 then addf ",";
+          addf
+            "\n        %S: { \"count\": %d, \"mean_us\": %.2f, \
+             \"p50_us\": %.2f, \"p95_us\": %.2f, \"p99_us\": %.2f, \
+             \"max_us\": %.2f }"
+            metric (H.count h) (H.mean h) (H.percentile h 50.0)
+            (H.percentile h 95.0) (H.percentile h 99.0) (H.max_value h))
+        [ "commit_us"; "lock_wait_us"; "apply_lag_us" ];
+      addf "\n      }\n    }")
     configs;
   addf "\n  ]\n}\n";
   let oc = open_out "BENCH_oo7.json" in

@@ -43,7 +43,14 @@ let recover db_path out_path log_paths =
       Format.printf "replayed %d records, %d bytes@."
         outcome.Lbc_rvm.Recovery.records_replayed
         outcome.Lbc_rvm.Recovery.bytes_replayed;
-      let out = match out_path with Some p -> p | None -> "recovered.db" in
+      let out =
+        match out_path with
+        | Some p -> p
+        | None ->
+            (* Keep reruns out of the source tree by default. *)
+            if not (Sys.file_exists "_build") then Unix.mkdir "_build" 0o755;
+            Filename.concat "_build" "recovered.db"
+      in
       write_file out (Lbc_storage.Dev.stable_snapshot db);
       Format.printf "wrote %s (%d bytes)@." out (Lbc_storage.Dev.stable_size db)
 
@@ -52,8 +59,10 @@ let db_path =
          ~doc:"Existing database image to replay into (default: empty).")
 
 let out_path =
-  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
-         ~doc:"Where to write the recovered image (default recovered.db).")
+  Arg.(value & opt (some string) None & info [ "o"; "out"; "output" ]
+         ~docv:"FILE"
+         ~doc:"Where to write the recovered image (default \
+               _build/recovered.db).")
 
 let log_paths =
   Arg.(non_empty & pos_all file [] & info [] ~docv:"LOG"

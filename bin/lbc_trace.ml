@@ -1,0 +1,127 @@
+(* Trace explorer CLI: load a Chrome trace-event file produced by a
+   traced run (oo7-run --trace, or Cluster.write_trace) and print the
+   per-lock contention table, the per-stage latency breakdown, and the
+   critical path of the slowest transaction.  --self-check instead
+   validates the trace's structural invariants (for CI). *)
+
+open Cmdliner
+module Explorer = Lbc_obs.Explorer
+
+let pp_us ppf v =
+  if v >= 1000.0 then Format.fprintf ppf "%8.2fms" (v /. 1000.0)
+  else Format.fprintf ppf "%8.1fµs" v
+
+let print_stages events =
+  Format.printf "@.== per-stage latency ==@.";
+  Format.printf "%-10s %7s %11s %10s %10s %10s %10s@." "stage" "count"
+    "total" "p50" "p95" "p99" "max";
+  List.iter
+    (fun (s : Explorer.stage_stats) ->
+      Format.printf "%-10s %7d %9.1fms %a %a %a %a@." s.Explorer.st_name
+        s.Explorer.st_count
+        (s.Explorer.st_total /. 1000.0)
+        pp_us s.Explorer.st_p50 pp_us s.Explorer.st_p95 pp_us
+        s.Explorer.st_p99 pp_us s.Explorer.st_max)
+    (Explorer.stage_breakdown events)
+
+let print_contention events =
+  Format.printf "@.== lock contention ==@.";
+  match Explorer.lock_contention events with
+  | [] -> Format.printf "no queued lock acquisitions in this trace@."
+  | rows ->
+      Format.printf "%-8s %7s %10s %12s %12s@." "lock" "waits" "contended"
+        "total wait" "max wait";
+      List.iter
+        (fun (r : Explorer.lock_stats) ->
+          Format.printf "l%-7d %7d %10d %a %a@." r.Explorer.lk_lock
+            r.Explorer.lk_waits r.Explorer.lk_contended pp_us
+            r.Explorer.lk_total_wait pp_us r.Explorer.lk_max_wait)
+        rows
+
+let print_critical_path events =
+  Format.printf "@.== critical path (slowest transaction) ==@.";
+  match Explorer.critical_path events with
+  | None -> Format.printf "no txn spans in this trace@."
+  | Some (txn, inside) ->
+      Format.printf "txn on node %d: start %.1fµs, duration %a@."
+        txn.Explorer.pid txn.Explorer.ts pp_us txn.Explorer.dur;
+      let accounted = ref 0.0 in
+      List.iter
+        (fun (ev : Explorer.event) ->
+          if ev.Explorer.tid = Lbc_obs.Obs.lane_txn then
+            accounted := !accounted +. ev.Explorer.dur;
+          Format.printf "  +%a %-10s %a%s@." pp_us
+            (ev.Explorer.ts -. txn.Explorer.ts)
+            ev.Explorer.name pp_us ev.Explorer.dur
+            (match
+               List.assoc_opt "lock" ev.Explorer.args
+             with
+            | Some (Lbc_obs.Json.Num l) ->
+                Printf.sprintf "  (lock %d)" (int_of_float l)
+            | _ -> ""))
+        inside;
+      if txn.Explorer.dur > 0.0 then
+        Format.printf "accounted inside txn lane: %a (%.0f%%)@." pp_us
+          !accounted
+          (100.0 *. !accounted /. txn.Explorer.dur)
+
+let print_flows events =
+  let f = Explorer.flow_summary events in
+  Format.printf
+    "@.flows: %d committed writes broadcast, %d applies bound to them@."
+    f.Explorer.fl_starts f.Explorer.fl_ends;
+  if f.Explorer.fl_unresolved > 0 then
+    Format.printf "!! %d flow heads without a matching start@."
+      f.Explorer.fl_unresolved
+
+let run file self_check =
+  match Explorer.load file with
+  | Error why ->
+      Format.eprintf "%s: %s@." file why;
+      exit 2
+  | Ok events ->
+      if self_check then begin
+        match Explorer.self_check events with
+        | [] ->
+            let f = Explorer.flow_summary events in
+            Format.printf
+              "%s: OK (%d events, %d flow starts, %d flow ends)@." file
+              (List.length events) f.Explorer.fl_starts f.Explorer.fl_ends;
+            exit 0
+        | errors ->
+            List.iter (fun e -> Format.eprintf "%s: %s@." file e) errors;
+            exit 1
+      end
+      else begin
+        Format.printf "%s: %d events@." file (List.length events);
+        print_stages events;
+        print_contention events;
+        print_critical_path events;
+        print_flows events
+      end
+
+let file =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE"
+         ~doc:"Chrome trace-event JSON file written by a traced run.")
+
+let self_check =
+  Arg.(value & flag & info [ "self-check" ]
+         ~doc:"Validate the trace instead of reporting: well-formed JSON, \
+               non-negative span durations, monotone instant timestamps per \
+               node, and every flow arrow resolving into an apply span. \
+               Exit 0 if clean, 1 otherwise.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "lbc-trace"
+       ~doc:"Explore a trace of the coherency pipeline"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Loads a Chrome trace-event file produced by $(b,oo7-run \
+               --trace) and prints a per-lock contention table, a per-stage \
+               latency breakdown (p50/p95/p99 of span durations), and the \
+               critical path of the slowest transaction.  The same file \
+               loads in Perfetto for interactive inspection." ])
+    Term.(const run $ file $ self_check)
+
+let () = exit (Cmd.eval cmd)

@@ -19,7 +19,8 @@ let save_devices dir store =
           Format.printf "saved %s (%d bytes)@." path (Lbc_storage.Dev.stable_size dev))
     (Lbc_storage.Store.names store)
 
-let run traversal config_name nodes protocol lazy_mode costs save debug =
+let run traversal config_name nodes protocol lazy_mode costs save trace_out
+    debug =
   if debug then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -48,6 +49,8 @@ let run traversal config_name nodes protocol lazy_mode costs save debug =
       Lbc_core.Config.propagation =
         (if lazy_mode then Lbc_core.Config.Lazy else Lbc_core.Config.Eager);
       disk_logging = not costs;
+      trace = trace_out <> None;
+      trace_path = trace_out;
     }
   in
   let cluster = Runner.setup ~config ~nodes schema in
@@ -135,6 +138,12 @@ let run traversal config_name nodes protocol lazy_mode costs save debug =
   Format.printf "network: %d messages, %d bytes@."
     (Lbc_core.Cluster.total_messages cluster)
     (Lbc_core.Cluster.total_bytes cluster);
+  (match trace_out with
+  | Some path ->
+      Lbc_core.Cluster.write_trace cluster;
+      Format.printf "trace written to %s (inspect with lbc-trace, or load in Perfetto)@."
+        path
+  | None -> ());
   (match save with
   | Some dir ->
       (* Make log contents durable before snapshotting. *)
@@ -169,6 +178,11 @@ let save =
   Arg.(value & opt (some string) None & info [ "save" ] ~docv:"DIR"
          ~doc:"Dump device images (logs, database) for the offline tools.")
 
+let trace_out =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PATH"
+         ~doc:"Record the run as a Chrome trace-event file at $(docv) \
+               (analyze with lbc-trace, or load in Perfetto).")
+
 let debug =
   Arg.(value & flag & info [ "debug" ] ~doc:"Trace coherency events.")
 
@@ -176,6 +190,6 @@ let cmd =
   Cmd.v
     (Cmd.info "oo7-run" ~doc:"Run an OO7 traversal under log-based coherency")
     Term.(const run $ traversal $ config_name $ nodes $ protocol $ lazy_mode
-          $ costs $ save $ debug)
+          $ costs $ save $ trace_out $ debug)
 
 let () = exit (Cmd.eval cmd)

@@ -15,13 +15,26 @@
      data by reference (Slice windows and gather lists); a materializing
      copy belongs in lib/util where it is counted, or needs an explicit
      [copy-ok] comment on the same line explaining why it is fine.
+   - print-debug: [Printf.printf] / [Printf.eprintf] / [Format.printf] /
+     [Format.eprintf] in library code.  Libraries must report through a
+     formatter handed to them (as report.ml does) or through the tracing
+     layer (lib/obs), never by writing to the process's std channels —
+     stray debugging output corrupts harness stdout (bench JSON, golden
+     tests).  report.ml and lib/obs are exempt; elsewhere a deliberate
+     print takes a [print-ok] comment on the same line.
 
    The scanner blanks comments, string literals and character literals
    (preserving newlines and byte positions), so mentions of [compare] in
    docs or in this very file's rule table do not trip the lint. *)
 
 let rules =
-  [ "poly-compare"; "catch-all-handler"; "obj-magic"; "hot-path-copy" ]
+  [
+    "poly-compare";
+    "catch-all-handler";
+    "obj-magic";
+    "hot-path-copy";
+    "print-debug";
+  ]
 
 (* Directories whose files are considered recovery paths for the
    catch-all-handler rule. *)
@@ -37,6 +50,15 @@ let hot_path_dirs = [ "wal"; "net"; "core" ]
 let in_hot_path file =
   let parts = String.split_on_char '/' file in
   List.exists (fun p -> List.mem p hot_path_dirs) parts
+
+(* Library code for the print-debug rule: anything under lib/, except
+   report.ml (whose job is rendering) and lib/obs (whose job is
+   emitting trace files). *)
+let in_library file =
+  let parts = String.split_on_char '/' file in
+  List.mem "lib" parts
+  && (not (List.mem "obs" parts))
+  && Filename.basename file <> "report.ml"
 
 (* --------------------------------------------------------------- *)
 (* Comment / string stripping *)
@@ -330,6 +352,48 @@ let check_hot_path_copy ~file ~src text =
     in
     flag "Bytes" [ "sub"; "copy" ] @ flag "Buffer" [ "to_bytes" ]
 
+let check_print_debug ~file ~src text =
+  if not (in_library file) then []
+  else
+    let qualified_call ~modname ~fns p =
+      match next_nonspace text (p + String.length modname) with
+      | Some (i, '.') -> (
+          match next_nonspace text (i + 1) with
+          | Some (j, c) when is_ident c ->
+              let rec fin k =
+                if k < String.length text && is_ident text.[k] then fin (k + 1)
+                else k
+              in
+              let word = String.sub text j (fin j - j) in
+              if List.mem word fns then Some (modname ^ "." ^ word) else None
+          | _ -> None)
+      | _ -> None
+    in
+    let flag modname =
+      List.filter_map
+        (fun p ->
+          match qualified_call ~modname ~fns:[ "printf"; "eprintf" ] p with
+          | None -> None
+          | Some callee ->
+              (* print-ok on the same source line opts the call out. *)
+              if contains_sub (raw_line src p) "print-ok" then None
+              else
+                Some
+                  (Violation.Lint
+                     {
+                       file;
+                       line = line_of text p;
+                       rule = "print-debug";
+                       detail =
+                         callee
+                         ^ " writes to a std channel from library code; \
+                            render through a caller-supplied formatter or \
+                            lib/obs, or annotate the line with print-ok";
+                     }))
+        (token_positions text modname)
+    in
+    flag "Printf" @ flag "Format"
+
 (* --------------------------------------------------------------- *)
 (* Entry points *)
 
@@ -341,6 +405,7 @@ let scan_source ~file src =
       check_catch_all ~file text;
       check_obj_magic ~file text;
       check_hot_path_copy ~file ~src text;
+      check_print_debug ~file ~src text;
     ]
 
 let read_file path =

@@ -256,6 +256,8 @@ let lint_fixture =
       "let cast (x : int) : float = Obj.magic x";
       "let dup b = Bytes.sub b 0 4";
       "let dup_ok b = Bytes.copy b (* copy-ok: fixture *)";
+      "let dbg x = Printf.printf \"x=%d\\n\" x";
+      "let dbg_ok x = Format.eprintf \"x=%d@.\" x (* print-ok: fixture *)";
     ]
 
 let run () =
@@ -316,14 +318,17 @@ let run () =
       && List.mem "catch-all-handler" got
       && List.mem "obj-magic" got
       && List.mem "hot-path-copy" got
-      (* the copy-ok line must be the one hot-path hit that is NOT
+      && List.mem "print-debug" got
+      (* the copy-ok / print-ok lines must be the hits that are NOT
          reported *)
       && List.length (List.filter (String.equal "hot-path-copy") got) = 1
+      && List.length (List.filter (String.equal "print-debug") got) = 1
     then
       {
         check = "lint: fixture";
         ok = true;
-        detail = "all four rules fire on the fixture; copy-ok suppresses";
+        detail =
+          "all five rules fire on the fixture; copy-ok and print-ok suppress";
       }
     else
       {

@@ -1,3 +1,5 @@
+module Obs = Lbc_obs.Obs
+
 type region_info = {
   size : int;
   dev : Lbc_storage.Dev.t;
@@ -17,6 +19,7 @@ type t = {
   crashed : bool array;
   reclaimed : bool array;  (* lease expired, lock tokens reclaimed *)
   epoch : int array;  (* bumped at every crash; stale app processes die *)
+  obs : Obs.t;
 }
 
 let engine t = t.engine
@@ -51,6 +54,12 @@ let create ?(config = Config.default) ?net_params ?disk ~nodes () =
     Lbc_net.Fabric.create ~params:net_params ~engine ~nodes ~size:Msg.size ()
   in
   let store = Lbc_storage.Store.create ~latency:disk () in
+  let obs =
+    if config.Config.trace then
+      Obs.create ~now:(fun () -> Lbc_sim.Engine.now engine) ~nodes ()
+    else Obs.disabled
+  in
+  Lbc_net.Fabric.set_obs fabric obs;
   let regions = Hashtbl.create 4 in
   let peers_with_region self region =
     match Hashtbl.find_opt regions region with
@@ -77,6 +86,7 @@ let create ?(config = Config.default) ?net_params ?disk ~nodes () =
                   (Msg.Update iov));
             peers_with_region = peers_with_region i;
             log_dev = Lbc_storage.Store.open_dev store (Printf.sprintf "log.%d" i);
+            obs;
           })
   in
   (* One dispatcher per peer channel, like the prototype's per-connection
@@ -105,7 +115,20 @@ let create ?(config = Config.default) ?net_params ?disk ~nodes () =
     crashed = Array.make nodes false;
     reclaimed = Array.make nodes false;
     epoch = Array.make nodes 0;
+    obs;
   }
+
+let obs t = t.obs
+
+let write_trace ?path t =
+  let path =
+    match path with
+    | Some p -> Some p
+    | None -> t.config.Config.trace_path
+  in
+  match path with
+  | None -> invalid_arg "Cluster.write_trace: no path (set Config.trace_path)"
+  | Some p -> Obs.write t.obs p
 
 let region_info t id =
   match Hashtbl.find_opt t.regions id with
@@ -167,6 +190,9 @@ let crash t ~node:n =
   t.crashed.(n) <- true;
   t.reclaimed.(n) <- false;
   t.epoch.(n) <- t.epoch.(n) + 1;
+  if Obs.enabled t.obs then
+    Obs.instant t.obs ~name:"crash" ~pid:n ~tid:Obs.lane_txn
+      ~args:[ ("epoch", Obs.I t.epoch.(n)) ] ();
   Lbc_net.Fabric.set_down t.fabric n true;
   (* Lease expiry: once the dead node's lease runs out, a recovery agent
      rebuilds the lock service without it. *)
@@ -178,7 +204,10 @@ let crash t ~node:n =
           ~daemon:true
           (fun () ->
             Lbc_locks.Table.reclaim (Array.map Node.locks t.nodes) ~failed:n;
-            t.reclaimed.(n) <- true))
+            t.reclaimed.(n) <- true;
+            if Obs.enabled t.obs then
+              Obs.instant t.obs ~name:"lease.reclaim" ~pid:n ~tid:Obs.lane_lock
+                ()))
 
 let rejoin t ~node:n =
   ignore (node t n : Node.t);
@@ -186,6 +215,9 @@ let rejoin t ~node:n =
   if not t.reclaimed.(n) then
     invalid_arg "Cluster.rejoin: node's lease has not expired yet";
   Lbc_net.Fabric.set_down t.fabric n false;
+  if Obs.enabled t.obs then
+    Obs.instant t.obs ~name:"rejoin" ~pid:n ~tid:Obs.lane_txn
+      ~args:[ ("epoch", Obs.I t.epoch.(n)) ] ();
   Lbc_locks.Table.rejoin_reset (Node.locks t.nodes.(n));
   let applied =
     Hashtbl.fold (fun lock seq acc -> (lock, seq) :: acc) t.checkpointed []

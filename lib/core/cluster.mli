@@ -61,6 +61,16 @@ val run : ?until:Lbc_sim.Engine.time -> ?check_stranded:bool -> t -> unit
 
 val now : t -> Lbc_sim.Engine.time
 
+val obs : t -> Lbc_obs.Obs.t
+(** The cluster's trace/metrics sink.  Enabled (and shared by every
+    node, lock table, log and the fabric) iff [config.trace] was set at
+    {!create}; [Obs.disabled] otherwise. *)
+
+val write_trace : ?path:string -> t -> unit
+(** Write the collected trace as Chrome trace-event JSON
+    (Perfetto-loadable).  [path] defaults to [config.trace_path];
+    raises [Invalid_argument] if neither is set. *)
+
 val blocked : t -> string list
 (** Descriptions of the application processes currently blocked (waiting
     for a message, an update, or a lock).  Empty for a quiescent,

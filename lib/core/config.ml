@@ -15,6 +15,8 @@ type t = {
   group_commit : bool;
   group_commit_max : int;
   group_commit_delay : float;
+  trace : bool;
+  trace_path : string option;
 }
 
 let default =
@@ -33,6 +35,8 @@ let default =
     group_commit = false;
     group_commit_max = 8;
     group_commit_delay = 100.0;
+    trace = false;
+    trace_path = None;
   }
 
 let measured = { default with disk_logging = false; charge_costs = true }

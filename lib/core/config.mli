@@ -57,6 +57,14 @@ type t = {
   group_commit_delay : float;
       (** virtual µs after a batch's first record before it is flushed
           regardless of size *)
+  trace : bool;
+      (** record spans, flow arrows and latency histograms through
+          [Lbc_obs] while the cluster runs.  Off by default: the
+          instrumented hot paths then pay a single branch per site and
+          allocate nothing. *)
+  trace_path : string option;
+      (** where [Cluster.write_trace] puts the Chrome trace-event JSON
+          when no explicit path is given *)
 }
 
 val default : t

@@ -1,5 +1,7 @@
 exception Coherency_error of string
 
+module Obs = Lbc_obs.Obs
+
 let log_src = Logs.Src.create "lbc.node" ~doc:"log-based coherency node events"
 
 module L = (val Logs.src_log log_src)
@@ -45,6 +47,7 @@ type t = {
   txn_updates : int ref;  (* set_range calls in the running transaction *)
   mutable pinned : bool;  (* version-pinned reader: buffer, don't apply *)
   stats : stats;
+  obs : Obs.t;
 }
 
 type deps = {
@@ -60,6 +63,9 @@ type deps = {
   multicast_update : dsts:int list -> Lbc_util.Slice.t list -> unit;
   peers_with_region : int -> int list;
   log_dev : Lbc_storage.Dev.t;
+  obs : Obs.t;
+      (** trace/metrics sink shared by the cluster; [Obs.disabled] when
+          tracing is off *)
 }
 
 let model_class = function
@@ -112,6 +118,8 @@ let create (deps : deps) =
       ~send:(fun ~dst m -> deps.send ~dst (Msg.Lock m))
       ()
   in
+  Lbc_locks.Table.set_obs locks deps.obs;
+  Lbc_wal.Log.set_obs (Lbc_rvm.Rvm.log rvm) deps.obs ~node:deps.node_id;
   {
     id = deps.node_id;
     nodes = deps.nodes;
@@ -143,6 +151,7 @@ let create (deps : deps) =
         records_fetched = 0;
         repair_fetches = 0;
       };
+    obs = deps.obs;
   }
 
 let id (t : t) = t.id
@@ -235,12 +244,39 @@ let readiness t (record : Lbc_wal.Record.txn) =
   then Ready
   else Hold
 
-let apply_now t record =
+let apply_now (t : t) record =
+  let sp =
+    if Obs.enabled t.obs then begin
+      let sp =
+        Obs.span_begin t.obs ~name:"apply" ~pid:t.id ~tid:Obs.lane_apply
+          ~args:
+            [ ("writer", Obs.I record.Lbc_wal.Record.node);
+              ("tid", Obs.I record.Lbc_wal.Record.tid) ]
+          ()
+      in
+      (* Bind the committer's flow arrows into this apply span (the "f"
+         events land at the span's start time), and account the lag from
+         broadcast to apply. *)
+      List.iter
+        (fun l ->
+          let id =
+            Obs.flow_id ~lock:l.Lbc_wal.Record.lock_id
+              ~seqno:l.Lbc_wal.Record.seqno
+          in
+          match Obs.flow_end t.obs ~id ~pid:t.id ~tid:Obs.lane_apply with
+          | Some lag -> Obs.observe t.obs "apply_lag_us" lag
+          | None -> ())
+        record.Lbc_wal.Record.locks;
+      sp
+    end
+    else Obs.null_span
+  in
   Lbc_rvm.Rvm.apply_record t.rvm record;
   List.iter
     (fun l -> set_applied t l.Lbc_wal.Record.lock_id l.Lbc_wal.Record.seqno)
     record.Lbc_wal.Record.locks;
   if retains t then retain t record;
+  ignore (Obs.span_end t.obs sp : float);
   Lbc_sim.Condvar.broadcast t.applied_cv
 
 (* Apply everything applicable, holding the rest; newly applied records can
@@ -257,10 +293,13 @@ let rec drain_pending t =
       List.iter (apply_now t) ready;
       drain_pending t
 
+let fetch_mark_key t lock = Printf.sprintf "fetch:%d:%d" t.id lock
+
 let send_fetch (t : t) ~lock ~have ~from =
   if from <> t.id && not (Hashtbl.mem t.fetch_marks (lock, have)) then begin
     Hashtbl.replace t.fetch_marks (lock, have) ();
     t.stats.fetches_sent <- t.stats.fetches_sent + 1;
+    if Obs.enabled t.obs then Obs.mark t.obs (fetch_mark_key t lock);
     L.debug (fun m -> m "node %d fetches lock %d > %d from node %d" t.id lock have from);
     t.send ~dst:from (Msg.Fetch { lock; have })
   end
@@ -298,6 +337,10 @@ let rec repair_check (t : t) lock =
         let have = applied_seq t lock in
         r.retries <- r.retries + 1;
         t.stats.repair_fetches <- t.stats.repair_fetches + 1;
+        if Obs.enabled t.obs then begin
+          Obs.count t.obs "repair_fetches" 1;
+          Obs.mark t.obs (fetch_mark_key t lock)
+        end;
         L.debug (fun m ->
             m "node %d repair-fetches lock %d > %d from node %d (try %d)"
               t.id lock have target r.retries);
@@ -347,7 +390,7 @@ let request_dependencies (t : t) (record : Lbc_wal.Record.txn) =
       end)
     record.Lbc_wal.Record.locks
 
-let receive_record t record =
+let receive_record (t : t) record =
   t.stats.records_received <- t.stats.records_received + 1;
   if t.pinned then t.pending <- t.pending @ [ record ]
   else
@@ -358,6 +401,12 @@ let receive_record t record =
         drain_pending t
     | Hold ->
         t.stats.records_held <- t.stats.records_held + 1;
+        if Obs.enabled t.obs then
+          Obs.instant t.obs ~name:"hold" ~pid:t.id ~tid:Obs.lane_apply
+            ~args:
+              [ ("writer", Obs.I record.Lbc_wal.Record.node);
+                ("tid", Obs.I record.Lbc_wal.Record.tid) ]
+            ();
         L.debug (fun m ->
             m "node %d holds out-of-order record (node %d tid %d); %d pending"
               t.id record.Lbc_wal.Record.node record.Lbc_wal.Record.tid
@@ -393,8 +442,12 @@ let handle (t : t) ~src msg =
           records
       in
       t.send ~dst:src (Msg.Fetched { lock; payloads })
-  | Msg.Fetched { lock = _; payloads } ->
+  | Msg.Fetched { lock; payloads } ->
       t.stats.records_fetched <- t.stats.records_fetched + List.length payloads;
+      if Obs.enabled t.obs then (
+        match Obs.take_mark t.obs (fetch_mark_key t lock) with
+        | Some rtt -> Obs.observe t.obs "fetch_rtt_us" rtt
+        | None -> ());
       List.iter (fun iov -> receive_record t (Wire.decode_iov iov)) payloads
 
 (* --------------------------------------------------------------- *)
@@ -419,6 +472,17 @@ let broadcast (t : t) record =
       let len = Lbc_util.Slice.iov_length iov in
       (* the pre-iovec path materialized the message once per broadcast *)
       Lbc_util.Slice.count_saved len;
+      (* Arrow tails for each (lock, seqno) this record advances; every
+         receiver's apply span binds the matching head. *)
+      if Obs.enabled t.obs then
+        List.iter
+          (fun l ->
+            Obs.flow_start t.obs
+              ~id:
+                (Obs.flow_id ~lock:l.Lbc_wal.Record.lock_id
+                   ~seqno:l.Lbc_wal.Record.seqno)
+              ~pid:t.id ~tid:Obs.lane_txn)
+          record.Lbc_wal.Record.locks;
       L.debug (fun m ->
           m "node %d broadcasts tid %d: %d ranges, %d wire bytes" t.id
             record.Lbc_wal.Record.tid
@@ -489,6 +553,7 @@ module Txn = struct
     node : node;
     rvm_txn : Lbc_rvm.Rvm.txn;
     mutable held : int list;  (* acquired lock ids, newest first *)
+    sp : Obs.span;  (* the whole-transaction span, ended at commit/abort *)
   }
 
   let begin_ node =
@@ -497,6 +562,10 @@ module Txn = struct
       node;
       rvm_txn = Lbc_rvm.Rvm.begin_txn ~restore:Lbc_rvm.Rvm.Restore node.rvm;
       held = [];
+      sp =
+        (if Obs.enabled node.obs then
+           Obs.span_begin node.obs ~name:"txn" ~pid:node.id ~tid:Obs.lane_txn ()
+         else Obs.null_span);
     }
 
   (* The interlock of Section 3.4 plus lock bookkeeping, shared by both
@@ -505,6 +574,16 @@ module Txn = struct
     let node = t.node in
     if applied_seq node lock < g.Lbc_locks.Table.prev_write_seq then begin
       node.stats.interlock_waits <- node.stats.interlock_waits + 1;
+      let sp =
+        if Obs.enabled node.obs then
+          Obs.span_begin node.obs ~name:"interlock" ~pid:node.id
+            ~tid:Obs.lane_txn
+            ~args:
+              [ ("lock", Obs.I lock);
+                ("need", Obs.I g.Lbc_locks.Table.prev_write_seq) ]
+            ()
+        else Obs.null_span
+      in
       (if
          node.config.Config.propagation = Config.Lazy
          && g.Lbc_locks.Table.last_writer >= 0
@@ -518,7 +597,8 @@ module Txn = struct
           (Printf.sprintf "interlock l%d need %d have %d" lock
              g.Lbc_locks.Table.prev_write_seq (applied_seq node lock))
         node.applied_cv
-        (fun () -> applied_seq node lock >= g.Lbc_locks.Table.prev_write_seq)
+        (fun () -> applied_seq node lock >= g.Lbc_locks.Table.prev_write_seq);
+      Obs.observe node.obs "interlock_us" (Obs.span_end node.obs sp)
     end;
     Lbc_rvm.Rvm.set_lock t.rvm_txn ~lock_id:lock ~seqno:g.Lbc_locks.Table.seqno
       ~prev_write_seq:g.Lbc_locks.Table.prev_write_seq;
@@ -553,6 +633,13 @@ module Txn = struct
 
   let commit_record t =
     let node = t.node in
+    let csp =
+      if Obs.enabled node.obs then
+        Obs.span_begin node.obs ~name:"commit" ~pid:node.id ~tid:Obs.lane_txn
+          ~args:[ ("locks", Obs.I (List.length t.held)) ]
+          ()
+      else Obs.null_span
+    in
     let mode =
       if node.config.Config.flush_on_commit then Lbc_rvm.Rvm.Flush
       else Lbc_rvm.Rvm.No_flush
@@ -573,14 +660,22 @@ module Txn = struct
       (fun lock -> Lbc_locks.Table.release node.locks lock ~wrote)
       (List.rev t.held);
     t.held <- [];
-    if wrote then begin
-      match node.config.Config.propagation with
-      | Config.Eager -> broadcast node record
-      | Config.Lazy ->
-          (* Multi-lock records cannot be reconstructed from per-lock
-             fetches; fall back to eager broadcast for them. *)
-          if List.length record.Lbc_wal.Record.locks > 1 then
-            broadcast node record
+    (if wrote then
+       match node.config.Config.propagation with
+       | Config.Eager -> broadcast node record
+       | Config.Lazy ->
+           (* Multi-lock records cannot be reconstructed from per-lock
+              fetches; fall back to eager broadcast for them. *)
+           if List.length record.Lbc_wal.Record.locks > 1 then
+             broadcast node record);
+    if Obs.enabled node.obs then begin
+      Obs.observe node.obs "commit_us"
+        (Obs.span_end node.obs csp
+           ~args:[ ("wrote", Obs.I (if wrote then 1 else 0)) ]);
+      ignore
+        (Obs.span_end node.obs t.sp
+           ~args:[ ("outcome", Obs.S "commit") ]
+          : float)
     end;
     record
 
@@ -592,5 +687,9 @@ module Txn = struct
     List.iter
       (fun lock -> Lbc_locks.Table.release node.locks lock ~wrote:false)
       (List.rev t.held);
-    t.held <- []
+    t.held <- [];
+    if Obs.enabled node.obs then
+      ignore
+        (Obs.span_end node.obs t.sp ~args:[ ("outcome", Obs.S "abort") ]
+          : float)
 end

@@ -1,3 +1,5 @@
+module Obs = Lbc_obs.Obs
+
 type grant = { seqno : int; prev_write_seq : int; last_writer : int }
 
 type msg =
@@ -69,6 +71,7 @@ type t = {
   locks : (int, lstate) Hashtbl.t;
   stats : stats;
   mutable epoch : int;  (* lease epoch; messages from older epochs are stale *)
+  mutable obs : Obs.t;
 }
 
 let create ~node ~nodes ~send () =
@@ -88,8 +91,10 @@ let create ~node ~nodes ~send () =
         stale_msgs = 0;
       };
     epoch = 0;
+    obs = Obs.disabled;
   }
 
+let set_obs t obs = t.obs <- obs
 let node t = t.node
 let manager_of t lock = lock mod t.nodes
 let stats t = t.stats
@@ -133,6 +138,11 @@ let pass_token t s ~to_ =
   if not s.have_token then raise (Protocol_error "passing a token we lack");
   s.have_token <- false;
   t.stats.tokens_passed <- t.stats.tokens_passed + 1;
+  if Obs.enabled t.obs then begin
+    Obs.count t.obs "token_hops" 1;
+    Obs.instant t.obs ~name:"token.pass" ~pid:t.node ~tid:Obs.lane_lock
+      ~args:[ ("lock", Obs.I s.id); ("to", Obs.I to_) ] ()
+  end;
   t.send ~dst:to_
     (Token
        {
@@ -147,6 +157,7 @@ let rec request_token t s =
   if not s.requesting then begin
     s.requesting <- true;
     t.stats.requests_sent <- t.stats.requests_sent + 1;
+    Obs.count t.obs "token_requests" 1;
     let mgr = manager_of t s.id in
     if mgr = t.node then
       (* We are the manager: short-circuit the self-send. *)
@@ -225,14 +236,23 @@ let acquire t lock =
   let s = state t lock in
   if s.have_token && (not s.busy) && live_waiters s.waiters = 0 then begin
     t.stats.local_grants <- t.stats.local_grants + 1;
+    Obs.observe t.obs "lock_wait_us" 0.0;
     grant_locally s
   end
   else begin
+    let sp =
+      if Obs.enabled t.obs then
+        Obs.span_begin t.obs ~name:"lock.wait" ~pid:t.node ~tid:Obs.lane_lock
+          ~args:[ ("lock", Obs.I lock) ] ()
+      else Obs.null_span
+    in
     let w = enqueue_waiter t s in
     match
       Lbc_sim.Ivar.read ~info:(Printf.sprintf "lock-wait l%d" lock) w.iv
     with
-    | Some g -> g
+    | Some g ->
+        Obs.observe t.obs "lock_wait_us" (Obs.span_end t.obs sp);
+        g
     | None -> raise (Protocol_error "acquire: waiter cancelled unexpectedly")
   end
 
@@ -240,9 +260,16 @@ let acquire_timeout t lock ~timeout =
   let s = state t lock in
   if s.have_token && (not s.busy) && live_waiters s.waiters = 0 then begin
     t.stats.local_grants <- t.stats.local_grants + 1;
+    Obs.observe t.obs "lock_wait_us" 0.0;
     Some (grant_locally s)
   end
   else begin
+    let sp =
+      if Obs.enabled t.obs then
+        Obs.span_begin t.obs ~name:"lock.wait" ~pid:t.node ~tid:Obs.lane_lock
+          ~args:[ ("lock", Obs.I lock) ] ()
+      else Obs.null_span
+    in
     let w = enqueue_waiter t s in
     let engine = Lbc_sim.Proc.engine () in
     Lbc_sim.Engine.schedule engine ~delay:timeout (fun () ->
@@ -250,9 +277,17 @@ let acquire_timeout t lock ~timeout =
           w.cancelled <- true;
           Lbc_sim.Ivar.fill w.iv None
         end);
-    Lbc_sim.Ivar.read
-      ~info:(Printf.sprintf "lock-wait l%d (timeout %.0f)" lock timeout)
-      w.iv
+    let res =
+      Lbc_sim.Ivar.read
+        ~info:(Printf.sprintf "lock-wait l%d (timeout %.0f)" lock timeout)
+        w.iv
+    in
+    let wait =
+      Obs.span_end t.obs sp
+        ~args:[ ("granted", Obs.I (if res = None then 0 else 1)) ]
+    in
+    if res <> None then Obs.observe t.obs "lock_wait_us" wait;
+    res
   end
 
 let release t lock ~wrote =

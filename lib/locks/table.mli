@@ -57,6 +57,13 @@ val create : node:int -> nodes:int -> send:(dst:int -> msg -> unit) -> unit -> t
 (** One table per node.  [send] must deliver [msg] to the same lock table
     on [dst] (via {!handle}); it may block the calling process. *)
 
+val set_obs : t -> Lbc_obs.Obs.t -> unit
+(** Install a trace/metrics sink: queued acquisitions become
+    [lock.wait] spans feeding the [lock_wait_us] histogram (fast local
+    grants observe 0), token traffic becomes [token.pass] instants and
+    [token_hops] / [token_requests] counters.  Defaults to
+    [Obs.disabled]. *)
+
 val node : t -> int
 val manager_of : t -> int -> int
 (** The manager node of a lock id. *)

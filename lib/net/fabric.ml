@@ -1,3 +1,5 @@
+module Obs = Lbc_obs.Obs
+
 type 'm t = {
   engine : Lbc_sim.Engine.t;
   nodes : int;
@@ -10,6 +12,7 @@ type 'm t = {
   messages_sent : int array;
   bytes_sent : int array;
   dropped : int array array;  (* dropped.(src).(dst) *)
+  mutable obs : Obs.t;
 }
 
 let create ?(params = Params.an1) ~engine ~nodes ~size () =
@@ -28,8 +31,10 @@ let create ?(params = Params.an1) ~engine ~nodes ~size () =
     messages_sent = Array.make nodes 0;
     bytes_sent = Array.make nodes 0;
     dropped = Array.make_matrix nodes nodes 0;
+    obs = Obs.disabled;
   }
 
+let set_obs t obs = t.obs <- obs
 let engine t = t.engine
 let nodes t = t.nodes
 let params t = t.params
@@ -38,7 +43,13 @@ let check_node t who n =
   if n < 0 || n >= t.nodes then
     invalid_arg (Printf.sprintf "Fabric: bad %s node %d" who n)
 
-let count_drop t ~src ~dst = t.dropped.(src).(dst) <- t.dropped.(src).(dst) + 1
+let count_drop t ~src ~dst =
+  t.dropped.(src).(dst) <- t.dropped.(src).(dst) + 1;
+  if Obs.enabled t.obs then begin
+    Obs.count t.obs "net_drops" 1;
+    Obs.instant t.obs ~name:"net.drop" ~pid:dst ~tid:Obs.lane_net
+      ~args:[ ("src", Obs.I src) ] ()
+  end
 
 let should_drop t ~src ~dst msg =
   t.drop.(src).(dst)
@@ -46,13 +57,18 @@ let should_drop t ~src ~dst msg =
 
 (* Put one message on the wire: it is dropped at delivery time if the
    destination is down by then (the crash loses in-flight traffic). *)
-let deliver t ~src ~dst msg =
+let deliver t ~src ~dst ~len msg =
   if should_drop t ~src ~dst msg then count_drop t ~src ~dst
   else
     Lbc_sim.Engine.schedule t.engine ~delay:t.params.Params.propagation
       (fun () ->
         if t.down.(dst) then count_drop t ~src ~dst
-        else Lbc_sim.Mailbox.send t.channels.(src).(dst) msg)
+        else begin
+          if Obs.enabled t.obs then
+            Obs.instant t.obs ~name:"net.deliver" ~pid:dst ~tid:Obs.lane_net
+              ~args:[ ("src", Obs.I src); ("bytes", Obs.I len) ] ();
+          Lbc_sim.Mailbox.send t.channels.(src).(dst) msg
+        end)
 
 let send_len t ~src ~dst ~len msg =
   check_node t "src" src;
@@ -62,10 +78,20 @@ let send_len t ~src ~dst ~len msg =
   else begin
     t.messages_sent.(src) <- t.messages_sent.(src) + 1;
     t.bytes_sent.(src) <- t.bytes_sent.(src) + len;
+    let sp =
+      if Obs.enabled t.obs then begin
+        Obs.count t.obs "net_msgs" 1;
+        Obs.count t.obs "net_bytes" len;
+        Obs.span_begin t.obs ~name:"net.send" ~pid:src ~tid:Obs.lane_net
+          ~args:[ ("dst", Obs.I dst); ("bytes", Obs.I len) ] ()
+      end
+      else Obs.null_span
+    in
     (* Block the sender for the writev cost, then put the message on the
        wire. *)
     Lbc_sim.Proc.sleep (Params.send_cost t.params len);
-    deliver t ~src ~dst msg
+    deliver t ~src ~dst ~len msg;
+    ignore (Obs.span_end t.obs sp : float)
   end
 
 let send t ~src ~dst msg = send_len t ~src ~dst ~len:(t.size msg) msg
@@ -85,8 +111,20 @@ let broadcast_len t ~src ~dsts ~len msg =
   else begin
     t.messages_sent.(src) <- t.messages_sent.(src) + 1;
     t.bytes_sent.(src) <- t.bytes_sent.(src) + len;
+    let sp =
+      if Obs.enabled t.obs then begin
+        Obs.count t.obs "net_msgs" 1;
+        Obs.count t.obs "net_bytes" len;
+        Obs.span_begin t.obs ~name:"net.send" ~pid:src ~tid:Obs.lane_net
+          ~args:
+            [ ("dsts", Obs.I (List.length dsts)); ("bytes", Obs.I len) ]
+          ()
+      end
+      else Obs.null_span
+    in
     Lbc_sim.Proc.sleep (Params.send_cost t.params len);
-    List.iter (fun dst -> deliver t ~src ~dst msg) dsts
+    List.iter (fun dst -> deliver t ~src ~dst ~len msg) dsts;
+    ignore (Obs.span_end t.obs sp : float)
   end
 
 let broadcast t ~src ~dsts msg = broadcast_len t ~src ~dsts ~len:(t.size msg) msg

@@ -19,6 +19,11 @@ val create :
   ?params:Params.t -> engine:Lbc_sim.Engine.t -> nodes:int -> size:('m -> int) -> unit -> 'm t
 (** [params] defaults to {!Params.an1}. *)
 
+val set_obs : 'm t -> Lbc_obs.Obs.t -> unit
+(** Install a trace/metrics sink: sends become [net.send] spans,
+    deliveries and drops become instants, and [net_msgs] / [net_bytes] /
+    [net_drops] counters accumulate.  Defaults to [Obs.disabled]. *)
+
 val engine : 'm t -> Lbc_sim.Engine.t
 val nodes : 'm t -> int
 val params : 'm t -> Params.t

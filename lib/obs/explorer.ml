@@ -1,0 +1,267 @@
+(* Trace explorer: loads a Chrome trace-event document produced by
+   [Obs], validates it, and derives the analyses printed by the
+   [lbc_trace] CLI — per-lock contention, per-stage latency breakdown,
+   and the critical path of the slowest transaction. *)
+
+type event = {
+  ph : char;
+  name : string;
+  cat : string;
+  pid : int;
+  tid : int;
+  ts : float;
+  dur : float;          (* 0 unless ph = 'X' *)
+  id : int;             (* -1 unless a flow event *)
+  args : (string * Json.t) list;
+}
+
+let event_of_json j =
+  match Json.str_member "ph" j with
+  | None | Some "" -> None
+  | Some ph ->
+      let num key d = match Json.num_member key j with Some f -> f | None -> d in
+      let str key d = match Json.str_member key j with Some s -> s | None -> d in
+      let args =
+        match Json.member "args" j with Some (Json.Obj l) -> l | _ -> []
+      in
+      Some
+        { ph = ph.[0];
+          name = str "name" "";
+          cat = str "cat" "";
+          pid = int_of_float (num "pid" 0.0);
+          tid = int_of_float (num "tid" 0.0);
+          ts = num "ts" 0.0;
+          dur = num "dur" 0.0;
+          id = int_of_float (num "id" (-1.0));
+          args }
+
+let events_of_json j =
+  match Json.member "traceEvents" j with
+  | Some (Json.Arr l) -> Ok (List.filter_map event_of_json l)
+  | _ -> Error "no traceEvents array"
+
+let load path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  match Json.parse src with
+  | Error why -> Error (Printf.sprintf "invalid JSON: %s" why)
+  | Ok j -> events_of_json j
+
+let int_arg key ev =
+  match List.assoc_opt key ev.args with
+  | Some (Json.Num f) -> Some (int_of_float f)
+  | _ -> None
+
+(* ---------------------------------------------------------------- *)
+(* Self-check: the structural invariants CI relies on.  Returns a list
+   of violation descriptions (empty = clean). *)
+
+let self_check events =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  (* Instants and flow events must appear in non-decreasing timestamp
+     order per node (spans are emitted at their *end*, so their file
+     order follows span ends, not starts — exempt). *)
+  let last_ts : (int, float) Hashtbl.t = Hashtbl.create 8 in
+  let flow_starts : (int, event) Hashtbl.t = Hashtbl.create 64 in
+  let applies : (int, (float * float) list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      if ev.ph = 'X' && ev.name = "apply" then begin
+        let l =
+          match Hashtbl.find_opt applies ev.pid with
+          | Some l -> l
+          | None ->
+              let l = ref [] in
+              Hashtbl.replace applies ev.pid l;
+              l
+        in
+        l := (ev.ts, ev.ts +. ev.dur) :: !l
+      end)
+    events;
+  List.iter
+    (fun ev ->
+      match ev.ph with
+      | 'M' -> ()
+      | 'X' ->
+          if ev.dur < 0.0 then
+            err "span %S on node %d has negative duration %.3f" ev.name ev.pid
+              ev.dur
+      | 's' -> Hashtbl.replace flow_starts ev.id ev
+      | 'f' -> (
+          (match Hashtbl.find_opt last_ts ev.pid with
+          | Some prev when ev.ts < prev ->
+              err "node %d: timestamp went backwards (%.3f after %.3f)" ev.pid
+                ev.ts prev
+          | _ -> ());
+          Hashtbl.replace last_ts ev.pid ev.ts;
+          match Hashtbl.find_opt flow_starts ev.id with
+          | None -> err "flow %d ends on node %d with no start" ev.id ev.pid
+          | Some s ->
+              if s.ts > ev.ts then
+                err "flow %d starts at %.3f after its end at %.3f" ev.id s.ts
+                  ev.ts;
+              let inside =
+                match Hashtbl.find_opt applies ev.pid with
+                | None -> false
+                | Some spans ->
+                    List.exists
+                      (fun (lo, hi) -> ev.ts >= lo && ev.ts <= hi)
+                      !spans
+              in
+              if not inside then
+                err "flow %d ends on node %d outside any apply span" ev.id
+                  ev.pid)
+      | 'i' ->
+          (match Hashtbl.find_opt last_ts ev.pid with
+          | Some prev when ev.ts < prev ->
+              err "node %d: timestamp went backwards (%.3f after %.3f)" ev.pid
+                ev.ts prev
+          | _ -> ());
+          Hashtbl.replace last_ts ev.pid ev.ts
+      | c -> err "unknown event phase %C" c)
+    events;
+  List.rev !errors
+
+(* ---------------------------------------------------------------- *)
+(* Per-stage latency breakdown from span durations. *)
+
+type stage_stats = {
+  st_name : string;
+  st_count : int;
+  st_total : float;
+  st_p50 : float;
+  st_p95 : float;
+  st_p99 : float;
+  st_max : float;
+}
+
+let exact_percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (ceil (p /. 100.0 *. Float.of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+
+let stage_breakdown events =
+  let by_name : (string, float list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun ev ->
+      if ev.ph = 'X' then begin
+        let l =
+          match Hashtbl.find_opt by_name ev.name with
+          | Some l -> l
+          | None ->
+              let l = ref [] in
+              Hashtbl.replace by_name ev.name l;
+              l
+        in
+        l := ev.dur :: !l
+      end)
+    events;
+  Hashtbl.fold
+    (fun name durs acc ->
+      let a = Array.of_list !durs in
+      Array.sort Float.compare a;
+      let total = Array.fold_left ( +. ) 0.0 a in
+      { st_name = name;
+        st_count = Array.length a;
+        st_total = total;
+        st_p50 = exact_percentile a 50.0;
+        st_p95 = exact_percentile a 95.0;
+        st_p99 = exact_percentile a 99.0;
+        st_max = (if Array.length a = 0 then 0.0 else a.(Array.length a - 1)) }
+      :: acc)
+    by_name []
+  |> List.sort (fun a b -> Float.compare b.st_total a.st_total)
+
+(* ---------------------------------------------------------------- *)
+(* Per-lock contention from lock.wait spans. *)
+
+type lock_stats = {
+  lk_lock : int;
+  lk_waits : int;
+  lk_contended : int;      (* waits with nonzero duration *)
+  lk_total_wait : float;
+  lk_max_wait : float;
+}
+
+let lock_contention events =
+  let by_lock : (int, lock_stats) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun ev ->
+      if ev.ph = 'X' && ev.name = "lock.wait" then
+        match int_arg "lock" ev with
+        | None -> ()
+        | Some lock ->
+            let st =
+              match Hashtbl.find_opt by_lock lock with
+              | Some st -> st
+              | None ->
+                  { lk_lock = lock; lk_waits = 0; lk_contended = 0;
+                    lk_total_wait = 0.0; lk_max_wait = 0.0 }
+            in
+            Hashtbl.replace by_lock lock
+              { st with
+                lk_waits = st.lk_waits + 1;
+                lk_contended =
+                  (st.lk_contended + if ev.dur > 0.0 then 1 else 0);
+                lk_total_wait = st.lk_total_wait +. ev.dur;
+                lk_max_wait = Float.max st.lk_max_wait ev.dur })
+    events;
+  Hashtbl.fold (fun _ st acc -> st :: acc) by_lock []
+  |> List.sort (fun a b -> Float.compare b.lk_total_wait a.lk_total_wait)
+
+(* ---------------------------------------------------------------- *)
+(* Critical path: the slowest txn span, plus every span on the same
+   node that overlaps it, in timeline order — the per-stage story of
+   where that transaction's time went. *)
+
+let slowest_txn events =
+  List.fold_left
+    (fun acc ev ->
+      if ev.ph = 'X' && ev.name = "txn" then
+        match acc with
+        | Some best when best.dur >= ev.dur -> acc
+        | _ -> Some ev
+      else acc)
+    None events
+
+let critical_path events =
+  match slowest_txn events with
+  | None -> None
+  | Some txn ->
+      let lo = txn.ts and hi = txn.ts +. txn.dur in
+      let inside =
+        List.filter
+          (fun ev ->
+            ev.ph = 'X' && ev.pid = txn.pid && ev.ts >= lo
+            && ev.ts +. ev.dur <= hi +. 0.001
+            && not (ev.ts = txn.ts && ev.name = "txn" && ev.tid = txn.tid))
+          events
+        |> List.sort (fun a b -> Float.compare a.ts b.ts)
+      in
+      Some (txn, inside)
+
+(* ---------------------------------------------------------------- *)
+(* Flow accounting, for reporting how many committed writes were
+   traced end-to-end. *)
+
+type flow_summary = { fl_starts : int; fl_ends : int; fl_unresolved : int }
+
+let flow_summary events =
+  let starts = Hashtbl.create 64 in
+  let ends = ref 0 and unresolved = ref 0 in
+  List.iter
+    (fun ev ->
+      match ev.ph with
+      | 's' -> Hashtbl.replace starts ev.id ()
+      | 'f' ->
+          incr ends;
+          if not (Hashtbl.mem starts ev.id) then incr unresolved
+      | _ -> ())
+    events;
+  { fl_starts = Hashtbl.length starts; fl_ends = !ends;
+    fl_unresolved = !unresolved }

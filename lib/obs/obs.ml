@@ -1,0 +1,337 @@
+(* Tracing + metrics for the coherency pipeline.
+
+   Spans and instants are rendered eagerly as Chrome trace-event JSON
+   into a buffer (one "process" per node, one "thread" per pipeline
+   lane), so the file is Perfetto-loadable.  Causal flow arrows keyed
+   by (lock, seqno) connect a committer's commit span to each
+   receiver's apply span.  A metrics registry of counters and
+   log-bucketed histograms rides along for the bench/CLI side.
+
+   Timestamps come from a [now : unit -> float] closure (the sim
+   engine's virtual clock, already in microseconds — exactly the unit
+   the trace format wants), which keeps this library at the bottom of
+   the dependency graph.
+
+   When tracing is disabled every entry point returns after one
+   branch on [t.enabled]; the shared [disabled] instance allocates
+   nothing per call. *)
+
+module Histogram = struct
+  (* 64 power-of-two buckets: bucket 0 holds values < 1.0, bucket i
+     (i >= 1) holds [2^(i-1), 2^i).  Good enough resolution for
+     latency percentiles across nine decades. *)
+  let buckets = 64
+
+  type t = {
+    mutable count : int;
+    mutable sum : float;
+    mutable vmin : float;
+    mutable vmax : float;
+    counts : int array;
+  }
+
+  let create () =
+    { count = 0; sum = 0.0; vmin = infinity; vmax = neg_infinity;
+      counts = Array.make buckets 0 }
+
+  let bucket_of v =
+    if v < 1.0 then 0
+    else begin
+      let i = ref 1 and lim = ref 2.0 in
+      while v >= !lim && !i < buckets - 1 do
+        incr i;
+        lim := !lim *. 2.0
+      done;
+      !i
+    end
+
+  let lo_of i = if i = 0 then 0.0 else Float.of_int (1 lsl (i - 1))
+  let hi_of i = Float.of_int (1 lsl i)
+
+  let observe h v =
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    if v < h.vmin then h.vmin <- v;
+    if v > h.vmax then h.vmax <- v;
+    let i = bucket_of v in
+    h.counts.(i) <- h.counts.(i) + 1
+
+  let count h = h.count
+  let sum h = h.sum
+  let mean h = if h.count = 0 then 0.0 else h.sum /. Float.of_int h.count
+  let min_value h = if h.count = 0 then 0.0 else h.vmin
+  let max_value h = if h.count = 0 then 0.0 else h.vmax
+
+  (* Percentile by cumulative bucket counts with linear interpolation
+     inside the winning bucket, clamped to the observed [min, max]. *)
+  let percentile h p =
+    if h.count = 0 then 0.0
+    else begin
+      let target = p /. 100.0 *. Float.of_int h.count in
+      let target = Float.max target 1.0 in
+      let cum = ref 0 and i = ref 0 and res = ref h.vmax in
+      (try
+         while !i < buckets do
+           let c = h.counts.(!i) in
+           if Float.of_int (!cum + c) >= target && c > 0 then begin
+             let frac = (target -. Float.of_int !cum) /. Float.of_int c in
+             let lo = lo_of !i and hi = hi_of !i in
+             res := lo +. (frac *. (hi -. lo));
+             raise Exit
+           end;
+           cum := !cum + c;
+           incr i
+         done
+       with Exit -> ());
+      Float.min (Float.max !res h.vmin) h.vmax
+    end
+
+  let merge ~into src =
+    into.count <- into.count + src.count;
+    into.sum <- into.sum +. src.sum;
+    if src.count > 0 then begin
+      if src.vmin < into.vmin then into.vmin <- src.vmin;
+      if src.vmax > into.vmax then into.vmax <- src.vmax
+    end;
+    Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) src.counts
+end
+
+(* Pipeline lanes: one Perfetto "thread" per lane so concurrent spans
+   on a node don't visually overlap. *)
+let lane_txn = 0
+let lane_apply = 1
+let lane_wal = 2
+let lane_lock = 3
+let lane_net = 4
+
+let lane_name = function
+  | 0 -> "txn"
+  | 1 -> "apply"
+  | 2 -> "wal"
+  | 3 -> "lock"
+  | 4 -> "net"
+  | n -> "lane-" ^ string_of_int n
+
+type arg = I of int | F of float | S of string
+
+type span = {
+  sp_name : string;
+  sp_pid : int;
+  sp_tid : int;
+  sp_ts : float;
+  sp_args : (string * arg) list;
+}
+
+let null_span = { sp_name = ""; sp_pid = 0; sp_tid = 0; sp_ts = 0.0; sp_args = [] }
+
+type t = {
+  enabled : bool;
+  now_fn : unit -> float;
+  nodes : int;
+  buf : Buffer.t;
+  mutable first : bool;
+  hists : (string, Histogram.t) Hashtbl.t;
+  counters : (string, int ref) Hashtbl.t;
+  (* flow id -> start timestamp, for apply-lag measurement *)
+  flows : (int, float) Hashtbl.t;
+  marks : (string, float) Hashtbl.t;
+}
+
+let disabled =
+  { enabled = false; now_fn = (fun () -> 0.0); nodes = 0;
+    buf = Buffer.create 1; first = true;
+    hists = Hashtbl.create 1; counters = Hashtbl.create 1;
+    flows = Hashtbl.create 1; marks = Hashtbl.create 1 }
+
+let create ~now ~nodes () =
+  { enabled = true; now_fn = now; nodes;
+    buf = Buffer.create 65536; first = true;
+    hists = Hashtbl.create 32; counters = Hashtbl.create 32;
+    flows = Hashtbl.create 256; marks = Hashtbl.create 64 }
+
+let enabled t = t.enabled
+let now t = t.now_fn ()
+
+(* Flow arrow ids are derived from (lock, seqno): unique per committed
+   write, stable across committer and receivers. *)
+let flow_id ~lock ~seqno = (lock * 16_777_216) + seqno
+
+(* ---------------------------------------------------------------- *)
+(* Event rendering *)
+
+let event_sep t =
+  if t.first then t.first <- false else Buffer.add_string t.buf ",\n"
+
+let add_args buf args =
+  match args with
+  | [] -> ()
+  | args ->
+      Buffer.add_string buf {|,"args":{|};
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (Json.escape k);
+          Buffer.add_string buf {|":|};
+          match v with
+          | I n -> Buffer.add_string buf (string_of_int n)
+          | F f -> Buffer.add_string buf (Printf.sprintf "%.3f" f)
+          | S s ->
+              Buffer.add_char buf '"';
+              Buffer.add_string buf (Json.escape s);
+              Buffer.add_char buf '"')
+        args;
+      Buffer.add_char buf '}'
+
+let add_header buf ~ph ~name ~cat ~pid ~tid ~ts =
+  Buffer.add_string buf (Printf.sprintf
+    {|{"ph":"%c","name":"%s","cat":"%s","pid":%d,"tid":%d,"ts":%.3f|}
+    ph (Json.escape name) cat pid tid ts)
+
+(* ---------------------------------------------------------------- *)
+(* Spans *)
+
+let span_begin t ~name ~pid ~tid ?(args = []) () =
+  if not t.enabled then null_span
+  else { sp_name = name; sp_pid = pid; sp_tid = tid; sp_ts = t.now_fn (); sp_args = args }
+
+(* Ends the span, emits a complete ("X") event, and returns its
+   duration in microseconds (0.0 when disabled). *)
+let span_end ?(args = []) t sp =
+  if not t.enabled then 0.0
+  else begin
+    let dur = t.now_fn () -. sp.sp_ts in
+    event_sep t;
+    add_header t.buf ~ph:'X' ~name:sp.sp_name ~cat:"lbc" ~pid:sp.sp_pid
+      ~tid:sp.sp_tid ~ts:sp.sp_ts;
+    Buffer.add_string t.buf (Printf.sprintf {|,"dur":%.3f|} dur);
+    add_args t.buf (sp.sp_args @ args);
+    Buffer.add_char t.buf '}';
+    dur
+  end
+
+let instant t ~name ~pid ~tid ?(args = []) () =
+  if t.enabled then begin
+    event_sep t;
+    add_header t.buf ~ph:'i' ~name ~cat:"lbc" ~pid ~tid ~ts:(t.now_fn ());
+    Buffer.add_string t.buf {|,"s":"t"|};
+    add_args t.buf args;
+    Buffer.add_char t.buf '}'
+  end
+
+(* ---------------------------------------------------------------- *)
+(* Flow arrows *)
+
+let flow_start t ~id ~pid ~tid =
+  if t.enabled then begin
+    let ts = t.now_fn () in
+    Hashtbl.replace t.flows id ts;
+    event_sep t;
+    add_header t.buf ~ph:'s' ~name:"write" ~cat:"flow" ~pid ~tid ~ts;
+    Buffer.add_string t.buf (Printf.sprintf {|,"id":%d}|} id)
+  end
+
+(* Binds the arrow into the receiver's apply span (emit right after the
+   span begins so the "f" timestamp falls inside it).  Returns the lag
+   since [flow_start], or [None] when no start was recorded (e.g. a
+   record obtained by fetch rather than broadcast). *)
+let flow_end t ~id ~pid ~tid =
+  if not t.enabled then None
+  else
+    match Hashtbl.find_opt t.flows id with
+    | None -> None
+    | Some start ->
+        let ts = t.now_fn () in
+        event_sep t;
+        add_header t.buf ~ph:'f' ~name:"write" ~cat:"flow" ~pid ~tid ~ts;
+        Buffer.add_string t.buf (Printf.sprintf {|,"bp":"e","id":%d}|} id);
+        Some (ts -. start)
+
+(* ---------------------------------------------------------------- *)
+(* Metrics registry *)
+
+let count t name by =
+  if t.enabled then
+    match Hashtbl.find_opt t.counters name with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.replace t.counters name (ref by)
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let counters t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let observe t name v =
+  if t.enabled then begin
+    let h =
+      match Hashtbl.find_opt t.hists name with
+      | Some h -> h
+      | None ->
+          let h = Histogram.create () in
+          Hashtbl.replace t.hists name h;
+          h
+    in
+    Histogram.observe h v
+  end
+
+let hist t name = Hashtbl.find_opt t.hists name
+
+let hists t =
+  Hashtbl.fold (fun k h acc -> (k, h) :: acc) t.hists []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Named marks: cheap cross-callback timing (e.g. repair-fetch RTT,
+   keyed by requesting node + lock). *)
+let mark t key =
+  if t.enabled then Hashtbl.replace t.marks key (t.now_fn ())
+
+let take_mark t key =
+  if not t.enabled then None
+  else
+    match Hashtbl.find_opt t.marks key with
+    | None -> None
+    | Some ts ->
+        Hashtbl.remove t.marks key;
+        Some (t.now_fn () -. ts)
+
+(* ---------------------------------------------------------------- *)
+(* Output *)
+
+let lanes = [ lane_txn; lane_apply; lane_wal; lane_lock; lane_net ]
+
+let render t =
+  let b = Buffer.create (Buffer.length t.buf + 4096) in
+  Buffer.add_string b "{\"traceEvents\":[\n";
+  let first = ref true in
+  let sep () = if !first then first := false else Buffer.add_string b ",\n" in
+  for node = 0 to t.nodes - 1 do
+    sep ();
+    Buffer.add_string b (Printf.sprintf
+      {|{"ph":"M","name":"process_name","pid":%d,"tid":0,"args":{"name":"node %d"}}|}
+      node node);
+    List.iter
+      (fun lane ->
+        sep ();
+        Buffer.add_string b (Printf.sprintf
+          {|{"ph":"M","name":"thread_name","pid":%d,"tid":%d,"args":{"name":"%s"}}|}
+          node lane (lane_name lane));
+        sep ();
+        Buffer.add_string b (Printf.sprintf
+          {|{"ph":"M","name":"thread_sort_index","pid":%d,"tid":%d,"args":{"sort_index":%d}}|}
+          node lane lane))
+      lanes
+  done;
+  if Buffer.length t.buf > 0 then begin
+    sep ();
+    Buffer.add_buffer b t.buf
+  end;
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents b
+
+let write t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render t))

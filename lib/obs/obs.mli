@@ -1,0 +1,114 @@
+(** Tracing + metrics for the coherency pipeline.
+
+    Spans, instants and causal flow arrows are rendered eagerly as
+    Chrome trace-event JSON (Perfetto-loadable): one "process" per
+    node, one "thread" per pipeline lane.  Counters and log-bucketed
+    histograms ride along in a metrics registry.
+
+    Timestamps come from a [now] closure (the sim engine's virtual
+    clock, in microseconds).  When tracing is disabled, every entry
+    point returns after one branch and allocates nothing — pass the
+    shared {!disabled} instance. *)
+
+module Histogram : sig
+  type t
+  (** 64 power-of-two buckets: bucket 0 holds values < 1.0, bucket [i]
+      holds [[2^(i-1), 2^i)]. *)
+
+  val create : unit -> t
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+  val mean : t -> float
+  val min_value : t -> float
+  val max_value : t -> float
+
+  val percentile : t -> float -> float
+  (** [percentile h p] for [p] in [0..100]: cumulative bucket walk with
+      linear interpolation inside the winning bucket, clamped to the
+      observed min/max.  0 when empty. *)
+
+  val merge : into:t -> t -> unit
+  (** Accumulate [src]'s buckets into [into] (for cross-run
+      aggregation in the bench harness). *)
+end
+
+(** {1 Lanes} — one Perfetto thread id per pipeline stage. *)
+
+val lane_txn : int
+val lane_apply : int
+val lane_wal : int
+val lane_lock : int
+val lane_net : int
+
+type arg = I of int | F of float | S of string
+
+type span
+
+val null_span : span
+(** The span returned by {!span_begin} when tracing is disabled; safe
+    to pass to {!span_end}, which then does nothing. *)
+
+type t
+
+val disabled : t
+(** Shared no-op sink: [enabled] is false, every call is one branch. *)
+
+val create : now:(unit -> float) -> nodes:int -> unit -> t
+
+val enabled : t -> bool
+val now : t -> float
+
+val flow_id : lock:int -> seqno:int -> int
+(** Stable flow-arrow id for a committed write, identical on the
+    committer and every receiver. *)
+
+(** {1 Spans} *)
+
+val span_begin :
+  t -> name:string -> pid:int -> tid:int ->
+  ?args:(string * arg) list -> unit -> span
+
+val span_end : ?args:(string * arg) list -> t -> span -> float
+(** Emits a complete ("X") event and returns the span's duration in
+    microseconds (0.0 when disabled).  [args] are appended to the ones
+    given at [span_begin]. *)
+
+val instant :
+  t -> name:string -> pid:int -> tid:int ->
+  ?args:(string * arg) list -> unit -> unit
+
+(** {1 Flow arrows} *)
+
+val flow_start : t -> id:int -> pid:int -> tid:int -> unit
+(** Emit the arrow tail (inside the committer's commit span) and
+    record the start timestamp for apply-lag measurement. *)
+
+val flow_end : t -> id:int -> pid:int -> tid:int -> float option
+(** Emit the arrow head (call right after the receiver's apply span
+    begins, so it binds into that span).  Returns the lag since
+    {!flow_start}, or [None] if no matching start was recorded. *)
+
+(** {1 Metrics registry} *)
+
+val count : t -> string -> int -> unit
+val counter : t -> string -> int
+val counters : t -> (string * int) list
+
+val observe : t -> string -> float -> unit
+val hist : t -> string -> Histogram.t option
+val hists : t -> (string * Histogram.t) list
+
+val mark : t -> string -> unit
+(** Record "now" under a key — cheap cross-callback timing. *)
+
+val take_mark : t -> string -> float option
+(** Elapsed time since {!mark} under the same key, consuming the mark. *)
+
+(** {1 Output} *)
+
+val render : t -> string
+(** The complete trace document: metadata (process/thread names per
+    node and lane) followed by all buffered events. *)
+
+val write : t -> string -> unit

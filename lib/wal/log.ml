@@ -1,4 +1,5 @@
 open Lbc_util
+module Obs = Lbc_obs.Obs
 
 exception Bad_log of string
 
@@ -8,6 +9,7 @@ exception Bad_log of string
 type batch = {
   id : int;
   base : int;  (* device offset where the batch lands *)
+  opened_at : float;  (* virtual time the batch opened (flush-delay metric) *)
   mutable count : int;
 }
 
@@ -31,6 +33,8 @@ type t = {
   mutable record_count : int;
   enc : Codec.writer;  (* reused arena for direct appends *)
   mutable group : group option;
+  mutable obs : Obs.t;
+  mutable obs_node : int;
 }
 
 let log_magic = 0x4C42434C (* "LBCL" *)
@@ -96,7 +100,8 @@ let attach dev =
   if size = 0 then begin
     let t =
       { dev; head = header_size; tail = header_size; record_count = 0;
-        enc = Codec.writer ~capacity:1024 (); group = None }
+        enc = Codec.writer ~capacity:1024 (); group = None;
+        obs = Obs.disabled; obs_node = 0 }
     in
     write_header t;
     Lbc_storage.Dev.sync dev;
@@ -114,8 +119,13 @@ let attach dev =
     if head < header_size || head > size then raise (Bad_log "bad head offset");
     let tail, count = scan_tail dev ~from:head in
     { dev; head; tail; record_count = count;
-      enc = Codec.writer ~capacity:1024 (); group = None }
+      enc = Codec.writer ~capacity:1024 (); group = None;
+      obs = Obs.disabled; obs_node = 0 }
   end
+
+let set_obs t obs ~node =
+  t.obs <- obs;
+  t.obs_node <- node
 
 let dev t = t.dev
 let head t = t.head
@@ -153,9 +163,24 @@ let flush_batch_now t g =
   | None -> ()
   | Some b ->
       g.open_batch <- None;
+      let sp =
+        if Obs.enabled t.obs then begin
+          Obs.observe t.obs "gc_batch_records" (Float.of_int b.count);
+          Obs.observe t.obs "gc_flush_delay_us"
+            (Lbc_sim.Engine.now g.engine -. b.opened_at);
+          Obs.span_begin t.obs ~name:"log.flush" ~pid:t.obs_node
+            ~tid:Obs.lane_wal
+            ~args:
+              [ ("records", Obs.I b.count);
+                ("bytes", Obs.I (Codec.length g.bw)) ]
+            ()
+        end
+        else Obs.null_span
+      in
       (* One gathered write, one sync, for the whole batch. *)
       Lbc_storage.Dev.write_slice t.dev ~off:b.base (Codec.slice g.bw);
       Lbc_storage.Dev.sync t.dev;
+      ignore (Obs.span_end t.obs sp : float);
       g.flushed_id <- b.id;
       g.batches_flushed <- g.batches_flushed + 1;
       Lbc_sim.Condvar.broadcast g.cv
@@ -174,12 +199,23 @@ let append ?range_header_size t txn =
   Lbc_storage.Dev.write_slice t.dev ~off (Codec.slice t.enc);
   t.tail <- off + Codec.length t.enc;
   t.record_count <- t.record_count + 1;
+  if Obs.enabled t.obs then
+    Obs.instant t.obs ~name:"log.append" ~pid:t.obs_node ~tid:Obs.lane_wal
+      ~args:[ ("bytes", Obs.I (Codec.length t.enc)) ] ();
   off
 
 let force t =
   match t.group with
   | Some g when g.open_batch <> None -> flush_batch_now t g (* includes the sync *)
-  | _ -> Lbc_storage.Dev.sync t.dev
+  | _ ->
+      let sp =
+        if Obs.enabled t.obs then
+          Obs.span_begin t.obs ~name:"log.force" ~pid:t.obs_node
+            ~tid:Obs.lane_wal ()
+        else Obs.null_span
+      in
+      Lbc_storage.Dev.sync t.dev;
+      Obs.observe t.obs "log_force_us" (Obs.span_end t.obs sp)
 
 let append_durable ?range_header_size t txn =
   match t.group with
@@ -193,7 +229,10 @@ let append_durable ?range_header_size t txn =
         | Some b -> b
         | None ->
             Codec.clear g.bw;
-            let b = { id = g.next_id; base = t.tail; count = 0 } in
+            let b =
+              { id = g.next_id; base = t.tail;
+                opened_at = Lbc_sim.Engine.now g.engine; count = 0 }
+            in
             g.next_id <- g.next_id + 1;
             g.open_batch <- Some b;
             b

@@ -35,6 +35,13 @@ val attach : Lbc_storage.Dev.t -> t
 (** Open the log on [dev], initializing a fresh header if the device is
     empty.  Scans for the tail. *)
 
+val set_obs : t -> Lbc_obs.Obs.t -> node:int -> unit
+(** Install a trace/metrics sink (the log itself does not know which
+    node owns it, hence [node]): appends become [log.append] instants,
+    syncs become [log.force] spans feeding [log_force_us], and batch
+    flushes become [log.flush] spans feeding [gc_batch_records] /
+    [gc_flush_delay_us].  Defaults to [Obs.disabled]. *)
+
 val dev : t -> Lbc_storage.Dev.t
 val head : t -> int
 (** Offset of the first live record. *)

@@ -332,6 +332,42 @@ let test_chaos_crash_rejoin () =
   Alcotest.(check bool) "recovery matches" true (recovery_matches c);
   check_logs_clean "merged logs clean after crash+rejoin" c nodes
 
+(* A fully traced chaos run: the emitted trace document must survive
+   the explorer's self-check (valid JSON, monotone per-node timestamps,
+   every flow arrow resolving into an apply span) even under randomized
+   interleavings, and every committed write's flow must resolve. *)
+let test_chaos_traced () =
+  let config = { Config.default with Config.trace = true } in
+  let nodes = 4 in
+  let c = mk_cluster config nodes in
+  let rng = Lbc_util.Rng.create 1111 in
+  for n = 0 to nodes - 1 do
+    worker c rng n 15
+  done;
+  Cluster.run c;
+  Alcotest.(check bool) "caches converged" true (converged c nodes);
+  let o = Cluster.obs c in
+  Alcotest.(check bool) "tracing on" true (Lbc_obs.Obs.enabled o);
+  let events =
+    match
+      Result.bind
+        (Lbc_obs.Json.parse (Lbc_obs.Obs.render o))
+        Lbc_obs.Explorer.events_of_json
+    with
+    | Error e -> Alcotest.failf "trace not parseable: %s" e
+    | Ok events -> events
+  in
+  Alcotest.(check (list string))
+    "trace self-check clean" []
+    (Lbc_obs.Explorer.self_check events);
+  let f = Lbc_obs.Explorer.flow_summary events in
+  Alcotest.(check bool)
+    "flows were emitted" true
+    (f.Lbc_obs.Explorer.fl_starts > 0);
+  Alcotest.(check int)
+    "every flow resolves into an apply span" 0
+    f.Lbc_obs.Explorer.fl_unresolved
+
 (* Online checkpoints must keep working while a channel is lossy and a
    node is down: each call merges whatever prefix is orderable (possibly
    empty) without corrupting anything. *)
@@ -377,6 +413,8 @@ let suites =
         QCheck_alcotest.to_alcotest prop_random_clusters_converge;
         Alcotest.test_case "simulation deterministic" `Quick
           test_simulation_deterministic;
+        Alcotest.test_case "traced run passes trace self-check" `Quick
+          test_chaos_traced;
       ] );
     ( "chaos-faults",
       [

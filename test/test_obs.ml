@@ -1,0 +1,357 @@
+(* Tests for the tracing/metrics layer (lib/obs): histogram math, the
+   hand-rolled JSON codec, span/flow emission and the explorer's
+   self-check, a fully traced cluster run cross-checked against the
+   Report counters, and golden-style renderings of Report.pp_cluster. *)
+
+open Lbc_core
+module Obs = Lbc_obs.Obs
+module Json = Lbc_obs.Json
+module Explorer = Lbc_obs.Explorer
+module H = Obs.Histogram
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* Parse a trace document into explorer events, failing the test on any
+   JSON or structural error. *)
+let events_of_doc doc =
+  match Json.parse doc with
+  | Error e -> Alcotest.failf "trace not parseable: %s" e
+  | Ok j -> (
+      match Explorer.events_of_json j with
+      | Error e -> Alcotest.failf "not a trace document: %s" e
+      | Ok events -> events)
+
+(* ----------------------------------------------------------------- *)
+(* Histograms *)
+
+let test_histogram_basics () =
+  let h = H.create () in
+  Alcotest.(check int) "empty count" 0 (H.count h);
+  Alcotest.(check (float 0.0)) "empty percentile" 0.0 (H.percentile h 50.0);
+  for v = 1 to 1000 do
+    H.observe h (float_of_int v)
+  done;
+  Alcotest.(check int) "count" 1000 (H.count h);
+  Alcotest.(check (float 0.001)) "sum" 500_500.0 (H.sum h);
+  Alcotest.(check (float 0.001)) "mean" 500.5 (H.mean h);
+  Alcotest.(check (float 0.0)) "min" 1.0 (H.min_value h);
+  Alcotest.(check (float 0.0)) "max" 1000.0 (H.max_value h);
+  let p50 = H.percentile h 50.0 in
+  let p95 = H.percentile h 95.0 in
+  let p99 = H.percentile h 99.0 in
+  (* Bucket interpolation is coarse (power-of-two buckets); check order
+     and bucket-level accuracy, not exact values. *)
+  Alcotest.(check bool) "p50 <= p95" true (p50 <= p95);
+  Alcotest.(check bool) "p95 <= p99" true (p95 <= p99);
+  Alcotest.(check bool) "p99 <= max" true (p99 <= H.max_value h);
+  Alcotest.(check bool) "p50 in its bucket" true (p50 >= 250.0 && p50 <= 750.0);
+  Alcotest.(check bool) "p99 near the top" true (p99 >= 900.0)
+
+let test_histogram_merge () =
+  let a = H.create () and b = H.create () in
+  List.iter (H.observe a) [ 2.0; 4.0; 8.0 ];
+  List.iter (H.observe b) [ 100.0; 200.0 ];
+  H.merge ~into:a b;
+  Alcotest.(check int) "merged count" 5 (H.count a);
+  Alcotest.(check (float 0.001)) "merged sum" 314.0 (H.sum a);
+  Alcotest.(check (float 0.0)) "merged min" 2.0 (H.min_value a);
+  Alcotest.(check (float 0.0)) "merged max" 200.0 (H.max_value a);
+  Alcotest.(check int) "source untouched" 2 (H.count b)
+
+(* ----------------------------------------------------------------- *)
+(* JSON codec *)
+
+let test_json_parse () =
+  match Json.parse {|{"a": [1, 2.5, "x\nA"], "b": {"c": true, "d": null}}|}
+  with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok j ->
+      let a = Option.get (Json.to_arr (Option.get (Json.member "a" j))) in
+      Alcotest.(check int) "array length" 3 (List.length a);
+      Alcotest.(check (float 0.0))
+        "first num" 1.0
+        (Option.get (Json.to_num (List.nth a 0)));
+      Alcotest.(check (float 0.0))
+        "second num" 2.5
+        (Option.get (Json.to_num (List.nth a 1)));
+      Alcotest.(check string)
+        "escapes decoded" "x\nA"
+        (Option.get (Json.to_str (List.nth a 2)));
+      let b = Option.get (Json.member "b" j) in
+      Alcotest.(check bool)
+        "nested bool" true
+        (match Json.member "c" b with Some (Json.Bool v) -> v | _ -> false);
+      Alcotest.(check bool)
+        "nested null" true
+        (Json.member "d" b = Some Json.Null)
+
+let test_json_rejects () =
+  let bad s =
+    match Json.parse s with Error _ -> true | Ok _ -> false
+  in
+  Alcotest.(check bool) "trailing bytes" true (bad {|{"a": 1} x|});
+  Alcotest.(check bool) "unterminated string" true (bad {|{"a": "oops|});
+  Alcotest.(check bool) "bare token" true (bad "nope");
+  Alcotest.(check bool) "empty input" true (bad "")
+
+let test_json_escape () =
+  Alcotest.(check string)
+    "escape specials" {|a\"b\n\t\\|}
+    (Json.escape "a\"b\n\t\\")
+
+(* ----------------------------------------------------------------- *)
+(* Disabled sink: every entry point is a no-op *)
+
+let test_disabled_noop () =
+  let o = Obs.disabled in
+  Alcotest.(check bool) "not enabled" false (Obs.enabled o);
+  let sp = Obs.span_begin o ~name:"x" ~pid:0 ~tid:0 () in
+  Alcotest.(check bool) "null span" true (sp == Obs.null_span);
+  Alcotest.(check (float 0.0)) "span_end" 0.0 (Obs.span_end o sp);
+  Obs.instant o ~name:"x" ~pid:0 ~tid:0 ();
+  Obs.flow_start o ~id:1 ~pid:0 ~tid:0;
+  Alcotest.(check bool)
+    "flow_end" true
+    (Obs.flow_end o ~id:1 ~pid:0 ~tid:0 = None);
+  Obs.count o "c" 1;
+  Alcotest.(check int) "counter stays 0" 0 (Obs.counter o "c");
+  Obs.observe o "h" 5.0;
+  Alcotest.(check bool) "no histogram" true (Obs.hist o "h" = None);
+  Obs.mark o "m";
+  Alcotest.(check bool) "no mark" true (Obs.take_mark o "m" = None)
+
+(* ----------------------------------------------------------------- *)
+(* Span / flow emission against a fake clock *)
+
+let test_spans_flows_render () =
+  let clock = ref 0.0 in
+  let o = Obs.create ~now:(fun () -> !clock) ~nodes:2 () in
+  let id = Obs.flow_id ~lock:3 ~seqno:1 in
+  clock := 10.0;
+  let commit = Obs.span_begin o ~name:"commit" ~pid:0 ~tid:Obs.lane_txn () in
+  clock := 15.0;
+  Obs.flow_start o ~id ~pid:0 ~tid:Obs.lane_txn;
+  clock := 20.0;
+  Alcotest.(check (float 0.001)) "commit dur" 10.0 (Obs.span_end o commit);
+  clock := 30.0;
+  let apply = Obs.span_begin o ~name:"apply" ~pid:1 ~tid:Obs.lane_apply () in
+  let lag = Obs.flow_end o ~id ~pid:1 ~tid:Obs.lane_apply in
+  Alcotest.(check bool) "lag measured" true (lag = Some 15.0);
+  clock := 35.0;
+  ignore (Obs.span_end o apply : float);
+  Alcotest.(check bool)
+    "unknown flow id" true
+    (Obs.flow_end o ~id:9999 ~pid:1 ~tid:Obs.lane_apply = None);
+  let events = events_of_doc (Obs.render o) in
+  Alcotest.(check (list string))
+    "self-check clean" [] (Explorer.self_check events);
+  let f = Explorer.flow_summary events in
+  Alcotest.(check int) "flow starts" 1 f.Explorer.fl_starts;
+  Alcotest.(check int) "flow ends" 1 f.Explorer.fl_ends;
+  Alcotest.(check int) "none unresolved" 0 f.Explorer.fl_unresolved
+
+let test_marks () =
+  let clock = ref 100.0 in
+  let o = Obs.create ~now:(fun () -> !clock) ~nodes:1 () in
+  Obs.mark o "fetch:0:7";
+  clock := 140.0;
+  Alcotest.(check bool)
+    "elapsed" true
+    (Obs.take_mark o "fetch:0:7" = Some 40.0);
+  Alcotest.(check bool) "consumed" true (Obs.take_mark o "fetch:0:7" = None)
+
+(* The self-check must reject traces that violate the contract. *)
+let test_self_check_catches () =
+  let check_bad what doc =
+    Alcotest.(check bool)
+      what true
+      (Explorer.self_check (events_of_doc doc) <> [])
+  in
+  check_bad "flow end without start"
+    {|{"traceEvents": [
+        {"name":"apply","cat":"pipeline","ph":"X","pid":1,"tid":1,"ts":5.0,"dur":10.0},
+        {"name":"write","cat":"flow","ph":"f","bp":"e","id":7,"pid":1,"tid":1,"ts":6.0}]}|};
+  check_bad "negative duration"
+    {|{"traceEvents": [
+        {"name":"txn","cat":"pipeline","ph":"X","pid":0,"tid":0,"ts":5.0,"dur":-1.0}]}|};
+  check_bad "time runs backwards"
+    {|{"traceEvents": [
+        {"name":"a","cat":"pipeline","ph":"i","s":"t","pid":0,"tid":0,"ts":50.0},
+        {"name":"b","cat":"pipeline","ph":"i","s":"t","pid":0,"tid":0,"ts":10.0}]}|};
+  check_bad "flow end outside any apply span"
+    {|{"traceEvents": [
+        {"name":"write","cat":"flow","ph":"s","id":7,"pid":0,"tid":0,"ts":1.0},
+        {"name":"write","cat":"flow","ph":"f","bp":"e","id":7,"pid":1,"tid":1,"ts":6.0}]}|}
+
+(* ----------------------------------------------------------------- *)
+(* A traced cluster run: the trace passes its own self-check and its
+   metrics agree with the Report counters. *)
+
+let region_size = 1024
+
+let mk_cluster config nodes =
+  let c = Cluster.create ~config ~nodes () in
+  Cluster.add_region c ~id:0 ~size:region_size;
+  Cluster.map_region_all c ~region:0;
+  c
+
+let script_writer c ~node ~lock ~commits =
+  Cluster.spawn c ~node (fun nd ->
+      for i = 1 to commits do
+        let txn = Node.Txn.begin_ nd in
+        Node.Txn.acquire txn lock;
+        Node.Txn.set_u64 txn ~region:0 ~offset:(8 * lock)
+          (Int64.of_int ((node * 1000) + i));
+        Node.Txn.commit txn;
+        Lbc_sim.Proc.sleep 10.0
+      done)
+
+let total_commits c nodes =
+  let sum = ref 0 in
+  for n = 0 to nodes - 1 do
+    let s = Lbc_rvm.Rvm.stats (Node.rvm (Cluster.node c n)) in
+    sum := !sum + s.Lbc_rvm.Rvm.commits
+  done;
+  !sum
+
+let test_traced_cluster_run () =
+  let config = { Config.default with Config.trace = true } in
+  let nodes = 3 in
+  let c = mk_cluster config nodes in
+  script_writer c ~node:0 ~lock:0 ~commits:4;
+  script_writer c ~node:1 ~lock:1 ~commits:3;
+  script_writer c ~node:2 ~lock:2 ~commits:2;
+  Cluster.run c;
+  let o = Cluster.obs c in
+  Alcotest.(check bool) "tracing on" true (Obs.enabled o);
+  let events = events_of_doc (Obs.render o) in
+  Alcotest.(check (list string))
+    "trace self-check clean" [] (Explorer.self_check events);
+  (* Every committed write's flow arrow resolves into an apply span
+     on every sharing peer: 9 commits broadcast to 2 peers each. *)
+  let f = Explorer.flow_summary events in
+  Alcotest.(check int) "flow starts" 9 f.Explorer.fl_starts;
+  Alcotest.(check int) "flow ends" 18 f.Explorer.fl_ends;
+  Alcotest.(check int) "none unresolved" 0 f.Explorer.fl_unresolved;
+  (* The explorer sees the pipeline stages. *)
+  let stages = Explorer.stage_breakdown events in
+  let stage n = List.exists (fun s -> s.Explorer.st_name = n) stages in
+  Alcotest.(check bool) "commit stage" true (stage "commit");
+  Alcotest.(check bool) "apply stage" true (stage "apply");
+  Alcotest.(check bool) "net.send stage" true (stage "net.send");
+  Alcotest.(check bool)
+    "critical path found" true
+    (Explorer.critical_path events <> None);
+  (* Metrics agree with the Report counters. *)
+  let commits = total_commits c nodes in
+  Alcotest.(check int) "nine commits" 9 commits;
+  (match Obs.hist o "commit_us" with
+  | None -> Alcotest.fail "no commit_us histogram"
+  | Some h ->
+      Alcotest.(check int) "one commit_us sample per commit" commits
+        (H.count h));
+  (match Obs.hist o "apply_lag_us" with
+  | None -> Alcotest.fail "no apply_lag_us histogram"
+  | Some h ->
+      Alcotest.(check int) "one apply_lag sample per flow end" 18 (H.count h));
+  Alcotest.(check int)
+    "net_msgs counter matches fabric accounting"
+    (Cluster.total_messages c)
+    (Obs.counter o "net_msgs")
+
+(* With tracing off (the default), the cluster uses the shared disabled
+   sink and collects nothing. *)
+let test_untraced_cluster_is_silent () =
+  let c = mk_cluster Config.default 2 in
+  script_writer c ~node:0 ~lock:0 ~commits:2;
+  Cluster.run c;
+  let o = Cluster.obs c in
+  Alcotest.(check bool) "tracing off" false (Obs.enabled o);
+  Alcotest.(check bool) "disabled singleton" true (o == Obs.disabled);
+  Alcotest.(check int) "no counters" 0 (Obs.counter o "net_msgs");
+  Alcotest.(check bool) "no histograms" true (Obs.hists o = [])
+
+(* ----------------------------------------------------------------- *)
+(* Golden-style rendering of Report.pp_cluster *)
+
+let test_report_golden () =
+  let config =
+    { Config.default with Config.group_commit = true; Config.trace = true }
+  in
+  let nodes = 3 in
+  let c = mk_cluster config nodes in
+  script_writer c ~node:0 ~lock:0 ~commits:2;
+  script_writer c ~node:1 ~lock:1 ~commits:1;
+  Cluster.spawn c ~node:0 (fun nd ->
+      let txn = Node.Txn.begin_ nd in
+      Node.Txn.acquire txn 2;
+      Node.Txn.abort txn);
+  Cluster.run c;
+  let rendered = Format.asprintf "%a" Report.pp_cluster c in
+  let expect what sub =
+    if not (contains rendered sub) then
+      Alcotest.failf "%s: %S not found in:\n%s" what sub rendered
+  in
+  expect "header" "cluster: 3 nodes";
+  expect "copy counters" "data path:";
+  expect "copy counters" "encode arenas";
+  expect "node 0 stats" "node 0: 2 commits (1 aborts)";
+  expect "node 1 stats" "node 1: 1 commits (0 aborts)";
+  expect "group commit" "group commit:";
+  expect "batches" "batches";
+  if contains rendered "blocked:" then
+    Alcotest.fail "quiescent cluster must not report blocked processes"
+
+(* A stranded process must surface in the blocked list. *)
+let test_report_blocked_list () =
+  let c = mk_cluster Config.default 2 in
+  Lbc_net.Fabric.set_drop (Cluster.fabric c) ~src:0 ~dst:1 true;
+  Cluster.spawn c ~node:0 (fun nd ->
+      let txn = Node.Txn.begin_ nd in
+      Node.Txn.acquire txn 0;
+      Node.Txn.set_u64 txn ~region:0 ~offset:0 7L;
+      Node.Txn.commit txn);
+  Cluster.spawn c ~node:1 (fun nd ->
+      Lbc_sim.Proc.sleep 50.0;
+      let txn = Node.Txn.begin_ nd in
+      Node.Txn.acquire txn 0;
+      (* unreachable: the update was dropped and nothing repairs it *)
+      Node.Txn.commit txn);
+  Cluster.run ~check_stranded:false c;
+  let rendered = Format.asprintf "%a" Report.pp_cluster c in
+  Alcotest.(check bool)
+    "blocked list rendered" true
+    (contains rendered "blocked:")
+
+let suites =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "histogram basics" `Quick test_histogram_basics;
+        Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+        Alcotest.test_case "json parse" `Quick test_json_parse;
+        Alcotest.test_case "json rejects garbage" `Quick test_json_rejects;
+        Alcotest.test_case "json escape" `Quick test_json_escape;
+        Alcotest.test_case "disabled sink is a no-op" `Quick
+          test_disabled_noop;
+        Alcotest.test_case "spans and flows render" `Quick
+          test_spans_flows_render;
+        Alcotest.test_case "marks" `Quick test_marks;
+        Alcotest.test_case "self-check catches bad traces" `Quick
+          test_self_check_catches;
+      ] );
+    ( "obs-cluster",
+      [
+        Alcotest.test_case "traced run: self-check + report agreement"
+          `Quick test_traced_cluster_run;
+        Alcotest.test_case "untraced run collects nothing" `Quick
+          test_untraced_cluster_is_silent;
+        Alcotest.test_case "report golden rendering" `Quick
+          test_report_golden;
+        Alcotest.test_case "report blocked list" `Quick
+          test_report_blocked_list;
+      ] );
+  ]
