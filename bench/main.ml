@@ -565,6 +565,85 @@ let bechamel () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* Recovery benchmark: serial vs partitioned replay of a merged log over
+   a home-segment workload (one lock/region per node, so the closure
+   splits into one partition per node), plus the incremental fuzzy
+   checkpoint's slice overhead.  Feeds the "recovery" block of the JSON
+   output below. *)
+
+type recovery_bench = {
+  rb_nodes : int;
+  rb_records : int;
+  rb_partitions : int;
+  rb_serial_us : float;
+  rb_partitioned_us : float;
+  rb_identical : bool;
+  rb_ckpt_slices : int;
+  rb_ckpt_bytes : int;
+  rb_ckpt_us : float;
+}
+
+let recovery_bench () =
+  let nodes = 8 and txns_per_node = 25 in
+  let region_size = 64 * 1024 in
+  let config =
+    { Lbc_core.Config.default with Lbc_core.Config.charge_costs = true }
+  in
+  let c = Lbc_core.Cluster.create ~config ~nodes () in
+  for r = 0 to nodes - 1 do
+    Lbc_core.Cluster.add_region c ~id:r ~size:region_size;
+    Lbc_core.Cluster.map_region_all c ~region:r
+  done;
+  let rng = Lbc_util.Rng.create 77 in
+  for n = 0 to nodes - 1 do
+    let rng = Lbc_util.Rng.split rng in
+    Lbc_core.Cluster.spawn c ~node:n (fun node ->
+        for _ = 1 to txns_per_node do
+          let txn = Lbc_core.Node.Txn.begin_ node in
+          Lbc_core.Node.Txn.acquire txn n;
+          Lbc_core.Node.Txn.set_u64 txn ~region:n
+            ~offset:(8 * Lbc_util.Rng.int rng (region_size / 8))
+            (Lbc_util.Rng.int64 rng);
+          Lbc_core.Node.Txn.commit txn;
+          Lbc_sim.Proc.sleep (Lbc_util.Rng.float rng 20.0)
+        done)
+  done;
+  Lbc_core.Cluster.run c;
+  let images () =
+    List.init nodes (fun r ->
+        Lbc_storage.Dev.stable_snapshot (Lbc_core.Cluster.region_dev c r))
+  in
+  let outcome_s, serial_us =
+    Lbc_core.Cluster.timed_recovery c ~mode:Lbc_core.Cluster.Serial
+  in
+  let serial_images = images () in
+  let _, partitioned_us =
+    Lbc_core.Cluster.timed_recovery c ~mode:Lbc_core.Cluster.Partitioned
+  in
+  let identical = List.for_all2 Bytes.equal serial_images (images ()) in
+  let partitions =
+    match Lbc_core.Cluster.merged_records c with
+    | Ok records -> List.length (Lbc_core.Merge.partition records)
+    | Error _ -> 0
+  in
+  (* Checkpoint slice overhead: small slices force several increments. *)
+  let t0 = Lbc_core.Cluster.now c in
+  Lbc_core.Cluster.fuzzy_checkpoint c ~node:0;
+  Lbc_core.Cluster.run c;
+  let stats = Lbc_rvm.Rvm.stats (Lbc_core.Node.rvm (Lbc_core.Cluster.node c 0)) in
+  {
+    rb_nodes = nodes;
+    rb_records = outcome_s.Lbc_rvm.Recovery.records_replayed;
+    rb_partitions = partitions;
+    rb_serial_us = serial_us;
+    rb_partitioned_us = partitioned_us;
+    rb_identical = identical;
+    rb_ckpt_slices = stats.Lbc_rvm.Rvm.ckpt_slices;
+    rb_ckpt_bytes = stats.Lbc_rvm.Rvm.ckpt_bytes_flushed;
+    rb_ckpt_us = Lbc_core.Cluster.now c -. t0;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable output: every Table-3 traversal under each
    propagation policy, written to BENCH_oo7.json for CI trending. *)
 
@@ -589,7 +668,7 @@ let json () =
         { measured with Lbc_core.Config.propagation = Lbc_core.Config.Lazy } );
     ]
   in
-  addf "{\n  \"schema\": \"BENCH_oo7/v3\",\n  \"configs\": [";
+  addf "{\n  \"schema\": \"BENCH_oo7/v4\",\n  \"configs\": [";
   List.iteri
     (fun ci (cname, config) ->
       if ci > 0 then addf ",";
@@ -650,13 +729,26 @@ let json () =
         [ "commit_us"; "lock_wait_us"; "apply_lag_us" ];
       addf "\n      }\n    }")
     configs;
-  addf "\n  ]\n}\n";
+  addf "\n  ],";
+  let rb = recovery_bench () in
+  addf
+    "\n  \"recovery\": {\n    \"nodes\": %d,\n    \"records\": %d,\n    \
+     \"partitions\": %d,\n    \"serial_replay_us\": %.1f,\n    \
+     \"partitioned_replay_us\": %.1f,\n    \"speedup\": %.2f,\n    \
+     \"images_identical\": %b,\n    \"ckpt_slices\": %d,\n    \
+     \"ckpt_bytes_flushed\": %d,\n    \"ckpt_us\": %.1f\n  }"
+    rb.rb_nodes rb.rb_records rb.rb_partitions rb.rb_serial_us
+    rb.rb_partitioned_us
+    (rb.rb_serial_us /. Float.max 1.0 rb.rb_partitioned_us)
+    rb.rb_identical rb.rb_ckpt_slices rb.rb_ckpt_bytes rb.rb_ckpt_us;
+  addf "\n}\n";
   let oc = open_out "BENCH_oo7.json" in
   output_string oc (Buffer.contents buf);
   close_out oc;
-  pr "wrote BENCH_oo7.json (%d configs x %d traversals)@."
+  pr "wrote BENCH_oo7.json (%d configs x %d traversals; recovery %.0f -> %.0f virtual µs over %d partitions)@."
     (List.length configs)
     (List.length Traversal.table3_kinds)
+    rb.rb_serial_us rb.rb_partitioned_us rb.rb_partitions
 
 (* ------------------------------------------------------------------ *)
 

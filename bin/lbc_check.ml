@@ -45,7 +45,7 @@ let report violations =
         (String.concat ", " names);
       1
 
-let verify no_races strict paths =
+let verify no_races strict regions paths =
   let logs = List.map load_log paths in
   List.iter2
     (fun path log ->
@@ -63,7 +63,7 @@ let verify no_races strict paths =
   exit
     (report
        (Lbc_analysis.Invariants.check_logs ~infer_base:(not strict)
-          ~races:(not no_races) logs))
+          ~races:(not no_races) ?regions logs))
 
 let lint paths =
   let violations =
@@ -138,14 +138,25 @@ let strict =
           "Require write chains to start at sequence number 0 instead of \
            inferring a checkpoint baseline from the first record.")
 
+let regions =
+  Arg.(
+    value
+    & opt (some (list int)) None
+    & info [ "regions" ] ~docv:"ID,..."
+        ~doc:
+          "Declare the mapped region set: any record addressing a region \
+           outside it is flagged (receivers silently drop such ranges, so \
+           the write reaches nobody).")
+
 let verify_cmd =
   Cmd.v
     (Cmd.info "verify"
        ~doc:
          "Check redo-log images: seqno monotonicity/uniqueness, \
-          prev_write_seq chains, wire-codec round-trips, merge legality \
-          and unlocked overlapping writes")
-    Term.(const verify $ no_races $ strict $ log_paths)
+          prev_write_seq chains, wire-codec round-trips, merge legality, \
+          unlocked overlapping writes, checkpoint bracket integrity and \
+          (with $(b,--regions)) region coverage")
+    Term.(const verify $ no_races $ strict $ regions $ log_paths)
 
 let lint_cmd =
   Cmd.v

@@ -241,6 +241,98 @@ let recover_database t =
       Lbc_rvm.Recovery.replay_records records ~db_for_region:(fun id ->
           Option.map (fun info -> info.dev) (Hashtbl.find_opt t.regions id))
 
+type replay_mode = Serial | Partitioned
+
+(* Server-side recovery on the simulation clock: replay runs in simulated
+   processes so device time is charged, making serial and partitioned
+   replay comparable.  Partitioned mode replays each lock/region-disjoint
+   stream concurrently; the elapsed virtual time is the slowest stream
+   instead of the sum. *)
+let timed_recovery t ~mode =
+  let records =
+    match merged_records t with
+    | Error (Merge.Unorderable why) ->
+        raise (Node.Coherency_error ("log merge failed: " ^ why))
+    | Ok records -> records
+  in
+  let streams =
+    match mode with
+    | Serial -> if records = [] then [] else [ records ]
+    | Partitioned -> Merge.partition records
+  in
+  let db_for_region id =
+    Option.map (fun info -> info.dev) (Hashtbl.find_opt t.regions id)
+  in
+  let outcomes = ref [] in
+  let t0 = Lbc_sim.Engine.now t.engine in
+  List.iteri
+    (fun i stream ->
+      Lbc_sim.Proc.spawn t.engine
+        ~name:(Printf.sprintf "recover-p%d" i)
+        (fun () ->
+          let o = Lbc_rvm.Recovery.replay_records stream ~db_for_region in
+          Obs.observe t.obs "recovery_us" (Lbc_sim.Engine.now t.engine -. t0);
+          outcomes := o :: !outcomes))
+    streams;
+  if Obs.enabled t.obs then
+    Obs.count t.obs "recovery_partitions" (List.length streams);
+  Lbc_sim.Engine.run t.engine;
+  let elapsed = Lbc_sim.Engine.now t.engine -. t0 in
+  let outcome =
+    List.fold_left
+      (fun (acc : Lbc_rvm.Recovery.outcome) (o : Lbc_rvm.Recovery.outcome) ->
+        {
+          Lbc_rvm.Recovery.records_replayed =
+            acc.records_replayed + o.records_replayed;
+          bytes_replayed = acc.bytes_replayed + o.bytes_replayed;
+          torn_tail = acc.torn_tail || o.torn_tail;
+        })
+      { Lbc_rvm.Recovery.records_replayed = 0; bytes_replayed = 0;
+        torn_tail = false }
+      !outcomes
+  in
+  (outcome, elapsed)
+
+(* Incremental fuzzy checkpoint of one node, on the simulation clock.
+   Peers first gossip their applied tables so the node can compute its
+   repair-retention mark; then the node flushes its dirty regions in
+   bounded slices interleaved with running commits, brackets the flush
+   with durable begin/end markers, and trims its log to the checkpoint
+   start clamped to the retention mark. *)
+let fuzzy_checkpoint t ~node:n =
+  let target = node t n in
+  let epoch0 = t.epoch.(n) in
+  for p = 0 to size t - 1 do
+    if p <> n && not t.crashed.(p) then begin
+      let peer = t.nodes.(p) in
+      Lbc_sim.Proc.spawn t.engine
+        ~name:(Printf.sprintf "gossip-%d" p)
+        ~daemon:true
+        (fun () -> Node.gossip_low_water peer)
+    end
+  done;
+  Lbc_sim.Proc.spawn t.engine
+    ~name:(Printf.sprintf "ckpt-%d" n)
+    ~alive:(fun () -> (not t.crashed.(n)) && t.epoch.(n) = epoch0)
+    (fun () ->
+      Lbc_sim.Proc.sleep t.config.Config.ckpt_gossip_delay;
+      let t0 = Lbc_sim.Engine.now t.engine in
+      let outcome =
+        Lbc_rvm.Rvm.fuzzy_checkpoint
+          ~slice_bytes:t.config.Config.ckpt_slice_bytes
+          ~yield:(fun () ->
+            Lbc_sim.Proc.sleep t.config.Config.ckpt_slice_interval)
+          (Node.rvm target)
+      in
+      Obs.observe t.obs "ckpt_us" (Lbc_sim.Engine.now t.engine -. t0);
+      if Obs.enabled t.obs then
+        Obs.instant t.obs ~name:"ckpt" ~pid:n ~tid:Obs.lane_txn
+          ~args:
+            [ ("id", Obs.I outcome.Lbc_rvm.Rvm.ckpt_id);
+              ("slices", Obs.I outcome.Lbc_rvm.Rvm.slices);
+              ("bytes", Obs.I outcome.Lbc_rvm.Rvm.bytes_flushed) ]
+          ())
+
 let online_checkpoint t =
   let logs =
     Array.to_list (Array.map (fun n -> Lbc_rvm.Rvm.log (Node.rvm n)) t.nodes)
@@ -266,8 +358,14 @@ let online_checkpoint t =
                 l.Lbc_wal.Record.seqno)
           txn.Lbc_wal.Record.locks)
     prefix.Merge.ordered;
+  (* The trim is clamped per log to its low-water mark: with repair on, a
+     merged-and-replayed record may still be needed by a live peer whose
+     copy was lost in flight (replaying into the database does not heal a
+     running peer's cache — only a fetch or a resync does). *)
   List.iter2
-    (fun log head -> if head > Lbc_wal.Log.head log then Lbc_wal.Log.set_head log head)
+    (fun log head ->
+      if head > Lbc_wal.Log.head log then
+        ignore (Lbc_wal.Log.set_head log head : int))
     logs prefix.Merge.new_heads;
   List.length prefix.Merge.ordered
 
@@ -311,7 +409,12 @@ let checkpoint t =
   Array.iter
     (fun n ->
       let log = Lbc_rvm.Rvm.log (Node.rvm n) in
-      Lbc_wal.Log.set_head log (Lbc_wal.Log.tail log);
+      (* Ground truth overrides gossip here: every record is replayed
+         into the database and every node is about to resync to it, so
+         no peer can need anything re-sent — lift the retention mark
+         before trimming. *)
+      Node.clear_retention n;
+      ignore (Lbc_wal.Log.set_head log (Lbc_wal.Log.tail log) : int);
       Node.gc_retained n;
       (* Bring stragglers (lazy mode) to the checkpointed state: their
          chains are gone from the writers' retention. *)

@@ -120,6 +120,29 @@ val recover_database : t -> Lbc_rvm.Recovery.outcome
     into the region database devices.
     @raise Node.Coherency_error if the logs cannot be merged. *)
 
+type replay_mode =
+  | Serial  (** one replay process applies the whole merged stream *)
+  | Partitioned
+      (** one replay process per lock/region-disjoint stream
+          ({!Merge.partition}); streams run concurrently *)
+
+val timed_recovery : t -> mode:replay_mode -> Lbc_rvm.Recovery.outcome * float
+(** Like {!recover_database}, but the replay runs in simulated processes
+    (driving the engine until done) so device time is charged; returns
+    the outcome and the elapsed virtual µs.  The recovered images are
+    byte-identical across modes — partitioning only changes wall-clock.
+    Each stream feeds the [recovery_us] histogram. *)
+
+val fuzzy_checkpoint : t -> node:int -> unit
+(** Start an incremental (fuzzy) checkpoint of node [node]'s log, running
+    concurrently with application work: live peers gossip their applied
+    tables ([Msg.LowWater]), and after [config.ckpt_gossip_delay] the node
+    runs {!Lbc_rvm.Rvm.fuzzy_checkpoint} with [config.ckpt_slice_bytes]
+    slices, sleeping [config.ckpt_slice_interval] between slices.  The
+    final trim is clamped to the repair-retention mark.  The checkpointer
+    dies with the node on a crash (leaving the log untrimmed — recovery
+    then replays from the previous checkpoint). *)
+
 val checkpoint : t -> unit
 (** Offline distributed log trimming (paper Section 3.5): requires a
     quiescent cluster (no pending records); merges the logs, replays them

@@ -15,6 +15,9 @@ type t = {
   group_commit : bool;
   group_commit_max : int;
   group_commit_delay : float;
+  ckpt_slice_bytes : int;
+  ckpt_slice_interval : float;
+  ckpt_gossip_delay : float;
   trace : bool;
   trace_path : string option;
 }
@@ -35,6 +38,9 @@ let default =
     group_commit = false;
     group_commit_max = 8;
     group_commit_delay = 100.0;
+    ckpt_slice_bytes = 4096;
+    ckpt_slice_interval = 50.0;
+    ckpt_gossip_delay = 500.0;
     trace = false;
     trace_path = None;
   }

@@ -57,6 +57,15 @@ type t = {
   group_commit_delay : float;
       (** virtual µs after a batch's first record before it is flushed
           regardless of size *)
+  ckpt_slice_bytes : int;
+      (** bytes per fuzzy-checkpoint flush slice; between slices the
+          checkpointer yields so commits can interleave *)
+  ckpt_slice_interval : float;
+      (** virtual µs the checkpointer sleeps between flush slices *)
+  ckpt_gossip_delay : float;
+      (** virtual µs a fuzzy checkpoint waits after broadcasting
+          low-water gossip, so peers' applied tables arrive before the
+          retention mark is computed *)
   trace : bool;
       (** record spans, flow arrows and latency histograms through
           [Lbc_obs] while the cluster runs.  Off by default: the

@@ -30,6 +30,16 @@ val merge_logs :
   Lbc_wal.Log.t list -> (Lbc_wal.Record.txn list, error) result
 (** Read every live record of each log (ignoring torn tails) and merge. *)
 
+val partition : Lbc_wal.Record.txn list -> Lbc_wal.Record.txn list list
+(** Split a merged stream into independent replay streams: transactions
+    sharing a lock or a region — transitively (union-find over the
+    lock/region closure) — land in the same stream, so distinct streams
+    touch disjoint regions under disjoint locks and may be replayed
+    concurrently.  Within a stream the input order is preserved; streams
+    are returned in order of first appearance.  Partitioning the input of
+    {!Lbc_rvm.Recovery.replay_records} this way is what makes parallel
+    recovery sound. *)
+
 type prefix = {
   ordered : Lbc_wal.Record.txn list;
       (** the maximal mergeable prefix, in replay order *)

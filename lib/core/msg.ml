@@ -3,6 +3,7 @@ type t =
   | Update of Lbc_util.Slice.t list
   | Fetch of { lock : int; have : int }
   | Fetched of { lock : int; payloads : Lbc_util.Slice.t list list }
+  | LowWater of { applied : (int * int) list }
 
 let size = function
   | Lock m -> Lbc_locks.Table.msg_size m
@@ -12,6 +13,7 @@ let size = function
       List.fold_left
         (fun acc iov -> acc + 4 + Lbc_util.Slice.iov_length iov)
         8 payloads
+  | LowWater { applied } -> 8 + (16 * List.length applied)
 
 let pp ppf = function
   | Lock m -> Format.fprintf ppf "Lock(%a)" Lbc_locks.Table.pp_msg m
@@ -19,3 +21,5 @@ let pp ppf = function
   | Fetch { lock; have } -> Format.fprintf ppf "Fetch(l%d>%d)" lock have
   | Fetched { lock; payloads } ->
       Format.fprintf ppf "Fetched(l%d,%d records)" lock (List.length payloads)
+  | LowWater { applied } ->
+      Format.fprintf ppf "LowWater(%d locks)" (List.length applied)

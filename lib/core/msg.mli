@@ -17,6 +17,11 @@ type t =
           sequence number [have] *)
   | Fetched of { lock : int; payloads : Lbc_util.Slice.t list list }
       (** reply, oldest first; one gather list per record *)
+  | LowWater of { applied : (int * int) list }
+      (** low-water gossip: the sender's applied write sequence number
+          per lock.  Receivers use it to decide which of their own
+          committed records every peer has applied — those records can
+          fall below the repair-retention mark and be trimmed. *)
 
 val size : t -> int
 val pp : Format.formatter -> t -> unit

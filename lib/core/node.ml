@@ -42,6 +42,12 @@ type t = {
   applied_cv : Lbc_sim.Condvar.t;
   mutable pending : Lbc_wal.Record.txn list;  (* arrival order *)
   retained : (int, Lbc_wal.Record.txn list) Hashtbl.t;  (* newest first *)
+  peer_applied : (int, (int, int) Hashtbl.t) Hashtbl.t;
+      (* peer -> lock -> applied write seqno, from low-water gossip *)
+  mutable unacked : (int * int list * (int * int) list) list;
+      (* own committed writes not yet known applied by every propagation
+         peer: (log offset, peers, (lock, seqno) list), oldest first.
+         The head's offset is the log's repair-retention low-water mark. *)
   fetch_marks : (int * int, unit) Hashtbl.t;  (* (lock, have) fetches sent *)
   repairs : (int, repair) Hashtbl.t;  (* lock id -> gap under watch *)
   txn_updates : int ref;  (* set_range calls in the running transaction *)
@@ -136,6 +142,8 @@ let create (deps : deps) =
     applied_cv = Lbc_sim.Condvar.create ();
     pending = [];
     retained = Hashtbl.create 16;
+    peer_applied = Hashtbl.create 8;
+    unacked = [];
     fetch_marks = Hashtbl.create 16;
     repairs = Hashtbl.create 8;
     txn_updates;
@@ -203,6 +211,29 @@ let resync (t : t) ~applied =
   Hashtbl.reset t.retained;
   Hashtbl.reset t.fetch_marks;
   Hashtbl.reset t.repairs;
+  (* The checkpoint replayed every log into the database and this resync
+     brings each node to that state, so nothing committed before it can
+     be fetched again: lift the retention mark.  Record the checkpoint
+     state as ground truth for every peer's applied table. *)
+  t.unacked <- [];
+  Lbc_wal.Log.set_retention_water (Lbc_rvm.Rvm.log t.rvm) max_int;
+  for peer = 0 to t.nodes - 1 do
+    if peer <> t.id then begin
+      let tbl =
+        match Hashtbl.find_opt t.peer_applied peer with
+        | Some tbl -> tbl
+        | None ->
+            let tbl = Hashtbl.create 16 in
+            Hashtbl.replace t.peer_applied peer tbl;
+            tbl
+      in
+      List.iter
+        (fun (lock, seq) ->
+          if seq > Option.value ~default:0 (Hashtbl.find_opt tbl lock) then
+            Hashtbl.replace tbl lock seq)
+        applied
+    end
+  done;
   Lbc_sim.Condvar.broadcast t.applied_cv
 
 let retained_count t =
@@ -225,6 +256,114 @@ let retained_after t ~lock ~have =
   |> List.sort (fun a b -> Int.compare (seq_for a) (seq_for b))
 
 (* --------------------------------------------------------------- *)
+(* Low-water gossip: what may the log trim past?
+
+   A node's log must keep every own committed write some peer might still
+   need re-sent (repair fetch, or a rejoin rebroadcast after a crash).
+   Each write is "unacked" until every propagation peer reports — via
+   [Msg.LowWater] gossip of its applied table — an applied sequence
+   number at or past the write, for each of its locks.  The offset of the
+   oldest unacked write is the log's repair-retention low-water mark;
+   with no gossip received nothing is trimmed (conservative default). *)
+
+let peer_acked (t : t) peer ~lock ~seq =
+  match Hashtbl.find_opt t.peer_applied peer with
+  | None -> false
+  | Some tbl -> (
+      match Hashtbl.find_opt tbl lock with Some s -> s >= seq | None -> false)
+
+let acked (t : t) (_off, peers, lock_seqs) =
+  List.for_all
+    (fun peer ->
+      List.for_all (fun (lock, seq) -> peer_acked t peer ~lock ~seq) lock_seqs)
+    peers
+
+(* Drop retained records every peer has applied: none of them can appear
+   in a future fetch (a fetch always asks for records {e newer} than the
+   fetcher's applied sequence number). *)
+let prune_retained (t : t) =
+  if t.nodes > 1 then begin
+    let floor lock =
+      let rec go peer acc =
+        if peer >= t.nodes then acc
+        else if peer = t.id then go (peer + 1) acc
+        else
+          let s =
+            match Hashtbl.find_opt t.peer_applied peer with
+            | None -> 0
+            | Some tbl -> Option.value ~default:0 (Hashtbl.find_opt tbl lock)
+          in
+          go (peer + 1) (min acc s)
+      in
+      go 0 max_int
+    in
+    let seq_for lock (record : Lbc_wal.Record.txn) =
+      match
+        List.find_opt
+          (fun l -> l.Lbc_wal.Record.lock_id = lock)
+          record.Lbc_wal.Record.locks
+      with
+      | Some l -> l.Lbc_wal.Record.seqno
+      | None -> max_int
+    in
+    Hashtbl.filter_map_inplace
+      (fun lock records ->
+        let f = floor lock in
+        match List.filter (fun r -> seq_for lock r > f) records with
+        | [] -> None
+        | kept -> Some kept)
+      t.retained
+  end
+
+let update_retention (t : t) =
+  t.unacked <- List.filter (fun entry -> not (acked t entry)) t.unacked;
+  let water = match t.unacked with [] -> max_int | (off, _, _) :: _ -> off in
+  Lbc_wal.Log.set_retention_water (Lbc_rvm.Rvm.log t.rvm) water;
+  prune_retained t
+
+let track_unacked (t : t) ~offset (record : Lbc_wal.Record.txn) ~peers =
+  if peers <> [] then begin
+    let lock_seqs =
+      List.map
+        (fun l -> (l.Lbc_wal.Record.lock_id, l.Lbc_wal.Record.seqno))
+        record.Lbc_wal.Record.locks
+    in
+    t.unacked <- t.unacked @ [ (offset, peers, lock_seqs) ];
+    update_retention t
+  end
+
+let unacked_count (t : t) = List.length t.unacked
+
+let clear_retention (t : t) =
+  t.unacked <- [];
+  Lbc_wal.Log.set_retention_water (Lbc_rvm.Rvm.log t.rvm) max_int
+
+let applied_snapshot (t : t) =
+  Hashtbl.fold (fun lock seq acc -> (lock, seq) :: acc) t.applied []
+
+let gossip_low_water (t : t) =
+  let applied = applied_snapshot t in
+  for peer = 0 to t.nodes - 1 do
+    if peer <> t.id then t.send ~dst:peer (Msg.LowWater { applied })
+  done
+
+let receive_low_water (t : t) ~src ~applied =
+  let tbl =
+    match Hashtbl.find_opt t.peer_applied src with
+    | Some tbl -> tbl
+    | None ->
+        let tbl = Hashtbl.create 16 in
+        Hashtbl.replace t.peer_applied src tbl;
+        tbl
+  in
+  List.iter
+    (fun (lock, seq) ->
+      if seq > Option.value ~default:0 (Hashtbl.find_opt tbl lock) then
+        Hashtbl.replace tbl lock seq)
+    applied;
+  update_retention t
+
+(* --------------------------------------------------------------- *)
 (* Applying received records in lock-sequence order *)
 
 type readiness = Ready | Hold | Duplicate
@@ -244,7 +383,7 @@ let readiness t (record : Lbc_wal.Record.txn) =
   then Ready
   else Hold
 
-let apply_now (t : t) record =
+let apply_now (t : t) (record : Lbc_wal.Record.txn) =
   let sp =
     if Obs.enabled t.obs then begin
       let sp =
@@ -449,6 +588,7 @@ let handle (t : t) ~src msg =
         | Some rtt -> Obs.observe t.obs "fetch_rtt_us" rtt
         | None -> ());
       List.iter (fun iov -> receive_record t (Wire.decode_iov iov)) payloads
+  | Msg.LowWater { applied } -> receive_low_water t ~src ~applied
 
 (* --------------------------------------------------------------- *)
 (* Propagation at commit *)
@@ -526,22 +666,74 @@ let rejoin (t : t) ~applied =
   Hashtbl.reset t.fetch_marks;
   Hashtbl.reset t.repairs;
   Hashtbl.reset t.applied;
+  (* The crash killed any process that was mid-transaction; those
+     transactions will never commit, so they must not keep a later fuzzy
+     checkpoint waiting for quiescence. *)
+  Lbc_rvm.Rvm.clear_live_txns t.rvm;
   List.iter
     (fun region -> Lbc_rvm.Region.reload_from_db region)
     (Lbc_rvm.Rvm.regions t.rvm);
   List.iter (fun (lock, seq) -> set_applied t lock seq) applied;
-  let records, _status = Lbc_wal.Log.read_all (Lbc_rvm.Rvm.log t.rvm) in
-  List.iter (receive_record t) records;
+  let items, _status =
+    Lbc_wal.Log.fold (Lbc_rvm.Rvm.log t.rvm) ~init:[] (fun acc off txn ->
+        (off, txn) :: acc)
+  in
+  let items = List.rev items in
+  let records = List.map snd items in
+  (* Rebuild retention from what survives: until gossip proves otherwise,
+     assume every own write still in the log may be needed by a peer (the
+     gossip tables died with the crash). *)
+  t.unacked <- [];
+  Hashtbl.reset t.peer_applied;
+  Lbc_wal.Log.set_retention_water (Lbc_rvm.Rvm.log t.rvm) max_int;
+  (* A crash mid-fuzzy-checkpoint leaves the ckpt water pinned (the end
+     marker never made it); the checkpoint is abandoned, so unpin. *)
+  Lbc_wal.Log.set_ckpt_water (Lbc_rvm.Rvm.log t.rvm) max_int;
+  if retains t then
+    List.iter
+      (fun (off, (r : Lbc_wal.Record.txn)) ->
+        if r.Lbc_wal.Record.ranges <> [] then
+          track_unacked t ~offset:off r ~peers:(propagation_peers t r))
+      items;
+  (* Partitioned replay: split the surviving tail by lock/region closure
+     and replay the independent streams as concurrent processes.  Streams
+     share no locks and no regions, so their applies commute; within a
+     stream log order is kept, so each record's [prev_write_seq] chain is
+     intact. *)
+  let streams = Merge.partition records in
+  let n_streams = List.length streams in
+  let remaining = ref n_streams in
+  let done_cv = Lbc_sim.Condvar.create () in
+  let t0 = Lbc_sim.Engine.now t.engine in
+  List.iteri
+    (fun i stream ->
+      Lbc_sim.Proc.spawn t.engine
+        ~name:(Printf.sprintf "n%d recover-p%d" t.id i)
+        (fun () ->
+          List.iter (receive_record t) stream;
+          Obs.observe t.obs "recovery_us" (Lbc_sim.Engine.now t.engine -. t0);
+          decr remaining;
+          Lbc_sim.Condvar.broadcast done_cv))
+    streams;
+  if Obs.enabled t.obs && n_streams > 0 then
+    Obs.count t.obs "recovery_partitions" n_streams;
   Lbc_sim.Condvar.broadcast t.applied_cv;
   let own_writes =
     List.filter (fun (r : Lbc_wal.Record.txn) -> r.Lbc_wal.Record.ranges <> [])
       records
   in
   if own_writes <> [] then
-    (* Fabric sends charge wire time, so they need process context. *)
+    (* Fabric sends charge wire time, so they need process context; the
+       rebroadcast also waits for the replay streams to finish so peers
+       never see our tail before we have re-applied it ourselves. *)
     Lbc_sim.Proc.spawn t.engine
       ~name:(Printf.sprintf "n%d rejoin-sync" t.id)
-      (fun () -> List.iter (broadcast t) own_writes)
+      (fun () ->
+        Lbc_sim.Condvar.await
+          ~info:(Printf.sprintf "rejoin n%d awaits %d replay streams" t.id n_streams)
+          done_cv
+          (fun () -> !remaining = 0);
+        List.iter (broadcast t) own_writes)
 
 (* --------------------------------------------------------------- *)
 (* Application transactions *)
@@ -644,6 +836,10 @@ module Txn = struct
       if node.config.Config.flush_on_commit then Lbc_rvm.Rvm.Flush
       else Lbc_rvm.Rvm.No_flush
     in
+    (* Captured before the append: the record will land at or after this
+       offset (concurrent committers may slip in during cost charging),
+       so a retention mark here never trims the record itself. *)
+    let log_off = Lbc_wal.Log.tail (Lbc_rvm.Rvm.log node.rvm) in
     let record = Lbc_rvm.Rvm.commit ~mode t.rvm_txn in
     let wrote = record.Lbc_wal.Record.ranges <> [] in
     if wrote then begin
@@ -651,7 +847,12 @@ module Txn = struct
       List.iter
         (fun l -> set_applied node l.Lbc_wal.Record.lock_id l.Lbc_wal.Record.seqno)
         record.Lbc_wal.Record.locks;
-      if retains node then retain node record
+      if retains node then begin
+        retain node record;
+        if node.config.Config.disk_logging then
+          track_unacked node ~offset:log_off record
+            ~peers:(propagation_peers node record)
+      end
     end;
     (* Two-phase: release everything at commit (paper Section 2.1), then
        propagate; receivers' interlock tolerates a token overtaking its

@@ -118,6 +118,31 @@ val gc_retained : t -> unit
 (** Drop all retained records (after a checkpoint has made them
     recoverable from the database image). *)
 
+(** {1 Low-water gossip and repair retention}
+
+    With [config.repair] (or lazy propagation) a node's log must keep
+    every own committed write some peer might still need re-sent; the
+    offset of the oldest such write is installed as the log's retention
+    low-water mark, which {!Lbc_wal.Log.set_head} clamps to.  A write is
+    released once every propagation peer has gossiped ([Msg.LowWater])
+    an applied sequence number at or past it. *)
+
+val unacked_count : t -> int
+(** Own committed writes not yet known applied by every peer. *)
+
+val gossip_low_water : t -> unit
+(** Send this node's applied table to every peer (costs wire time — call
+    from process context). *)
+
+val update_retention : t -> unit
+(** Recompute the retention mark from the gossip received so far and
+    prune retained records every peer has applied. *)
+
+val clear_retention : t -> unit
+(** Drop all retention state and lift the log's retention mark — only
+    sound when ground truth says no peer can fetch again (a distributed
+    checkpoint followed by {!resync}). *)
+
 val resync : t -> applied:(int * int) list -> unit
 (** Post-checkpoint resynchronization: reload every mapped region from
     its database device, set the per-lock applied sequence numbers to the
@@ -134,7 +159,14 @@ val rejoin : t -> applied:(int * int) list -> unit
     rebroadcast to the peers, healing commits the crash cut off between
     logging and propagation (receivers discard duplicates).  Updates
     committed elsewhere since the checkpoint are re-fetched on demand via
-    the acquire interlock and, with [config.repair], the gap watchdog. *)
+    the acquire interlock and, with [config.repair], the gap watchdog.
+
+    The replay is {e partitioned}: the surviving tail is split by
+    lock/region closure ({!Merge.partition}) and the independent streams
+    run as concurrent simulated processes, each feeding the
+    [recovery_us] histogram; the rebroadcast waits for all of them.
+    Retention state is rebuilt conservatively: every own write still in
+    the log is treated as unacked until fresh gossip arrives. *)
 
 exception Coherency_error of string
 

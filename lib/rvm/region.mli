@@ -34,9 +34,32 @@ val unsafe_mem : t -> Bytes.t
 
 val flush_to_db : t -> unit
 (** Write the full in-memory image to the database device and sync it —
-    the checkpoint step of log truncation. *)
+    the checkpoint step of log truncation.  Clears the dirty extent. *)
 
 val reload_from_db : t -> unit
 (** Replace the in-memory image with the database device's current
     contents (zero-filling any shortfall) — the resynchronization step
-    after a distributed checkpoint. *)
+    after a distributed checkpoint.  Clears the dirty extent. *)
+
+(** {1 Dirty tracking}
+
+    Every {!write}/{!set_u64} extends a single dirty extent; a fuzzy
+    checkpoint flushes only that extent, in bounded slices, instead of
+    stop-the-world writing whole region images. *)
+
+val is_dirty : t -> bool
+val dirty_bytes : t -> int
+(** Bytes in the dirty extent (0 when clean). *)
+
+val dirty_extent : t -> (int * int) option
+(** The extent as [Some (lo, hi)] ([lo] inclusive, [hi] exclusive). *)
+
+val flush_dirty : t -> unit
+(** Write only the dirty extent to the database device and sync it; no-op
+    when clean.  Clears the extent. *)
+
+val flush_slice : t -> max_bytes:int -> int
+(** Incremental flush: write up to [max_bytes] from the low end of the
+    dirty extent to the database device ({e without} syncing) and shrink
+    the extent.  Returns the bytes written (0 when clean).  The caller
+    syncs the device once the extent is drained. *)

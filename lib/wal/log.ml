@@ -31,6 +31,13 @@ type t = {
   mutable head : int;
   mutable tail : int;
   mutable record_count : int;
+  mutable retention_water : int;
+      (* trim barrier: offset of the oldest record a peer may still
+         re-fetch (repair retention); [max_int] means unconstrained *)
+  mutable ckpt_water : int;
+      (* trim barrier held by an in-progress fuzzy checkpoint: until its
+         end marker is durable, recovery still needs the records behind
+         the partially-flushed region images; [max_int] when none *)
   enc : Codec.writer;  (* reused arena for direct appends *)
   mutable group : group option;
   mutable obs : Obs.t;
@@ -60,7 +67,7 @@ let write_header t =
    of the window boundary: re-anchor the window at the verdict position,
    doubling it when no progress is possible, until the window reaches
    [limit] and the verdict is final. *)
-let scan dev ~from ~limit f =
+let scan ?(ctrl = fun _ _ -> ()) dev ~from ~limit f =
   (* A crash can revert the device below the caller's logical tail; only
      what is actually on the device can be read. *)
   let limit = min limit (Lbc_storage.Dev.size dev) in
@@ -74,12 +81,15 @@ let scan dev ~from ~limit f =
         | Record.Txn (txn, next) ->
             f (base + rel) txn;
             step next (count + 1)
+        | Record.Ctrl (c, next) ->
+            ctrl (base + rel) c;
+            step next count
         | verdict ->
             if base + len >= limit then
               match verdict with
               | Record.End -> (base + rel, Clean, count)
               | Record.Torn why -> (base + rel, Torn_at (base + rel, why), count)
-              | Record.Txn _ -> assert false
+              | Record.Txn _ | Record.Ctrl _ -> assert false
             else if rel > 0 then go (base + rel) win count
             else go base (2 * win) count
       in
@@ -100,8 +110,9 @@ let attach dev =
   if size = 0 then begin
     let t =
       { dev; head = header_size; tail = header_size; record_count = 0;
-        enc = Codec.writer ~capacity:1024 (); group = None;
-        obs = Obs.disabled; obs_node = 0 }
+        retention_water = max_int; ckpt_water = max_int;
+        enc = Codec.writer ~capacity:1024 ();
+        group = None; obs = Obs.disabled; obs_node = 0 }
     in
     write_header t;
     Lbc_storage.Dev.sync dev;
@@ -119,6 +130,7 @@ let attach dev =
     if head < header_size || head > size then raise (Bad_log "bad head offset");
     let tail, count = scan_tail dev ~from:head in
     { dev; head; tail; record_count = count;
+      retention_water = max_int; ckpt_water = max_int;
       enc = Codec.writer ~capacity:1024 (); group = None;
       obs = Obs.disabled; obs_node = 0 }
   end
@@ -132,6 +144,11 @@ let head t = t.head
 let tail t = t.tail
 let live_bytes t = t.tail - t.head
 let record_count t = t.record_count
+let low_water t = min t.retention_water t.ckpt_water
+
+let clamp_water off = if off >= max_int then max_int else max header_size off
+let set_retention_water t off = t.retention_water <- clamp_water off
+let set_ckpt_water t off = t.ckpt_water <- clamp_water off
 
 (* ---------------------------------------------------------------- *)
 (* Group commit *)
@@ -281,11 +298,38 @@ let set_head t off =
   if off < header_size || off > t.tail then
     invalid_arg (Printf.sprintf "Log.set_head: offset %d out of [%d,%d]"
                    off header_size t.tail);
+  (* Trimming is clamped to the low-water mark (retention / checkpoint
+     start) and never moves the head backwards over already-dead space. *)
+  let off = max t.head (min off (low_water t)) in
   t.head <- off;
   write_header t;
   Lbc_storage.Dev.sync t.dev;
   let _, count = scan_tail t.dev ~from:t.head in
-  t.record_count <- count
+  t.record_count <- count;
+  off
+
+let append_ctrl t c =
+  (* Same device-order discipline as a direct append. *)
+  flush_batch t;
+  Codec.clear t.enc;
+  Record.encode_ctrl_into t.enc c;
+  let off = t.tail in
+  Lbc_storage.Dev.write_slice t.dev ~off (Codec.slice t.enc);
+  t.tail <- off + Codec.length t.enc;
+  if Obs.enabled t.obs then
+    Obs.instant t.obs ~name:"log.ctrl" ~pid:t.obs_node ~tid:Obs.lane_wal
+      ~args:[ ("bytes", Obs.I (Codec.length t.enc)) ] ();
+  off
+
+let fold_ctrl t ~init f =
+  flush_batch t;
+  let acc = ref init in
+  let _pos, status, _count =
+    scan t.dev ~ctrl:(fun pos c -> acc := f !acc pos c) ~from:t.head
+      ~limit:t.tail
+      (fun _ _ -> ())
+  in
+  (!acc, status)
 
 let fold t ?from ~init f =
   (* An open batch is part of [head, tail) but not on the device yet. *)

@@ -86,8 +86,30 @@ val batches_flushed : t -> int
 val records_batched : t -> int
 (** Per-log group-commit accounting (0 when disabled). *)
 
-val set_head : t -> int -> unit
-(** Trim the log head (checkpoint); durable immediately. *)
+val set_head : t -> int -> int
+(** Trim the log head (checkpoint); durable immediately.  The requested
+    offset must lie in [[header_size, tail]]; the head actually installed
+    is clamped to the {!low_water} mark and never moves backwards, and is
+    returned.  With no low-water constraint the result equals the
+    request. *)
+
+val low_water : t -> int
+(** Current effective trim barrier: the minimum of the retention and
+    checkpoint waters; [max_int] when unconstrained. *)
+
+val set_retention_water : t -> int -> unit
+(** Install the repair-retention barrier: subsequent {!set_head} calls
+    will not advance the head past this offset.  Owners keep it at the
+    oldest own record some peer may still need re-sent or fetched; pass
+    [max_int] to lift the constraint. *)
+
+val set_ckpt_water : t -> int -> unit
+(** Install the fuzzy-checkpoint barrier.  While a checkpoint's region
+    flushes are in flight the head must not move at all (a mid-checkpoint
+    crash replays from the {e previous} checkpoint), so the checkpointer
+    pins this at the current head and lifts it ([max_int]) only once the
+    end marker is durable. *)
+
 
 type scan_status = Clean | Torn_at of int * string
 
@@ -97,3 +119,14 @@ val fold : t -> ?from:int -> init:'a -> ('a -> int -> Record.txn -> 'a) -> 'a * 
     scan ended cleanly or at a torn record. *)
 
 val read_all : t -> Record.txn list * scan_status
+
+(** {1 Control records} *)
+
+val append_ctrl : t -> Record.ctrl -> int
+(** Append one control record (buffered, like {!append}); returns its
+    offset.  Control records do not count towards {!record_count} and are
+    skipped by {!fold}/{!read_all}. *)
+
+val fold_ctrl :
+  t -> init:'a -> ('a -> int -> Record.ctrl -> 'a) -> 'a * scan_status
+(** Fold over the live control records only (offset and payload). *)

@@ -11,6 +11,7 @@ type txn = {
 }
 
 let magic = 0x4C424354 (* "LBCT" *)
+let ctrl_magic = 0x4C42434B (* "LBCK" *)
 let rvm_disk_header_size = 104
 let min_header_size = 4 + 8 + 8 (* region, offset, length *)
 
@@ -87,7 +88,48 @@ let encoded_size ?(range_header_size = rvm_disk_header_size) t =
   in
   4 + 4 + 2 + 8 + 2 + counts + locks + ranges + 4
 
-type decode_result = Txn of txn * int | End | Torn of string
+(* Control records share the log's framing (magic, total length, CRC)
+   but carry no transaction: they bracket a fuzzy checkpoint so recovery
+   and the offline verifier can see where an in-place flush of the region
+   images started and whether it completed.  They use their own magic so
+   the transaction encoding — pinned by golden vectors — is untouched. *)
+type ctrl_kind = Ckpt_begin | Ckpt_end
+type ctrl = { kind : ctrl_kind; node : int; ckpt_id : int }
+
+let ctrl_size = 4 + 4 + 1 + 2 + 8 + 4
+
+let encode_ctrl_into w c =
+  let start = Codec.length w in
+  Codec.u32 w ctrl_magic;
+  Codec.u32 w ctrl_size;
+  Codec.u8 w (match c.kind with Ckpt_begin -> 1 | Ckpt_end -> 2);
+  Codec.u16 w c.node;
+  Codec.int_as_u64 w c.ckpt_id;
+  let covered = Codec.slice_sub w ~pos:start ~len:(ctrl_size - 4) in
+  let crc =
+    Crc32.bytes (Slice.base covered) ~pos:(Slice.pos covered)
+      ~len:(Slice.length covered)
+  in
+  Codec.u32 w (Int32.to_int crc land 0xFFFFFFFF)
+
+let encode_ctrl c =
+  let w = Codec.writer ~capacity:ctrl_size () in
+  encode_ctrl_into w c;
+  Codec.contents w
+
+let equal_ctrl (a : ctrl) (b : ctrl) =
+  a.kind = b.kind && a.node = b.node && a.ckpt_id = b.ckpt_id
+
+let pp_ctrl ppf c =
+  Format.fprintf ppf "%s node=%d ckpt=%d"
+    (match c.kind with Ckpt_begin -> "ckpt-begin" | Ckpt_end -> "ckpt-end")
+    c.node c.ckpt_id
+
+type decode_result =
+  | Txn of txn * int
+  | Ctrl of ctrl * int
+  | End
+  | Torn of string
 
 (* Decoding operates on a window so log scans can hand in bounded views
    of the device instead of full snapshots; positions (including the
@@ -105,7 +147,41 @@ let decode_slice s ~pos =
   else begin
     let r = Codec.reader_of_slice (Slice.sub s ~pos ~len:(len - pos)) in
     let m = Codec.get_u32 r in
-    if m <> magic then
+    if m = ctrl_magic then begin
+      let total = Codec.get_u32 r in
+      if total <> ctrl_size then Torn "bad ctrl length"
+      else if pos + total > len then Torn "truncated record"
+      else begin
+        let stored_crc =
+          let cr =
+            Codec.reader_of_slice (Slice.sub s ~pos:(pos + total - 4) ~len:4)
+          in
+          Codec.get_u32 cr
+        in
+        let crc =
+          Int32.to_int
+            (Crc32.bytes (Slice.base s) ~pos:(Slice.pos s + pos)
+               ~len:(total - 4))
+          land 0xFFFFFFFF
+        in
+        if crc <> stored_crc then Torn "bad crc"
+        else begin
+          let kind =
+            match Codec.get_u8 r with
+            | 1 -> Some Ckpt_begin
+            | 2 -> Some Ckpt_end
+            | _ -> None
+          in
+          match kind with
+          | None -> Torn "bad ctrl kind"
+          | Some kind ->
+              let node = Codec.get_u16 r in
+              let ckpt_id = Codec.get_int_as_u64 r in
+              Ctrl ({ kind; node; ckpt_id }, pos + total)
+        end
+      end
+    end
+    else if m <> magic then
       if all_zero s ~pos then End else Torn "bad magic"
     else begin
       let total = Codec.get_u32 r in
@@ -170,14 +246,14 @@ let equal_lock a b =
 let equal_range a b =
   a.region = b.region && a.offset = b.offset && Bytes.equal a.data b.data
 
-let equal_txn a b =
+let equal_txn (a : txn) (b : txn) =
   a.node = b.node && a.tid = b.tid
   && List.length a.locks = List.length b.locks
   && List.for_all2 equal_lock a.locks b.locks
   && List.length a.ranges = List.length b.ranges
   && List.for_all2 equal_range a.ranges b.ranges
 
-let pp_txn ppf t =
+let pp_txn ppf (t : txn) =
   Format.fprintf ppf "@[<h>txn node=%d tid=%d locks=[%a] ranges=[%a]@]" t.node
     t.tid
     (Format.pp_print_list

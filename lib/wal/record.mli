@@ -59,8 +59,34 @@ val encode_into : ?range_header_size:int -> Lbc_util.Codec.writer -> txn -> unit
     bytes already in the writer is fine (group commit batches records
     this way); the output is byte-identical to {!encode}. *)
 
+(** {1 Control records}
+
+    Fixed-size marker records bracketing a fuzzy checkpoint
+    ([Ckpt_begin] … region flushes … [Ckpt_end]).  They share the log's
+    framing (own magic, total length, CRC) but carry no transaction, so
+    the transaction encoding — pinned by golden vectors — is unchanged.
+    Scans skip them; the offline verifier reads them to detect a head
+    trimmed past an incomplete checkpoint. *)
+
+type ctrl_kind = Ckpt_begin | Ckpt_end
+
+type ctrl = {
+  kind : ctrl_kind;
+  node : int;  (** node performing the checkpoint *)
+  ckpt_id : int;  (** node-local checkpoint number, pairs begin/end *)
+}
+
+val ctrl_size : int
+(** Exact on-disk size of every control record. *)
+
+val encode_ctrl : ctrl -> Bytes.t
+val encode_ctrl_into : Lbc_util.Codec.writer -> ctrl -> unit
+val equal_ctrl : ctrl -> ctrl -> bool
+val pp_ctrl : Format.formatter -> ctrl -> unit
+
 type decode_result =
   | Txn of txn * int  (** decoded record and offset just past it *)
+  | Ctrl of ctrl * int  (** control record and offset just past it *)
   | End  (** clean end of log: zero fill or end of data *)
   | Torn of string  (** partial or corrupt record (reason) *)
 

@@ -399,6 +399,215 @@ let test_chaos_checkpoint_under_faults () =
   Alcotest.(check bool) "caches converged" true (converged c nodes);
   Alcotest.(check bool) "recovery matches" true (recovery_matches c)
 
+(* ----------------------------------------------------------------- *)
+(* Fuzzy checkpoints, retention clamping, partitioned recovery *)
+
+let log_of c n = Lbc_rvm.Rvm.log (Node.rvm (Cluster.node c n))
+
+let ctrl_counts log =
+  let counts, _ =
+    Lbc_wal.Log.fold_ctrl log ~init:(0, 0) (fun (b, e) _ c ->
+        match c.Lbc_wal.Record.kind with
+        | Lbc_wal.Record.Ckpt_begin -> (b + 1, e)
+        | Lbc_wal.Record.Ckpt_end -> (b, e + 1))
+  in
+  counts
+
+let crash_then_rejoin c ~node:n =
+  Lbc_sim.Proc.spawn (Cluster.engine c) ~name:"chaos-controller" (fun () ->
+      Cluster.crash c ~node:n;
+      let rec rejoin_when_lease_expires () =
+        match Cluster.rejoin c ~node:n with
+        | () -> ()
+        | exception Invalid_argument _ ->
+            Lbc_sim.Proc.sleep 50.0;
+            rejoin_when_lease_expires ()
+      in
+      rejoin_when_lease_expires ())
+
+(* Satellite regression (the PR's headline bugfix): a node-local
+   [Rvm.truncate] used to trim the log to its tail even when the repair
+   service still needed the records.  The sequence that exposed it: the
+   only update carrying a write is dropped, the writer truncates, then
+   crashes — its in-memory retained table dies — and rejoins, rebuilding
+   retention from whatever the log still holds.  If the truncate threw
+   the record away, the victim's repair fetch finds nothing and the
+   cluster strands; with the retention low-water clamp it converges. *)
+let test_chaos_truncate_respects_retention () =
+  let config =
+    {
+      Config.fault_tolerant with
+      Config.repair_timeout = 100.0;
+      Config.lease_timeout = 300.0;
+    }
+  in
+  let nodes = 2 in
+  let c = mk_cluster config nodes in
+  (* Node 1 writes; its updates to node 0 vanish.  Lock 0 is managed by
+     node 0, which stays up throughout. *)
+  drop_updates c ~src:1 ~dst:0 true;
+  Cluster.spawn c ~node:1 (fun node ->
+      let txn = Node.Txn.begin_ node in
+      Node.Txn.acquire txn 0;
+      Node.Txn.set_u64 txn ~region:0 ~offset:0 77L;
+      Node.Txn.commit txn;
+      (* Node-local stop-the-world truncation right after the commit. *)
+      Lbc_rvm.Rvm.truncate (Node.rvm node));
+  Cluster.run c;
+  Alcotest.(check bool)
+    "retention clamp kept the unacked record" true
+    (Lbc_wal.Log.record_count (log_of c 1) > 0);
+  crash_then_rejoin c ~node:1;
+  Cluster.run c;
+  Alcotest.(check bool) "writer is back" false (Cluster.is_crashed c 1);
+  (* The victim pulls the write: the interlock parks it until the repair
+     watchdog fetches the record the writer retained across the
+     truncate+crash. *)
+  Cluster.spawn c ~node:0 (fun node ->
+      let txn = Node.Txn.begin_ node in
+      Node.Txn.acquire txn 0;
+      Alcotest.(check int64) "victim sees the write" 77L
+        (Node.Txn.get_u64 txn ~region:0 ~offset:0);
+      Node.Txn.commit txn);
+  Cluster.run c;
+  Alcotest.(check bool) "caches converged" true (converged c nodes);
+  check_logs_clean "logs clean after truncate+crash+repair" c nodes
+
+(* Satellite: crash in the middle of a fuzzy checkpoint — after the
+   Ckpt_begin marker is durable, before the Ckpt_end — then recover.
+   The pinned ckpt water kept the log untrimmed, so replay from the
+   previous checkpoint covers the fuzzy half-flushed images; rejoin
+   lifts the abandoned pin. *)
+let test_chaos_crash_mid_fuzzy_checkpoint () =
+  let config =
+    {
+      Config.fault_tolerant with
+      Config.repair_timeout = 100.0;
+      Config.lease_timeout = 400.0;
+      Config.ckpt_slice_bytes = 64;
+      Config.ckpt_slice_interval = 50.0;
+      Config.ckpt_gossip_delay = 100.0;
+    }
+  in
+  let nodes = 3 in
+  let c = mk_cluster config nodes in
+  let rng = Lbc_util.Rng.create 1212 in
+  for n = 0 to nodes - 1 do
+    worker c rng n 15
+  done;
+  Cluster.run ~until:200.0 c;
+  Cluster.fuzzy_checkpoint c ~node:0;
+  (* Step the clock until the checkpoint is mid-flight: a live begin
+     marker with no matching end. *)
+  let deadline = ref 250.0 in
+  while
+    (let b, e = ctrl_counts (log_of c 0) in
+     b <= e)
+    && !deadline < 20_000.0
+  do
+    deadline := !deadline +. 25.0;
+    Cluster.run ~until:!deadline c
+  done;
+  let b, e = ctrl_counts (log_of c 0) in
+  Alcotest.(check bool) "checkpoint is mid-flight" true (b > e);
+  crash_then_rejoin c ~node:0;
+  Cluster.run c;
+  Alcotest.(check bool) "node is back up" false (Cluster.is_crashed c 0);
+  final_pull c nodes;
+  Alcotest.(check bool) "caches converged" true (converged c nodes);
+  Alcotest.(check bool) "recovery matches" true (recovery_matches c);
+  check_logs_clean "logs clean after mid-ckpt crash" c nodes;
+  (* The orphaned begin marker is still live (never trimmed past), and
+     the end marker never made it. *)
+  let b', e' = ctrl_counts (log_of c 0) in
+  Alcotest.(check bool) "begin survives, end absent" true (b' > e')
+
+(* A fuzzy checkpoint on a live cluster trims the log incrementally and
+   leaves both markers at the head; everything still converges and
+   server-side recovery over the trimmed log reproduces the caches. *)
+let test_chaos_fuzzy_checkpoint_trims () =
+  let config =
+    {
+      Config.default with
+      Config.ckpt_slice_bytes = 128;
+      Config.ckpt_slice_interval = 20.0;
+      Config.ckpt_gossip_delay = 50.0;
+    }
+  in
+  let nodes = 3 in
+  let c = mk_cluster config nodes in
+  let rng = Lbc_util.Rng.create 1313 in
+  for n = 0 to nodes - 1 do
+    worker c rng n 15
+  done;
+  Cluster.run ~until:300.0 c;
+  Cluster.fuzzy_checkpoint c ~node:0;
+  Cluster.run c;
+  let log0 = log_of c 0 in
+  Alcotest.(check bool) "log head advanced" true
+    (Lbc_wal.Log.head log0 > Lbc_wal.Log.header_size);
+  let b, e = ctrl_counts log0 in
+  Alcotest.(check (pair int int)) "begin and end markers live" (1, 1) (b, e);
+  Alcotest.(check int) "water lifted" max_int (Lbc_wal.Log.low_water log0);
+  Alcotest.(check bool) "several slices ran" true
+    ((Lbc_rvm.Rvm.stats (Node.rvm (Cluster.node c 0))).Lbc_rvm.Rvm.ckpt_slices
+    > 1);
+  Alcotest.(check bool) "caches converged" true (converged c nodes);
+  Alcotest.(check bool) "recovery over trimmed log matches" true
+    (recovery_matches c);
+  check_logs_clean "logs clean after fuzzy checkpoint" c nodes
+
+(* Partitioned replay: same recovered bytes as serial replay, in less
+   virtual time.  Home-segment workload so the lock/region closure splits
+   into one partition per node. *)
+let test_chaos_partitioned_recovery () =
+  let config = { Config.default with Config.charge_costs = true } in
+  let nodes = 4 in
+  let c = Cluster.create ~config ~nodes () in
+  for r = 0 to nodes - 1 do
+    Cluster.add_region c ~id:r ~size:region_size;
+    Cluster.map_region_all c ~region:r
+  done;
+  let rng = Lbc_util.Rng.create 1414 in
+  for n = 0 to nodes - 1 do
+    let rng = Lbc_util.Rng.split rng in
+    Cluster.spawn c ~node:n (fun node ->
+        (* Each node works only its home lock/region: the partitions are
+           disjoint by construction. *)
+        for _ = 1 to 10 do
+          let txn = Node.Txn.begin_ node in
+          Node.Txn.acquire txn n;
+          Node.Txn.set_u64 txn ~region:n
+            ~offset:(8 * Lbc_util.Rng.int rng (region_size / 8))
+            (Lbc_util.Rng.int64 rng);
+          Node.Txn.commit txn;
+          Lbc_sim.Proc.sleep (Lbc_util.Rng.float rng 20.0)
+        done)
+  done;
+  Cluster.run c;
+  let images () =
+    List.init nodes (fun r ->
+        Lbc_storage.Dev.stable_snapshot (Cluster.region_dev c r))
+  in
+  let outcome_s, t_serial = Cluster.timed_recovery c ~mode:Cluster.Serial in
+  let serial_images = images () in
+  let outcome_p, t_partitioned =
+    Cluster.timed_recovery c ~mode:Cluster.Partitioned
+  in
+  let partitioned_images = images () in
+  Alcotest.(check int) "same records replayed"
+    outcome_s.Lbc_rvm.Recovery.records_replayed
+    outcome_p.Lbc_rvm.Recovery.records_replayed;
+  Alcotest.(check int) "all 40 transactions" 40
+    outcome_s.Lbc_rvm.Recovery.records_replayed;
+  Alcotest.(check bool) "byte-identical recovered images" true
+    (List.for_all2 Bytes.equal serial_images partitioned_images);
+  Alcotest.(check bool)
+    (Printf.sprintf "partitioned (%.0f) faster than serial (%.0f)"
+       t_partitioned t_serial)
+    true
+    (t_partitioned < t_serial)
+
 let suites =
   [
     ( "chaos",
@@ -426,5 +635,16 @@ let suites =
           test_chaos_crash_rejoin;
         Alcotest.test_case "online checkpoint under faults" `Quick
           test_chaos_checkpoint_under_faults;
+      ] );
+    ( "chaos-ckpt",
+      [
+        Alcotest.test_case "truncate respects repair retention" `Quick
+          test_chaos_truncate_respects_retention;
+        Alcotest.test_case "crash mid fuzzy checkpoint" `Quick
+          test_chaos_crash_mid_fuzzy_checkpoint;
+        Alcotest.test_case "fuzzy checkpoint trims live cluster" `Quick
+          test_chaos_fuzzy_checkpoint_trims;
+        Alcotest.test_case "partitioned recovery" `Quick
+          test_chaos_partitioned_recovery;
       ] );
   ]

@@ -375,7 +375,8 @@ let test_merge_orders_by_lock_seq () =
         "interleaved by sequence number"
         [ (0, 1); (1, 2); (0, 3) ]
         (List.map
-           (fun t -> (t.Lbc_wal.Record.node, t.Lbc_wal.Record.tid))
+           (fun (t : Lbc_wal.Record.txn) ->
+             (t.Lbc_wal.Record.node, t.Lbc_wal.Record.tid))
            merged
         |> List.map2
              (fun seq (node, _) -> (node, seq))
@@ -394,6 +395,106 @@ let test_merge_unorderable () =
   (match Merge.merge_records [ [ t 0 2; t 0 1 ] ] with
   | Error (Merge.Unorderable _) -> ()
   | Ok _ -> Alcotest.fail "expected Unorderable")
+
+(* ------------------------------------------------------------------ *)
+(* Partitioning for parallel replay *)
+
+let ptxn ?(node = 0) ~tid ~locks ~regions () =
+  {
+    Lbc_wal.Record.node;
+    tid;
+    locks =
+      List.map
+        (fun (l, s) ->
+          { Lbc_wal.Record.lock_id = l; seqno = s; prev_write_seq = 0 })
+        locks;
+    ranges =
+      List.map
+        (fun r ->
+          { Lbc_wal.Record.region = r; offset = 0; data = Bytes.of_string "d" })
+        regions;
+  }
+
+let tids stream = List.map (fun (t : Lbc_wal.Record.txn) -> t.Lbc_wal.Record.tid) stream
+
+let test_partition_disjoint_streams () =
+  (* Two independent lock/region families: two streams, order kept. *)
+  let records =
+    [
+      ptxn ~tid:1 ~locks:[ (0, 1) ] ~regions:[ 0 ] ();
+      ptxn ~tid:2 ~locks:[ (1, 1) ] ~regions:[ 1 ] ();
+      ptxn ~tid:3 ~locks:[ (0, 2) ] ~regions:[ 0 ] ();
+      ptxn ~tid:4 ~locks:[ (1, 2) ] ~regions:[ 1 ] ();
+    ]
+  in
+  Alcotest.(check (list (list int)))
+    "two streams in first-appearance order, input order within"
+    [ [ 1; 3 ]; [ 2; 4 ] ]
+    (List.map tids (Merge.partition records))
+
+let test_partition_region_joins_locks () =
+  (* Distinct locks writing one region must share a stream: replaying
+     them concurrently could reorder overlapping writes. *)
+  let records =
+    [
+      ptxn ~tid:1 ~locks:[ (0, 1) ] ~regions:[ 7 ] ();
+      ptxn ~tid:2 ~locks:[ (1, 1) ] ~regions:[ 7 ] ();
+    ]
+  in
+  Alcotest.(check (list (list int)))
+    "one stream" [ [ 1; 2 ] ]
+    (List.map tids (Merge.partition records))
+
+let test_partition_transitive_closure () =
+  (* t2 bridges lock 0 and lock 1; all three collapse into one stream
+     even though t1 and t3 share nothing directly. *)
+  let records =
+    [
+      ptxn ~tid:1 ~locks:[ (0, 1) ] ~regions:[ 0 ] ();
+      ptxn ~tid:2 ~locks:[ (0, 2); (1, 1) ] ~regions:[ 0; 1 ] ();
+      ptxn ~tid:3 ~locks:[ (1, 2) ] ~regions:[ 1 ] ();
+    ]
+  in
+  Alcotest.(check (list (list int)))
+    "transitive closure is one stream" [ [ 1; 2; 3 ] ]
+    (List.map tids (Merge.partition records))
+
+let test_partition_preserves_all_records () =
+  (* Whatever the shape, partitioning is a permutation: every record in
+     exactly one stream, each stream a subsequence of the input. *)
+  let records =
+    List.init 20 (fun i ->
+        ptxn ~tid:i
+          ~locks:[ (i mod 3, (i / 3) + 1) ]
+          ~regions:[ i mod 3 ] ())
+  in
+  let streams = Merge.partition records in
+  check_int "record count preserved" 20
+    (List.fold_left (fun a s -> a + List.length s) 0 streams);
+  check_int "three lock families" 3 (List.length streams);
+  List.iter
+    (fun stream ->
+      let rec subsequence xs ys =
+        match (xs, ys) with
+        | [], _ -> true
+        | _, [] -> false
+        | x :: xt, y :: yt ->
+            if x = y then subsequence xt yt else subsequence xs yt
+      in
+      Alcotest.(check bool) "stream is a subsequence of the input" true
+        (subsequence (tids stream) (tids records)))
+    streams
+
+let test_partition_empty_and_keyless () =
+  Alcotest.(check (list (list int))) "empty input" []
+    (List.map tids (Merge.partition []));
+  (* Records with no locks and no ranges share one catch-all stream. *)
+  let records =
+    [ ptxn ~tid:1 ~locks:[] ~regions:[] (); ptxn ~tid:2 ~locks:[] ~regions:[] () ]
+  in
+  Alcotest.(check (list (list int)))
+    "keyless records stay together (and ordered)" [ [ 1; 2 ] ]
+    (List.map tids (Merge.partition records))
 
 let test_distributed_recovery_matches_caches () =
   let c = mk ~nodes:3 () in
@@ -1010,6 +1111,16 @@ let suites =
         Alcotest.test_case "merge orders by lock seq" `Quick
           test_merge_orders_by_lock_seq;
         Alcotest.test_case "merge unorderable" `Quick test_merge_unorderable;
+        Alcotest.test_case "partition: disjoint streams" `Quick
+          test_partition_disjoint_streams;
+        Alcotest.test_case "partition: shared region joins locks" `Quick
+          test_partition_region_joins_locks;
+        Alcotest.test_case "partition: transitive closure" `Quick
+          test_partition_transitive_closure;
+        Alcotest.test_case "partition: preserves all records" `Quick
+          test_partition_preserves_all_records;
+        Alcotest.test_case "partition: empty and keyless" `Quick
+          test_partition_empty_and_keyless;
         qtest prop_merge_respects_lock_order;
         Alcotest.test_case "distributed recovery" `Quick
           test_distributed_recovery_matches_caches;

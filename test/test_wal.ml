@@ -122,7 +122,7 @@ let prop_records_concatenate =
         match Record.decode blob ~pos with
         | Record.Txn (t, next) -> loop next (t :: acc)
         | Record.End -> List.rev acc
-        | Record.Torn _ -> []
+        | Record.Ctrl _ | Record.Torn _ -> []
       in
       let decoded = loop 0 [] in
       List.length decoded = List.length txns
@@ -190,7 +190,7 @@ let test_log_trim () =
   let off2 = Log.append log (mk_txn ~tid:2 [ (0, 0, "bb") ]) in
   Log.force log;
   Alcotest.(check int) "first at header" Log.header_size off1;
-  Log.set_head log off2;
+  Alcotest.(check int) "trim lands on off2" off2 (Log.set_head log off2);
   let txns, _ = Log.read_all log in
   Alcotest.(check (list int)) "only second lives" [ 2 ]
     (List.map (fun t -> t.Record.tid) txns);
@@ -479,6 +479,101 @@ let test_group_commit_direct_append_flushes () =
   Alcotest.(check (list int)) "device order = logical order" [ 1; 2 ]
     (List.map (fun t -> t.Record.tid) txns)
 
+(* ------------------------------------------------------------------ *)
+(* Control records and low-water marks *)
+
+let ctrl_testable = Alcotest.testable Record.pp_ctrl Record.equal_ctrl
+let mk_ctrl ?(node = 2) ?(ckpt_id = 7) kind = { Record.kind; node; ckpt_id }
+
+let test_ctrl_roundtrip () =
+  List.iter
+    (fun kind ->
+      let c = mk_ctrl kind in
+      let b = Record.encode_ctrl c in
+      Alcotest.(check int) "fixed size" Record.ctrl_size (Bytes.length b);
+      match Record.decode b ~pos:0 with
+      | Record.Ctrl (c', next) ->
+          Alcotest.check ctrl_testable "roundtrip" c c';
+          Alcotest.(check int) "consumed all" Record.ctrl_size next
+      | _ -> Alcotest.fail "ctrl did not decode")
+    [ Record.Ckpt_begin; Record.Ckpt_end ]
+
+let test_ctrl_corrupt_is_torn () =
+  let b = Record.encode_ctrl (mk_ctrl Record.Ckpt_begin) in
+  Bytes.set b (Bytes.length b - 1) '\xff';
+  (* CRC byte *)
+  match Record.decode b ~pos:0 with
+  | Record.Torn _ -> ()
+  | _ -> Alcotest.fail "corrupt ctrl not Torn"
+
+let test_ctrl_interleaves_with_txns () =
+  let d = Dev.create () in
+  let log = Log.attach d in
+  ignore (Log.append log (mk_txn ~tid:1 [ (0, 0, "aa") ]));
+  let begin_off = Log.append_ctrl log (mk_ctrl Record.Ckpt_begin) in
+  ignore (Log.append log (mk_txn ~tid:2 [ (0, 0, "bb") ]));
+  let end_off = Log.append_ctrl log (mk_ctrl Record.Ckpt_end) in
+  Log.force log;
+  (* Txn readers never see control records. *)
+  let txns, status = Log.read_all log in
+  Alcotest.(check bool) "clean" true (status = Log.Clean);
+  Alcotest.(check (list int)) "txns only" [ 1; 2 ]
+    (List.map (fun t -> t.Record.tid) txns);
+  Alcotest.(check int) "record_count ignores ctrl" 2 (Log.record_count log);
+  (* fold_ctrl sees only the markers, in offset order. *)
+  let ctrls, status' =
+    Log.fold_ctrl log ~init:[] (fun acc off c -> (off, c.Record.kind) :: acc)
+  in
+  Alcotest.(check bool) "ctrl scan clean" true (status' = Log.Clean);
+  Alcotest.(check (list (pair int bool)))
+    "both markers at their offsets"
+    [ (begin_off, true); (end_off, false) ]
+    (List.rev_map (fun (o, k) -> (o, k = Record.Ckpt_begin)) ctrls);
+  (* Markers survive a crash + reattach like any forced record. *)
+  Dev.crash d;
+  let log' = Log.attach d in
+  Alcotest.(check int) "txns survive" 2 (Log.record_count log');
+  let ctrls', _ = Log.fold_ctrl log' ~init:0 (fun n _ _ -> n + 1) in
+  Alcotest.(check int) "ctrls survive" 2 ctrls'
+
+let test_set_head_clamps_to_low_water () =
+  let d = Dev.create () in
+  let log = Log.attach d in
+  let off1 = Log.append log (mk_txn ~tid:1 [ (0, 0, "aa") ]) in
+  let off2 = Log.append log (mk_txn ~tid:2 [ (0, 0, "bb") ]) in
+  Log.force log;
+  Alcotest.(check int) "no water: low_water is max_int" max_int
+    (Log.low_water log);
+  (* A retention mark below the requested head wins. *)
+  Log.set_retention_water log off2;
+  Alcotest.(check int) "trim clamped to retention mark" off2
+    (Log.set_head log (Log.tail log));
+  Alcotest.(check int) "record 2 still live" 1 (Log.record_count log);
+  ignore off1;
+  (* Lifting the mark allows the full trim. *)
+  Log.set_retention_water log max_int;
+  Alcotest.(check int) "trim reaches tail" (Log.tail log)
+    (Log.set_head log (Log.tail log));
+  Alcotest.(check int) "log empty" 0 (Log.live_bytes log)
+
+let test_ckpt_water_pins_trim () =
+  let d = Dev.create () in
+  let log = Log.attach d in
+  ignore (Log.append log (mk_txn ~tid:1 [ (0, 0, "aa") ]));
+  Log.force log;
+  let pin = Log.head log in
+  Log.set_ckpt_water log pin;
+  Alcotest.(check int) "low_water = ckpt pin" pin (Log.low_water log);
+  Alcotest.(check int) "trim pinned at head" pin
+    (Log.set_head log (Log.tail log));
+  (* Both marks active: the lower one wins. *)
+  let off2 = Log.append log (mk_txn ~tid:2 [ (0, 0, "bb") ]) in
+  Log.force log;
+  Log.set_retention_water log off2;
+  Alcotest.(check int) "min of the two waters" pin (Log.low_water log);
+  Log.set_ckpt_water log max_int;
+  Alcotest.(check int) "retention alone remains" off2 (Log.low_water log)
+
 let suites =
   [
     ( "wal.record",
@@ -510,6 +605,18 @@ let suites =
           test_scan_windowed_large_log;
         Alcotest.test_case "windowed scan: record > window" `Quick
           test_scan_record_larger_than_window;
+      ] );
+    ( "wal.ctrl",
+      [
+        Alcotest.test_case "ctrl roundtrip" `Quick test_ctrl_roundtrip;
+        Alcotest.test_case "corrupt ctrl = Torn" `Quick
+          test_ctrl_corrupt_is_torn;
+        Alcotest.test_case "ctrl interleaves with txns" `Quick
+          test_ctrl_interleaves_with_txns;
+        Alcotest.test_case "set_head clamps to low water" `Quick
+          test_set_head_clamps_to_low_water;
+        Alcotest.test_case "ckpt water pins trim" `Quick
+          test_ckpt_water_pins_trim;
       ] );
     ( "wal.group_commit",
       [
