@@ -15,6 +15,12 @@
      data by reference (Slice windows and gather lists); a materializing
      copy belongs in lib/util where it is counted, or needs an explicit
      [copy-ok] comment on the same line explaining why it is fine.
+   - float-equality: [=] or [<>] applied to a sim-clock value in lib/
+     (an operand reading or ending in [at], [now], [clock] or
+     [deadline]).  Timestamps are floats; exact equality on them is
+     almost always a tie-break bug waiting for a perturbed schedule —
+     order comparisons or an explicit tolerance are wanted instead.  A
+     deliberate exact-tie test takes an [eq-ok] comment on the line.
    - print-debug: [Printf.printf] / [Printf.eprintf] / [Format.printf] /
      [Format.eprintf] in library code.  Libraries must report through a
      formatter handed to them (as report.ml does) or through the tracing
@@ -34,6 +40,7 @@ let rules =
     "obj-magic";
     "hot-path-copy";
     "print-debug";
+    "float-equality";
   ]
 
 (* Directories whose files are considered recovery paths for the
@@ -394,6 +401,143 @@ let check_print_debug ~file ~src text =
     in
     flag "Printf" @ flag "Format"
 
+(* Clock-valued operand heuristic for float-equality: an identifier (or
+   the last component of a dotted path) that names a simulation
+   timestamp. *)
+let clockish word =
+  let suffix s =
+    let n = String.length s and m = String.length word in
+    m > n && String.sub word (m - n) n = s
+  in
+  match word with
+  | "at" | "now" | "clock" | "deadline" -> true
+  | _ -> suffix "_at" || suffix "_deadline" || suffix "_clock"
+
+let in_lib file = List.mem "lib" (String.split_on_char '/' file)
+
+let check_float_equality ~file ~src text =
+  if not (in_lib file) then []
+  else begin
+    let n = String.length text in
+    (* Positions of a standalone [=] or of [<>]. *)
+    let ops = ref [] in
+    for i = 0 to n - 1 do
+      if
+        text.[i] = '='
+        && (i = 0 || not (List.mem text.[i - 1] [ '<'; '>'; '!'; '='; ':' ]))
+        && (i + 1 >= n || text.[i + 1] <> '=')
+      then ops := i :: !ops
+      else if text.[i] = '<' && i + 1 < n && text.[i + 1] = '>' then
+        ops := i :: !ops
+    done;
+    let path_tail_back i =
+      (* Last component of the dotted path whose final char is at [i]. *)
+      word_ending_at text i
+    in
+    let rec path_tail_fwd i =
+      (* Last component of the dotted path starting at [i]. *)
+      let rec fin k =
+        if k < n && is_ident text.[k] then fin (k + 1) else k
+      in
+      let e = fin i in
+      if e = i then ""
+      else
+        match next_nonspace text e with
+        | Some (j, '.') -> (
+            match next_nonspace text (j + 1) with
+            | Some (k, c) when is_ident c && not (c >= 'A' && c <= 'Z') ->
+                path_tail_fwd k
+            | _ -> String.sub text i (e - i))
+        | _ -> String.sub text i (e - i)
+    in
+    (* Start of the dotted path whose final char is at [i] (for context
+       inspection: what precedes the left operand). *)
+    let rec path_start i =
+      let rec back k = if k >= 0 && is_ident text.[k] then back (k - 1) else k in
+      let s = back i in
+      match prev_nonspace text (s + 1) with
+      | Some (j, '.') -> (
+          match prev_nonspace text j with
+          | Some (k, c) when is_ident c -> path_start k
+          | _ -> s + 1)
+      | _ -> s + 1
+    in
+    List.filter_map
+      (fun p ->
+        let left =
+          match prev_nonspace text p with
+          | Some (i, c) when is_ident c -> Some i
+          | _ -> None
+        in
+        let right_pos = p + (if text.[p] = '<' then 2 else 1) in
+        let right =
+          match next_nonspace text right_pos with
+          | Some (i, c) when is_ident c -> Some i
+          | _ -> None
+        in
+        let left_clockish =
+          match left with
+          | Some i -> clockish (path_tail_back i)
+          | None -> false
+        in
+        let right_clockish =
+          match right with
+          | Some i -> clockish (path_tail_fwd i)
+          | None -> false
+        in
+        if not (left_clockish || right_clockish) then None
+        else
+          (* Exclude bindings and record fields: [let x = ...],
+             [let f a b = ...], [{ at = ... }], [; clock = ...],
+             [?(at = ...)].  Walk back over the (identifier) tokens
+             preceding the left operand until something decides the
+             context: a binder keyword or record punctuation means a
+             definition, an expression keyword or operator means a
+             comparison. *)
+          let binding_like =
+            match left with
+            | None -> true  (* no left operand: not a comparison *)
+            | Some i ->
+                let rec walk pos steps =
+                  if steps > 12 then false
+                  else
+                    match prev_nonspace text pos with
+                    | None -> true  (* start of file: a definition *)
+                    | Some (j, c) when is_ident c -> (
+                        let w = word_ending_at text j in
+                        match w with
+                        | "let" | "and" | "rec" | "mutable" | "val"
+                        | "method" | "external" | "with" ->
+                            true
+                        | "if" | "when" | "then" | "else" | "while"
+                        | "do" | "begin" | "not" | "match" | "assert" ->
+                            false
+                        | _ -> walk (j - String.length w) (steps + 1))
+                    | Some (j, c) -> (
+                        match c with
+                        | '{' | ';' -> true
+                        | '(' -> j > 0 && text.[j - 1] = '?'
+                        | _ -> false)
+                in
+                walk (path_start i) 0
+          in
+          if binding_like then None
+          else if contains_sub (raw_line src p) "eq-ok" then None
+          else
+            Some
+              (Violation.Lint
+                 {
+                   file;
+                   line = line_of text p;
+                   rule = "float-equality";
+                   detail =
+                     "exact equality on a sim-clock float hides tie-break \
+                      bugs; compare with an order relation or a tolerance, \
+                      or annotate the line with eq-ok";
+                 }))
+      (List.rev !ops)
+  end
+
 (* --------------------------------------------------------------- *)
 (* Entry points *)
 
@@ -406,6 +550,7 @@ let scan_source ~file src =
       check_obj_magic ~file text;
       check_hot_path_copy ~file ~src text;
       check_print_debug ~file ~src text;
+      check_float_equality ~file ~src text;
     ]
 
 let read_file path =

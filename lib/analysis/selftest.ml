@@ -258,6 +258,8 @@ let lint_fixture =
       "let dup_ok b = Bytes.copy b (* copy-ok: fixture *)";
       "let dbg x = Printf.printf \"x=%d\\n\" x";
       "let dbg_ok x = Format.eprintf \"x=%d@.\" x (* print-ok: fixture *)";
+      "let tie e t = e.at = now t";
+      "let tie_ok e t = e.at = now t (* eq-ok: fixture *)";
     ]
 
 let run () =
@@ -319,16 +321,22 @@ let run () =
       && List.mem "obj-magic" got
       && List.mem "hot-path-copy" got
       && List.mem "print-debug" got
-      (* the copy-ok / print-ok lines must be the hits that are NOT
-         reported *)
+      && List.mem "float-equality" got
+      (* the copy-ok / print-ok / eq-ok lines must be the hits that are
+         NOT reported *)
       && List.length (List.filter (String.equal "hot-path-copy") got) = 1
       && List.length (List.filter (String.equal "print-debug") got) = 1
+      && List.length
+           (List.filter (String.equal "float-equality")
+              (List.map Violation.name vs))
+         = 1
     then
       {
         check = "lint: fixture";
         ok = true;
         detail =
-          "all five rules fire on the fixture; copy-ok and print-ok suppress";
+          "all six rules fire on the fixture; copy-ok, print-ok and eq-ok \
+           suppress";
       }
     else
       {
@@ -337,4 +345,45 @@ let run () =
         detail = Printf.sprintf "rules fired: [%s]" (String.concat "; " got);
       }
   in
-  clean @ [ swap; gap; race; trunc; lint ]
+  let serialize =
+    (* A two-node committed stream replayed against the sequential spec:
+       the matching final image passes, a one-byte corruption is flagged
+       as a serializability divergence. *)
+    let txn node tid seqno prev byte =
+      {
+        R.node;
+        tid;
+        locks = [ { R.lock_id = 0; seqno; prev_write_seq = prev } ];
+        ranges =
+          [ { R.region = 0; offset = 4; data = Bytes.make 1 (Char.chr byte) } ];
+      }
+    in
+    let streams = [ [ txn 0 1 1 0 0x11 ]; [ txn 1 2 2 1 0x22 ] ] in
+    let expected = Bytes.make 16 '\000' in
+    Bytes.set expected 4 (Char.chr 0x22);
+    let corrupted = Bytes.copy expected in
+    Bytes.set corrupted 4 (Char.chr 0x11);
+    let regions = [ (0, 16) ] in
+    let clean_res =
+      match
+        Serialize.check ~regions ~finals:[ ("node 0", fun _ -> expected) ]
+          streams
+      with
+      | [] ->
+          { check = "serialize: spec matches"; ok = true; detail = "clean" }
+      | vs ->
+          {
+            check = "serialize: spec matches";
+            ok = false;
+            detail = String.concat "; " (List.map Violation.to_string vs);
+          }
+    in
+    let corrupt_res =
+      expect_violation "serialize: diverging image flagged" "serializability"
+        (Serialize.check ~regions
+           ~finals:[ ("node 0", fun _ -> corrupted) ]
+           streams)
+    in
+    [ clean_res; corrupt_res ]
+  in
+  clean @ [ swap; gap; race; trunc; lint ] @ serialize

@@ -1,0 +1,27 @@
+(** One-copy serializability oracle.
+
+    Replays the merged committed transaction stream against a sequential
+    in-memory spec (one byte array per region, ranges applied in merge
+    order) and requires every supplied final image — node caches at
+    quiescence, the recovered database — to be byte-identical to the
+    spec's.  A divergence means the execution recorded in the logs is
+    not equivalent to its own serial witness order; an unmergeable input
+    means no serial witness exists at all. *)
+
+val check :
+  ?initial:(int -> Bytes.t option) ->
+  regions:(int * int) list ->
+  finals:(string * (int -> Bytes.t)) list ->
+  Lbc_wal.Record.txn list list ->
+  Violation.t list
+(** [check ~regions ~finals streams] — [regions] is the declared
+    [(id, size)] set, [initial] gives a region's pre-workload image
+    (default all zeroes), [finals] labels each final image to compare
+    (the label names the witness in the violation), and [streams] are
+    the per-node committed transaction lists in log order.  Returns
+    [Merge_unorderable] if no serial order exists, and one
+    [Serial_divergence] per diverging (witness, region). *)
+
+val merged_count : Lbc_wal.Record.txn list list -> int
+(** Number of transactions in the merged stream (0 if unmergeable) —
+    informational, for explorer reports. *)

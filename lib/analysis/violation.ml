@@ -62,6 +62,21 @@ type kind =
   | Unmapped_region of { region : int; txn : txn_id }
       (* A record addresses a region outside the declared region set:
          receivers silently skip such ranges, so the write is lost. *)
+  | Serial_divergence of {
+      witness : string;  (* which final image diverged: "node 3", "db" *)
+      region : int;
+      offset : int;  (* first differing byte *)
+      expected : int;  (* spec byte *)
+      actual : int;
+    }
+      (* The committed transaction stream, replayed sequentially against
+         an in-memory one-copy spec, produced a region image that differs
+         from the cluster's — the execution is not one-copy
+         serializable. *)
+  | Schedule_oracle of { scenario : string; detail : string }
+      (* A scenario-specific invariant broke under an explored schedule
+         (reported by lbc-explore's oracles, e.g. the planted-bug
+         self-test scenario). *)
   | Lint of { file : string; line : int; rule : string; detail : string }
 
 type t = kind
@@ -81,6 +96,8 @@ let name = function
   | Order_cycle _ -> "order-cycle"
   | Ckpt_trim _ -> "ckpt-low-water"
   | Unmapped_region _ -> "unmapped-region"
+  | Serial_divergence _ -> "serializability"
+  | Schedule_oracle _ -> "schedule-oracle"
   | Lint { rule; _ } -> rule
 
 let pp_txn_id ppf { node; tid } = Format.fprintf ppf "n%d/t%d" node tid
@@ -123,6 +140,12 @@ let pp ppf v =
       Format.fprintf ppf
         "[%s] txn %a writes region %d, which no declared region set covers"
         (name v) pp_txn_id txn region
+  | Serial_divergence { witness; region; offset; expected; actual } ->
+      Format.fprintf ppf
+        "[%s] %s region %d: byte %d is 0x%02x, sequential spec says 0x%02x"
+        (name v) witness region offset actual expected
+  | Schedule_oracle { scenario; detail } ->
+      Format.fprintf ppf "[%s] scenario %s: %s" (name v) scenario detail
   | Lint { file; line; rule; detail } ->
       Format.fprintf ppf "%s:%d: [%s] %s" file line rule detail
 

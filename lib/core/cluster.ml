@@ -32,7 +32,7 @@ let node t i =
     invalid_arg (Printf.sprintf "Cluster.node: no node %d" i);
   t.nodes.(i)
 
-let create ?(config = Config.default) ?net_params ?disk ~nodes () =
+let create ?(config = Config.default) ?sched ?net_params ?disk ~nodes () =
   if nodes <= 0 then invalid_arg "Cluster.create: nodes must be positive";
   let net_params =
     match net_params with
@@ -49,7 +49,7 @@ let create ?(config = Config.default) ?net_params ?disk ~nodes () =
           Lbc_storage.Latency.osdi94_disk
         else Lbc_storage.Latency.none
   in
-  let engine = Lbc_sim.Engine.create () in
+  let engine = Lbc_sim.Engine.create ?policy:sched () in
   let fabric =
     Lbc_net.Fabric.create ~params:net_params ~engine ~nodes ~size:Msg.size ()
   in
@@ -176,6 +176,9 @@ let run ?until ?(check_stranded = true) t =
 
 let now t = Lbc_sim.Engine.now t.engine
 let blocked t = Lbc_sim.Engine.blocked t.engine
+let schedule_policy t = Lbc_sim.Engine.policy t.engine
+let schedule_decisions t = Lbc_sim.Engine.decisions t.engine
+let schedule_choice_points t = Lbc_sim.Engine.choice_points t.engine
 let total_messages t = Lbc_net.Fabric.total_messages t.fabric
 let total_bytes t = Lbc_net.Fabric.total_bytes t.fabric
 let total_dropped t = Lbc_net.Fabric.total_dropped t.fabric

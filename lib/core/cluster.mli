@@ -16,6 +16,7 @@ type t
 
 val create :
   ?config:Config.t ->
+  ?sched:Lbc_sim.Schedule.policy ->
   ?net_params:Lbc_net.Params.t ->
   ?disk:Lbc_storage.Latency.t ->
   nodes:int ->
@@ -23,7 +24,10 @@ val create :
   t
 (** Build a cluster.  When [net_params]/[disk] are omitted they follow
     [config.charge_costs]: AN1 network and the OSDI-94 disk profile when
-    charging costs, free otherwise. *)
+    charging costs, free otherwise.  [sched] selects the engine's
+    same-time schedule policy (default stable FIFO); seeded policies
+    explore alternative legal interleavings and record a replayable
+    decision trace ({!schedule_decisions}). *)
 
 val engine : t -> Lbc_sim.Engine.t
 val config : t -> Config.t
@@ -60,6 +64,15 @@ val run : ?until:Lbc_sim.Engine.time -> ?check_stranded:bool -> t -> unit
     the wreckage of an expected hang with {!blocked}). *)
 
 val now : t -> Lbc_sim.Engine.time
+
+val schedule_policy : t -> Lbc_sim.Schedule.policy
+
+val schedule_decisions : t -> int list
+(** The engine's recorded schedule trace: one chosen index per ripe set
+    with two or more same-time events.  Feed it back through
+    [~sched:(Replay ...)] for a byte-exact re-run. *)
+
+val schedule_choice_points : t -> int
 
 val obs : t -> Lbc_obs.Obs.t
 (** The cluster's trace/metrics sink.  Enabled (and shared by every

@@ -1,12 +1,17 @@
 type time = float
 
-type event = { at : time; callback : unit -> unit }
+type event = { at : time; seqno : int; prio : int; callback : unit -> unit }
 
 type waiting = { desc : string; daemon : bool; alive : unit -> bool }
 
 type t = {
   mutable clock : time;
   queue : event Lbc_util.Pqueue.t;
+  mutable ripe : event list;
+      (* events at exactly [clock], in seqno order, not yet run — the
+         current step's scheduling candidates *)
+  mutable next_seqno : int;
+  sched : Schedule.t;
   waiting : (int, waiting) Hashtbl.t;
   mutable next_wait : int;
 }
@@ -22,29 +27,43 @@ let () =
              (String.concat "\n  " descs))
     | _ -> None)
 
-let compare_event a b = Float.compare a.at b.at
+(* (at, seqno)-lexicographic: the baseline order is stable by
+   construction — same-time events fire in creation order — instead of
+   relying on the priority queue's internal tie behaviour. *)
+let compare_event a b =
+  let c = Float.compare a.at b.at in
+  if c <> 0 then c else Int.compare a.seqno b.seqno
 
-let create () =
+let create ?(policy = Schedule.Fifo) () =
   {
     clock = 0.0;
     queue = Lbc_util.Pqueue.create ~compare:compare_event;
+    ripe = [];
+    next_seqno = 0;
+    sched = Schedule.make policy;
     waiting = Hashtbl.create 16;
     next_wait = 0;
   }
 
 let now t = t.clock
+let policy t = Schedule.policy t.sched
+let decisions t = Schedule.decisions t.sched
+let choice_points t = Schedule.choice_points t.sched
 
 let schedule_at t ~at callback =
   if at < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: %g is before now (%g)" at t.clock);
-  Lbc_util.Pqueue.push t.queue { at; callback }
+  let seqno = t.next_seqno in
+  t.next_seqno <- seqno + 1;
+  let prio = Schedule.assign_priority t.sched in
+  Lbc_util.Pqueue.push t.queue { at; seqno; prio; callback }
 
 let schedule t ?(delay = 0.0) callback =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
   schedule_at t ~at:(t.clock +. delay) callback
 
-let pending t = Lbc_util.Pqueue.length t.queue
+let pending t = Lbc_util.Pqueue.length t.queue + List.length t.ripe
 
 (* --------------------------------------------------------------- *)
 (* Blocked-process registry.
@@ -81,19 +100,59 @@ let blocked t =
 
 let blocked_count t = List.length (blocked t)
 
+(* Earliest instant holding runnable work: the ripe set's (== the
+   clock's) if one is open, else the queue head's. *)
+let next_time t =
+  match t.ripe with
+  | _ :: _ -> Some t.clock
+  | [] -> (
+      match Lbc_util.Pqueue.peek t.queue with
+      | Some ev -> Some ev.at
+      | None -> None)
+
+(* Move every queued event at exactly [clock] into the ripe set.  The
+   heap pops them in seqno order and their seqnos exceed every ripe
+   event's (they were created later), so appending keeps the set
+   seqno-sorted. *)
+let absorb_ties t =
+  let rec loop acc =
+    match Lbc_util.Pqueue.peek t.queue with
+    | Some ev when ev.at = t.clock (* eq-ok: exact tie membership *) ->
+        ignore (Lbc_util.Pqueue.pop t.queue : event option);
+        loop (ev :: acc)
+    | _ -> List.rev acc
+  in
+  match loop [] with [] -> () | ties -> t.ripe <- t.ripe @ ties
+
 let step t =
-  match Lbc_util.Pqueue.pop t.queue with
-  | None -> false
-  | Some ev ->
-      t.clock <- ev.at;
+  (match t.ripe with
+  | _ :: _ ->
+      (* A callback of the current instant may have scheduled more
+         zero-delay events: they contend with the survivors. *)
+      absorb_ties t
+  | [] -> (
+      match Lbc_util.Pqueue.pop t.queue with
+      | None -> ()
+      | Some ev ->
+          t.clock <- ev.at;
+          t.ripe <- [ ev ];
+          absorb_ties t));
+  match t.ripe with
+  | [] -> false
+  | ripe ->
+      let arr = Array.of_list ripe in
+      let k = Array.length arr in
+      let idx = Schedule.choose t.sched ~k ~prio:(fun i -> arr.(i).prio) in
+      let ev = arr.(idx) in
+      t.ripe <- List.filteri (fun i _ -> i <> idx) ripe;
       ev.callback ();
       true
 
 let run ?until t =
   let continue () =
-    match (Lbc_util.Pqueue.peek t.queue, until) with
+    match (next_time t, until) with
     | None, _ -> false
-    | Some ev, Some limit when ev.at > limit -> false
+    | Some at, Some limit when at > limit -> false
     | Some _, _ -> true
   in
   while continue () do

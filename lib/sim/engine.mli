@@ -1,17 +1,34 @@
 (** Discrete-event simulation engine.
 
     The engine owns a virtual clock (microseconds, [float]) and an event
-    queue.  Events scheduled for the same instant fire in insertion order,
-    so a simulation is deterministic for a fixed seed.  Everything in the
+    queue ordered by (time, creation sequence number).  Everything in the
     distributed system — node processes, network deliveries, disk
-    completions — is an event on one engine. *)
+    completions — is an event on one engine.
+
+    Events scheduled for the same instant form a ripe set, resolved by
+    the engine's {!Schedule.policy}: the default [Fifo] runs them in
+    creation order (deterministic by construction), while the seeded
+    policies explore alternative legal interleavings and record every
+    choice as a decision trace ({!decisions}) that [Replay] reproduces
+    byte-exactly. *)
 
 type t
 
 type time = float
 (** Virtual time in microseconds since simulation start. *)
 
-val create : unit -> t
+val create : ?policy:Schedule.policy -> unit -> t
+(** [policy] defaults to {!Schedule.Fifo}. *)
+
+val policy : t -> Schedule.policy
+
+val decisions : t -> int list
+(** The schedule trace so far: one entry per ripe set of two or more
+    events, the chosen index in sequence-number order. *)
+
+val choice_points : t -> int
+(** Number of ripe sets with a real choice seen so far (the length of
+    {!decisions}). *)
 
 val now : t -> time
 (** Current virtual time. *)

@@ -19,6 +19,30 @@ let lock_offset rng l =
   let span = region_size / locks_per_region in
   (part * span) + (8 * Lbc_util.Rng.int rng (span / 8))
 
+(* Workload seeds are threaded (and overridable: LBC_CHAOS_SEED=n dune
+   test) so a red chaos test is re-runnable, and on failure each seeded
+   test prints a one-line repro command.  Tests with a scenario twin in
+   lbc-explore name it, so the failure can be explored under alternative
+   schedules, shrunk and replayed from a counterexample trace. *)
+let chaos_seed default =
+  match Sys.getenv_opt "LBC_CHAOS_SEED" with
+  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> default)
+  | None -> default
+
+let with_repro ?scenario ~seed f =
+  try f ()
+  with e ->
+    Printf.eprintf "repro: LBC_CHAOS_SEED=%d dune runtest\n" seed;
+    (match scenario with
+    | Some name ->
+        Printf.eprintf
+          "explore: lbc-explore --scenario %s --seeds 100   # shrink + \
+           --replay counterexample.trace\n"
+          name
+    | None -> ());
+    flush stderr;
+    raise e
+
 let mk_cluster config nodes =
   let c = Cluster.create ~config ~nodes () in
   for r = 0 to regions - 1 do
@@ -73,46 +97,50 @@ let recovery_matches c =
   done;
   !ok
 
-let run_chaos ~config ~nodes ~seed ~checkpoints =
-  let c = mk_cluster config nodes in
-  let rng = Lbc_util.Rng.create seed in
-  for n = 0 to nodes - 1 do
-    worker c rng n 20
-  done;
-  if checkpoints then begin
-    (* Interleave online checkpoints with the running workload. *)
-    Cluster.run ~until:300.0 c;
-    ignore (Cluster.online_checkpoint c);
-    Cluster.run ~until:600.0 c;
-    ignore (Cluster.online_checkpoint c)
-  end;
-  Cluster.run c;
-  Alcotest.(check bool) "caches converged" true (converged c nodes);
-  Alcotest.(check bool) "recovery matches caches" true (recovery_matches c)
+let run_chaos ?scenario ~config ~nodes ~seed ~checkpoints () =
+  let seed = chaos_seed seed in
+  with_repro ?scenario ~seed (fun () ->
+      let c = mk_cluster config nodes in
+      let rng = Lbc_util.Rng.create seed in
+      for n = 0 to nodes - 1 do
+        worker c rng n 20
+      done;
+      if checkpoints then begin
+        (* Interleave online checkpoints with the running workload. *)
+        Cluster.run ~until:300.0 c;
+        ignore (Cluster.online_checkpoint c);
+        Cluster.run ~until:600.0 c;
+        ignore (Cluster.online_checkpoint c)
+      end;
+      Cluster.run c;
+      Alcotest.(check bool) "caches converged" true (converged c nodes);
+      Alcotest.(check bool) "recovery matches caches" true (recovery_matches c))
 
 let test_chaos_eager () =
-  run_chaos ~config:Config.default ~nodes:4 ~seed:101 ~checkpoints:false
+  run_chaos ~config:Config.default ~nodes:4 ~seed:101 ~checkpoints:false ()
 
 let test_chaos_eager_checkpoints () =
-  run_chaos ~config:Config.default ~nodes:3 ~seed:202 ~checkpoints:true
+  run_chaos ~config:Config.default ~nodes:3 ~seed:202 ~checkpoints:true ()
 
 let test_chaos_multicast () =
   run_chaos
     ~config:{ Config.default with Config.multicast = true }
-    ~nodes:5 ~seed:303 ~checkpoints:false
+    ~nodes:5 ~seed:303 ~checkpoints:false ()
 
 let test_chaos_costs_charged () =
   run_chaos ~config:{ Config.measured with Config.disk_logging = true }
-    ~nodes:3 ~seed:404 ~checkpoints:false
+    ~nodes:3 ~seed:404 ~checkpoints:false ()
 
 (* Lazy mode: convergence happens on demand, so instead of comparing raw
    caches we make every node acquire every lock at the end (pulling the
    chains), then compare. *)
 let test_chaos_lazy () =
+  let seed = chaos_seed 505 in
+  with_repro ~seed @@ fun () ->
   let config = { Config.default with Config.propagation = Config.Lazy } in
   let nodes = 3 in
   let c = mk_cluster config nodes in
-  let rng = Lbc_util.Rng.create 505 in
+  let rng = Lbc_util.Rng.create seed in
   for n = 0 to nodes - 1 do
     worker c rng n 15
   done;
@@ -235,13 +263,15 @@ let contains s sub =
    update, yet the seqno-gap watchdog re-fetches the missing records and
    the system converges — with the loss visible in the accounting. *)
 let test_chaos_drop_repair_heals () =
+  let seed = chaos_seed 808 in
+  with_repro ~scenario:"drop-heal" ~seed @@ fun () ->
   let config =
     { Config.default with Config.repair = true; Config.repair_timeout = 100.0 }
   in
   let nodes = 3 in
   let c = mk_cluster config nodes in
   drop_updates c ~src:0 ~dst:1 true;
-  let rng = Lbc_util.Rng.create 808 in
+  let rng = Lbc_util.Rng.create seed in
   for n = 0 to nodes - 1 do
     worker c rng n 20
   done;
@@ -293,6 +323,8 @@ let test_chaos_drop_without_repair_strands () =
    crashed node manages no lock (manager failure is out of the fault
    model, see DESIGN.md). *)
 let test_chaos_crash_rejoin () =
+  let seed = chaos_seed 909 in
+  with_repro ~scenario:"crash-rejoin" ~seed @@ fun () ->
   let config =
     {
       Config.default with
@@ -305,7 +337,7 @@ let test_chaos_crash_rejoin () =
   let c = mk_cluster config nodes in
   drop_updates c ~src:0 ~dst:1 true;
   drop_updates c ~src:2 ~dst:3 true;
-  let rng = Lbc_util.Rng.create 909 in
+  let rng = Lbc_util.Rng.create seed in
   for n = 0 to nodes - 1 do
     worker c rng n 20
   done;
@@ -372,6 +404,8 @@ let test_chaos_traced () =
    node is down: each call merges whatever prefix is orderable (possibly
    empty) without corrupting anything. *)
 let test_chaos_checkpoint_under_faults () =
+  let seed = chaos_seed 1010 in
+  with_repro ~scenario:"checkpoint-under-faults" ~seed @@ fun () ->
   let config =
     {
       Config.default with
@@ -383,7 +417,7 @@ let test_chaos_checkpoint_under_faults () =
   let nodes = 5 in
   let c = mk_cluster config nodes in
   drop_updates c ~src:0 ~dst:1 true;
-  let rng = Lbc_util.Rng.create 1010 in
+  let rng = Lbc_util.Rng.create seed in
   for n = 0 to nodes - 1 do
     worker c rng n 15
   done;

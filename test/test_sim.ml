@@ -62,6 +62,87 @@ let test_engine_run_until () =
   check_int "second fired" 2 !fired
 
 (* ------------------------------------------------------------------ *)
+(* Schedule policies *)
+
+(* Run ten same-instant events under a policy; return the firing order
+   and the recorded decision trace. *)
+let tie_order policy =
+  let e = Engine.create ~policy () in
+  let order = ref [] in
+  for i = 0 to 9 do
+    Engine.schedule e ~delay:1.0 (fun () -> order := i :: !order)
+  done;
+  Engine.run e;
+  (List.rev !order, Engine.decisions e, Engine.choice_points e)
+
+let test_sched_fifo_records_zero_decisions () =
+  let order, decisions, points = tie_order Schedule.Fifo in
+  Alcotest.(check (list int)) "fifo order" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    order;
+  check_int "choice points seen" 9 points;
+  Alcotest.(check (list int)) "all decisions are index 0"
+    (List.init 9 (fun _ -> 0))
+    decisions
+
+let test_sched_random_permutes_deterministically () =
+  let o1, d1, _ = tie_order (Schedule.Random_tie 42) in
+  let o2, _, _ = tie_order (Schedule.Random_tie 42) in
+  let o3, _, _ = tie_order (Schedule.Random_tie 43) in
+  Alcotest.(check (list int)) "same seed, same order" o1 o2;
+  Alcotest.(check bool) "different seed, different order" true (o1 <> o3);
+  Alcotest.(check bool) "some decision deviates from fifo" true
+    (List.exists (fun d -> d <> 0) d1);
+  (* Still a permutation of the ripe set. *)
+  Alcotest.(check (list int)) "permutation" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.sort compare o1)
+
+let test_sched_pct_priorities_deterministic () =
+  let o1, _, _ = tie_order (Schedule.Pct 7) in
+  let o2, _, _ = tie_order (Schedule.Pct 7) in
+  Alcotest.(check (list int)) "same seed, same order" o1 o2;
+  Alcotest.(check (list int)) "permutation" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.sort compare o1)
+
+let test_sched_replay_reproduces_random_run () =
+  let o1, d1, _ = tie_order (Schedule.Random_tie 99) in
+  let o2, d2, _ = tie_order (Schedule.Replay (Array.of_list d1)) in
+  Alcotest.(check (list int)) "replay = original order" o1 o2;
+  Alcotest.(check (list int)) "replay records the same trace" d1 d2
+
+let test_sched_replay_short_trace_falls_back_to_fifo () =
+  (* Only the first decision survives; the rest fall back to index 0. *)
+  let _, d, _ = tie_order (Schedule.Random_tie 5) in
+  let truncated = [| List.hd d |] in
+  let order, _, _ = tie_order (Schedule.Replay truncated) in
+  check_int "still runs everything" 10 (List.length order);
+  Alcotest.(check (list int)) "permutation" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.sort compare order)
+
+let test_sched_policy_string_roundtrip () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Schedule.policy_to_string p) true
+        (Schedule.policy_of_string (Schedule.policy_to_string p) = Some p))
+    [ Schedule.Fifo; Schedule.Random_tie 17; Schedule.Pct 23 ]
+
+(* Events at distinct instants are untouched by any policy: only
+   same-time ties are a degree of freedom. *)
+let test_sched_time_order_is_inviolate () =
+  let run policy =
+    let e = Engine.create ~policy () in
+    let order = ref [] in
+    List.iteri
+      (fun i d -> Engine.schedule e ~delay:d (fun () -> order := i :: !order))
+      [ 30.0; 10.0; 20.0 ];
+    Engine.run e;
+    List.rev !order
+  in
+  List.iter
+    (fun p -> Alcotest.(check (list int)) "time order" [ 1; 2; 0 ] (run p))
+    [ Schedule.Random_tie 3; Schedule.Pct 4; Schedule.Replay [| 1; 1; 1 |] ]
+
+(* ------------------------------------------------------------------ *)
 (* Processes *)
 
 let test_proc_sleep_advances_time () =
@@ -319,6 +400,23 @@ let suites =
         Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
         Alcotest.test_case "negative delay" `Quick test_engine_negative_delay;
         Alcotest.test_case "run until" `Quick test_engine_run_until;
+      ] );
+    ( "sim.schedule",
+      [
+        Alcotest.test_case "fifo records zero decisions" `Quick
+          test_sched_fifo_records_zero_decisions;
+        Alcotest.test_case "random ties deterministic per seed" `Quick
+          test_sched_random_permutes_deterministically;
+        Alcotest.test_case "pct deterministic per seed" `Quick
+          test_sched_pct_priorities_deterministic;
+        Alcotest.test_case "replay reproduces a random run" `Quick
+          test_sched_replay_reproduces_random_run;
+        Alcotest.test_case "short replay falls back to fifo" `Quick
+          test_sched_replay_short_trace_falls_back_to_fifo;
+        Alcotest.test_case "policy string roundtrip" `Quick
+          test_sched_policy_string_roundtrip;
+        Alcotest.test_case "time order inviolate" `Quick
+          test_sched_time_order_is_inviolate;
       ] );
     ( "sim.proc",
       [

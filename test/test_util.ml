@@ -300,6 +300,59 @@ let prop_pqueue_sorts =
       in
       drain [] = List.sort compare xs)
 
+(* Same-key entries must drain in push order for arbitrary key streams —
+   the engine's schedule determinism rides on this, so it gets its own
+   property beyond the fixed-vector test above. *)
+let prop_pqueue_stable_ties =
+  QCheck.Test.make ~name:"pqueue same-key entries drain in push order"
+    ~count:300
+    QCheck.(list (int_bound 7))
+    (fun keys ->
+      let q = Pqueue.create ~compare:(fun (a, _) (b, _) -> Int.compare a b) in
+      List.iteri (fun i k -> Pqueue.push q (k, i)) keys;
+      let rec drain acc =
+        match Pqueue.pop q with
+        | None -> List.rev acc
+        | Some v -> drain (v :: acc)
+      in
+      (* A stable sort of (key, push index) by key alone is exactly the
+         required drain order. *)
+      drain []
+      = List.stable_sort
+          (fun (a, _) (b, _) -> Int.compare a b)
+          (List.mapi (fun i k -> (k, i)) keys))
+
+(* Interleaved pushes and pops against a sorted-list model: after any
+   operation sequence the queue and the model agree on every
+   observation (pop results, peek, length). *)
+let prop_pqueue_model =
+  QCheck.Test.make ~name:"pqueue matches sorted-list model" ~count:300
+    QCheck.(list (option (int_bound 100)))
+    (fun ops ->
+      (* [Some k] pushes k; [None] pops. *)
+      let q = Pqueue.create ~compare:Int.compare in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          let op_ok =
+            match op with
+            | Some k ->
+                Pqueue.push q k;
+                model := List.merge compare [ k ] !model;
+                true
+            | None -> (
+                match (Pqueue.pop q, !model) with
+                | Some v, m :: rest when v = m ->
+                    model := rest;
+                    true
+                | None, [] -> true
+                | _ -> false)
+          in
+          op_ok
+          && Pqueue.length q = List.length !model
+          && Pqueue.peek q = (match !model with [] -> None | m :: _ -> Some m))
+        ops)
+
 let qtest = QCheck_alcotest.to_alcotest
 
 let suites =
@@ -353,5 +406,7 @@ let suites =
         Alcotest.test_case "to_list nondestructive" `Quick
           test_pqueue_to_list_nondestructive;
         qtest prop_pqueue_sorts;
+        qtest prop_pqueue_stable_ties;
+        qtest prop_pqueue_model;
       ] );
   ]
