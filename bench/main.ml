@@ -644,6 +644,99 @@ let recovery_bench () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* On-demand restart benchmark: a node whose log holds one small
+   "measured" chain (lock/region 0, fixed size) plus bulk chains whose
+   length scales with [scale] crashes and rejoins in on-demand mode.
+   The first commit after rejoin touches only the measured chain, so
+   time_to_first_commit_us should stay nearly flat as the bulk grows —
+   the full drain is what pays for the extra log. *)
+
+type ondemand_row = {
+  od_scale : int;
+  od_log_records : int;
+  od_ttfc_us : float;
+  od_drain_us : float;
+}
+
+let ondemand_bench ~scale () =
+  let nodes = 2 and regions = 8 in
+  let region_size = 8 * 1024 in
+  let config =
+    {
+      Lbc_core.Config.default with
+      Lbc_core.Config.charge_costs = true;
+      trace = true;
+    }
+  in
+  let c = Lbc_core.Cluster.create ~config ~nodes () in
+  for r = 0 to regions - 1 do
+    Lbc_core.Cluster.add_region c ~id:r ~size:region_size;
+    Lbc_core.Cluster.map_region_all c ~region:r
+  done;
+  let rng = Lbc_util.Rng.create 99 in
+  Lbc_core.Cluster.spawn c ~node:0 (fun node ->
+      let commit_on r =
+        let txn = Lbc_core.Node.Txn.begin_ node in
+        Lbc_core.Node.Txn.acquire txn r;
+        Lbc_core.Node.Txn.set_u64 txn ~region:r
+          ~offset:(8 * Lbc_util.Rng.int rng (region_size / 8))
+          (Lbc_util.Rng.int64 rng);
+        Lbc_core.Node.Txn.commit txn
+      in
+      (* The measured chain: fixed length at every scale. *)
+      for _ = 1 to 20 do
+        commit_on 0
+      done;
+      (* The bulk: grows with [scale]. *)
+      for r = 1 to regions - 1 do
+        for _ = 1 to 25 * scale do
+          commit_on r
+        done
+      done);
+  Lbc_core.Cluster.run c;
+  let log_records =
+    Lbc_wal.Log.record_count
+      (Lbc_rvm.Rvm.log (Lbc_core.Node.rvm (Lbc_core.Cluster.node c 0)))
+  in
+  Lbc_core.Cluster.crash c ~node:0;
+  let t_rejoin = ref 0.0 in
+  Lbc_sim.Proc.spawn
+    (Lbc_core.Cluster.engine c)
+    ~name:"bench-controller"
+    (fun () ->
+      let rec rejoin_when_lease_expires () =
+        match Lbc_core.Cluster.rejoin ~mode:Lbc_core.Node.On_demand c ~node:0 with
+        | () -> ()
+        | exception Invalid_argument _ ->
+            Lbc_sim.Proc.sleep 50.0;
+            rejoin_when_lease_expires ()
+      in
+      rejoin_when_lease_expires ();
+      t_rejoin := Lbc_core.Cluster.now c;
+      (* First touch: a commit on the measured lock, which only needs
+         that one chain warm. *)
+      Lbc_core.Cluster.spawn c ~node:0 (fun node ->
+          let txn = Lbc_core.Node.Txn.begin_ node in
+          Lbc_core.Node.Txn.acquire txn 0;
+          Lbc_core.Node.Txn.set_u64 txn ~region:0 ~offset:0
+            (Lbc_util.Rng.int64 rng);
+          Lbc_core.Node.Txn.commit txn));
+  Lbc_core.Cluster.run c;
+  let ttfc =
+    match
+      Lbc_obs.Obs.hist (Lbc_core.Cluster.obs c) "time_to_first_commit_us"
+    with
+    | Some h -> Lbc_obs.Obs.Histogram.max_value h
+    | None -> Float.nan
+  in
+  {
+    od_scale = scale;
+    od_log_records = log_records;
+    od_ttfc_us = ttfc;
+    od_drain_us = Lbc_core.Cluster.now c -. !t_rejoin;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable output: every Table-3 traversal under each
    propagation policy, written to BENCH_oo7.json for CI trending. *)
 
@@ -668,7 +761,7 @@ let json () =
         { measured with Lbc_core.Config.propagation = Lbc_core.Config.Lazy } );
     ]
   in
-  addf "{\n  \"schema\": \"BENCH_oo7/v4\",\n  \"configs\": [";
+  addf "{\n  \"schema\": \"BENCH_oo7/v5\",\n  \"configs\": [";
   List.iteri
     (fun ci (cname, config) ->
       if ci > 0 then addf ",";
@@ -731,16 +824,29 @@ let json () =
     configs;
   addf "\n  ],";
   let rb = recovery_bench () in
+  let od1 = ondemand_bench ~scale:1 () in
+  let od10 = ondemand_bench ~scale:10 () in
   addf
     "\n  \"recovery\": {\n    \"nodes\": %d,\n    \"records\": %d,\n    \
      \"partitions\": %d,\n    \"serial_replay_us\": %.1f,\n    \
      \"partitioned_replay_us\": %.1f,\n    \"speedup\": %.2f,\n    \
      \"images_identical\": %b,\n    \"ckpt_slices\": %d,\n    \
-     \"ckpt_bytes_flushed\": %d,\n    \"ckpt_us\": %.1f\n  }"
+     \"ckpt_bytes_flushed\": %d,\n    \"ckpt_us\": %.1f,"
     rb.rb_nodes rb.rb_records rb.rb_partitions rb.rb_serial_us
     rb.rb_partitioned_us
     (rb.rb_serial_us /. Float.max 1.0 rb.rb_partitioned_us)
     rb.rb_identical rb.rb_ckpt_slices rb.rb_ckpt_bytes rb.rb_ckpt_us;
+  addf "\n    \"ondemand\": [";
+  List.iteri
+    (fun i od ->
+      if i > 0 then addf ",";
+      addf
+        "\n      { \"scale\": %d, \"log_records\": %d, \
+         \"time_to_first_commit_us\": %.1f, \"drain_us\": %.1f }"
+        od.od_scale od.od_log_records od.od_ttfc_us od.od_drain_us)
+    [ od1; od10 ];
+  addf "\n    ],\n    \"ttfc_growth\": %.2f\n  }"
+    (od10.od_ttfc_us /. Float.max 1.0 od1.od_ttfc_us);
   addf "\n}\n";
   let oc = open_out "BENCH_oo7.json" in
   output_string oc (Buffer.contents buf);
@@ -748,7 +854,12 @@ let json () =
   pr "wrote BENCH_oo7.json (%d configs x %d traversals; recovery %.0f -> %.0f virtual µs over %d partitions)@."
     (List.length configs)
     (List.length Traversal.table3_kinds)
-    rb.rb_serial_us rb.rb_partitioned_us rb.rb_partitions
+    rb.rb_serial_us rb.rb_partitioned_us rb.rb_partitions;
+  pr
+    "on-demand restart: ttfc %.0f µs over %d records (1x) vs %.0f µs over \
+     %d records (10x) — %.2fx@."
+    od1.od_ttfc_us od1.od_log_records od10.od_ttfc_us od10.od_log_records
+    (od10.od_ttfc_us /. Float.max 1.0 od1.od_ttfc_us)
 
 (* ------------------------------------------------------------------ *)
 

@@ -290,7 +290,8 @@ let check_ckpt_brackets logs =
                    violations :=
                      Violation.Ckpt_trim
                        { log = li; node = c.R.node; ckpt_id = c.R.ckpt_id }
-                     :: !violations)
+                     :: !violations
+             | R.Region_index -> ())
            (List.rev ctrls);
          List.rev !violations)
        logs)

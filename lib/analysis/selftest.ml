@@ -179,7 +179,10 @@ let corrupt_seqno_gap streams =
            streams)
 
 (* Append a fresh stream holding one lock-less transaction that rewrites
-   bytes some properly-locked transaction also wrote. *)
+   bytes some properly-locked transaction also wrote.  Zero-range
+   commits (read-only transactions under Flush, lock-only records) are
+   legal stream entries; the match skips them instead of trusting a
+   separate guard to have filtered them before a [List.hd]. *)
 let corrupt_unlocked_write streams =
   let target =
     List.find_opt
@@ -187,9 +190,8 @@ let corrupt_unlocked_write streams =
       (List.concat streams)
   in
   match target with
-  | None -> None
-  | Some t ->
-      let r = List.hd t.R.ranges in
+  | None | Some { R.ranges = []; _ } -> None
+  | Some { R.ranges = r :: _; _ } ->
       let rogue =
         {
           R.node = List.length streams;
@@ -312,6 +314,34 @@ let run () =
         expect_violation "corrupt: codec truncation" "codec-decode"
           (Invariants.check_wire_image payload)
   in
+  let zero_range =
+    (* A stream of zero-range (read-only) commits: the verifier must
+       accept it and the mutation helpers must skip it cleanly rather
+       than crash on an empty range list. *)
+    let ro node tid seqno prev =
+      {
+        R.node;
+        tid;
+        locks = [ { R.lock_id = 0; seqno; prev_write_seq = prev } ];
+        ranges = [];
+      }
+    in
+    let streams = [ [ ro 0 1 1 0; ro 0 2 3 0 ]; [ ro 1 3 2 0 ] ] in
+    match corrupt_unlocked_write streams with
+    | Some _ ->
+        {
+          check = "fixture: zero-range commit";
+          ok = false;
+          detail = "mutation helper fabricated a write from a read-only txn";
+        }
+    | None -> expect_clean "fixture: zero-range commit" streams
+    | exception e ->
+        {
+          check = "fixture: zero-range commit";
+          ok = false;
+          detail = "mutation helper raised: " ^ Printexc.to_string e;
+        }
+  in
   let lint =
     let vs = Lint.scan_source ~file:"lib/core/fixture.ml" lint_fixture in
     let got = names vs in
@@ -386,4 +416,4 @@ let run () =
     in
     [ clean_res; corrupt_res ]
   in
-  clean @ [ swap; gap; race; trunc; lint ] @ serialize
+  clean @ [ swap; gap; race; trunc; zero_range; lint ] @ serialize

@@ -212,7 +212,7 @@ let crash t ~node:n =
               Obs.instant t.obs ~name:"lease.reclaim" ~pid:n ~tid:Obs.lane_lock
                 ()))
 
-let rejoin t ~node:n =
+let rejoin ?(mode = Node.Replay_all) t ~node:n =
   ignore (node t n : Node.t);
   if not t.crashed.(n) then invalid_arg "Cluster.rejoin: node is not down";
   if not t.reclaimed.(n) then
@@ -225,7 +225,7 @@ let rejoin t ~node:n =
   let applied =
     Hashtbl.fold (fun lock seq acc -> (lock, seq) :: acc) t.checkpointed []
   in
-  Node.rejoin t.nodes.(n) ~applied;
+  Node.rejoin ~mode t.nodes.(n) ~applied;
   t.crashed.(n) <- false
 
 let is_crashed t n =
@@ -244,13 +244,17 @@ let recover_database t =
       Lbc_rvm.Recovery.replay_records records ~db_for_region:(fun id ->
           Option.map (fun info -> info.dev) (Hashtbl.find_opt t.regions id))
 
-type replay_mode = Serial | Partitioned
+type replay_mode = Serial | Partitioned | OnDemand
 
 (* Server-side recovery on the simulation clock: replay runs in simulated
    processes so device time is charged, making serial and partitioned
    replay comparable.  Partitioned mode replays each lock/region-disjoint
    stream concurrently; the elapsed virtual time is the slowest stream
-   instead of the sum. *)
+   instead of the sum.  OnDemand mode uses the same disjoint streams but
+   replays them in priority order (largest first, a stand-in for the
+   hottest-first drain a serving node performs) and records when the
+   first stream — the first data anyone could be unblocked on — is
+   available, as [time_to_first_partition_us]. *)
 let timed_recovery t ~mode =
   let records =
     match merged_records t with
@@ -262,11 +266,16 @@ let timed_recovery t ~mode =
     match mode with
     | Serial -> if records = [] then [] else [ records ]
     | Partitioned -> Merge.partition records
+    | OnDemand ->
+        List.stable_sort
+          (fun a b -> Int.compare (List.length b) (List.length a))
+          (Merge.partition records)
   in
   let db_for_region id =
     Option.map (fun info -> info.dev) (Hashtbl.find_opt t.regions id)
   in
   let outcomes = ref [] in
+  let first_done = ref false in
   let t0 = Lbc_sim.Engine.now t.engine in
   List.iteri
     (fun i stream ->
@@ -274,7 +283,12 @@ let timed_recovery t ~mode =
         ~name:(Printf.sprintf "recover-p%d" i)
         (fun () ->
           let o = Lbc_rvm.Recovery.replay_records stream ~db_for_region in
-          Obs.observe t.obs "recovery_us" (Lbc_sim.Engine.now t.engine -. t0);
+          let elapsed = Lbc_sim.Engine.now t.engine -. t0 in
+          Obs.observe t.obs "recovery_us" elapsed;
+          if mode = OnDemand && not !first_done then begin
+            first_done := true;
+            Obs.observe t.obs "time_to_first_partition_us" elapsed
+          end;
           outcomes := o :: !outcomes))
     streams;
   if Obs.enabled t.obs then

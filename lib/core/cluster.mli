@@ -100,13 +100,18 @@ val crash : t -> node:int -> unit
     tokens the node held ({!Lbc_locks.Table.reclaim}), unblocking
     survivors that were queued behind it. *)
 
-val rejoin : t -> node:int -> unit
+val rejoin : ?mode:Node.rejoin_mode -> t -> node:int -> unit
 (** Bring a crashed node back, once its lease has expired (raises
     [Invalid_argument] before that): reconnects it, resets its lock
     table, reloads its regions from the database image and replays its
     own durable log tail.  Updates it missed while down are pulled in on
     demand through the acquire interlock (with [config.repair] for
-    gap repair).  New application work needs fresh {!spawn}s. *)
+    gap repair).  New application work needs fresh {!spawn}s.
+
+    [mode] (default {!Node.Replay_all}) selects the replay strategy; see
+    {!Node.rejoin}.  With [~mode:Node.On_demand] the node serves
+    immediately and replays each indexed chain on first touch, feeding
+    the [time_to_first_commit_us] histogram. *)
 
 val is_crashed : t -> int -> bool
 
@@ -138,6 +143,11 @@ type replay_mode =
   | Partitioned
       (** one replay process per lock/region-disjoint stream
           ({!Merge.partition}); streams run concurrently *)
+  | OnDemand
+      (** like [Partitioned], but streams start in priority order
+          (largest first) and the completion of the first stream feeds
+          the [time_to_first_partition_us] histogram — the server-side
+          analogue of a serving node's on-demand drain *)
 
 val timed_recovery : t -> mode:replay_mode -> Lbc_rvm.Recovery.outcome * float
 (** Like {!recover_database}, but the replay runs in simulated processes

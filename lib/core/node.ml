@@ -26,6 +26,31 @@ type repair = {
   prefer : int;  (* first fetch target: the last known writer *)
 }
 
+(* On-demand rejoin: the surviving log tail, split into independent
+   replay chains by the persisted region index.  Each chain (stream) is
+   cold until replayed; the first touch of any of its keys — a local
+   read/write, a lock acquire, a coherency apply, or a peer fetch —
+   replays exactly that chain, while a background drain walks the rest
+   hottest-lock-first. *)
+type stream_status = Cold | Replaying | Warm
+
+type stream = {
+  sid : int;
+  offsets : int list;  (* log offsets of the chain's records, log order *)
+  skeys : int list;  (* tagged Region_index keys the chain covers *)
+  mutable status : stream_status;
+}
+
+type recovery = {
+  streams : stream array;
+  by_key : (int, int) Hashtbl.t;  (* tagged key -> stream index *)
+  mutable cold : int;  (* streams not yet warm *)
+  warm_cv : Lbc_sim.Condvar.t;  (* waiters for a Replaying stream *)
+  started_at : float;
+}
+
+type rejoin_mode = Replay_all | On_demand
+
 type t = {
   id : int;
   nodes : int;
@@ -52,6 +77,10 @@ type t = {
   repairs : (int, repair) Hashtbl.t;  (* lock id -> gap under watch *)
   txn_updates : int ref;  (* set_range calls in the running transaction *)
   mutable pinned : bool;  (* version-pinned reader: buffer, don't apply *)
+  mutable recovery : recovery option;  (* live during an on-demand rejoin *)
+  mutable ttfc_mark : float option;
+      (* rejoin instant, consumed by the first commit after it
+         (time_to_first_commit_us) *)
   stats : stats;
   obs : Obs.t;
 }
@@ -148,6 +177,8 @@ let create (deps : deps) =
     repairs = Hashtbl.create 8;
     txn_updates;
     pinned = false;
+    recovery = None;
+    ttfc_mark = None;
     stats =
       {
         updates_sent = 0;
@@ -177,12 +208,6 @@ let set_applied t lock seq =
 let pending_count t = List.length t.pending
 
 let map_region t ~id ~db ~size = Lbc_rvm.Rvm.map_region t.rvm ~id ~db ~size
-
-let read t ~region ~offset ~len =
-  Lbc_rvm.Region.read (Lbc_rvm.Rvm.region t.rvm region) ~offset ~len
-
-let get_u64 t ~region ~offset =
-  Lbc_rvm.Region.get_u64 (Lbc_rvm.Rvm.region t.rvm region) ~offset
 
 (* --------------------------------------------------------------- *)
 (* Retention (lazy propagation, and repair service) *)
@@ -317,7 +342,19 @@ let prune_retained (t : t) =
 
 let update_retention (t : t) =
   t.unacked <- List.filter (fun entry -> not (acked t entry)) t.unacked;
-  let water = match t.unacked with [] -> max_int | (off, _, _) :: _ -> off in
+  (* Minimum over the entries, not the list head: an on-demand rejoin
+     rebuilds the list stream by stream, out of log order. *)
+  let water =
+    List.fold_left (fun acc (off, _, _) -> min acc off) max_int t.unacked
+  in
+  (* While an on-demand rejoin still has cold streams the unacked list is
+     incomplete, so retention stays pinned at the log head. *)
+  let water =
+    match t.recovery with
+    | Some r when r.cold > 0 ->
+        min water (Lbc_wal.Log.head (Lbc_rvm.Rvm.log t.rvm))
+    | _ -> water
+  in
   Lbc_wal.Log.set_retention_water (Lbc_rvm.Rvm.log t.rvm) water;
   prune_retained t
 
@@ -563,34 +600,6 @@ let accept (t : t) =
   end
 
 (* --------------------------------------------------------------- *)
-(* Message handling *)
-
-let handle (t : t) ~src msg =
-  match msg with
-  | Msg.Lock m -> Lbc_locks.Table.handle t.locks ~src m
-  | Msg.Update iov -> receive_record t (Wire.decode_iov iov)
-  | Msg.Fetch { lock; have } ->
-      let records = retained_after t ~lock ~have in
-      let payloads =
-        List.map
-          (fun r ->
-            let iov = Wire.encode_iov r in
-            (* the pre-iovec path materialized each reply here *)
-            Lbc_util.Slice.count_saved (Lbc_util.Slice.iov_length iov);
-            iov)
-          records
-      in
-      t.send ~dst:src (Msg.Fetched { lock; payloads })
-  | Msg.Fetched { lock; payloads } ->
-      t.stats.records_fetched <- t.stats.records_fetched + List.length payloads;
-      if Obs.enabled t.obs then (
-        match Obs.take_mark t.obs (fetch_mark_key t lock) with
-        | Some rtt -> Obs.observe t.obs "fetch_rtt_us" rtt
-        | None -> ());
-      List.iter (fun iov -> receive_record t (Wire.decode_iov iov)) payloads
-  | Msg.LowWater { applied } -> receive_low_water t ~src ~applied
-
-(* --------------------------------------------------------------- *)
 (* Propagation at commit *)
 
 let propagation_peers (t : t) (record : Lbc_wal.Record.txn) =
@@ -658,14 +667,120 @@ let broadcast (t : t) record =
    between logging a commit and propagating it, leaving the record in
    our durable log only; peers that already applied it discard the
    duplicate, peers that missed it heal.  Without the rebroadcast such a
-   record would be invisible to everyone until server-side recovery. *)
-let rejoin (t : t) ~applied =
+   record would be invisible to everyone until server-side recovery.
+
+   Two modes: [Replay_all] (the original path) replays the whole tail as
+   concurrent partitioned streams before anything else happens on the
+   node; [On_demand] indexes the tail (seeded by the checkpoint's
+   persisted region-index record) and serves immediately — the first
+   touch of a cold chain replays just that chain, a background drain
+   walks the rest hottest-lock-first. *)
+
+(* Apply one record of a replay stream and account its retention.  The
+   internal replay path must bypass the serving gates (it is what warms
+   them), so it calls [receive_record] directly. *)
+let replay_one t ~off (record : Lbc_wal.Record.txn) =
+  receive_record t record;
+  if retains t && record.Lbc_wal.Record.ranges <> [] then
+    track_unacked t ~offset:off record ~peers:(propagation_peers t record)
+
+let replay_stream (t : t) (r : recovery) (s : stream) =
+  match s.status with
+  | Warm -> ()
+  | Replaying ->
+      (* Someone else is replaying this chain; serving order only needs
+         the chain applied, not applied by us. *)
+      Lbc_sim.Condvar.await
+        ~info:(Printf.sprintf "n%d awaits replay of stream %d" t.id s.sid)
+        r.warm_cv
+        (fun () -> s.status = Warm)
+  | Cold ->
+      s.status <- Replaying;
+      let log = Lbc_rvm.Rvm.log t.rvm in
+      let sp =
+        if Obs.enabled t.obs then
+          Obs.span_begin t.obs ~name:"replay-chain" ~pid:t.id
+            ~tid:Obs.lane_apply
+            ~args:
+              [ ("stream", Obs.I s.sid);
+                ("records", Obs.I (List.length s.offsets)) ]
+            ()
+        else Obs.null_span
+      in
+      List.iter
+        (fun off ->
+          match Lbc_wal.Log.read_at log ~off with
+          | Ok record -> replay_one t ~off record
+          | Error why ->
+              raise (Coherency_error ("on-demand replay: " ^ why)))
+        s.offsets;
+      s.status <- Warm;
+      List.iter
+        (fun k ->
+          match Lbc_wal.Region_index.untag k with
+          | Lbc_wal.Region_index.Region rid -> (
+              match Lbc_rvm.Rvm.region t.rvm rid with
+              | reg -> Lbc_rvm.Region.set_warm reg
+              | exception Not_found -> ())
+          | Lbc_wal.Region_index.Lock _ -> ())
+        s.skeys;
+      r.cold <- r.cold - 1;
+      ignore (Obs.span_end t.obs sp : float);
+      Obs.observe t.obs "recovery_us"
+        (Lbc_sim.Engine.now t.engine -. r.started_at);
+      (* The last stream warming completes the unacked rebuild: release
+         the head pin installed at rejoin. *)
+      if r.cold = 0 then update_retention t;
+      Lbc_sim.Condvar.broadcast r.warm_cv
+
+(* Serving gates: make sure the chain covering [key] has been replayed
+   before state it governs is read, written, served to a peer, or used
+   in an ordering decision.  No-ops outside an on-demand recovery. *)
+let ensure_warm_key (t : t) key =
+  match t.recovery with
+  | None -> ()
+  | Some r when r.cold = 0 -> ()
+  | Some r -> (
+      match Hashtbl.find_opt r.by_key key with
+      | None -> ()
+      | Some i -> replay_stream t r r.streams.(i))
+
+let ensure_warm_lock t lock =
+  ensure_warm_key t (Lbc_wal.Region_index.tag (Lbc_wal.Region_index.Lock lock))
+
+let ensure_warm_region t region =
+  ensure_warm_key t
+    (Lbc_wal.Region_index.tag (Lbc_wal.Region_index.Region region))
+
+let ensure_warm_record t (record : Lbc_wal.Record.txn) =
+  List.iter
+    (fun l -> ensure_warm_lock t l.Lbc_wal.Record.lock_id)
+    record.Lbc_wal.Record.locks;
+  List.iter
+    (fun (rg : Lbc_wal.Record.range) -> ensure_warm_region t rg.region)
+    record.Lbc_wal.Record.ranges
+
+(* Chain priority for the background drain: total local acquire count of
+   the chain's locks (the lock table's heat counters).  With tracing off
+   every chain scores 0 and first-appearance (log) order is kept. *)
+let stream_heat (t : t) (s : stream) =
+  List.fold_left
+    (fun acc k ->
+      match Lbc_wal.Region_index.untag k with
+      | Lbc_wal.Region_index.Lock l when l >= 0 ->
+          acc + Obs.counter t.obs (Lbc_locks.Table.heat_key l)
+      | _ -> acc)
+    0 s.skeys
+
+let rejoin ?(mode = Replay_all) (t : t) ~applied =
   t.pinned <- false;
   t.pending <- [];
   Hashtbl.reset t.retained;
   Hashtbl.reset t.fetch_marks;
   Hashtbl.reset t.repairs;
   Hashtbl.reset t.applied;
+  t.recovery <- None;
+  t.ttfc_mark <- Some (Lbc_sim.Engine.now t.engine);
   (* The crash killed any process that was mid-transaction; those
      transactions will never commit, so they must not keep a later fuzzy
      checkpoint waiting for quiescence. *)
@@ -674,12 +789,6 @@ let rejoin (t : t) ~applied =
     (fun region -> Lbc_rvm.Region.reload_from_db region)
     (Lbc_rvm.Rvm.regions t.rvm);
   List.iter (fun (lock, seq) -> set_applied t lock seq) applied;
-  let items, _status =
-    Lbc_wal.Log.fold (Lbc_rvm.Rvm.log t.rvm) ~init:[] (fun acc off txn ->
-        (off, txn) :: acc)
-  in
-  let items = List.rev items in
-  let records = List.map snd items in
   (* Rebuild retention from what survives: until gossip proves otherwise,
      assume every own write still in the log may be needed by a peer (the
      gossip tables died with the crash). *)
@@ -689,51 +798,192 @@ let rejoin (t : t) ~applied =
   (* A crash mid-fuzzy-checkpoint leaves the ckpt water pinned (the end
      marker never made it); the checkpoint is abandoned, so unpin. *)
   Lbc_wal.Log.set_ckpt_water (Lbc_rvm.Rvm.log t.rvm) max_int;
-  if retains t then
-    List.iter
-      (fun (off, (r : Lbc_wal.Record.txn)) ->
-        if r.Lbc_wal.Record.ranges <> [] then
-          track_unacked t ~offset:off r ~peers:(propagation_peers t r))
-      items;
-  (* Partitioned replay: split the surviving tail by lock/region closure
-     and replay the independent streams as concurrent processes.  Streams
-     share no locks and no regions, so their applies commute; within a
-     stream log order is kept, so each record's [prev_write_seq] chain is
-     intact. *)
-  let streams = Merge.partition records in
-  let n_streams = List.length streams in
-  let remaining = ref n_streams in
-  let done_cv = Lbc_sim.Condvar.create () in
-  let t0 = Lbc_sim.Engine.now t.engine in
-  List.iteri
-    (fun i stream ->
-      Lbc_sim.Proc.spawn t.engine
-        ~name:(Printf.sprintf "n%d recover-p%d" t.id i)
-        (fun () ->
-          List.iter (receive_record t) stream;
-          Obs.observe t.obs "recovery_us" (Lbc_sim.Engine.now t.engine -. t0);
-          decr remaining;
-          Lbc_sim.Condvar.broadcast done_cv))
-    streams;
-  if Obs.enabled t.obs && n_streams > 0 then
-    Obs.count t.obs "recovery_partitions" n_streams;
-  Lbc_sim.Condvar.broadcast t.applied_cv;
-  let own_writes =
-    List.filter (fun (r : Lbc_wal.Record.txn) -> r.Lbc_wal.Record.ranges <> [])
-      records
-  in
-  if own_writes <> [] then
-    (* Fabric sends charge wire time, so they need process context; the
-       rebroadcast also waits for the replay streams to finish so peers
-       never see our tail before we have re-applied it ourselves. *)
-    Lbc_sim.Proc.spawn t.engine
-      ~name:(Printf.sprintf "n%d rejoin-sync" t.id)
-      (fun () ->
-        Lbc_sim.Condvar.await
-          ~info:(Printf.sprintf "rejoin n%d awaits %d replay streams" t.id n_streams)
-          done_cv
-          (fun () -> !remaining = 0);
-        List.iter (broadcast t) own_writes)
+  match mode with
+  | Replay_all ->
+      let items, _status =
+        Lbc_wal.Log.fold (Lbc_rvm.Rvm.log t.rvm) ~init:[] (fun acc off txn ->
+            (off, txn) :: acc)
+      in
+      let items = List.rev items in
+      let records = List.map snd items in
+      if retains t then
+        List.iter
+          (fun (off, (r : Lbc_wal.Record.txn)) ->
+            if r.Lbc_wal.Record.ranges <> [] then
+              track_unacked t ~offset:off r ~peers:(propagation_peers t r))
+          items;
+      (* Partitioned replay: split the surviving tail by lock/region
+         closure and replay the independent streams as concurrent
+         processes.  Streams share no locks and no regions, so their
+         applies commute; within a stream log order is kept, so each
+         record's [prev_write_seq] chain is intact. *)
+      let streams = Merge.partition records in
+      let n_streams = List.length streams in
+      let remaining = ref n_streams in
+      let done_cv = Lbc_sim.Condvar.create () in
+      let t0 = Lbc_sim.Engine.now t.engine in
+      List.iteri
+        (fun i stream ->
+          Lbc_sim.Proc.spawn t.engine
+            ~name:(Printf.sprintf "n%d recover-p%d" t.id i)
+            (fun () ->
+              List.iter (receive_record t) stream;
+              Obs.observe t.obs "recovery_us"
+                (Lbc_sim.Engine.now t.engine -. t0);
+              decr remaining;
+              Lbc_sim.Condvar.broadcast done_cv))
+        streams;
+      if Obs.enabled t.obs && n_streams > 0 then
+        Obs.count t.obs "recovery_partitions" n_streams;
+      Lbc_sim.Condvar.broadcast t.applied_cv;
+      let own_writes =
+        List.filter
+          (fun (r : Lbc_wal.Record.txn) -> r.Lbc_wal.Record.ranges <> [])
+          records
+      in
+      if own_writes <> [] then
+        (* Fabric sends charge wire time, so they need process context;
+           the rebroadcast also waits for the replay streams to finish so
+           peers never see our tail before we have re-applied it
+           ourselves. *)
+        Lbc_sim.Proc.spawn t.engine
+          ~name:(Printf.sprintf "n%d rejoin-sync" t.id)
+          (fun () ->
+            Lbc_sim.Condvar.await
+              ~info:
+                (Printf.sprintf "rejoin n%d awaits %d replay streams" t.id
+                   n_streams)
+              done_cv
+              (fun () -> !remaining = 0);
+            List.iter (broadcast t) own_writes)
+  | On_demand ->
+      (* Index the surviving tail — seeded by the checkpoint's persisted
+         region-index control record, extended with whatever was
+         appended since — and serve immediately.  Nothing is replayed
+         here; first touch and the background drain do it. *)
+      let log = Lbc_rvm.Rvm.log t.rvm in
+      let idx, _status = Lbc_wal.Region_index.of_log log in
+      let entries = Lbc_wal.Region_index.entries idx in
+      let streams =
+        Array.of_list
+          (List.mapi
+             (fun i (e : Lbc_wal.Record.index_entry) ->
+               { sid = i; offsets = e.offsets; skeys = e.keys;
+                 status = Cold })
+             entries)
+      in
+      let by_key = Hashtbl.create 32 in
+      Array.iter
+        (fun s -> List.iter (fun k -> Hashtbl.replace by_key k s.sid) s.skeys)
+        streams;
+      let r =
+        { streams; by_key; cold = Array.length streams;
+          warm_cv = Lbc_sim.Condvar.create ();
+          started_at = Lbc_sim.Engine.now t.engine }
+      in
+      t.recovery <- Some r;
+      (* Every region a cold chain touches serves stale (checkpoint)
+         bytes until that chain replays: mark them cold so direct reads
+         gate too.  Retention stays pinned at the head until the unacked
+         list is rebuilt (streams warm out of log order). *)
+      Array.iter
+        (fun s ->
+          List.iter
+            (fun k ->
+              match Lbc_wal.Region_index.untag k with
+              | Lbc_wal.Region_index.Region rid -> (
+                  match Lbc_rvm.Rvm.region t.rvm rid with
+                  | reg -> Lbc_rvm.Region.set_cold reg
+                  | exception Not_found -> ())
+              | Lbc_wal.Region_index.Lock _ -> ())
+            s.skeys)
+        streams;
+      if retains t && r.cold > 0 then
+        Lbc_wal.Log.set_retention_water log (Lbc_wal.Log.head log);
+      if Obs.enabled t.obs && r.cold > 0 then
+        Obs.count t.obs "recovery_partitions" r.cold;
+      Lbc_sim.Condvar.broadcast t.applied_cv;
+      if r.cold > 0 then
+        (* Background drain, hottest locks first; once every stream is
+           warm, rebroadcast the tail's own writes so peers that missed
+           a pre-crash propagation heal. *)
+        Lbc_sim.Proc.spawn t.engine
+          ~name:(Printf.sprintf "n%d recover-drain" t.id)
+          (fun () ->
+            let order =
+              List.stable_sort
+                (fun a b -> Int.compare (stream_heat t b) (stream_heat t a))
+                (Array.to_list streams)
+            in
+            List.iter (fun s -> replay_stream t r s) order;
+            Array.iter
+              (fun s ->
+                List.iter
+                  (fun off ->
+                    match Lbc_wal.Log.read_at log ~off with
+                    | Ok rc when rc.Lbc_wal.Record.ranges <> [] ->
+                        broadcast t rc
+                    | Ok _ | Error _ -> ())
+                  s.offsets)
+              streams)
+
+let recovering (t : t) =
+  match t.recovery with Some r -> r.cold > 0 | None -> false
+
+(* --------------------------------------------------------------- *)
+(* Reads (gated on warmth during an on-demand rejoin) *)
+
+let read t ~region ~offset ~len =
+  let reg = Lbc_rvm.Rvm.region t.rvm region in
+  if not (Lbc_rvm.Region.is_warm reg) then ensure_warm_region t region;
+  Lbc_rvm.Region.read reg ~offset ~len
+
+let get_u64 t ~region ~offset =
+  let reg = Lbc_rvm.Rvm.region t.rvm region in
+  if not (Lbc_rvm.Region.is_warm reg) then ensure_warm_region t region;
+  Lbc_rvm.Region.get_u64 reg ~offset
+
+(* --------------------------------------------------------------- *)
+(* Message handling *)
+
+let handle (t : t) ~src msg =
+  match msg with
+  | Msg.Lock m -> Lbc_locks.Table.handle t.locks ~src m
+  | Msg.Update iov ->
+      let record = Wire.decode_iov iov in
+      (* Coherency apply of a cold chain's lock: replay the chain first
+         so the record's readiness is judged against recovered state. *)
+      ensure_warm_record t record;
+      receive_record t record
+  | Msg.Fetch { lock; have } ->
+      (* A cold chain may hold newer committed bytes for this lock than
+         the checkpoint image; warm it before serving, so a peer's
+         repair or lazy fetch never receives stale retained state. *)
+      ensure_warm_lock t lock;
+      let records = retained_after t ~lock ~have in
+      let payloads =
+        List.map
+          (fun r ->
+            let iov = Wire.encode_iov r in
+            (* the pre-iovec path materialized each reply here *)
+            Lbc_util.Slice.count_saved (Lbc_util.Slice.iov_length iov);
+            iov)
+          records
+      in
+      t.send ~dst:src (Msg.Fetched { lock; payloads })
+  | Msg.Fetched { lock; payloads } ->
+      t.stats.records_fetched <- t.stats.records_fetched + List.length payloads;
+      if Obs.enabled t.obs then (
+        match Obs.take_mark t.obs (fetch_mark_key t lock) with
+        | Some rtt -> Obs.observe t.obs "fetch_rtt_us" rtt
+        | None -> ());
+      List.iter
+        (fun iov ->
+          let record = Wire.decode_iov iov in
+          ensure_warm_record t record;
+          receive_record t record)
+        payloads
+  | Msg.LowWater { applied } -> receive_low_water t ~src ~applied
 
 (* --------------------------------------------------------------- *)
 (* Application transactions *)
@@ -764,6 +1014,10 @@ module Txn = struct
      acquire flavours. *)
   let finish_acquire t lock (g : Lbc_locks.Table.grant) =
     let node = t.node in
+    (* During an on-demand rejoin the lock's applied-sequence table may
+       lag the durable log; replay the lock's chain before the interlock
+       compares against it. *)
+    ensure_warm_lock node lock;
     if applied_seq node lock < g.Lbc_locks.Table.prev_write_seq then begin
       node.stats.interlock_waits <- node.stats.interlock_waits + 1;
       let sp =
@@ -816,10 +1070,16 @@ module Txn = struct
     | None -> false
 
   let set_range t ~region ~offset ~len =
+    ensure_warm_region t.node region;
     Lbc_rvm.Rvm.set_range t.rvm_txn ~region ~offset ~len
 
-  let write t ~region ~offset b = Lbc_rvm.Rvm.write t.rvm_txn ~region ~offset b
-  let set_u64 t ~region ~offset v = Lbc_rvm.Rvm.set_u64 t.rvm_txn ~region ~offset v
+  let write t ~region ~offset b =
+    ensure_warm_region t.node region;
+    Lbc_rvm.Rvm.write t.rvm_txn ~region ~offset b
+
+  let set_u64 t ~region ~offset v =
+    ensure_warm_region t.node region;
+    Lbc_rvm.Rvm.set_u64 t.rvm_txn ~region ~offset v
   let read t ~region ~offset ~len = read t.node ~region ~offset ~len
   let get_u64 t ~region ~offset = get_u64 t.node ~region ~offset
 
@@ -878,6 +1138,14 @@ module Txn = struct
            ~args:[ ("outcome", Obs.S "commit") ]
           : float)
     end;
+    (* Recovery headline: virtual time from the start of the last rejoin
+       to the first commit the restarted node completes. *)
+    (match node.ttfc_mark with
+    | Some t0 ->
+        node.ttfc_mark <- None;
+        Obs.observe node.obs "time_to_first_commit_us"
+          (Lbc_sim.Engine.now node.engine -. t0)
+    | None -> ());
     record
 
   let commit t = ignore (commit_record t)

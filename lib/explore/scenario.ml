@@ -92,13 +92,13 @@ let drop_updates c ~src ~dst =
   Lbc_net.Fabric.set_drop_filter (Cluster.fabric c) ~src ~dst
     (Some (function Msg.Update _ -> true | _ -> false))
 
-let crash_then_rejoin_bg c ~node ?(after = 0.0) ?(more_work = fun () -> ()) ()
-    =
+let crash_then_rejoin_bg c ~node ?mode ?(after = 0.0)
+    ?(more_work = fun () -> ()) () =
   Lbc_sim.Proc.spawn (Cluster.engine c) ~name:"explore-controller" (fun () ->
       if after > 0.0 then Lbc_sim.Proc.sleep after;
       Cluster.crash c ~node;
       let rec rejoin_when_lease_expires () =
-        match Cluster.rejoin c ~node with
+        match Cluster.rejoin ?mode c ~node with
         | () -> ()
         | exception Invalid_argument _ ->
             Lbc_sim.Proc.sleep 50.0;
@@ -329,6 +329,72 @@ let checkpoint_under_faults =
           final_pull c ~nodes ~locks:all_locks;
           oracle c ~nodes ~region_ids:[ 0; 1 ] ))
 
+(* Home-segment worker: each node writes only its own lock's slots, so
+   every slot has a single writer.  That makes a *single-node* fuzzy
+   checkpoint recovery-consistent: nothing a peer logged can land under
+   a record the checkpoint trimmed.  (The distributed online_checkpoint
+   gives the same guarantee for arbitrary workloads by trimming every
+   log at one consistent cut.) *)
+let worker_home c rng n iterations =
+  let rng = Lbc_util.Rng.split rng in
+  Cluster.spawn c ~node:n (fun node ->
+      for _ = 1 to iterations do
+        let txn = Node.Txn.begin_ node in
+        Node.Txn.acquire txn n;
+        Node.Txn.set_u64 txn ~region:(lock_region n)
+          ~offset:(lock_offset rng n) (Lbc_util.Rng.int64 rng);
+        Node.Txn.commit txn;
+        Lbc_sim.Proc.sleep (Lbc_util.Rng.float rng 20.0)
+      done)
+
+(* Twin of the chaos rejoin-under-load test: fuzzy checkpoint persists a
+   region-index control record, the node crashes, rejoins in on-demand
+   mode and serves fresh load while chains replay on first touch and the
+   background drain walks the rest — all interleaved with live peer
+   traffic under the explored schedule. *)
+let rejoin_under_load =
+  cluster_scenario ~name:"rejoin-under-load"
+    ~descr:
+      "fuzzy checkpoint, crash, then on-demand rejoin serving fresh load \
+       while peers keep writing (3 nodes)"
+    (fun sched ->
+      let config =
+        {
+          Config.fault_tolerant with
+          Config.repair_timeout = 100.0;
+          Config.lease_timeout = 400.0;
+          Config.ckpt_slice_bytes = 128;
+          Config.ckpt_slice_interval = 20.0;
+          Config.ckpt_gossip_delay = 50.0;
+        }
+      in
+      let nodes = 3 in
+      let c = mk_cluster config ~sched nodes in
+      ( c,
+        fun () ->
+          let rng = Lbc_util.Rng.create 1515 in
+          for n = 0 to nodes - 1 do
+            worker_home c rng n 10
+          done;
+          Cluster.run c;
+          Cluster.fuzzy_checkpoint c ~node:0;
+          Cluster.run c;
+          (* A post-checkpoint tail for the persisted index to extend. *)
+          for n = 0 to nodes - 1 do
+            worker_home c rng n 10
+          done;
+          Cluster.run c;
+          (* Crash/rejoin on demand while the peers keep committing. *)
+          crash_then_rejoin_bg c ~node:0 ~mode:Node.On_demand
+            ~more_work:(fun () -> worker_home c rng 0 5)
+            ();
+          for n = 1 to nodes - 1 do
+            worker_home c rng n 5
+          done;
+          Cluster.run c;
+          final_pull c ~nodes ~locks:all_locks;
+          oracle c ~nodes ~region_ids:[ 0; 1 ] ))
+
 (* --------------------------------------------------------------- *)
 (* OO7: the bench configurations as explorable scenarios *)
 
@@ -381,6 +447,7 @@ let all =
     drop_heal;
     crash_rejoin;
     checkpoint_under_faults;
+    rejoin_under_load;
     oo7_eager;
     oo7_multicast;
     oo7_lazy;

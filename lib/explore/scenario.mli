@@ -36,6 +36,13 @@ val planted : t
 val drop_heal : t
 val crash_rejoin : t
 val checkpoint_under_faults : t
+
+val rejoin_under_load : t
+(** Fuzzy checkpoint (persisting a region-index control record), crash,
+    then an on-demand rejoin that serves fresh load while chains replay
+    on first touch and peers keep committing.  The home-segment workload
+    keeps the single-node checkpoint recovery-consistent. *)
+
 val oo7_eager : t
 val oo7_multicast : t
 val oo7_lazy : t

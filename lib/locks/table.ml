@@ -232,7 +232,16 @@ let enqueue_waiter t s =
   if not s.have_token then request_token t s;
   w
 
+(* Per-lock acquire counters ("heat"): an on-demand rejoin drains its
+   cold replay chains hottest-lock-first, reading these back through the
+   shared obs registry. *)
+let heat_key lock = Printf.sprintf "lock_acquires:%d" lock
+
+let note_heat t lock =
+  if Obs.enabled t.obs then Obs.count t.obs (heat_key lock) 1
+
 let acquire t lock =
+  note_heat t lock;
   let s = state t lock in
   if s.have_token && (not s.busy) && live_waiters s.waiters = 0 then begin
     t.stats.local_grants <- t.stats.local_grants + 1;
@@ -257,6 +266,7 @@ let acquire t lock =
   end
 
 let acquire_timeout t lock ~timeout =
+  note_heat t lock;
   let s = state t lock in
   if s.have_token && (not s.busy) && live_waiters s.waiters = 0 then begin
     t.stats.local_grants <- t.stats.local_grants + 1;

@@ -71,6 +71,12 @@ val manager_of : t -> int -> int
 val handle : t -> src:int -> msg -> unit
 (** Feed an incoming lock message (called by the node's dispatcher). *)
 
+val heat_key : int -> string
+(** Obs counter key counting this node's acquires of one lock
+    ([lock_acquires:<id>], bumped by {!acquire}/{!acquire_timeout} when
+    tracing is on).  An on-demand rejoin drains its cold replay chains
+    hottest-lock-first by reading these back. *)
+
 val acquire : t -> int -> grant
 (** Block until the lock is held by this node.  Re-entrant acquisition by
     a second local process queues FIFO behind the current holder. *)

@@ -24,6 +24,20 @@ let replay_records txns ~db_for_region =
   List.iter Lbc_storage.Dev.sync !touched;
   { records_replayed = records; bytes_replayed = bytes; torn_tail = false }
 
+let replay_chain ~log ~offsets ~db_for_region =
+  (* On-demand recovery: apply exactly one region-index chain, reading
+     its records by offset instead of scanning the whole tail. *)
+  let touched = ref [] in
+  match
+    Lbc_wal.Log.fold_chain log ~offsets ~init:(0, 0) (fun acc _off txn ->
+        apply_ranges ~db_for_region ~touched txn acc)
+  with
+  | Ok (records, bytes) ->
+      List.iter Lbc_storage.Dev.sync !touched;
+      Ok { records_replayed = records; bytes_replayed = bytes;
+           torn_tail = false }
+  | Error _ as e -> e
+
 let replay ~log ~db_for_region =
   let touched = ref [] in
   let (records, bytes), status =

@@ -20,3 +20,13 @@ val replay : log:Lbc_wal.Log.t -> db_for_region:(int -> Lbc_storage.Dev.t option
 val replay_records :
   Lbc_wal.Record.txn list -> db_for_region:(int -> Lbc_storage.Dev.t option) -> outcome
 (** Same, from an already-merged record list. *)
+
+val replay_chain :
+  log:Lbc_wal.Log.t ->
+  offsets:int list ->
+  db_for_region:(int -> Lbc_storage.Dev.t option) ->
+  (outcome, string) result
+(** On-demand recovery: apply exactly one {!Lbc_wal.Region_index} chain,
+    reading its records by log offset ({!Lbc_wal.Log.read_at}) instead
+    of scanning the whole tail.  Errors (with the offending offset) on
+    an unreadable record. *)

@@ -9,6 +9,11 @@ type t = {
      clean bytes that happen to sit between two dirty ones. *)
   mutable dirty_lo : int;
   mutable dirty_hi : int;
+  (* On-demand recovery state: a region mapped during an on-demand rejoin
+     is cold until its replay chain has been applied; the node's serving
+     gates block first touch on warming it.  Regions are born warm —
+     only rejoin marks them cold. *)
+  mutable warm : bool;
 }
 
 let map ~id ~db ~size =
@@ -19,7 +24,7 @@ let map ~id ~db ~size =
     let init = Lbc_storage.Dev.read db ~off:0 ~len:have in
     Bytes.blit init 0 mem 0 have
   end;
-  { id; size; db; mem; dirty_lo = max_int; dirty_hi = 0 }
+  { id; size; db; mem; dirty_lo = max_int; dirty_hi = 0; warm = true }
 
 let id t = t.id
 let size t = t.size
@@ -40,6 +45,10 @@ let mark_dirty t ~offset ~len =
 let clear_dirty t =
   t.dirty_lo <- max_int;
   t.dirty_hi <- 0
+
+let set_cold t = t.warm <- false
+let set_warm t = t.warm <- true
+let is_warm t = t.warm
 
 let is_dirty t = t.dirty_lo < t.dirty_hi
 let dirty_bytes t = if is_dirty t then t.dirty_hi - t.dirty_lo else 0

@@ -41,6 +41,17 @@ val reload_from_db : t -> unit
     contents (zero-filling any shortfall) — the resynchronization step
     after a distributed checkpoint.  Clears the dirty extent. *)
 
+(** {1 On-demand recovery state}
+
+    During an on-demand rejoin a region is {e cold} until its replay
+    chain has been applied; the node's serving gates block the first
+    touch of a cold region on warming it.  Regions are born warm — only
+    rejoin marks them cold. *)
+
+val set_cold : t -> unit
+val set_warm : t -> unit
+val is_warm : t -> bool
+
 (** {1 Dirty tracking}
 
     Every {!write}/{!set_u64} extends a single dirty extent; a fuzzy

@@ -332,7 +332,8 @@ let fuzzy_checkpoint ?(slice_bytes = 4096) ?(yield = fun () -> ()) t =
   Lbc_wal.Log.force t.log;
   let start =
     Lbc_wal.Log.append_ctrl t.log
-      { Lbc_wal.Record.kind = Lbc_wal.Record.Ckpt_begin; node = t.node; ckpt_id }
+      { Lbc_wal.Record.kind = Lbc_wal.Record.Ckpt_begin; node = t.node;
+        ckpt_id; entries = [] }
   in
   Lbc_wal.Log.force t.log;
   (* Pin the head: a crash before the end marker is durable must replay
@@ -361,11 +362,21 @@ let fuzzy_checkpoint ?(slice_bytes = 4096) ?(yield = fun () -> ()) t =
     (regions t);
   ignore
     (Lbc_wal.Log.append_ctrl t.log
-       { Lbc_wal.Record.kind = Lbc_wal.Record.Ckpt_end; node = t.node; ckpt_id }
+       { Lbc_wal.Record.kind = Lbc_wal.Record.Ckpt_end; node = t.node;
+         ckpt_id; entries = [] }
       : int);
   Lbc_wal.Log.force t.log;
   Lbc_wal.Log.set_ckpt_water t.log max_int;
   let trimmed_to = Lbc_wal.Log.set_head t.log start in
+  (* Persist the replay-partition index over the post-trim live tail
+     (alongside the end marker) so a rejoining node can serve on demand
+     without re-partitioning the tail it already checkpointed. *)
+  let idx, _ = Lbc_wal.Region_index.of_log t.log in
+  ignore
+    (Lbc_wal.Log.append_ctrl t.log
+       (Lbc_wal.Region_index.to_ctrl idx ~node:t.node ~ckpt_id)
+      : int);
+  Lbc_wal.Log.force t.log;
   t.stats.checkpoints <- t.stats.checkpoints + 1;
   t.stats.ckpt_slices <- t.stats.ckpt_slices + !slices;
   t.stats.ckpt_bytes_flushed <- t.stats.ckpt_bytes_flushed + !bytes;

@@ -84,12 +84,16 @@ let scan ?(ctrl = fun _ _ -> ()) dev ~from ~limit f =
         | Record.Ctrl (c, next) ->
             ctrl (base + rel) c;
             step next count
-        | verdict ->
+        | Record.End ->
+            if base + len >= limit then (base + rel, Clean, count)
+            else if rel > 0 then go (base + rel) win count
+            else go base (2 * win) count
+        | Record.Torn why ->
+            (* Never crash on a corrupt or unexpected record: a torn
+               verdict that survives the window reaching [limit] is final
+               and reported with its offset. *)
             if base + len >= limit then
-              match verdict with
-              | Record.End -> (base + rel, Clean, count)
-              | Record.Torn why -> (base + rel, Torn_at (base + rel, why), count)
-              | Record.Txn _ | Record.Ctrl _ -> assert false
+              (base + rel, Torn_at (base + rel, why), count)
             else if rel > 0 then go (base + rel) win count
             else go base (2 * win) count
       in
@@ -344,3 +348,46 @@ let fold t ?from ~init f =
 let read_all t =
   let acc, status = fold t ~init:[] (fun acc _ txn -> txn :: acc) in
   (List.rev acc, status)
+
+(* ---------------------------------------------------------------- *)
+(* Point reads: the region-index chains name records by offset, so an
+   on-demand replay reads exactly the records of one chain instead of
+   scanning the whole tail. *)
+
+let read_at t ~off =
+  flush_batch t;
+  if off < t.head || off >= t.tail then
+    Error
+      (Printf.sprintf "offset %d outside live window [%d,%d)" off t.head t.tail)
+  else begin
+    let hdr_len = min 8 (t.tail - off) in
+    if hdr_len < 8 then Error (Printf.sprintf "short record at %d" off)
+    else begin
+      let r = Codec.reader (Lbc_storage.Dev.read t.dev ~off ~len:hdr_len) in
+      let _magic = Codec.get_u32 r in
+      let total = Codec.get_u32 r in
+      if total < 12 || off + total > t.tail then
+        Error (Printf.sprintf "bad record length %d at %d" total off)
+      else begin
+        let image =
+          Slice.of_bytes (Lbc_storage.Dev.read t.dev ~off ~len:total)
+        in
+        match Record.decode_slice image ~pos:0 with
+        | Record.Txn (txn, _) -> Ok txn
+        | Record.Ctrl _ -> Error (Printf.sprintf "control record at %d" off)
+        | Record.End -> Error (Printf.sprintf "no record at %d" off)
+        | Record.Torn why -> Error (Printf.sprintf "%s at %d" why off)
+      end
+    end
+  end
+
+let fold_chain t ~offsets ~init f =
+  List.fold_left
+    (fun acc off ->
+      match acc with
+      | Error _ as e -> e
+      | Ok acc -> (
+          match read_at t ~off with
+          | Ok txn -> Ok (f acc off txn)
+          | Error why -> Error why))
+    (Ok init) offsets

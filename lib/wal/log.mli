@@ -130,3 +130,24 @@ val append_ctrl : t -> Record.ctrl -> int
 val fold_ctrl :
   t -> init:'a -> ('a -> int -> Record.ctrl -> 'a) -> 'a * scan_status
 (** Fold over the live control records only (offset and payload). *)
+
+(** {1 Point reads}
+
+    The {!Region_index} chains name records by log offset; on-demand
+    replay reads exactly the records of one chain instead of scanning
+    the whole tail. *)
+
+val read_at : t -> off:int -> (Record.txn, string) result
+(** Read and decode the single transaction record starting at [off].
+    Errors (with the offending offset in the message) instead of raising
+    on anything that is not a live, intact transaction record: offsets
+    outside [[head, tail)], control records, torn or corrupt bytes. *)
+
+val fold_chain :
+  t ->
+  offsets:int list ->
+  init:'a ->
+  ('a -> int -> Record.txn -> 'a) ->
+  ('a, string) result
+(** Fold {!read_at} over a chain's offsets in the given order, stopping
+    at the first unreadable record. *)

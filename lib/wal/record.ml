@@ -93,19 +93,43 @@ let encoded_size ?(range_header_size = rvm_disk_header_size) t =
    and the offline verifier can see where an in-place flush of the region
    images started and whether it completed.  They use their own magic so
    the transaction encoding — pinned by golden vectors — is untouched. *)
-type ctrl_kind = Ckpt_begin | Ckpt_end
-type ctrl = { kind : ctrl_kind; node : int; ckpt_id : int }
+type ctrl_kind = Ckpt_begin | Ckpt_end | Region_index
+type index_entry = { keys : int list; offsets : int list }
+
+type ctrl = {
+  kind : ctrl_kind;
+  node : int;
+  ckpt_id : int;
+  entries : index_entry list;
+}
 
 let ctrl_size = 4 + 4 + 1 + 2 + 8 + 4
 
 let encode_ctrl_into w c =
   let start = Codec.length w in
   Codec.u32 w ctrl_magic;
-  Codec.u32 w ctrl_size;
-  Codec.u8 w (match c.kind with Ckpt_begin -> 1 | Ckpt_end -> 2);
+  Codec.u32 w 0 (* total, patched below *);
+  Codec.u8 w (match c.kind with Ckpt_begin -> 1 | Ckpt_end -> 2 | Region_index -> 3);
   Codec.u16 w c.node;
   Codec.int_as_u64 w c.ckpt_id;
-  let covered = Codec.slice_sub w ~pos:start ~len:(ctrl_size - 4) in
+  (match c.kind with
+  | Ckpt_begin | Ckpt_end ->
+      (* Checkpoint markers keep the original fixed-size encoding, so
+         pre-index logs decode unchanged. *)
+      if c.entries <> [] then
+        invalid_arg "Record.encode_ctrl: checkpoint markers carry no index"
+  | Region_index ->
+      Codec.varint w (List.length c.entries);
+      List.iter
+        (fun e ->
+          Codec.varint w (List.length e.keys);
+          List.iter (Codec.varint w) e.keys;
+          Codec.varint w (List.length e.offsets);
+          List.iter (Codec.varint w) e.offsets)
+        c.entries);
+  let total = Codec.length w - start + 4 in
+  Codec.patch_u32 w ~at:(start + 4) total;
+  let covered = Codec.slice_sub w ~pos:start ~len:(total - 4) in
   let crc =
     Crc32.bytes (Slice.base covered) ~pos:(Slice.pos covered)
       ~len:(Slice.length covered)
@@ -117,13 +141,29 @@ let encode_ctrl c =
   encode_ctrl_into w c;
   Codec.contents w
 
+let equal_index_entry (a : index_entry) (b : index_entry) =
+  List.equal Int.equal a.keys b.keys && List.equal Int.equal a.offsets b.offsets
+
 let equal_ctrl (a : ctrl) (b : ctrl) =
   a.kind = b.kind && a.node = b.node && a.ckpt_id = b.ckpt_id
+  && List.equal equal_index_entry a.entries b.entries
 
 let pp_ctrl ppf c =
   Format.fprintf ppf "%s node=%d ckpt=%d"
-    (match c.kind with Ckpt_begin -> "ckpt-begin" | Ckpt_end -> "ckpt-end")
-    c.node c.ckpt_id
+    (match c.kind with
+    | Ckpt_begin -> "ckpt-begin"
+    | Ckpt_end -> "ckpt-end"
+    | Region_index -> "region-index")
+    c.node c.ckpt_id;
+  if c.kind = Region_index then
+    Format.fprintf ppf " chains=%d (%s)"
+      (List.length c.entries)
+      (String.concat "; "
+         (List.map
+            (fun e ->
+              Printf.sprintf "%d keys/%d recs" (List.length e.keys)
+                (List.length e.offsets))
+            c.entries))
 
 type decode_result =
   | Txn of txn * int
@@ -149,7 +189,7 @@ let decode_slice s ~pos =
     let m = Codec.get_u32 r in
     if m = ctrl_magic then begin
       let total = Codec.get_u32 r in
-      if total <> ctrl_size then Torn "bad ctrl length"
+      if total < ctrl_size then Torn "bad ctrl length"
       else if pos + total > len then Torn "truncated record"
       else begin
         let stored_crc =
@@ -166,18 +206,36 @@ let decode_slice s ~pos =
         in
         if crc <> stored_crc then Torn "bad crc"
         else begin
-          let kind =
-            match Codec.get_u8 r with
-            | 1 -> Some Ckpt_begin
-            | 2 -> Some Ckpt_end
-            | _ -> None
-          in
-          match kind with
-          | None -> Torn "bad ctrl kind"
-          | Some kind ->
-              let node = Codec.get_u16 r in
-              let ckpt_id = Codec.get_int_as_u64 r in
-              Ctrl ({ kind; node; ckpt_id }, pos + total)
+          try
+            let body =
+              Codec.reader_of_slice
+                (Slice.sub s ~pos:(pos + 8) ~len:(total - 12))
+            in
+            let kind_byte = Codec.get_u8 body in
+            let node = Codec.get_u16 body in
+            let ckpt_id = Codec.get_int_as_u64 body in
+            match kind_byte with
+            | (1 | 2) when total <> ctrl_size -> Torn "bad ctrl length"
+            | 1 -> Ctrl ({ kind = Ckpt_begin; node; ckpt_id; entries = [] },
+                         pos + total)
+            | 2 -> Ctrl ({ kind = Ckpt_end; node; ckpt_id; entries = [] },
+                         pos + total)
+            | 3 ->
+                let n = Codec.get_varint body in
+                let entries =
+                  List.init n (fun _ ->
+                      let nk = Codec.get_varint body in
+                      let keys = List.init nk (fun _ -> Codec.get_varint body) in
+                      let no = Codec.get_varint body in
+                      let offsets =
+                        List.init no (fun _ -> Codec.get_varint body)
+                      in
+                      { keys; offsets })
+                in
+                Ctrl ({ kind = Region_index; node; ckpt_id; entries },
+                      pos + total)
+            | _ -> Torn "bad ctrl kind"
+          with Codec.Truncated why -> Torn ("malformed ctrl body: " ^ why)
         end
       end
     end

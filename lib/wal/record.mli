@@ -61,26 +61,44 @@ val encode_into : ?range_header_size:int -> Lbc_util.Codec.writer -> txn -> unit
 
 (** {1 Control records}
 
-    Fixed-size marker records bracketing a fuzzy checkpoint
-    ([Ckpt_begin] … region flushes … [Ckpt_end]).  They share the log's
-    framing (own magic, total length, CRC) but carry no transaction, so
-    the transaction encoding — pinned by golden vectors — is unchanged.
-    Scans skip them; the offline verifier reads them to detect a head
-    trimmed past an incomplete checkpoint. *)
+    Marker records sharing the log's framing (own magic, total length,
+    CRC) but carrying no transaction, so the transaction encoding —
+    pinned by golden vectors — is unchanged.  Scans skip them; the
+    offline verifier reads them to detect a head trimmed past an
+    incomplete checkpoint.
 
-type ctrl_kind = Ckpt_begin | Ckpt_end
+    [Ckpt_begin]/[Ckpt_end] bracket a fuzzy checkpoint and keep their
+    original fixed-size encoding.  [Region_index] is variable-length: it
+    persists the replay-partition index over the live log tail (the
+    union-find closure of lock∪region keys), one entry per independent
+    chain, so a rejoining node can start serving on demand without
+    re-partitioning the tail it already checkpointed. *)
+
+type ctrl_kind = Ckpt_begin | Ckpt_end | Region_index
+
+type index_entry = {
+  keys : int list;
+      (** tagged lock/region ids of the chain (see {!Region_index.tag});
+          non-negative, sorted ascending *)
+  offsets : int list;
+      (** log offsets of the chain's records, ascending (= replay order) *)
+}
 
 type ctrl = {
   kind : ctrl_kind;
   node : int;  (** node performing the checkpoint *)
   ckpt_id : int;  (** node-local checkpoint number, pairs begin/end *)
+  entries : index_entry list;
+      (** [Region_index] payload; must be [[]] for checkpoint markers *)
 }
 
 val ctrl_size : int
-(** Exact on-disk size of every control record. *)
+(** Exact on-disk size of a checkpoint marker, and the minimum size of
+    any control record. *)
 
 val encode_ctrl : ctrl -> Bytes.t
 val encode_ctrl_into : Lbc_util.Codec.writer -> ctrl -> unit
+val equal_index_entry : index_entry -> index_entry -> bool
 val equal_ctrl : ctrl -> ctrl -> bool
 val pp_ctrl : Format.formatter -> ctrl -> unit
 

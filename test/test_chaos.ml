@@ -93,7 +93,16 @@ let recovery_matches c =
     let len = min region_size (Lbc_storage.Dev.size dev) in
     let db = Lbc_storage.Dev.read dev ~off:0 ~len in
     let cache = Node.read (Cluster.node c 0) ~region:r ~offset:0 ~len in
-    if not (Bytes.equal db cache) then ok := false
+    if not (Bytes.equal db cache) then begin
+      if Sys.getenv_opt "LBC_DEBUG_RECOVERY" <> None then
+        for i = 0 to len - 1 do
+          if Bytes.get db i <> Bytes.get cache i then
+            Printf.eprintf "region %d offset %d: db=%02x cache=%02x\n" r i
+              (Char.code (Bytes.get db i))
+              (Char.code (Bytes.get cache i))
+        done;
+      ok := false
+    end
   done;
   !ok
 
@@ -443,21 +452,23 @@ let ctrl_counts log =
     Lbc_wal.Log.fold_ctrl log ~init:(0, 0) (fun (b, e) _ c ->
         match c.Lbc_wal.Record.kind with
         | Lbc_wal.Record.Ckpt_begin -> (b + 1, e)
-        | Lbc_wal.Record.Ckpt_end -> (b, e + 1))
+        | Lbc_wal.Record.Ckpt_end -> (b, e + 1)
+        | Lbc_wal.Record.Region_index -> (b, e))
   in
   counts
 
-let crash_then_rejoin c ~node:n =
+let crash_then_rejoin ?mode ?(after_rejoin = fun () -> ()) c ~node:n =
   Lbc_sim.Proc.spawn (Cluster.engine c) ~name:"chaos-controller" (fun () ->
       Cluster.crash c ~node:n;
       let rec rejoin_when_lease_expires () =
-        match Cluster.rejoin c ~node:n with
+        match Cluster.rejoin ?mode c ~node:n with
         | () -> ()
         | exception Invalid_argument _ ->
             Lbc_sim.Proc.sleep 50.0;
             rejoin_when_lease_expires ()
       in
-      rejoin_when_lease_expires ())
+      rejoin_when_lease_expires ();
+      after_rejoin ())
 
 (* Satellite regression (the PR's headline bugfix): a node-local
    [Rvm.truncate] used to trim the log to its tail even when the repair
@@ -642,6 +653,146 @@ let test_chaos_partitioned_recovery () =
     true
     (t_partitioned < t_serial)
 
+(* Tentpole: an on-demand rejoin serves immediately — chains replay on
+   first touch while a background drain walks the rest — and ends in
+   exactly the same state as a full replay: converged caches, a clean
+   merged log, and a recovered database matching the caches byte for
+   byte.  The restarted node's first commit feeds
+   [time_to_first_commit_us].
+
+   Home-segment workload (each node writes only its own lock's slots):
+   a single-node fuzzy checkpoint is only recovery-consistent when the
+   trimmed records have no older cross-node writes beneath them, which
+   single-writer slots guarantee (the distributed [online_checkpoint]
+   guarantees it for arbitrary workloads by trimming every log at one
+   consistent cut). *)
+let worker_home c rng n iterations =
+  let rng = Lbc_util.Rng.split rng in
+  Cluster.spawn c ~node:n (fun node ->
+      for _ = 1 to iterations do
+        let txn = Node.Txn.begin_ node in
+        Node.Txn.acquire txn n;
+        Node.Txn.set_u64 txn ~region:(lock_region n)
+          ~offset:(lock_offset rng n) (Lbc_util.Rng.int64 rng);
+        Node.Txn.commit txn;
+        Lbc_sim.Proc.sleep (Lbc_util.Rng.float rng 20.0)
+      done)
+
+let test_chaos_ondemand_rejoin () =
+  let seed = chaos_seed 1515 in
+  with_repro ~scenario:"rejoin-under-load" ~seed @@ fun () ->
+  let config =
+    {
+      Config.fault_tolerant with
+      Config.repair_timeout = 100.0;
+      Config.lease_timeout = 400.0;
+      Config.ckpt_slice_bytes = 128;
+      Config.ckpt_slice_interval = 20.0;
+      Config.ckpt_gossip_delay = 50.0;
+      Config.trace = true;
+    }
+  in
+  let nodes = 3 in
+  let c = mk_cluster config nodes in
+  let rng = Lbc_util.Rng.create seed in
+  for n = 0 to nodes - 1 do
+    worker_home c rng n 10
+  done;
+  Cluster.run c;
+  (* Persist a region-index control record with a fuzzy checkpoint so
+     the rejoin seeds its chains from it instead of rescanning... *)
+  Cluster.fuzzy_checkpoint c ~node:0;
+  Cluster.run c;
+  (* ...then grow a post-checkpoint tail for the index to extend over. *)
+  for n = 0 to nodes - 1 do
+    worker_home c rng n 10
+  done;
+  Cluster.run c;
+  crash_then_rejoin ~mode:Node.On_demand c ~node:0;
+  Cluster.run c;
+  Alcotest.(check bool) "node is back up" false (Cluster.is_crashed c 0);
+  (* Load on the freshly-rejoined node: first touches replay chains on
+     demand, the background drain warms the rest. *)
+  worker_home c rng 0 5;
+  Cluster.run c;
+  Alcotest.(check bool) "drain finished" false
+    (Node.recovering (Cluster.node c 0));
+  final_pull c nodes;
+  Alcotest.(check bool) "caches converged" true (converged c nodes);
+  Alcotest.(check bool) "recovery matches" true (recovery_matches c);
+  check_logs_clean "merged logs clean after on-demand rejoin" c nodes;
+  match Lbc_obs.Obs.hist (Cluster.obs c) "time_to_first_commit_us" with
+  | Some h ->
+      Alcotest.(check bool) "time to first commit observed" true
+        (Lbc_obs.Obs.Histogram.count h > 0)
+  | None -> Alcotest.fail "no time_to_first_commit_us histogram"
+
+(* Satellite regression: with lazy propagation a peer's fetch must not
+   be answered from a not-yet-replayed chain.  Node 1 commits writes
+   only it knows about (lazy: nothing is broadcast), crashes, and
+   rejoins on demand; a fetch injected before the background drain has
+   run a single step must block on the chain replay and serve the
+   post-crash bytes — without the warmth gate it would answer from the
+   empty (stale) retained table and strand the peer in the interlock
+   (repair is off, so nothing would heal it).  The serializability
+   oracle judges the final images. *)
+let test_chaos_ondemand_fetch_gate () =
+  let config =
+    {
+      Config.default with
+      Config.propagation = Config.Lazy;
+      Config.lease_timeout = 300.0;
+    }
+  in
+  let nodes = 2 in
+  let c = mk_cluster config nodes in
+  Cluster.spawn c ~node:1 (fun node ->
+      let txn = Node.Txn.begin_ node in
+      Node.Txn.acquire txn 0;
+      Node.Txn.set_u64 txn ~region:0 ~offset:0 66L;
+      Node.Txn.commit txn;
+      let txn = Node.Txn.begin_ node in
+      Node.Txn.acquire txn 0;
+      Node.Txn.set_u64 txn ~region:0 ~offset:0 88L;
+      Node.Txn.commit txn);
+  Cluster.run c;
+  crash_then_rejoin ~mode:Node.On_demand c ~node:1
+    ~after_rejoin:(fun () ->
+      (* The controller has not yielded since the rejoin: the drain has
+         not run, every chain is still cold. *)
+      Alcotest.(check bool) "chains cold right after rejoin" true
+        (Node.recovering (Cluster.node c 1));
+      Node.handle (Cluster.node c 1) ~src:0 (Msg.Fetch { lock = 0; have = 0 }));
+  Cluster.run c;
+  Alcotest.(check bool) "writer is back" false (Cluster.is_crashed c 1);
+  (* The injected fetch's reply already healed node 0: its acquire
+     passes the interlock locally and sees the newest committed bytes. *)
+  Cluster.spawn c ~node:0 (fun node ->
+      let txn = Node.Txn.begin_ node in
+      Node.Txn.acquire txn 0;
+      Alcotest.(check int64) "fetch served post-replay bytes" 88L
+        (Node.Txn.get_u64 txn ~region:0 ~offset:0);
+      Node.Txn.commit txn);
+  Cluster.run c;
+  Alcotest.(check bool) "caches converged" true (converged c nodes);
+  let streams =
+    List.map Lbc_analysis.Invariants.stream_of_log (logs_of c nodes)
+  in
+  let finals =
+    List.init nodes (fun n ->
+        ( Printf.sprintf "node %d" n,
+          fun r ->
+            Node.read (Cluster.node c n) ~region:r ~offset:0 ~len:region_size ))
+  in
+  let vs =
+    Lbc_analysis.Serialize.check
+      ~regions:(List.init regions (fun r -> (r, region_size)))
+      ~finals streams
+  in
+  Alcotest.(check (list string))
+    "serializable with on-demand replay" []
+    (List.map Lbc_analysis.Violation.to_string vs)
+
 let suites =
   [
     ( "chaos",
@@ -680,5 +831,12 @@ let suites =
           test_chaos_fuzzy_checkpoint_trims;
         Alcotest.test_case "partitioned recovery" `Quick
           test_chaos_partitioned_recovery;
+      ] );
+    ( "chaos-ondemand",
+      [
+        Alcotest.test_case "on-demand rejoin under load" `Quick
+          test_chaos_ondemand_rejoin;
+        Alcotest.test_case "cold fetch gated by chain replay" `Quick
+          test_chaos_ondemand_fetch_gate;
       ] );
   ]

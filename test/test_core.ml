@@ -496,6 +496,87 @@ let test_partition_empty_and_keyless () =
     "keyless records stay together (and ordered)" [ [ 1; 2 ] ]
     (List.map tids (Merge.partition records))
 
+(* Satellite property: the region index persisted at a checkpoint trim,
+   extended by scanning only the records appended afterwards, partitions
+   the live tail exactly like a fresh [Merge.partition] over it.  Exact
+   equality holds because the index is written fresh over the post-trim
+   tail (as [Rvm.fuzzy_checkpoint] does); an index persisted before a
+   trim may legally be coarser. *)
+let gen_index_case =
+  let open QCheck.Gen in
+  let gen_keys =
+    pair (list_size (0 -- 2) (int_bound 5)) (list_size (0 -- 2) (int_bound 5))
+  in
+  map
+    (fun (keysets, ck, tr) ->
+      (List.mapi
+         (fun i (locks, regions) ->
+           ptxn ~tid:(i + 1)
+             ~locks:(List.mapi (fun j l -> (l, ((i + 1) * 10) + j)) locks)
+             ~regions ())
+         keysets,
+       ck, tr))
+    (triple (list_size (0 -- 25) gen_keys) (int_bound 1000) (int_bound 1000))
+
+let prop_region_index_matches_partition =
+  QCheck.Test.make
+    ~name:"persisted region index = Merge.partition across random trims"
+    ~count:200
+    (QCheck.make gen_index_case)
+    (fun (txns, ck, tr) ->
+      let d = Lbc_storage.Dev.create () in
+      let log = Lbc_wal.Log.attach d in
+      let n = List.length txns in
+      let k = if n = 0 then 0 else ck mod (n + 1) in
+      let before = List.filteri (fun i _ -> i < k) txns in
+      let after = List.filteri (fun i _ -> i >= k) txns in
+      let offs_before = List.map (fun t -> Lbc_wal.Log.append log t) before in
+      Lbc_wal.Log.force log;
+      (* Checkpoint: trim to a random record boundary in the prefix,
+         then persist a fresh index of what survives. *)
+      let cut =
+        match offs_before with
+        | [] -> Lbc_wal.Log.head log
+        | offs ->
+            let j = tr mod (List.length offs + 1) in
+            if j = List.length offs then Lbc_wal.Log.tail log
+            else List.nth offs j
+      in
+      ignore (Lbc_wal.Log.set_head log cut : int);
+      let idx, _ = Lbc_wal.Region_index.of_log log in
+      ignore
+        (Lbc_wal.Log.append_ctrl log
+           (Lbc_wal.Region_index.to_ctrl idx ~node:0 ~ckpt_id:1)
+          : int);
+      List.iter (fun t -> ignore (Lbc_wal.Log.append log t : int)) after;
+      Lbc_wal.Log.force log;
+      (* Reload: seeded from the persisted ctrl, extended over the
+         suffix appended after it. *)
+      let idx', _ = Lbc_wal.Region_index.of_log log in
+      let live =
+        let items, _ =
+          Lbc_wal.Log.fold log ~init:[] (fun acc off t -> (off, t) :: acc)
+        in
+        List.rev items
+      in
+      let tid2off = Hashtbl.create 16 in
+      List.iter
+        (fun (off, (t : Lbc_wal.Record.txn)) ->
+          Hashtbl.replace tid2off t.Lbc_wal.Record.tid off)
+        live;
+      let canon chains =
+        List.sort compare (List.map (List.sort compare) chains)
+      in
+      let expected =
+        Merge.partition (List.map snd live)
+        |> List.map
+             (List.map (fun (t : Lbc_wal.Record.txn) ->
+                  Hashtbl.find tid2off t.Lbc_wal.Record.tid))
+        |> canon
+      in
+      let got = canon (Lbc_wal.Region_index.chains idx') in
+      expected = got)
+
 let test_distributed_recovery_matches_caches () =
   let c = mk ~nodes:3 () in
   let rng = Lbc_util.Rng.create 7 in
@@ -1121,6 +1202,7 @@ let suites =
           test_partition_preserves_all_records;
         Alcotest.test_case "partition: empty and keyless" `Quick
           test_partition_empty_and_keyless;
+        qtest prop_region_index_matches_partition;
         qtest prop_merge_respects_lock_order;
         Alcotest.test_case "distributed recovery" `Quick
           test_distributed_recovery_matches_caches;

@@ -137,6 +137,8 @@ let suites =
         Alcotest.test_case "checkpoint-under-faults 5 schedules" `Quick
           (explored_clean "checkpoint-under-faults"
              Scenario.checkpoint_under_faults 5);
+        Alcotest.test_case "rejoin-under-load 5 schedules" `Quick
+          (explored_clean "rejoin-under-load" Scenario.rejoin_under_load 5);
         Alcotest.test_case "oo7 eager 5 schedules" `Quick
           (explored_clean "oo7-eager" Scenario.oo7_eager 5);
         Alcotest.test_case "oo7 multicast 5 schedules" `Quick

@@ -464,13 +464,22 @@ let test_fuzzy_checkpoint () =
      both markers are live (begin first, end after). *)
   check_int "txn records trimmed" 0 (Lbc_wal.Log.record_count log);
   check_int "head at ckpt start" o.Rvm.trimmed_to (Lbc_wal.Log.head log);
-  let kinds, status =
-    Lbc_wal.Log.fold_ctrl log ~init:[] (fun acc _ c ->
-        c.Lbc_wal.Record.kind :: acc)
+  let ctrls, status =
+    Lbc_wal.Log.fold_ctrl log ~init:[] (fun acc _ c -> c :: acc)
   in
   Alcotest.(check bool) "ctrl scan clean" true (status = Lbc_wal.Log.Clean);
-  Alcotest.(check (list bool)) "begin then end live" [ true; false ]
-    (List.rev_map (fun k -> k = Lbc_wal.Record.Ckpt_begin) kinds);
+  Alcotest.(check (list bool))
+    "begin, end, then region index live"
+    [ true; false; false ]
+    (List.rev_map
+       (fun c -> c.Lbc_wal.Record.kind = Lbc_wal.Record.Ckpt_begin)
+       ctrls);
+  (* The persisted index covers the (empty) post-trim tail. *)
+  (match ctrls with
+  | { Lbc_wal.Record.kind = Lbc_wal.Record.Region_index; entries; _ } :: _ ->
+      Alcotest.(check int) "empty tail indexes no chains" 0
+        (List.length entries)
+  | _ -> Alcotest.fail "newest ctrl is not the region index");
   (* The ckpt water is lifted: a later truncate can trim the markers. *)
   Alcotest.(check int) "water lifted" max_int (Lbc_wal.Log.low_water log);
   let st = Rvm.stats rvm in
