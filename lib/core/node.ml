@@ -684,7 +684,7 @@ let replay_one t ~off (record : Lbc_wal.Record.txn) =
   if retains t && record.Lbc_wal.Record.ranges <> [] then
     track_unacked t ~offset:off record ~peers:(propagation_peers t record)
 
-let replay_stream (t : t) (r : recovery) (s : stream) =
+let rec replay_stream (t : t) (r : recovery) (s : stream) =
   match s.status with
   | Warm -> ()
   | Replaying ->
@@ -693,7 +693,11 @@ let replay_stream (t : t) (r : recovery) (s : stream) =
       Lbc_sim.Condvar.await
         ~info:(Printf.sprintf "n%d awaits replay of stream %d" t.id s.sid)
         r.warm_cv
-        (fun () -> s.status = Warm)
+        (fun () -> s.status <> Replaying);
+      (* The replayer may have failed and reset the chain to Cold; retry
+         in this process so a failure surfaces to every toucher instead
+         of hanging the waiters. *)
+      if s.status <> Warm then replay_stream t r s
   | Cold ->
       s.status <- Replaying;
       let log = Lbc_rvm.Rvm.log t.rvm in
@@ -707,13 +711,22 @@ let replay_stream (t : t) (r : recovery) (s : stream) =
             ()
         else Obs.null_span
       in
-      List.iter
-        (fun off ->
-          match Lbc_wal.Log.read_at log ~off with
-          | Ok record -> replay_one t ~off record
-          | Error why ->
-              raise (Coherency_error ("on-demand replay: " ^ why)))
-        s.offsets;
+      (try
+         List.iter
+           (fun off ->
+             match Lbc_wal.Log.read_at log ~off with
+             | Ok record -> replay_one t ~off record
+             | Error why ->
+                 raise (Coherency_error ("on-demand replay: " ^ why)))
+           s.offsets
+       with e ->
+         (* Leave the chain retryable and wake the waiters; [r.cold]
+            keeps counting it, so retention stays pinned at the head and
+            nothing serves its stale regions. *)
+         s.status <- Cold;
+         ignore (Obs.span_end t.obs sp : float);
+         Lbc_sim.Condvar.broadcast r.warm_cv;
+         raise e);
       s.status <- Warm;
       List.iter
         (fun k ->
@@ -780,7 +793,7 @@ let rejoin ?(mode = Replay_all) (t : t) ~applied =
   Hashtbl.reset t.repairs;
   Hashtbl.reset t.applied;
   t.recovery <- None;
-  t.ttfc_mark <- Some (Lbc_sim.Engine.now t.engine);
+  t.ttfc_mark <- None;
   (* The crash killed any process that was mid-transaction; those
      transactions will never commit, so they must not keep a later fuzzy
      checkpoint waiting for quiescence. *)
@@ -860,7 +873,11 @@ let rejoin ?(mode = Replay_all) (t : t) ~applied =
       (* Index the surviving tail — seeded by the checkpoint's persisted
          region-index control record, extended with whatever was
          appended since — and serve immediately.  Nothing is replayed
-         here; first touch and the background drain do it. *)
+         here; first touch and the background drain do it.  Only this
+         mode feeds [time_to_first_commit_us]: the bench compares
+         on-demand rows by it, so Replay_all rejoins must not pollute
+         the samples. *)
+      t.ttfc_mark <- Some (Lbc_sim.Engine.now t.engine);
       let log = Lbc_rvm.Rvm.log t.rvm in
       let idx, _status = Lbc_wal.Region_index.of_log log in
       let entries = Lbc_wal.Region_index.entries idx in
@@ -898,7 +915,13 @@ let rejoin ?(mode = Replay_all) (t : t) ~applied =
               | Lbc_wal.Region_index.Lock _ -> ())
             s.skeys)
         streams;
-      if retains t && r.cold > 0 then
+      (* Pin unconditionally, not just under [retains t]: even in an
+         eager non-repair config the cold chains' records are the only
+         copy of their committed updates (the regions were reloaded from
+         the checkpoint image, so a fuzzy checkpoint flushes nothing for
+         them).  Released by [replay_stream] when the last stream
+         warms. *)
+      if r.cold > 0 then
         Lbc_wal.Log.set_retention_water log (Lbc_wal.Log.head log);
       if Obs.enabled t.obs && r.cold > 0 then
         Obs.count t.obs "recovery_partitions" r.cold;

@@ -146,7 +146,14 @@ let of_log log =
   (* Seed from the newest persisted index, then extend with the records
      appended after it; offsets trimmed since the index was written are
      dropped (the chain structure they contributed is kept — a coarser
-     partition is conservative and still replays correctly). *)
+     partition is conservative and still replays correctly).
+
+     The rescan resumes from the highest offset the persisted entries
+     actually cover, NOT from the ctrl record's own log offset: commits
+     can land between the checkpoint's index scan and the ctrl append,
+     giving them offsets below the ctrl record while absent from its
+     entries.  Records are appended in offset order, so anything missing
+     from the entries is strictly above every indexed offset. *)
   let ctrls, _ = Log.fold_ctrl log ~init:[] (fun acc off c -> (off, c) :: acc) in
   let newest =
     List.find_opt
@@ -155,7 +162,9 @@ let of_log log =
   in
   let t, from_off =
     match newest with
-    | Some (off, c) -> (of_entries c.Record.entries, off)
+    | Some (_, c) ->
+        let t = of_entries c.Record.entries in
+        (t, t.last_off)
     | None -> (create (), -1)
   in
   drop_below t ~head:(Log.head log);

@@ -673,6 +673,30 @@ let test_region_index_tracks_log () =
     [ [ o2 ]; [ o3 ] ]
     (List.sort compare (Region_index.chains idx'))
 
+(* Regression: a commit can land between the checkpoint's index scan and
+   the ctrl append (the scan charges device time, so other procs run).
+   Its offset is below the ctrl record's own offset yet absent from the
+   persisted entries — the reload rescan must resume from the highest
+   *indexed* offset, not from the ctrl record's offset, or the record is
+   skipped forever and replay serves stale bytes. *)
+let test_region_index_covers_scan_gap () =
+  let d = Dev.create () in
+  let log = Log.attach d in
+  let o1 = Log.append log (mk_txn ~tid:1 ~locks:[ lock 3 1 0 ] [ (0, 0, "aa") ]) in
+  Log.force log;
+  let idx, _ = Region_index.of_log log in
+  (* Concurrent commit after the scan, before the ctrl append. *)
+  let o2 = Log.append log (mk_txn ~tid:2 ~locks:[ lock 9 1 0 ] [ (1, 0, "bb") ]) in
+  ignore
+    (Log.append_ctrl log (Region_index.to_ctrl idx ~node:1 ~ckpt_id:1) : int);
+  Log.force log;
+  let idx', status = Region_index.of_log log in
+  Alcotest.(check bool) "clean" true (status = Log.Clean);
+  Alcotest.(check (list (list int)))
+    "record between scan and ctrl append is re-indexed"
+    [ [ o1 ]; [ o2 ] ]
+    (List.sort compare (Region_index.chains idx'))
+
 let suites =
   [
     ( "wal.record",
@@ -725,6 +749,8 @@ let suites =
           test_scan_corrupt_byte_reports_offset;
         Alcotest.test_case "region index tracks log" `Quick
           test_region_index_tracks_log;
+        Alcotest.test_case "region index covers scan gap" `Quick
+          test_region_index_covers_scan_gap;
       ] );
     ( "wal.group_commit",
       [
