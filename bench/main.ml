@@ -862,6 +862,113 @@ let json () =
     (od10.od_ttfc_us /. Float.max 1.0 od1.od_ttfc_us)
 
 (* ------------------------------------------------------------------ *)
+(* Wall-clock benchmark on the real backend: OO7 traversals and a
+   parallel multi-writer workload on OCaml 5 domains with the socket
+   fabric and real files, written to BENCH_real.json.  Unlike every
+   number above, these are host wall-clock microseconds — they vary
+   run to run and machine to machine; the JSON is for trending shape
+   (scaling, message counts), not absolute comparison to the paper. *)
+
+let real_backend () = Lbc_core.Platform.Custom Lbc_real.Backend.factory
+
+let real_oo7 ~nodes kind =
+  let cluster = Runner.setup ~backend:(real_backend ()) ~nodes small in
+  (* The writer's own clock delta under-reports here (it runs without
+     blocking inside one engine drain), so time the whole run — setup
+     to quiescence with all peers applied — on the host clock. *)
+  let t0 = Unix.gettimeofday () in
+  let o = Runner.run ~cluster ~writer:0 small kind in
+  let wall_us = (Unix.gettimeofday () -. t0) *. 1e6 in
+  let msgs = Lbc_core.Cluster.total_messages cluster in
+  let bytes = Lbc_core.Cluster.total_bytes cluster in
+  Lbc_core.Cluster.shutdown cluster;
+  (o, wall_us, msgs, bytes)
+
+(* [nodes] writers commit [txns] transactions each on their own lock and
+   their own slice of the region — embarrassingly parallel application
+   work, with every commit eagerly broadcast over the sockets.  Returns
+   wall µs to quiescence with all caches converged. *)
+let real_parallel ~nodes ~txns =
+  let region_size = 64 * 1024 in
+  let span = region_size / nodes in
+  let c = Lbc_core.Cluster.create ~backend:(real_backend ()) ~nodes () in
+  Lbc_core.Cluster.add_region c ~id:0 ~size:region_size;
+  Lbc_core.Cluster.map_region_all c ~region:0;
+  let t0 = Unix.gettimeofday () in
+  for n = 0 to nodes - 1 do
+    Lbc_core.Cluster.spawn c ~node:n (fun node ->
+        for i = 1 to txns do
+          let txn = Lbc_core.Node.Txn.begin_ node in
+          Lbc_core.Node.Txn.acquire txn n;
+          Lbc_core.Node.Txn.set_u64 txn ~region:0
+            ~offset:((n * span) + (8 * (i mod (span / 8))))
+            (Int64.of_int i);
+          Lbc_core.Node.Txn.commit txn
+        done)
+  done;
+  Lbc_core.Cluster.run c;
+  let wall_us = (Unix.gettimeofday () -. t0) *. 1e6 in
+  let image n =
+    Lbc_core.Node.read (Lbc_core.Cluster.node c n) ~region:0 ~offset:0
+      ~len:region_size
+  in
+  let converged = ref true in
+  let img0 = image 0 in
+  for n = 1 to nodes - 1 do
+    if not (Bytes.equal img0 (image n)) then converged := false
+  done;
+  let msgs = Lbc_core.Cluster.total_messages c in
+  let bytes = Lbc_core.Cluster.total_bytes c in
+  Lbc_core.Cluster.shutdown c;
+  (wall_us, msgs, bytes, !converged)
+
+let real_json () =
+  hr "Real backend: wall-clock OO7 + parallel scaling (BENCH_real.json)";
+  let host_domains = Domain.recommended_domain_count () in
+  pr "host offers %d domains@." host_domains;
+  let oo7_nodes = 4 in
+  let buf = Buffer.create 2048 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "{\n  \"schema\": \"BENCH_real/v1\",\n  \"backend\": \"real\",\n";
+  addf "  \"host_domains\": %d,\n  \"clock\": \"wall\",\n" host_domains;
+  addf "  \"oo7\": [";
+  List.iteri
+    (fun i kind ->
+      let o, wall_us, msgs, bytes = real_oo7 ~nodes:oo7_nodes kind in
+      let p = o.Runner.profile in
+      if i > 0 then addf ",";
+      addf
+        "\n    { \"name\": %S, \"nodes\": %d, \"elapsed_us\": %.1f, \
+         \"messages\": %d, \"wire_bytes\": %d, \"updates\": %d, \
+         \"message_bytes\": %d }"
+        (Traversal.name kind) oo7_nodes wall_us msgs bytes p.Model.updates
+        p.Model.message_bytes;
+      pr "oo7 %-7s %4d domains %12.1f wall µs %6d msgs %9d bytes@."
+        (Traversal.name kind) oo7_nodes wall_us msgs bytes)
+    Traversal.table3_kinds;
+  addf "\n  ],\n  \"parallel\": [";
+  List.iteri
+    (fun i nodes ->
+      let txns = 100 in
+      let wall_us, msgs, bytes, converged = real_parallel ~nodes ~txns in
+      if i > 0 then addf ",";
+      addf
+        "\n    { \"nodes\": %d, \"txns_per_node\": %d, \"wall_us\": %.1f, \
+         \"messages\": %d, \"wire_bytes\": %d, \"converged\": %b }"
+        nodes txns wall_us msgs bytes converged;
+      pr "parallel %d domains x %d txns %12.1f wall µs %6d msgs%s@." nodes
+        txns wall_us msgs
+        (if converged then "" else "  !! DIVERGED"))
+    [ 2; 4 ];
+  addf "\n  ]\n}\n";
+  let oc = open_out "BENCH_real.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  pr "wrote BENCH_real.json (%d oo7 traversals on %d domains + scaling rows)@."
+    (List.length Traversal.table3_kinds)
+    oo7_nodes
+
+(* ------------------------------------------------------------------ *)
 
 let all () =
   table2 ();
@@ -900,6 +1007,7 @@ let () =
           | "macro" -> macro ()
           | "bechamel" -> bechamel ()
           | "json" -> json ()
+          | "real" -> real_json ()
           | other ->
               Format.eprintf "unknown benchmark %S@." other;
               exit 2)

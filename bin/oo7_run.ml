@@ -20,11 +20,35 @@ let save_devices dir store =
     (Lbc_storage.Store.names store)
 
 let run traversal config_name nodes protocol lazy_mode costs save trace_out
-    debug =
+    backend_name debug =
   if debug then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
   end;
+  let real =
+    match String.lowercase_ascii backend_name with
+    | "sim" -> false
+    | "real" -> true
+    | other ->
+        Format.eprintf "unknown backend %S (sim|real)@." other;
+        exit 2
+  in
+  if real && costs then begin
+    Format.eprintf
+      "--backend=real runs on the wall clock; --costs charges the model's \
+       virtual costs — pick one@.";
+    exit 2
+  end;
+  if real && save <> None then begin
+    Format.eprintf
+      "--save needs the sim storage service; the real backend writes \
+       throwaway temp files@.";
+    exit 2
+  end;
+  let backend =
+    if real then Lbc_core.Platform.Custom Lbc_real.Backend.factory
+    else Lbc_core.Platform.Sim
+  in
   let schema =
     match config_name with
     | "small" -> Schema.small
@@ -36,13 +60,19 @@ let run traversal config_name nodes protocol lazy_mode costs save trace_out
     | Some k -> k
     | None -> Format.eprintf "unknown traversal %S (try T1, T2-A .. T12-C)@." traversal; exit 2
   in
-  let backend =
+  let protocol_kind =
     match String.lowercase_ascii protocol with
     | "log" -> Lbc_dsm.Backend.Log
     | "cpycmp" | "cpy-cmp" | "cpy/cmp" -> Lbc_dsm.Backend.Cpy_cmp
     | "page" -> Lbc_dsm.Backend.Page
     | other -> Format.eprintf "unknown protocol %S (log|cpycmp|page)@." other; exit 2
   in
+  if real && protocol_kind <> Lbc_dsm.Backend.Log then begin
+    Format.eprintf
+      "--backend=real supports the log protocol (page-grained detection \
+       rides the sim's fault model)@.";
+    exit 2
+  end;
   let config =
     {
       (if costs then Lbc_core.Config.measured else Lbc_core.Config.default) with
@@ -53,13 +83,14 @@ let run traversal config_name nodes protocol lazy_mode costs save trace_out
       trace_path = trace_out;
     }
   in
-  let cluster = Runner.setup ~config ~nodes schema in
-  Format.printf "OO7 %s: %s config, %d nodes, %s protocol%s%s@."
+  let cluster = Runner.setup ~config ~backend ~nodes schema in
+  Format.printf "OO7 %s: %s config, %d nodes, %s protocol, %s backend%s%s@."
     (Traversal.name kind) config_name nodes
-    (Lbc_dsm.Backend.kind_name backend)
+    (Lbc_dsm.Backend.kind_name protocol_kind)
+    (Lbc_core.Cluster.backend_name cluster)
     (if lazy_mode then ", lazy propagation" else "")
     (if costs then ", costs charged" else "");
-  (match backend with
+  (match protocol_kind with
   | Lbc_dsm.Backend.Log ->
       let o = Runner.run ~cluster ~writer:0 schema kind in
       let r = o.Runner.result and p = o.Runner.profile in
@@ -71,7 +102,9 @@ let run traversal config_name nodes protocol lazy_mode costs save trace_out
         "profile: %d updates, %d bytes updated, %d message bytes, %d pages@."
         p.Lbc_costmodel.Model.updates p.Lbc_costmodel.Model.unique_bytes
         p.Lbc_costmodel.Model.message_bytes p.Lbc_costmodel.Model.pages_updated;
-      Format.printf "writer virtual time: %.1f µs@." o.Runner.elapsed;
+      Format.printf "writer %s time: %.1f µs@."
+        (if real then "wall-clock" else "virtual")
+        o.Runner.elapsed;
       Format.printf "model phases: %a@." Lbc_costmodel.Phases.pp_ms
         (Lbc_costmodel.Model.log_phases p)
   | backend ->
@@ -150,6 +183,7 @@ let run traversal config_name nodes protocol lazy_mode costs save trace_out
       Lbc_storage.Store.sync_all (Lbc_core.Cluster.store cluster);
       save_devices dir (Lbc_core.Cluster.store cluster)
   | None -> ());
+  Lbc_core.Cluster.shutdown cluster;
   if not !ok then exit 1
 
 let traversal =
@@ -186,10 +220,16 @@ let trace_out =
 let debug =
   Arg.(value & flag & info [ "debug" ] ~doc:"Trace coherency events.")
 
+let backend_name =
+  Arg.(value & opt string "sim" & info [ "backend" ] ~docv:"BACKEND"
+         ~doc:"Platform: $(b,sim) (deterministic single-core simulation) \
+               or $(b,real) (one OCaml 5 domain per node, Unix-socket \
+               fabric, real files with real fsync; wall-clock timing).")
+
 let cmd =
   Cmd.v
     (Cmd.info "oo7-run" ~doc:"Run an OO7 traversal under log-based coherency")
     Term.(const run $ traversal $ config_name $ nodes $ protocol $ lazy_mode
-          $ costs $ save $ trace_out $ debug)
+          $ costs $ save $ trace_out $ backend_name $ debug)
 
 let () = exit (Cmd.eval cmd)

@@ -28,6 +28,13 @@
      stray debugging output corrupts harness stdout (bench JSON, golden
      tests).  report.ml and lib/obs are exempt; elsewhere a deliberate
      print takes a [print-ok] comment on the same line.
+   - wall-clock: [Unix.gettimeofday], [Unix.sleep]/[Unix.sleepf] or
+     [Random.self_init] in library code outside lib/real.  The sim's
+     determinism rests on every library reading time from the engine
+     (Proc.now / Engine.now) and randomness from a seeded Rng; one stray
+     host-clock read makes replayed schedules diverge.  lib/real is the
+     one place wall time is the point; elsewhere a deliberate use takes
+     a [clock-ok] comment on the same line.
 
    The scanner blanks comments, string literals and character literals
    (preserving newlines and byte positions), so mentions of [compare] in
@@ -41,6 +48,7 @@ let rules =
     "hot-path-copy";
     "print-debug";
     "float-equality";
+    "wall-clock";
   ]
 
 (* Directories whose files are considered recovery paths for the
@@ -401,6 +409,56 @@ let check_print_debug ~file ~src text =
     in
     flag "Printf" @ flag "Format"
 
+(* Library code for the wall-clock rule: anything under lib/ except
+   lib/real, whose entire purpose is running on the host clock. *)
+let in_deterministic_lib file =
+  let parts = String.split_on_char '/' file in
+  List.mem "lib" parts && not (List.mem "real" parts)
+
+let check_wall_clock ~file ~src text =
+  if not (in_deterministic_lib file) then []
+  else
+    let qualified_call ~modname ~fns p =
+      match next_nonspace text (p + String.length modname) with
+      | Some (i, '.') -> (
+          match next_nonspace text (i + 1) with
+          | Some (j, c) when is_ident c ->
+              let rec fin k =
+                if k < String.length text && is_ident text.[k] then fin (k + 1)
+                else k
+              in
+              let word = String.sub text j (fin j - j) in
+              if List.mem word fns then Some (modname ^ "." ^ word) else None
+          | _ -> None)
+      | _ -> None
+    in
+    let flag modname fns =
+      List.filter_map
+        (fun p ->
+          match qualified_call ~modname ~fns p with
+          | None -> None
+          | Some callee ->
+              (* clock-ok on the same source line opts the call out. *)
+              if contains_sub (raw_line src p) "clock-ok" then None
+              else
+                Some
+                  (Violation.Lint
+                     {
+                       file;
+                       line = line_of text p;
+                       rule = "wall-clock";
+                       detail =
+                         callee
+                         ^ " reads the host clock/entropy in deterministic \
+                            library code; use Proc.now / Engine.now and a \
+                            seeded Rng, move it to lib/real, or annotate the \
+                            line with clock-ok";
+                     }))
+        (token_positions text modname)
+    in
+    flag "Unix" [ "gettimeofday"; "sleep"; "sleepf" ]
+    @ flag "Random" [ "self_init" ]
+
 (* Clock-valued operand heuristic for float-equality: an identifier (or
    the last component of a dotted path) that names a simulation
    timestamp. *)
@@ -551,6 +609,7 @@ let scan_source ~file src =
       check_hot_path_copy ~file ~src text;
       check_print_debug ~file ~src text;
       check_float_equality ~file ~src text;
+      check_wall_clock ~file ~src text;
     ]
 
 let read_file path =

@@ -262,6 +262,9 @@ let lint_fixture =
       "let dbg_ok x = Format.eprintf \"x=%d@.\" x (* print-ok: fixture *)";
       "let tie e t = e.at = now t";
       "let tie_ok e t = e.at = now t (* eq-ok: fixture *)";
+      "let wall () = Unix.gettimeofday ()";
+      "let seed () = Random.self_init ()";
+      "let wall_ok () = Unix.sleepf 0.1 (* clock-ok: fixture *)";
     ]
 
 let run () =
@@ -352,21 +355,25 @@ let run () =
       && List.mem "hot-path-copy" got
       && List.mem "print-debug" got
       && List.mem "float-equality" got
-      (* the copy-ok / print-ok / eq-ok lines must be the hits that are
-         NOT reported *)
+      && List.mem "wall-clock" got
+      (* the copy-ok / print-ok / eq-ok / clock-ok lines must be the hits
+         that are NOT reported *)
       && List.length (List.filter (String.equal "hot-path-copy") got) = 1
       && List.length (List.filter (String.equal "print-debug") got) = 1
       && List.length
            (List.filter (String.equal "float-equality")
               (List.map Violation.name vs))
          = 1
+      && List.length
+           (List.filter (String.equal "wall-clock") (List.map Violation.name vs))
+         = 2
     then
       {
         check = "lint: fixture";
         ok = true;
         detail =
-          "all six rules fire on the fixture; copy-ok, print-ok and eq-ok \
-           suppress";
+          "all seven rules fire on the fixture; copy-ok, print-ok, eq-ok \
+           and clock-ok suppress";
       }
     else
       {

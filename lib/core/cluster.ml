@@ -6,11 +6,19 @@ type region_info = {
   mutable mapped_by : int list;  (* nodes holding a cached copy *)
 }
 
-type t = {
+(* Direct handles into the simulation backend, for the operations that
+   only make sense there: deterministic scheduling, fault injection,
+   crash/rejoin, virtual-time recovery measurement. *)
+type sim_handles = {
   engine : Lbc_sim.Engine.t;
-  config : Config.t;
   fabric : Msg.t Lbc_net.Fabric.t;
   store : Lbc_storage.Store.t;
+}
+
+type t = {
+  platform : (module Platform.S);
+  sim : sim_handles option;  (* [Some] iff the backend is the sim *)
+  config : Config.t;
   nodes : Node.t array;
   regions : (int, region_info) Hashtbl.t;
   checkpointed : (int, int) Hashtbl.t;
@@ -22,9 +30,27 @@ type t = {
   obs : Obs.t;
 }
 
-let engine t = t.engine
+let backend_name t =
+  let module P = (val t.platform : Platform.S) in
+  P.name
+
+let deterministic t =
+  let module P = (val t.platform : Platform.S) in
+  P.deterministic
+
+let sim_handles t what =
+  match t.sim with
+  | Some h -> h
+  | None ->
+      raise
+        (Platform.Unsupported
+           (Printf.sprintf "%s requires the sim backend (running on %s)" what
+              (backend_name t)))
+
+let engine t = (sim_handles t "Cluster.engine").engine
+let fabric t = (sim_handles t "Cluster.fabric").fabric
+let store t = (sim_handles t "Cluster.store").store
 let config t = t.config
-let store t = t.store
 let size t = Array.length t.nodes
 
 let node t i =
@@ -32,34 +58,51 @@ let node t i =
     invalid_arg (Printf.sprintf "Cluster.node: no node %d" i);
   t.nodes.(i)
 
-let create ?(config = Config.default) ?sched ?net_params ?disk ~nodes () =
+let create ?(config = Config.default) ?sched ?net_params ?disk
+    ?(backend = Platform.Sim) ~nodes () =
   if nodes <= 0 then invalid_arg "Cluster.create: nodes must be positive";
-  let net_params =
-    match net_params with
-    | Some p -> p
-    | None ->
-        if config.Config.charge_costs then Lbc_net.Params.an1
-        else Lbc_net.Params.instant
+  let platform, sim =
+    match backend with
+    | Platform.Custom make ->
+        if sched <> None then
+          invalid_arg
+            "Cluster.create: schedule policies are sim-only (deterministic \
+             same-time ties do not exist on a preemptive backend)";
+        if net_params <> None || disk <> None then
+          invalid_arg
+            "Cluster.create: net/disk cost models are sim-only (the real \
+             backend pays real costs)";
+        (make ~nodes ~config, None)
+    | Platform.Sim ->
+        let net_params =
+          match net_params with
+          | Some p -> p
+          | None ->
+              if config.Config.charge_costs then Lbc_net.Params.an1
+              else Lbc_net.Params.instant
+        in
+        let disk =
+          match disk with
+          | Some d -> d
+          | None ->
+              if config.Config.charge_costs && config.Config.disk_logging then
+                Lbc_storage.Latency.osdi94_disk
+              else Lbc_storage.Latency.none
+        in
+        let engine = Lbc_sim.Engine.create ?policy:sched () in
+        let fabric =
+          Lbc_net.Fabric.create ~params:net_params ~engine ~nodes
+            ~size:Msg.size ()
+        in
+        let store = Lbc_storage.Store.create ~latency:disk () in
+        (Platform.sim ~engine ~fabric ~store, Some { engine; fabric; store })
   in
-  let disk =
-    match disk with
-    | Some d -> d
-    | None ->
-        if config.Config.charge_costs && config.Config.disk_logging then
-          Lbc_storage.Latency.osdi94_disk
-        else Lbc_storage.Latency.none
-  in
-  let engine = Lbc_sim.Engine.create ?policy:sched () in
-  let fabric =
-    Lbc_net.Fabric.create ~params:net_params ~engine ~nodes ~size:Msg.size ()
-  in
-  let store = Lbc_storage.Store.create ~latency:disk () in
+  let module P = (val platform : Platform.S) in
   let obs =
-    if config.Config.trace then
-      Obs.create ~now:(fun () -> Lbc_sim.Engine.now engine) ~nodes ()
+    if config.Config.trace then Obs.create ~now:P.now_us ~nodes ()
     else Obs.disabled
   in
-  Lbc_net.Fabric.set_obs fabric obs;
+  P.set_obs obs;
   let regions = Hashtbl.create 4 in
   let peers_with_region self region =
     match Hashtbl.find_opt regions region with
@@ -73,42 +116,25 @@ let create ?(config = Config.default) ?sched ?net_params ?disk ~nodes () =
             Node.node_id = i;
             nodes;
             config;
-            engine;
-            send = (fun ~dst m -> Lbc_net.Fabric.send fabric ~src:i ~dst m);
-            multicast_send =
-              (fun ~dsts m -> Lbc_net.Fabric.broadcast fabric ~src:i ~dsts m);
+            engine = P.node_engine i;
+            send = (fun ~dst m -> P.send ~src:i ~dst m);
+            multicast_send = (fun ~dsts m -> P.broadcast ~src:i ~dsts m);
             send_update =
-              (fun ~dst iov ->
-                Lbc_net.Fabric.send_v fabric ~src:i ~dst ~iov (Msg.Update iov));
+              (fun ~dst iov -> P.send_v ~src:i ~dst ~iov (Msg.Update iov));
             multicast_update =
               (fun ~dsts iov ->
-                Lbc_net.Fabric.broadcast_v fabric ~src:i ~dsts ~iov
-                  (Msg.Update iov));
+                P.broadcast_v ~src:i ~dsts ~iov (Msg.Update iov));
             peers_with_region = peers_with_region i;
-            log_dev = Lbc_storage.Store.open_dev store (Printf.sprintf "log.%d" i);
+            log_dev = P.open_dev (Printf.sprintf "log.%d" i);
             obs;
           })
   in
-  (* One dispatcher per peer channel, like the prototype's per-connection
-     receiver threads.  Daemons: being forever blocked on an idle channel
-     is their normal state, not a hang worth reporting. *)
-  for n = 0 to nodes - 1 do
-    for p = 0 to nodes - 1 do
-      if p <> n then
-        Lbc_sim.Proc.spawn engine ~name:(Printf.sprintf "dispatch-%d<-%d" n p)
-          ~daemon:true
-          (fun () ->
-            while true do
-              let m = Lbc_net.Fabric.recv fabric ~dst:n ~src:p in
-              Node.handle cluster_nodes.(n) ~src:p m
-            done)
-    done
-  done;
+  P.start_receivers ~handler:(fun ~dst ~src m ->
+      Node.handle cluster_nodes.(dst) ~src m);
   {
-    engine;
+    platform;
+    sim;
     config;
-    fabric;
-    store;
     nodes = cluster_nodes;
     regions;
     checkpointed = Hashtbl.create 16;
@@ -138,7 +164,8 @@ let region_info t id =
 let add_region t ~id ~size =
   if Hashtbl.mem t.regions id then
     invalid_arg (Printf.sprintf "Cluster.add_region: region %d exists" id);
-  let dev = Lbc_storage.Store.open_dev t.store (Printf.sprintf "region.%d" id) in
+  let module P = (val t.platform : Platform.S) in
+  let dev = P.open_dev (Printf.sprintf "region.%d" id) in
   Hashtbl.add t.regions id { size; dev; mapped_by = [] }
 
 let region_dev t id = (region_info t id).dev
@@ -158,37 +185,74 @@ let map_region_all t ~region =
 let spawn t ~node:n f =
   let target = node t n in
   let epoch0 = t.epoch.(n) in
+  let module P = (val t.platform : Platform.S) in
   (* The process dies with its node: a crash bumps the epoch, and the
      scheduler kills the process at its next resumption. *)
-  Lbc_sim.Proc.spawn t.engine
+  P.spawn ~node:n
     ~name:(Printf.sprintf "app-%d" n)
+    ~daemon:false
     ~alive:(fun () -> (not t.crashed.(n)) && t.epoch.(n) = epoch0)
     (fun () -> f target)
 
 let run ?until ?(check_stranded = true) t =
-  Lbc_sim.Engine.run ?until t.engine;
-  (* Only a drained queue proves the blocked processes can never resume;
-     a [~until] pause is not a verdict. *)
-  if until = None && check_stranded then
-    match Lbc_sim.Engine.blocked t.engine with
-    | [] -> ()
-    | descs -> raise (Lbc_sim.Engine.Stranded descs)
+  match t.sim with
+  | Some h ->
+      Lbc_sim.Engine.run ?until h.engine;
+      (* Only a drained queue proves the blocked processes can never
+         resume; a [~until] pause is not a verdict. *)
+      if until = None && check_stranded then (
+        match Lbc_sim.Engine.blocked h.engine with
+        | [] -> ()
+        | descs -> raise (Lbc_sim.Engine.Stranded descs))
+  | None ->
+      if until <> None then
+        raise
+          (Platform.Unsupported
+             "Cluster.run ~until: virtual-time cutoffs are sim-only");
+      let module P = (val t.platform : Platform.S) in
+      P.run ()
 
-let now t = Lbc_sim.Engine.now t.engine
-let blocked t = Lbc_sim.Engine.blocked t.engine
-let schedule_policy t = Lbc_sim.Engine.policy t.engine
-let schedule_decisions t = Lbc_sim.Engine.decisions t.engine
-let schedule_choice_points t = Lbc_sim.Engine.choice_points t.engine
-let total_messages t = Lbc_net.Fabric.total_messages t.fabric
-let total_bytes t = Lbc_net.Fabric.total_bytes t.fabric
-let total_dropped t = Lbc_net.Fabric.total_dropped t.fabric
-let fabric t = t.fabric
+let now t =
+  let module P = (val t.platform : Platform.S) in
+  P.now_us ()
+
+let blocked t =
+  match t.sim with
+  | Some h -> Lbc_sim.Engine.blocked h.engine
+  | None -> []
+
+let shutdown t =
+  let module P = (val t.platform : Platform.S) in
+  P.shutdown ()
+
+let schedule_policy t =
+  Lbc_sim.Engine.policy (sim_handles t "Cluster.schedule_policy").engine
+
+let schedule_decisions t =
+  Lbc_sim.Engine.decisions (sim_handles t "Cluster.schedule_decisions").engine
+
+let schedule_choice_points t =
+  Lbc_sim.Engine.choice_points
+    (sim_handles t "Cluster.schedule_choice_points").engine
+
+let total_messages t =
+  let module P = (val t.platform : Platform.S) in
+  P.total_messages ()
+
+let total_bytes t =
+  let module P = (val t.platform : Platform.S) in
+  P.total_bytes ()
+
+let total_dropped t =
+  let module P = (val t.platform : Platform.S) in
+  P.total_dropped ()
 
 (* --------------------------------------------------------------- *)
 (* Node crash and rejoin *)
 
 let crash t ~node:n =
   ignore (node t n : Node.t);
+  let h = sim_handles t "Cluster.crash" in
   if t.crashed.(n) then invalid_arg "Cluster.crash: node already down";
   t.crashed.(n) <- true;
   t.reclaimed.(n) <- false;
@@ -196,13 +260,13 @@ let crash t ~node:n =
   if Obs.enabled t.obs then
     Obs.instant t.obs ~name:"crash" ~pid:n ~tid:Obs.lane_txn
       ~args:[ ("epoch", Obs.I t.epoch.(n)) ] ();
-  Lbc_net.Fabric.set_down t.fabric n true;
+  Lbc_net.Fabric.set_down h.fabric n true;
   (* Lease expiry: once the dead node's lease runs out, a recovery agent
      rebuilds the lock service without it. *)
-  Lbc_sim.Engine.schedule t.engine ~delay:t.config.Config.lease_timeout
+  Lbc_sim.Engine.schedule h.engine ~delay:t.config.Config.lease_timeout
     (fun () ->
       if t.crashed.(n) then
-        Lbc_sim.Proc.spawn t.engine
+        Lbc_sim.Proc.spawn h.engine
           ~name:(Printf.sprintf "lease-reclaim-%d" n)
           ~daemon:true
           (fun () ->
@@ -214,10 +278,11 @@ let crash t ~node:n =
 
 let rejoin ?(mode = Node.Replay_all) t ~node:n =
   ignore (node t n : Node.t);
+  let h = sim_handles t "Cluster.rejoin" in
   if not t.crashed.(n) then invalid_arg "Cluster.rejoin: node is not down";
   if not t.reclaimed.(n) then
     invalid_arg "Cluster.rejoin: node's lease has not expired yet";
-  Lbc_net.Fabric.set_down t.fabric n false;
+  Lbc_net.Fabric.set_down h.fabric n false;
   if Obs.enabled t.obs then
     Obs.instant t.obs ~name:"rejoin" ~pid:n ~tid:Obs.lane_txn
       ~args:[ ("epoch", Obs.I t.epoch.(n)) ] ();
@@ -256,6 +321,7 @@ type replay_mode = Serial | Partitioned | OnDemand
    first stream — the first data anyone could be unblocked on — is
    available, as [time_to_first_partition_us]. *)
 let timed_recovery t ~mode =
+  let h = sim_handles t "Cluster.timed_recovery" in
   let records =
     match merged_records t with
     | Error (Merge.Unorderable why) ->
@@ -276,14 +342,14 @@ let timed_recovery t ~mode =
   in
   let outcomes = ref [] in
   let first_done = ref false in
-  let t0 = Lbc_sim.Engine.now t.engine in
+  let t0 = Lbc_sim.Engine.now h.engine in
   List.iteri
     (fun i stream ->
-      Lbc_sim.Proc.spawn t.engine
+      Lbc_sim.Proc.spawn h.engine
         ~name:(Printf.sprintf "recover-p%d" i)
         (fun () ->
           let o = Lbc_rvm.Recovery.replay_records stream ~db_for_region in
-          let elapsed = Lbc_sim.Engine.now t.engine -. t0 in
+          let elapsed = Lbc_sim.Engine.now h.engine -. t0 in
           Obs.observe t.obs "recovery_us" elapsed;
           if mode = OnDemand && not !first_done then begin
             first_done := true;
@@ -293,8 +359,8 @@ let timed_recovery t ~mode =
     streams;
   if Obs.enabled t.obs then
     Obs.count t.obs "recovery_partitions" (List.length streams);
-  Lbc_sim.Engine.run t.engine;
-  let elapsed = Lbc_sim.Engine.now t.engine -. t0 in
+  Lbc_sim.Engine.run h.engine;
+  let elapsed = Lbc_sim.Engine.now h.engine -. t0 in
   let outcome =
     List.fold_left
       (fun (acc : Lbc_rvm.Recovery.outcome) (o : Lbc_rvm.Recovery.outcome) ->
@@ -317,23 +383,24 @@ let timed_recovery t ~mode =
    with durable begin/end markers, and trims its log to the checkpoint
    start clamped to the retention mark. *)
 let fuzzy_checkpoint t ~node:n =
+  let h = sim_handles t "Cluster.fuzzy_checkpoint" in
   let target = node t n in
   let epoch0 = t.epoch.(n) in
   for p = 0 to size t - 1 do
     if p <> n && not t.crashed.(p) then begin
       let peer = t.nodes.(p) in
-      Lbc_sim.Proc.spawn t.engine
+      Lbc_sim.Proc.spawn h.engine
         ~name:(Printf.sprintf "gossip-%d" p)
         ~daemon:true
         (fun () -> Node.gossip_low_water peer)
     end
   done;
-  Lbc_sim.Proc.spawn t.engine
+  Lbc_sim.Proc.spawn h.engine
     ~name:(Printf.sprintf "ckpt-%d" n)
     ~alive:(fun () -> (not t.crashed.(n)) && t.epoch.(n) = epoch0)
     (fun () ->
       Lbc_sim.Proc.sleep t.config.Config.ckpt_gossip_delay;
-      let t0 = Lbc_sim.Engine.now t.engine in
+      let t0 = Lbc_sim.Engine.now h.engine in
       let outcome =
         Lbc_rvm.Rvm.fuzzy_checkpoint
           ~slice_bytes:t.config.Config.ckpt_slice_bytes
@@ -341,7 +408,7 @@ let fuzzy_checkpoint t ~node:n =
             Lbc_sim.Proc.sleep t.config.Config.ckpt_slice_interval)
           (Node.rvm target)
       in
-      Obs.observe t.obs "ckpt_us" (Lbc_sim.Engine.now t.engine -. t0);
+      Obs.observe t.obs "ckpt_us" (Lbc_sim.Engine.now h.engine -. t0);
       if Obs.enabled t.obs then
         Obs.instant t.obs ~name:"ckpt" ~pid:n ~tid:Obs.lane_txn
           ~args:

@@ -1,7 +1,11 @@
-(** Assembly of a whole system: a simulated network fabric, a storage
-    service holding the database file and one log device per node (the
-    paper's central NFS server), and N coherency nodes with their message
-    dispatchers.
+(** Assembly of a whole system: a network fabric, a storage service
+    holding the database file and one log device per node (the paper's
+    central NFS server), and N coherency nodes with their message
+    dispatchers — all built on a {!Platform} backend.
+
+    The default backend is the deterministic simulation; pass
+    [~backend:(Platform.Custom Lbc_real.Backend.factory)] to run each
+    node as an OCaml 5 domain with a socket fabric and real files.
 
     Usage pattern:
     {[
@@ -19,6 +23,7 @@ val create :
   ?sched:Lbc_sim.Schedule.policy ->
   ?net_params:Lbc_net.Params.t ->
   ?disk:Lbc_storage.Latency.t ->
+  ?backend:Platform.backend ->
   nodes:int ->
   unit ->
   t
@@ -27,9 +32,20 @@ val create :
     charging costs, free otherwise.  [sched] selects the engine's
     same-time schedule policy (default stable FIFO); seeded policies
     explore alternative legal interleavings and record a replayable
-    decision trace ({!schedule_decisions}). *)
+    decision trace ({!schedule_decisions}).  [backend] (default
+    {!Platform.Sim}) selects the platform; [sched]/[net_params]/[disk]
+    are sim-only and raise [Invalid_argument] with a custom backend. *)
+
+val backend_name : t -> string
+(** ["sim"] or the custom platform's name (e.g. ["real"]). *)
+
+val deterministic : t -> bool
 
 val engine : t -> Lbc_sim.Engine.t
+(** Sim-only (raises {!Platform.Unsupported} otherwise), like {!store}
+    and {!fabric}: on the real backend each node has a private engine
+    and there is no global one. *)
+
 val config : t -> Config.t
 val store : t -> Lbc_storage.Store.t
 val size : t -> int
@@ -55,15 +71,23 @@ val spawn : t -> node:int -> (Node.t -> unit) -> unit
     scheduling point. *)
 
 val run : ?until:Lbc_sim.Engine.time -> ?check_stranded:bool -> t -> unit
-(** Drive the simulation.  When the event queue drains completely (no
-    [until] cutoff) while some processes are still blocked — say on a
-    receive whose message was dropped, or in a lock-wait cycle — the run
-    did not end, it hung; raise {!Lbc_sim.Engine.Stranded} with one
-    description per stuck process instead of returning as if all work
-    completed.  Pass [~check_stranded:false] to opt out (e.g. to inspect
-    the wreckage of an expected hang with {!blocked}). *)
+(** Drive the cluster until the spawned work completes.  Sim: drain the
+    event queue; when it drains completely (no [until] cutoff) while
+    some processes are still blocked — say on a receive whose message
+    was dropped, or in a lock-wait cycle — the run did not end, it hung;
+    raise {!Lbc_sim.Engine.Stranded} with one description per stuck
+    process instead of returning as if all work completed.  Pass
+    [~check_stranded:false] to opt out (e.g. to inspect the wreckage of
+    an expected hang with {!blocked}).  Real: block until every spawned
+    task finishes and the socket fabric is quiescent ([?until] raises
+    {!Platform.Unsupported} — there is no virtual-time cutoff). *)
 
 val now : t -> Lbc_sim.Engine.time
+(** Virtual µs on sim, wall-clock µs since platform start on real. *)
+
+val shutdown : t -> unit
+(** Tear the platform down (join domains, close sockets and files on the
+    real backend; no-op on sim). *)
 
 val schedule_policy : t -> Lbc_sim.Schedule.policy
 

@@ -135,19 +135,40 @@ type t = {
   (* flow id -> start timestamp, for apply-lag measurement *)
   flows : (int, float) Hashtbl.t;
   marks : (string, float) Hashtbl.t;
+  m : Mutex.t;
+      (* One sink is shared by every node.  On the simulation backend all
+         access is from the single engine thread and the lock is never
+         contended; on the real backend each node is a domain, so the
+         registry and the trace buffer are updated under this mutex —
+         counts can never be lost and JSON events can never interleave. *)
 }
+
+(* Serialize one registry/buffer operation.  Kept out of the disabled
+   fast path: every entry point still returns after a single branch on
+   [t.enabled] before reaching for the lock. *)
+let[@inline] locked t f =
+  Mutex.lock t.m;
+  match f () with
+  | v ->
+      Mutex.unlock t.m;
+      v
+  | exception e ->
+      Mutex.unlock t.m;
+      raise e
 
 let disabled =
   { enabled = false; now_fn = (fun () -> 0.0); nodes = 0;
     buf = Buffer.create 1; first = true;
     hists = Hashtbl.create 1; counters = Hashtbl.create 1;
-    flows = Hashtbl.create 1; marks = Hashtbl.create 1 }
+    flows = Hashtbl.create 1; marks = Hashtbl.create 1;
+    m = Mutex.create () }
 
 let create ~now ~nodes () =
   { enabled = true; now_fn = now; nodes;
     buf = Buffer.create 65536; first = true;
     hists = Hashtbl.create 32; counters = Hashtbl.create 32;
-    flows = Hashtbl.create 256; marks = Hashtbl.create 64 }
+    flows = Hashtbl.create 256; marks = Hashtbl.create 64;
+    m = Mutex.create () }
 
 let enabled t = t.enabled
 let now t = t.now_fn ()
@@ -201,22 +222,25 @@ let span_end ?(args = []) t sp =
   if not t.enabled then 0.0
   else begin
     let dur = t.now_fn () -. sp.sp_ts in
-    event_sep t;
-    add_header t.buf ~ph:'X' ~name:sp.sp_name ~cat:"lbc" ~pid:sp.sp_pid
-      ~tid:sp.sp_tid ~ts:sp.sp_ts;
-    Buffer.add_string t.buf (Printf.sprintf {|,"dur":%.3f|} dur);
-    add_args t.buf (sp.sp_args @ args);
-    Buffer.add_char t.buf '}';
+    locked t (fun () ->
+        event_sep t;
+        add_header t.buf ~ph:'X' ~name:sp.sp_name ~cat:"lbc" ~pid:sp.sp_pid
+          ~tid:sp.sp_tid ~ts:sp.sp_ts;
+        Buffer.add_string t.buf (Printf.sprintf {|,"dur":%.3f|} dur);
+        add_args t.buf (sp.sp_args @ args);
+        Buffer.add_char t.buf '}');
     dur
   end
 
 let instant t ~name ~pid ~tid ?(args = []) () =
   if t.enabled then begin
-    event_sep t;
-    add_header t.buf ~ph:'i' ~name ~cat:"lbc" ~pid ~tid ~ts:(t.now_fn ());
-    Buffer.add_string t.buf {|,"s":"t"|};
-    add_args t.buf args;
-    Buffer.add_char t.buf '}'
+    let ts = t.now_fn () in
+    locked t (fun () ->
+        event_sep t;
+        add_header t.buf ~ph:'i' ~name ~cat:"lbc" ~pid ~tid ~ts;
+        Buffer.add_string t.buf {|,"s":"t"|};
+        add_args t.buf args;
+        Buffer.add_char t.buf '}')
   end
 
 (* ---------------------------------------------------------------- *)
@@ -225,10 +249,11 @@ let instant t ~name ~pid ~tid ?(args = []) () =
 let flow_start t ~id ~pid ~tid =
   if t.enabled then begin
     let ts = t.now_fn () in
-    Hashtbl.replace t.flows id ts;
-    event_sep t;
-    add_header t.buf ~ph:'s' ~name:"write" ~cat:"flow" ~pid ~tid ~ts;
-    Buffer.add_string t.buf (Printf.sprintf {|,"id":%d}|} id)
+    locked t (fun () ->
+        Hashtbl.replace t.flows id ts;
+        event_sep t;
+        add_header t.buf ~ph:'s' ~name:"write" ~cat:"flow" ~pid ~tid ~ts;
+        Buffer.add_string t.buf (Printf.sprintf {|,"id":%d}|} id))
   end
 
 (* Binds the arrow into the receiver's apply span (emit right after the
@@ -238,63 +263,71 @@ let flow_start t ~id ~pid ~tid =
 let flow_end t ~id ~pid ~tid =
   if not t.enabled then None
   else
-    match Hashtbl.find_opt t.flows id with
-    | None -> None
-    | Some start ->
-        let ts = t.now_fn () in
-        event_sep t;
-        add_header t.buf ~ph:'f' ~name:"write" ~cat:"flow" ~pid ~tid ~ts;
-        Buffer.add_string t.buf (Printf.sprintf {|,"bp":"e","id":%d}|} id);
-        Some (ts -. start)
+    let ts = t.now_fn () in
+    locked t (fun () ->
+        match Hashtbl.find_opt t.flows id with
+        | None -> None
+        | Some start ->
+            event_sep t;
+            add_header t.buf ~ph:'f' ~name:"write" ~cat:"flow" ~pid ~tid ~ts;
+            Buffer.add_string t.buf (Printf.sprintf {|,"bp":"e","id":%d}|} id);
+            Some (ts -. start))
 
 (* ---------------------------------------------------------------- *)
 (* Metrics registry *)
 
 let count t name by =
   if t.enabled then
-    match Hashtbl.find_opt t.counters name with
-    | Some r -> r := !r + by
-    | None -> Hashtbl.replace t.counters name (ref by)
+    locked t (fun () ->
+        match Hashtbl.find_opt t.counters name with
+        | Some r -> r := !r + by
+        | None -> Hashtbl.replace t.counters name (ref by))
 
 let counter t name =
-  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+  locked t (fun () ->
+      match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0)
 
 let counters t =
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+  locked t (fun () ->
+      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let observe t name v =
-  if t.enabled then begin
-    let h =
-      match Hashtbl.find_opt t.hists name with
-      | Some h -> h
-      | None ->
-          let h = Histogram.create () in
-          Hashtbl.replace t.hists name h;
-          h
-    in
-    Histogram.observe h v
-  end
+  if t.enabled then
+    locked t (fun () ->
+        let h =
+          match Hashtbl.find_opt t.hists name with
+          | Some h -> h
+          | None ->
+              let h = Histogram.create () in
+              Hashtbl.replace t.hists name h;
+              h
+        in
+        Histogram.observe h v)
 
-let hist t name = Hashtbl.find_opt t.hists name
+let hist t name = locked t (fun () -> Hashtbl.find_opt t.hists name)
 
 let hists t =
-  Hashtbl.fold (fun k h acc -> (k, h) :: acc) t.hists []
+  locked t (fun () -> Hashtbl.fold (fun k h acc -> (k, h) :: acc) t.hists [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* Named marks: cheap cross-callback timing (e.g. repair-fetch RTT,
    keyed by requesting node + lock). *)
 let mark t key =
-  if t.enabled then Hashtbl.replace t.marks key (t.now_fn ())
+  if t.enabled then
+    let ts = t.now_fn () in
+    locked t (fun () -> Hashtbl.replace t.marks key ts)
 
 let take_mark t key =
   if not t.enabled then None
   else
-    match Hashtbl.find_opt t.marks key with
-    | None -> None
-    | Some ts ->
-        Hashtbl.remove t.marks key;
-        Some (t.now_fn () -. ts)
+    let now = t.now_fn () in
+    locked t (fun () ->
+        match Hashtbl.find_opt t.marks key with
+        | None -> None
+        | Some ts ->
+            Hashtbl.remove t.marks key;
+            Some (now -. ts))
 
 (* ---------------------------------------------------------------- *)
 (* Output *)
@@ -323,10 +356,11 @@ let render t =
           node lane lane))
       lanes
   done;
-  if Buffer.length t.buf > 0 then begin
-    sep ();
-    Buffer.add_buffer b t.buf
-  end;
+  locked t (fun () ->
+      if Buffer.length t.buf > 0 then begin
+        sep ();
+        Buffer.add_buffer b t.buf
+      end);
   Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
   Buffer.contents b
 

@@ -9,8 +9,9 @@ let region = 0
 let lock = 0
 let page_size = Lbc_costmodel.Table2.page_size
 
-let setup ?(config = Lbc_core.Config.default) ?sched ?(nodes = 2) schema =
-  let cluster = Lbc_core.Cluster.create ~config ?sched ~nodes () in
+let setup ?(config = Lbc_core.Config.default) ?sched ?backend ?(nodes = 2)
+    schema =
+  let cluster = Lbc_core.Cluster.create ~config ?sched ?backend ~nodes () in
   Lbc_core.Cluster.add_region cluster ~id:region
     ~size:(Schema.region_size schema);
   let image = Builder.build schema in

@@ -16,12 +16,14 @@ type outcome = {
 val setup :
   ?config:Lbc_core.Config.t ->
   ?sched:Lbc_sim.Schedule.policy ->
+  ?backend:Lbc_core.Platform.backend ->
   ?nodes:int ->
   Schema.config ->
   Lbc_core.Cluster.t
 (** Build a cluster whose region 0 holds a freshly built OO7 database,
     mapped by every node.  Lock 0 is the single segment lock.  [sched]
-    selects the engine's same-time schedule policy (for the explorer). *)
+    selects the engine's same-time schedule policy (for the explorer);
+    [backend] (default sim) selects the platform. *)
 
 val region : int
 val lock : int

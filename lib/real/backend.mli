@@ -1,0 +1,18 @@
+(** The real platform: OCaml 5 domains + a socketpair mesh + real files.
+
+    Pass to the cluster as
+    [Cluster.create ~backend:(Platform.Custom Backend.factory)].
+    Requires [config.charge_costs = false] (real operations pay real
+    costs; charging the sim cost model on top would double-count).
+
+    Each node is a {!Rt}: a private engine paced by the wall clock,
+    driven by its own domain — everything above the platform seam runs
+    unchanged, with true parallelism between nodes.  Delivery writes
+    u32-prefixed frames ({!Frame}, {!Msg_codec}) over Unix-domain
+    socketpairs; devices are files under a fresh temp directory, with
+    real [fsync].  [run] waits for quiescence (all tasks returned, all
+    frames handled, all engines idle); [shutdown] joins the domains and
+    removes the temp files. *)
+
+val factory :
+  nodes:int -> config:Lbc_core.Config.t -> (module Lbc_core.Platform.S)

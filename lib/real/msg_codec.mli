@@ -1,0 +1,13 @@
+(** Byte codec for {!Lbc_core.Msg.t} — the frame payload of the socket
+    fabric.  [Update]/[Fetched] record payloads are zero-copy on both
+    sides: [encode] returns them as trailing slices of the gather list
+    and [decode] returns windows into the received frame buffer. *)
+
+val encode : Lbc_core.Msg.t -> Lbc_util.Slice.t list
+(** The frame payload as an iovec for {!Frame.write}; the head slice is
+    the tag + fixed fields, the tail slices are the message's own record
+    payloads, unchanged and uncopied. *)
+
+val decode : Bytes.t -> Lbc_core.Msg.t
+(** Inverse, over a whole received frame payload.
+    @raise Lbc_util.Codec.Truncated on malformed input. *)

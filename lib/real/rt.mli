@@ -1,0 +1,31 @@
+(** One node's runtime on the real backend: a private {!Lbc_sim.Engine}
+    paced by the wall clock, driven by a dedicated OCaml 5 domain.
+
+    Thread discipline: the engine itself is touched only by the main
+    thread before {!start} (cluster construction) and by the domain
+    after; every other thread goes through {!inject}. *)
+
+type t
+
+val create : id:int -> now_us:(unit -> float) -> t
+(** [now_us] is the backend's shared wall clock (µs since start); the
+    engine's virtual clock tracks it. *)
+
+val engine : t -> Lbc_sim.Engine.t
+
+val inject : t -> (unit -> unit) -> unit
+(** Thread-safe: queue [f] to run inside the node's engine (as an
+    engine event at the current instant) and wake the loop. *)
+
+val idle : t -> bool
+(** The loop found nothing runnable and nothing injected at its last
+    pass — quiescence input for [Platform.run]. *)
+
+val error : t -> exn option
+(** First exception that escaped an engine event, if any. *)
+
+val start : t -> unit
+(** Spawn the domain (idempotent). *)
+
+val stop_and_join : t -> unit
+(** Ask the loop to exit, join the domain, close the wake pipe. *)

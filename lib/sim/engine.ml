@@ -110,6 +110,8 @@ let next_time t =
       | Some ev -> Some ev.at
       | None -> None)
 
+let next_at = next_time
+
 (* Move every queued event at exactly [clock] into the ripe set.  The
    heap pops them in seqno order and their seqnos exceed every ripe
    event's (they were created later), so appending keeps the set

@@ -43,6 +43,11 @@ val schedule_at : t -> at:time -> (unit -> unit) -> unit
 val pending : t -> int
 (** Number of queued events. *)
 
+val next_at : t -> time option
+(** Earliest instant holding runnable work, or [None] when the queue is
+    empty.  The real-time backend uses this to sleep exactly until the
+    engine's next timer instead of polling. *)
+
 val run : ?until:time -> t -> unit
 (** Drain the event queue in time order, advancing the clock.  With
     [?until], stops (leaving the queue intact) once the next event is

@@ -2,13 +2,34 @@ type image = { mutable data : Bytes.t; mutable len : int }
 
 type pending = { off : int; payload : Bytes.t }
 
-type t = {
-  name : string;
-  latency : Latency.t;
+(* Two backings behind one device interface:
+
+   [Mem] is the simulation's device — an in-memory current/stable image
+   pair whose gap (the pending write queue) models a volatile disk cache,
+   so crash tests can lose or tear unsynced writes deterministically.
+
+   [File] is the real backend's device — an ordinary file descriptor
+   where [write] issues real positional writes and [sync] is a real
+   [fsync].  The kernel owns the volatile cache, so the stable image is
+   not observable from here: [crash] (deterministic write loss) is
+   unsupported, and [stable_snapshot] reads the file as-is.  All file
+   operations serialize on a per-device mutex because a region database
+   is shared by every node domain. *)
+type mem = {
   current : image;
   stable : image;
   pending : pending Queue.t;
   mutable pending_bytes : int;
+}
+
+type file = { fd : Unix.file_descr; m : Mutex.t; mutable flen : int }
+
+type backing = Mem of mem | File of file
+
+type t = {
+  name : string;
+  latency : Latency.t;
+  backing : backing;
   mutable bytes_written : int;
   mutable sync_count : int;
 }
@@ -19,18 +40,46 @@ let create ?(latency = Latency.none) ?(name = "dev") () =
   {
     name;
     latency;
-    current = image ();
-    stable = image ();
-    pending = Queue.create ();
-    pending_bytes = 0;
+    backing =
+      Mem
+        {
+          current = image ();
+          stable = image ();
+          pending = Queue.create ();
+          pending_bytes = 0;
+        };
     bytes_written = 0;
     sync_count = 0;
   }
 
+let create_file ?(latency = Latency.none) ~path ?name () =
+  let name = match name with Some n -> n | None -> Filename.basename path in
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let flen = (Unix.fstat fd).Unix.st_size in
+  {
+    name;
+    latency;
+    backing = File { fd; m = Mutex.create (); flen };
+    bytes_written = 0;
+    sync_count = 0;
+  }
+
+let close t =
+  match t.backing with Mem _ -> () | File f -> Unix.close f.fd
+
+let is_file t = match t.backing with Mem _ -> false | File _ -> true
+
 let name t = t.name
-let size t = t.current.len
-let stable_size t = t.stable.len
-let pending_writes t = Queue.length t.pending
+
+let size t =
+  match t.backing with Mem m -> m.current.len | File f -> f.flen
+
+let stable_size t =
+  match t.backing with Mem m -> m.stable.len | File f -> f.flen
+
+let pending_writes t =
+  match t.backing with Mem m -> Queue.length m.pending | File _ -> 0
+
 let bytes_written t = t.bytes_written
 let sync_count t = t.sync_count
 
@@ -54,26 +103,65 @@ let apply_to img ~off b ~pos ~len =
   ensure_capacity img (off + len);
   Bytes.blit b pos img.data off len
 
+let with_fd f k =
+  Mutex.lock f.m;
+  match k () with
+  | v ->
+      Mutex.unlock f.m;
+      v
+  | exception e ->
+      Mutex.unlock f.m;
+      raise e
+
+let file_read f ~off b ~pos ~len =
+  with_fd f (fun () ->
+      ignore (Unix.lseek f.fd off Unix.SEEK_SET : int);
+      let got = ref 0 in
+      while !got < len do
+        let n = Unix.read f.fd b (pos + !got) (len - !got) in
+        if n = 0 then failwith "Dev: short read";
+        got := !got + n
+      done)
+
+let file_write f ~off b ~pos ~len =
+  with_fd f (fun () ->
+      ignore (Unix.lseek f.fd off Unix.SEEK_SET : int);
+      let put = ref 0 in
+      while !put < len do
+        let n = Unix.write f.fd b (pos + !put) (len - !put) in
+        put := !put + n
+      done;
+      if off + len > f.flen then f.flen <- off + len)
+
 let read t ~off ~len =
-  if off < 0 || len < 0 || off + len > t.current.len then
+  if off < 0 || len < 0 || off + len > size t then
     invalid_arg
       (Printf.sprintf "Dev.read %s: [%d,%d) beyond size %d" t.name off
-         (off + len) t.current.len);
+         (off + len) (size t));
   charge t (t.latency.read_base +. (t.latency.read_per_byte *. float_of_int len));
   Lbc_util.Slice.count_copy len;
-  Bytes.sub t.current.data off len
+  match t.backing with
+  | Mem m -> Bytes.sub m.current.data off len
+  | File f ->
+      let b = Bytes.create len in
+      file_read f ~off b ~pos:0 ~len;
+      b
 
 let write t ~off b ~pos ~len =
   if off < 0 || pos < 0 || len < 0 || pos + len > Bytes.length b then
     invalid_arg (Printf.sprintf "Dev.write %s: bad range" t.name);
   charge t (t.latency.write_base +. (t.latency.write_per_byte *. float_of_int len));
-  apply_to t.current ~off b ~pos ~len;
-  (* The pending queue owns its payload: the caller may reuse [b] (the
-     log's encode arena does) before the next sync.  This capture is the
-     one copy the write path keeps. *)
   Lbc_util.Slice.count_copy len;
-  Queue.add { off; payload = Bytes.sub b pos len } t.pending;
-  t.pending_bytes <- t.pending_bytes + len;
+  (match t.backing with
+  | Mem m ->
+      apply_to m.current ~off b ~pos ~len;
+      (* The pending queue owns its payload: the caller may reuse [b] (the
+         log's encode arena does) before the next sync.  This capture is
+         the one copy the write path keeps — the same copy the kernel
+         makes into the page cache on the file path. *)
+      Queue.add { off; payload = Bytes.sub b pos len } m.pending;
+      m.pending_bytes <- m.pending_bytes + len
+  | File f -> file_write f ~off b ~pos ~len);
   t.bytes_written <- t.bytes_written + len
 
 let write_slice t ~off s =
@@ -84,15 +172,18 @@ let write_string t ~off s =
   write t ~off (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
 
 let sync t =
-  charge t
-    (t.latency.sync_base
-    +. (t.latency.sync_per_byte *. float_of_int t.pending_bytes));
-  Queue.iter
-    (fun { off; payload } ->
-      apply_to t.stable ~off payload ~pos:0 ~len:(Bytes.length payload))
-    t.pending;
-  Queue.clear t.pending;
-  t.pending_bytes <- 0;
+  (match t.backing with
+  | Mem m ->
+      charge t
+        (t.latency.sync_base
+        +. (t.latency.sync_per_byte *. float_of_int m.pending_bytes));
+      Queue.iter
+        (fun { off; payload } ->
+          apply_to m.stable ~off payload ~pos:0 ~len:(Bytes.length payload))
+        m.pending;
+      Queue.clear m.pending;
+      m.pending_bytes <- 0
+  | File f -> with_fd f (fun () -> Unix.fsync f.fd));
   t.sync_count <- t.sync_count + 1
 
 let copy_image ~src ~dst =
@@ -101,39 +192,63 @@ let copy_image ~src ~dst =
   dst.len <- src.len
 
 let crash ?(apply = 0) ?(tear_bytes = 0) t =
-  (* Apply the surviving prefix of pending writes to the stable image, then
-     make it the current image. *)
-  let applied = ref 0 in
-  Queue.iter
-    (fun { off; payload } ->
-      if !applied < apply then begin
-        apply_to t.stable ~off payload ~pos:0 ~len:(Bytes.length payload);
-        incr applied
-      end
-      else if !applied = apply && tear_bytes > 0 then begin
-        let len = min tear_bytes (Bytes.length payload) in
-        apply_to t.stable ~off payload ~pos:0 ~len;
-        incr applied
-      end)
-    t.pending;
-  Queue.clear t.pending;
-  t.pending_bytes <- 0;
-  copy_image ~src:t.stable ~dst:t.current
+  match t.backing with
+  | File _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Dev.crash %s: deterministic write loss needs the simulated \
+            device"
+           t.name)
+  | Mem m ->
+      (* Apply the surviving prefix of pending writes to the stable image,
+         then make it the current image. *)
+      let applied = ref 0 in
+      Queue.iter
+        (fun { off; payload } ->
+          if !applied < apply then begin
+            apply_to m.stable ~off payload ~pos:0 ~len:(Bytes.length payload);
+            incr applied
+          end
+          else if !applied = apply && tear_bytes > 0 then begin
+            let len = min tear_bytes (Bytes.length payload) in
+            apply_to m.stable ~off payload ~pos:0 ~len;
+            incr applied
+          end)
+        m.pending;
+      Queue.clear m.pending;
+      m.pending_bytes <- 0;
+      copy_image ~src:m.stable ~dst:m.current
 
 let snapshot t =
-  Lbc_util.Slice.count_copy t.current.len;
-  Bytes.sub t.current.data 0 t.current.len
+  Lbc_util.Slice.count_copy (size t);
+  match t.backing with
+  | Mem m -> Bytes.sub m.current.data 0 m.current.len
+  | File f ->
+      let b = Bytes.create f.flen in
+      file_read f ~off:0 b ~pos:0 ~len:f.flen;
+      b
 
 let stable_snapshot t =
-  Lbc_util.Slice.count_copy t.stable.len;
-  Bytes.sub t.stable.data 0 t.stable.len
+  match t.backing with
+  | Mem m ->
+      Lbc_util.Slice.count_copy m.stable.len;
+      Bytes.sub m.stable.data 0 m.stable.len
+  | File _ -> snapshot t
 
 let load t b =
-  let set img =
-    img.data <- Bytes.copy b;
-    img.len <- Bytes.length b
-  in
-  set t.current;
-  set t.stable;
-  Queue.clear t.pending;
-  t.pending_bytes <- 0
+  match t.backing with
+  | Mem m ->
+      let set img =
+        img.data <- Bytes.copy b;
+        img.len <- Bytes.length b
+      in
+      set m.current;
+      set m.stable;
+      Queue.clear m.pending;
+      m.pending_bytes <- 0
+  | File f ->
+      with_fd f (fun () ->
+          Unix.ftruncate f.fd 0;
+          f.flen <- 0);
+      file_write f ~off:0 b ~pos:0 ~len:(Bytes.length b);
+      with_fd f (fun () -> Unix.fsync f.fd)

@@ -13,12 +13,31 @@
     operations called from inside a simulated process
     ({!Lbc_sim.Proc.spawn}) charge their cost to that process as virtual
     time; calls from outside any process (setup, offline tools) are
-    free. *)
+    free.
+
+    {!create_file} opens the same interface over a real file: [write]
+    issues positional writes and [sync] is a real [fsync], which is what
+    the real-parallelism backend's log and database devices use.  The
+    kernel owns the volatile cache there, so deterministic write loss
+    ({!crash}) is unsupported and [stable_snapshot] equals {!snapshot}.
+    File operations serialize on a per-device mutex (a region database is
+    shared by every node domain). *)
 
 type t
 
 val create : ?latency:Latency.t -> ?name:string -> unit -> t
-(** A new empty device.  [latency] defaults to {!Latency.none}. *)
+(** A new empty in-memory device.  [latency] defaults to {!Latency.none}. *)
+
+val create_file : ?latency:Latency.t -> path:string -> ?name:string -> unit -> t
+(** Open (or create) file [path] as a device backed by real I/O.
+    [latency] defaults to {!Latency.none}: real operations take real
+    time, so no virtual cost is charged on top. *)
+
+val close : t -> unit
+(** Release the file descriptor of a {!create_file} device (no-op for
+    in-memory devices). *)
+
+val is_file : t -> bool
 
 val name : t -> string
 val size : t -> int

@@ -3,20 +3,23 @@ type t = { b : Bytes.t; off : int; len : int }
 (* ---------------------------------------------------------------- *)
 (* Copy accounting *)
 
-let copied = ref 0
-let saved = ref 0
-let allocs = ref 0
-let count_copy n = copied := !copied + n
-let count_saved n = saved := !saved + n
-let count_alloc () = incr allocs
-let bytes_copied () = !copied
-let bytes_copied_baseline () = !copied + !saved
-let encode_allocs () = !allocs
+(* The counters are process-global and shared by every backend: on the
+   real backend each node is an OCaml 5 domain, so plain [ref] cells
+   would lose increments under concurrent fetch-and-add. *)
+let copied = Atomic.make 0
+let saved = Atomic.make 0
+let allocs = Atomic.make 0
+let count_copy n = ignore (Atomic.fetch_and_add copied n : int)
+let count_saved n = ignore (Atomic.fetch_and_add saved n : int)
+let count_alloc () = Atomic.incr allocs
+let bytes_copied () = Atomic.get copied
+let bytes_copied_baseline () = Atomic.get copied + Atomic.get saved
+let encode_allocs () = Atomic.get allocs
 
 let reset_counters () =
-  copied := 0;
-  saved := 0;
-  allocs := 0
+  Atomic.set copied 0;
+  Atomic.set saved 0;
+  Atomic.set allocs 0
 
 (* ---------------------------------------------------------------- *)
 

@@ -326,6 +326,8 @@ let test_lint_rules () =
            "let e = \"with _ -> compare Obj.magic\"";
            "let sort = List.sort ~cmp:Int.compare";
            "let g ~compare = compare";
+           "let t0 = Unix.gettimeofday ()";
+           "let nap () = Unix.sleepf 0.5 (* clock-ok: test fixture *)";
          ])
   in
   let lines =
@@ -341,6 +343,7 @@ let test_lint_rules () =
       (3, "catch-all-handler");
       (4, "obj-magic");
       (8, "poly-compare");
+      (9, "wall-clock");
     ]
     (List.sort
        (fun (l1, _) (l2, _) -> Int.compare l1 l2)
