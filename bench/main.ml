@@ -737,6 +737,7 @@ let ondemand_bench ~scale () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* ------------------------------------------------------------------ *)
 (* Machine-readable output: every Table-3 traversal under each
    propagation policy, written to BENCH_oo7.json for CI trending. *)
 
@@ -881,8 +882,12 @@ let real_oo7 ~nodes kind =
   let wall_us = (Unix.gettimeofday () -. t0) *. 1e6 in
   let msgs = Lbc_core.Cluster.total_messages cluster in
   let bytes = Lbc_core.Cluster.total_bytes cluster in
+  (* The always-on flight sink keeps the metric registry live even
+     without --trace, so commit/lock-wait/apply-lag percentiles come for
+     free on the wall clock too. *)
+  let hists = Lbc_obs.Obs.hists (Lbc_core.Cluster.obs cluster) in
   Lbc_core.Cluster.shutdown cluster;
-  (o, wall_us, msgs, bytes)
+  (o, wall_us, msgs, bytes, hists)
 
 (* [nodes] writers commit [txns] transactions each on their own lock and
    their own slice of the region — embarrassingly parallel application
@@ -922,20 +927,136 @@ let real_parallel ~nodes ~txns =
   Lbc_core.Cluster.shutdown c;
   (wall_us, msgs, bytes, !converged)
 
+(* Flight-recorder overhead: the ring is always on, so its cost rides
+   every real run.  The claim that matters for an always-on recorder is
+   wall-clock cost under deployment conditions, so measure it on the
+   macro workload this suite already tracks per-PR — an OO7 traversal
+   on wall-paced domains — with the ring enabled vs disabled.  (Two
+   wrong denominators, learned the hard way: the sim's wall time is
+   nothing but event processing, so a fixed per-event cost reads as
+   tens of percent; and a synthetic hot loop of near-empty
+   transactions has almost no real work per event, so even a
+   sub-microsecond per-event cost reads as ~10%.  The OO7 traversal
+   does real object-graph work between events, which is precisely the
+   deployment claim the 2% budget makes.) *)
+
+type flight_overhead = {
+  fo_runs : int;
+  fo_on_us : float;
+  fo_off_us : float;
+  fo_ratio : float;
+  fo_budget : float;
+  fo_within : bool;
+}
+
+let flight_overhead_bench () =
+  let nodes = 4 in
+  (* A write-bearing traversal: commits, broadcasts and applies all
+     exercise their ring writes, against real traversal work. *)
+  let kind = Traversal.T2 Traversal.B in
+  let workload config =
+    let cluster =
+      Runner.setup ~config ~backend:(real_backend ()) ~nodes small
+    in
+    (* Time setup-to-quiescence only: domain spawn and socket teardown
+       are identical on both sides and would just dilute the ratio. *)
+    let t0 = Unix.gettimeofday () in
+    ignore (Runner.run ~cluster ~writer:0 small kind);
+    let wall_us = (Unix.gettimeofday () -. t0) *. 1e6 in
+    Lbc_core.Cluster.shutdown cluster;
+    wall_us
+  in
+  (* Skip the real fsync per group commit: file-system timing noise on
+     shared CI hosts swamps a 2% signal (±10% run-to-run), and the log
+     path's own instrumentation cost is still fully exercised — only
+     the device write behind it is elided. *)
+  let flight_on =
+    {
+      Lbc_core.Config.default with
+      Lbc_core.Config.flight = true;
+      disk_logging = false;
+    }
+  in
+  let flight_off = { flight_on with Lbc_core.Config.flight = false } in
+  (* Warm up both paths, then interleave timed runs so slow drift in
+     host load hits both sides equally; the order alternates per pair
+     because the first run of a pair inherits the previous run's
+     GC/teardown debris (a measured ~5% first-slot penalty that would
+     otherwise be billed entirely to one side).  The asserted figure is
+     a ratio of truncated means: each side keeps its fastest
+     [runs - trim] times and averages them.  Timing noise on a busy
+     host is one-sided (interference only ever adds time), so the
+     slowest tail carries scheduler luck, not signal — trimming it and
+     averaging the quiet majority is far more stable run-to-run than
+     either the minimum (one sample) or a median of per-pair ratios
+     (each pair still noisy on its own). *)
+  ignore (workload flight_on);
+  ignore (workload flight_off);
+  let runs = 41 in
+  let trim = 21 in
+  let on_times = Array.make runs 0.0 and off_times = Array.make runs 0.0 in
+  for i = 0 to runs - 1 do
+    if i land 1 = 0 then begin
+      on_times.(i) <- workload flight_on;
+      off_times.(i) <- workload flight_off
+    end
+    else begin
+      off_times.(i) <- workload flight_off;
+      on_times.(i) <- workload flight_on
+    end
+  done;
+  Array.sort Float.compare on_times;
+  Array.sort Float.compare off_times;
+  let truncated_mean a =
+    let k = runs - trim in
+    let s = ref 0.0 in
+    for i = 0 to k - 1 do
+      s := !s +. a.(i)
+    done;
+    !s /. float_of_int k
+  in
+  let on_us = truncated_mean on_times and off_us = truncated_mean off_times in
+  let budget = 1.02 in
+  let ratio = on_us /. Float.max 1.0 off_us in
+  {
+    fo_runs = runs;
+    fo_on_us = on_us;
+    fo_off_us = off_us;
+    fo_ratio = ratio;
+    fo_budget = budget;
+    fo_within = ratio <= budget;
+  }
+
 let real_json () =
   hr "Real backend: wall-clock OO7 + parallel scaling (BENCH_real.json)";
+  let module H = Lbc_obs.Obs.Histogram in
   let host_domains = Domain.recommended_domain_count () in
   pr "host offers %d domains@." host_domains;
   let oo7_nodes = 4 in
   let buf = Buffer.create 2048 in
   let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  addf "{\n  \"schema\": \"BENCH_real/v1\",\n  \"backend\": \"real\",\n";
+  addf "{\n  \"schema\": \"BENCH_real/v2\",\n  \"backend\": \"real\",\n";
   addf "  \"host_domains\": %d,\n  \"clock\": \"wall\",\n" host_domains;
   addf "  \"oo7\": [";
+  (* Wall-clock latency percentiles, aggregated across the OO7 runs the
+     same way BENCH_oo7 aggregates virtual-time percentiles. *)
+  let agg : (string, H.t) Hashtbl.t = Hashtbl.create 8 in
   List.iteri
     (fun i kind ->
-      let o, wall_us, msgs, bytes = real_oo7 ~nodes:oo7_nodes kind in
+      let o, wall_us, msgs, bytes, hists = real_oo7 ~nodes:oo7_nodes kind in
       let p = o.Runner.profile in
+      List.iter
+        (fun (name, h) ->
+          let into =
+            match Hashtbl.find_opt agg name with
+            | Some x -> x
+            | None ->
+                let x = H.create () in
+                Hashtbl.add agg name x;
+                x
+          in
+          H.merge ~into h)
+        hists;
       if i > 0 then addf ",";
       addf
         "\n    { \"name\": %S, \"nodes\": %d, \"elapsed_us\": %.1f, \
@@ -946,7 +1067,25 @@ let real_json () =
       pr "oo7 %-7s %4d domains %12.1f wall µs %6d msgs %9d bytes@."
         (Traversal.name kind) oo7_nodes wall_us msgs bytes)
     Traversal.table3_kinds;
-  addf "\n  ],\n  \"parallel\": [";
+  addf "\n  ],\n  \"latency\": {";
+  List.iteri
+    (fun mi metric ->
+      let h =
+        match Hashtbl.find_opt agg metric with
+        | Some h -> h
+        | None -> H.create ()
+      in
+      if mi > 0 then addf ",";
+      addf
+        "\n    %S: { \"count\": %d, \"mean_us\": %.2f, \"p50_us\": %.2f, \
+         \"p95_us\": %.2f, \"p99_us\": %.2f, \"max_us\": %.2f }"
+        metric (H.count h) (H.mean h) (H.percentile h 50.0)
+        (H.percentile h 95.0) (H.percentile h 99.0) (H.max_value h);
+      pr "latency %-14s n=%-6d p50 %8.1fµs  p95 %8.1fµs  p99 %8.1fµs@."
+        metric (H.count h) (H.percentile h 50.0) (H.percentile h 95.0)
+        (H.percentile h 99.0))
+    [ "commit_us"; "lock_wait_us"; "apply_lag_us" ];
+  addf "\n  },\n  \"parallel\": [";
   List.iteri
     (fun i nodes ->
       let txns = 100 in
@@ -960,7 +1099,21 @@ let real_json () =
         txns wall_us msgs
         (if converged then "" else "  !! DIVERGED"))
     [ 2; 4 ];
-  addf "\n  ]\n}\n";
+  addf "\n  ],";
+  let fo = flight_overhead_bench () in
+  addf
+    "\n  \"flight_overhead\": {\n    \"runs\": %d,\n    \
+     \"flight_on_us\": %.1f,\n    \"flight_off_us\": %.1f,\n    \
+     \"ratio\": %.4f,\n    \"budget\": %.2f,\n    \
+     \"within_budget\": %b\n  }"
+    fo.fo_runs fo.fo_on_us fo.fo_off_us fo.fo_ratio fo.fo_budget fo.fo_within;
+  pr
+    "flight recorder overhead: %.1f ms on vs %.1f ms off (trimmed mean of %d \
+     oo7 walls) — %+.2f%% (budget 2%%)%s@."
+    (fo.fo_on_us /. 1000.0) (fo.fo_off_us /. 1000.0) fo.fo_runs
+    ((fo.fo_ratio -. 1.0) *. 100.0)
+    (if fo.fo_within then "" else "  !! OVER BUDGET");
+  addf "\n}\n";
   let oc = open_out "BENCH_real.json" in
   output_string oc (Buffer.contents buf);
   close_out oc;
@@ -1008,6 +1161,16 @@ let () =
           | "bechamel" -> bechamel ()
           | "json" -> json ()
           | "real" -> real_json ()
+          | "flight-overhead" ->
+              (* Just the always-on ring cost measurement, for quick
+                 iteration on the hot path. *)
+              let fo = flight_overhead_bench () in
+              pr
+                "flight recorder overhead: %.1f ms on vs %.1f ms off \
+                 (trimmed mean of %d oo7 walls) — %+.2f%% (budget 2%%)%s@."
+                (fo.fo_on_us /. 1000.0) (fo.fo_off_us /. 1000.0) fo.fo_runs
+                ((fo.fo_ratio -. 1.0) *. 100.0)
+                (if fo.fo_within then "" else "  !! OVER BUDGET")
           | other ->
               Format.eprintf "unknown benchmark %S@." other;
               exit 2)

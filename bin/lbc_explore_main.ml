@@ -42,6 +42,14 @@ let report_violations vs =
     (fun v -> pr "violation: %a@." Lbc_analysis.Violation.pp v)
     vs
 
+(* Cluster scenarios auto-dump the flight recorder on any violation;
+   name the file next to the repro line so the last moments of the
+   failing schedule travel with the counterexample. *)
+let report_flight () =
+  match Lbc_core.Cluster.last_flight_dump () with
+  | Some path -> pr "flight dump: %s (decode with lbc-trace)@." path
+  | None -> ()
+
 (* One schedule, fully specified: report and exit. *)
 let run_one s policy =
   let r = s.Scenario.run policy in
@@ -53,7 +61,10 @@ let run_one s policy =
     pr "ok: all oracles hold@.";
     exit 0
   end
-  else exit 1
+  else begin
+    report_flight ();
+    exit 1
+  end
 
 let replay_file path =
   match Explore.read_trace path with
@@ -81,6 +92,7 @@ let replay_file path =
                  "found a DIFFERENT failure than")
               (String.concat ", "
                  (Explore.names_of r.Scenario.violations));
+            report_flight ();
             exit 1
           end)
 
@@ -115,6 +127,7 @@ let explore_cmd s mode seeds seed0 out no_shrink =
       Explore.write_trace out f;
       pr "wrote %s@." out;
       pr "repro: lbc-explore --replay %s@." out;
+      report_flight ();
       exit 1
 
 let main list_ scenario seeds policy seed seed0 replay out no_shrink =

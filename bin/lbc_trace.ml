@@ -2,10 +2,18 @@
    traced run (oo7-run --trace, or Cluster.write_trace) and print the
    per-lock contention table, the per-stage latency breakdown, and the
    critical path of the slowest transaction.  --self-check instead
-   validates the trace's structural invariants (for CI). *)
+   validates the trace's structural invariants (for CI).
+
+   Binary LBCF flight dumps (Cluster.dump_flight, auto-dumped on
+   strand/crash/oracle failures) are detected by magic: the N per-node
+   rings are decoded, merged into one timestamp-ordered stream, and
+   summarized; --self-check validates per-ring timestamp monotonicity,
+   interned-id closure and drop accounting; --json re-renders the
+   merged rings as a Perfetto-loadable Chrome trace. *)
 
 open Cmdliner
 module Explorer = Lbc_obs.Explorer
+module Flight_dump = Lbc_obs.Flight_dump
 
 let pp_us ppf v =
   if v >= 1000.0 then Format.fprintf ppf "%8.2fms" (v /. 1000.0)
@@ -74,7 +82,95 @@ let print_flows events =
     Format.printf "!! %d flow heads without a matching start@."
       f.Explorer.fl_unresolved
 
-let run file self_check =
+(* ---------------------------------------------------------------- *)
+(* Flight-dump mode *)
+
+let flight_report d =
+  Flight_dump.pp_summary Format.std_formatter d;
+  let merged = Flight_dump.merged d in
+  let tally = Hashtbl.create 8 in
+  Array.iter
+    (fun (ev : Flight_dump.event) ->
+      let k = Flight_dump.kind_name ev.Flight_dump.ev_kind in
+      Hashtbl.replace tally k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tally k)))
+    merged;
+  Format.printf "merged: %d events" (Array.length merged);
+  List.iter
+    (fun k ->
+      match Hashtbl.find_opt tally k with
+      | Some n -> Format.printf ", %d %ss" n k
+      | None -> ())
+    [ "span"; "instant"; "count"; "flow-start"; "flow-end" ];
+  Format.printf "@.";
+  (* Per-stage totals over the surviving window, mirroring the JSON
+     explorer's stage table. *)
+  let stages = Hashtbl.create 16 in
+  Array.iter
+    (fun (ev : Flight_dump.event) ->
+      if ev.Flight_dump.ev_kind = Flight_dump.Span then begin
+        let count, total =
+          Option.value ~default:(0, 0)
+            (Hashtbl.find_opt stages ev.Flight_dump.ev_name)
+        in
+        Hashtbl.replace stages ev.Flight_dump.ev_name
+          (count + 1, total + ev.Flight_dump.ev_dur_ns)
+      end)
+    merged;
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) stages [] in
+  let rows =
+    List.sort (fun (_, (_, a)) (_, (_, b)) -> Int.compare b a) rows
+  in
+  if rows <> [] then begin
+    Format.printf "@.== spans in the surviving window ==@.";
+    Format.printf "%-12s %7s %11s@." "stage" "count" "total";
+    List.iter
+      (fun (name, (count, total_ns)) ->
+        Format.printf "%-12s %7d %a@." name count pp_us
+          (float_of_int total_ns /. 1000.0))
+      rows
+  end
+
+let run_flight file self_check json_out =
+  match Flight_dump.read file with
+  | Error why ->
+      Format.eprintf "%s: %s@." file why;
+      exit 2
+  | Ok d ->
+      let problems = Flight_dump.self_check d in
+      if self_check then
+        match problems with
+        | [] ->
+            let total =
+              Array.fold_left
+                (fun acc r -> acc + Array.length r.Flight_dump.r_events)
+                0 d.Flight_dump.d_rings
+            in
+            Format.printf "%s: OK (%d rings, %d events, clock %s)@." file
+              (Array.length d.Flight_dump.d_rings)
+              total d.Flight_dump.d_clock;
+            exit 0
+        | errors ->
+            List.iter (fun e -> Format.eprintf "%s: %s@." file e) errors;
+            exit 1
+      else begin
+        flight_report d;
+        if problems <> [] then
+          Format.printf "!! %d self-check problems (details with --self-check)@."
+            (List.length problems);
+        match json_out with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Flight_dump.render_chrome d);
+            close_out oc;
+            Format.printf
+              "merged Chrome trace written to %s (load in Perfetto)@." path
+        | None -> ()
+      end
+
+let run file self_check json_out =
+  if Flight_dump.is_flight_file file then run_flight file self_check json_out
+  else
   match Explorer.load file with
   | Error why ->
       Format.eprintf "%s: %s@." file why;
@@ -102,14 +198,23 @@ let run file self_check =
 
 let file =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE"
-         ~doc:"Chrome trace-event JSON file written by a traced run.")
+         ~doc:"Chrome trace-event JSON file written by a traced run, or a \
+               binary LBCF flight dump (detected by magic).")
 
 let self_check =
   Arg.(value & flag & info [ "self-check" ]
-         ~doc:"Validate the trace instead of reporting: well-formed JSON, \
-               non-negative span durations, monotone instant timestamps per \
-               node, and every flow arrow resolving into an apply span. \
-               Exit 0 if clean, 1 otherwise.")
+         ~doc:"Validate the trace instead of reporting.  JSON: well-formed \
+               JSON, non-negative span durations, monotone instant \
+               timestamps per node, and every flow arrow resolving into an \
+               apply span.  Flight dumps: per-ring timestamp monotonicity, \
+               interned-id closure, clean record decode and drop accounting \
+               (recorded = dropped + decoded). Exit 0 if clean, 1 \
+               otherwise.")
+
+let json_out =
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH"
+         ~doc:"Flight dumps only: additionally write the merged rings as a \
+               Perfetto-loadable Chrome trace-event file at $(docv).")
 
 let cmd =
   Cmd.v
@@ -121,7 +226,12 @@ let cmd =
                --trace) and prints a per-lock contention table, a per-stage \
                latency breakdown (p50/p95/p99 of span durations), and the \
                critical path of the slowest transaction.  The same file \
-               loads in Perfetto for interactive inspection." ])
-    Term.(const run $ file $ self_check)
+               loads in Perfetto for interactive inspection.  Binary LBCF \
+               flight dumps (written by $(b,Cluster.dump_flight), \
+               $(b,oo7-run --flight), or automatically on \
+               strand/crash/oracle failures) are decoded, merged across \
+               rings, and summarized; $(b,--json) converts one to Chrome \
+               trace JSON." ])
+    Term.(const run $ file $ self_check $ json_out)
 
 let () = exit (Cmd.eval cmd)

@@ -20,7 +20,7 @@ let save_devices dir store =
     (Lbc_storage.Store.names store)
 
 let run traversal config_name nodes protocol lazy_mode costs save trace_out
-    backend_name debug =
+    flight_out backend_name debug =
   if debug then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -177,6 +177,14 @@ let run traversal config_name nodes protocol lazy_mode costs save trace_out
       Format.printf "trace written to %s (inspect with lbc-trace, or load in Perfetto)@."
         path
   | None -> ());
+  (match flight_out with
+  | Some path ->
+      let p = Lbc_core.Cluster.dump_flight ~path cluster in
+      Format.printf
+        "flight dump written to %s (decode with lbc-trace, merge check with \
+         lbc-trace --self-check)@."
+        p
+  | None -> ());
   (match save with
   | Some dir ->
       (* Make log contents durable before snapshotting. *)
@@ -217,6 +225,13 @@ let trace_out =
          ~doc:"Record the run as a Chrome trace-event file at $(docv) \
                (analyze with lbc-trace, or load in Perfetto).")
 
+let flight_out =
+  Arg.(value & opt (some string) None & info [ "flight" ] ~docv:"PATH"
+         ~doc:"Dump the always-on flight recorder (every node's ring of \
+               recent events) as a binary LBCF file at $(docv) after the \
+               run (decode with lbc-trace).  Works without --trace: the \
+               flight recorder is on by default.")
+
 let debug =
   Arg.(value & flag & info [ "debug" ] ~doc:"Trace coherency events.")
 
@@ -230,6 +245,6 @@ let cmd =
   Cmd.v
     (Cmd.info "oo7-run" ~doc:"Run an OO7 traversal under log-based coherency")
     Term.(const run $ traversal $ config_name $ nodes $ protocol $ lazy_mode
-          $ costs $ save $ trace_out $ backend_name $ debug)
+          $ costs $ save $ trace_out $ flight_out $ backend_name $ debug)
 
 let () = exit (Cmd.eval cmd)

@@ -35,6 +35,11 @@
      host-clock read makes replayed schedules diverge.  lib/real is the
      one place wall time is the point; elsewhere a deliberate use takes
      a [clock-ok] comment on the same line.
+   - flight-alloc: an allocating [Bytes.*] constructor or any [Buffer.*]
+     use in the flight-recorder ring (lib/obs flight.ml).  The ring is
+     always on and its record path must stay allocation-free (~ns/event,
+     no GC pressure on every span of every run); deliberate one-time or
+     dump-path allocations take an [alloc-ok] comment on the same line.
 
    The scanner blanks comments, string literals and character literals
    (preserving newlines and byte positions), so mentions of [compare] in
@@ -49,6 +54,7 @@ let rules =
     "print-debug";
     "float-equality";
     "wall-clock";
+    "flight-alloc";
   ]
 
 (* Directories whose files are considered recovery paths for the
@@ -459,6 +465,64 @@ let check_wall_clock ~file ~src text =
     flag "Unix" [ "gettimeofday"; "sleep"; "sleepf" ]
     @ flag "Random" [ "self_init" ]
 
+(* The flight-recorder ring hot path: flight.ml inside an obs library
+   directory.  Everything in that file except explicitly annotated
+   one-time/dump-path allocations runs per recorded event. *)
+let in_flight_ring file =
+  let parts = String.split_on_char '/' file in
+  List.mem "obs" parts && Filename.basename file = "flight.ml"
+
+let check_flight_alloc ~file ~src text =
+  if not (in_flight_ring file) then []
+  else
+    let qualified_call ~modname ~fns p =
+      match next_nonspace text (p + String.length modname) with
+      | Some (i, '.') -> (
+          match next_nonspace text (i + 1) with
+          | Some (j, c) when is_ident c ->
+              let rec fin k =
+                if k < String.length text && is_ident text.[k] then fin (k + 1)
+                else k
+              in
+              let word = String.sub text j (fin j - j) in
+              if fns = [] || List.mem word fns then
+                Some (modname ^ "." ^ word)
+              else None
+          | _ -> None)
+      | _ -> None
+    in
+    let flag modname fns =
+      List.filter_map
+        (fun p ->
+          match qualified_call ~modname ~fns p with
+          | None -> None
+          | Some callee ->
+              (* alloc-ok on the same source line opts the call out. *)
+              if contains_sub (raw_line src p) "alloc-ok" then None
+              else
+                Some
+                  (Violation.Lint
+                     {
+                       file;
+                       line = line_of text p;
+                       rule = "flight-alloc";
+                       detail =
+                         callee
+                         ^ " allocates in the always-on flight ring; the \
+                            per-event record path must be allocation-free \
+                            — write into the preallocated ring, or \
+                            annotate a one-time/dump-path allocation with \
+                            alloc-ok";
+                     }))
+        (token_positions text modname)
+    in
+    flag "Bytes"
+      [
+        "create"; "make"; "init"; "sub"; "sub_string"; "copy"; "cat";
+        "extend"; "of_string"; "to_string";
+      ]
+    @ flag "Buffer" []
+
 (* Clock-valued operand heuristic for float-equality: an identifier (or
    the last component of a dotted path) that names a simulation
    timestamp. *)
@@ -610,6 +674,7 @@ let scan_source ~file src =
       check_print_debug ~file ~src text;
       check_float_equality ~file ~src text;
       check_wall_clock ~file ~src text;
+      check_flight_alloc ~file ~src text;
     ]
 
 let read_file path =

@@ -267,6 +267,18 @@ let lint_fixture =
       "let wall_ok () = Unix.sleepf 0.1 (* clock-ok: fixture *)";
     ]
 
+(* A second fixture scanned under the flight recorder's path: the
+   flight-alloc rule is scoped to lib/obs flight.ml, so it must fire
+   there (and nowhere in the main fixture above). *)
+let flight_fixture =
+  String.concat "\n"
+    [
+      "let ring () = Bytes.create 4096";
+      "let ring_ok () = Bytes.create 4096 (* alloc-ok: fixture *)";
+      "let scratch () = Buffer.create 16";
+      "let poke r = Bytes.unsafe_set r 0 'x'";
+    ]
+
 let run () =
   let streams =
     build_sim_streams ~config:Config.default ~nodes:4 ~seed:101 ~iterations:20
@@ -382,6 +394,40 @@ let run () =
         detail = Printf.sprintf "rules fired: [%s]" (String.concat "; " got);
       }
   in
+  let flight_lint =
+    (* Path-scoped: the same fragment is clean outside lib/obs flight.ml
+       and yields exactly two flight-alloc hits inside it (the alloc-ok
+       line and the non-allocating Bytes.unsafe_set suppress). *)
+    let inside =
+      List.map Violation.name
+        (Lint.scan_source ~file:"lib/obs/flight.ml" flight_fixture)
+    in
+    let outside =
+      List.filter (String.equal "flight-alloc")
+        (List.map Violation.name
+           (Lint.scan_source ~file:"lib/core/fixture.ml" flight_fixture))
+    in
+    if
+      List.length (List.filter (String.equal "flight-alloc") inside) = 2
+      && List.length inside = 2 && outside = []
+    then
+      {
+        check = "lint: flight-alloc fixture";
+        ok = true;
+        detail =
+          "fires twice in lib/obs/flight.ml; alloc-ok and unsafe_set \
+           suppress; silent elsewhere";
+      }
+    else
+      {
+        check = "lint: flight-alloc fixture";
+        ok = false;
+        detail =
+          Printf.sprintf "inside: [%s]; outside flight-alloc: %d"
+            (String.concat "; " inside)
+            (List.length outside);
+      }
+  in
   let serialize =
     (* A two-node committed stream replayed against the sequential spec:
        the matching final image passes, a one-byte corruption is flagged
@@ -423,4 +469,4 @@ let run () =
     in
     [ clean_res; corrupt_res ]
   in
-  clean @ [ swap; gap; race; trunc; zero_range; lint ] @ serialize
+  clean @ [ swap; gap; race; trunc; zero_range; lint; flight_lint ] @ serialize

@@ -28,6 +28,7 @@ type t = {
   reclaimed : bool array;  (* lease expired, lock tokens reclaimed *)
   epoch : int array;  (* bumped at every crash; stale app processes die *)
   obs : Obs.t;
+  mutable last_flight : string option;  (* most recent flight dump path *)
 }
 
 let backend_name t =
@@ -98,8 +99,19 @@ let create ?(config = Config.default) ?sched ?net_params ?disk
         (Platform.sim ~engine ~fabric ~store, Some { engine; fabric; store })
   in
   let module P = (val platform : Platform.S) in
+  (* The flight recorder is always on by default: even with [trace]
+     off the sink stays live (rings + metrics registry, no JSON), so
+     the moments before a failure are never lost. *)
   let obs =
-    if config.Config.trace then Obs.create ~now:P.now_us ~nodes ()
+    let ring_bytes =
+      if config.Config.flight then config.Config.flight_ring_bytes else 0
+    in
+    if config.Config.trace then
+      Obs.create ~now:P.now_us ~nodes ~ring_bytes
+        ~snapshot_interval_us:config.Config.metrics_interval ()
+    else if config.Config.flight || config.Config.metrics_interval > 0.0 then
+      Obs.create ~now:P.now_us ~nodes ~json:false ~ring_bytes
+        ~snapshot_interval_us:config.Config.metrics_interval ()
     else Obs.disabled
   in
   P.set_obs obs;
@@ -142,9 +154,49 @@ let create ?(config = Config.default) ?sched ?net_params ?disk
     reclaimed = Array.make nodes false;
     epoch = Array.make nodes 0;
     obs;
+    last_flight = None;
   }
 
 let obs t = t.obs
+
+(* --------------------------------------------------------------- *)
+(* Flight recorder dumps *)
+
+(* Most recent auto-dump across all clusters: failure reporters (e.g.
+   the chaos repro printer) have no cluster handle when the exception
+   reaches them, so the path is published here as well. *)
+let last_flight_dump_ref : string option ref = ref None
+let last_flight_dump () = !last_flight_dump_ref
+let flight_seq = ref 0
+
+let dump_flight ?path t =
+  if not (Obs.flight_on t.obs) then
+    invalid_arg "Cluster.dump_flight: flight recorder is off (Config.flight)";
+  let module P = (val t.platform : Platform.S) in
+  let path =
+    match path with
+    | Some p -> p
+    | None ->
+        (* No Unix in this library: a platform timestamp plus a
+           process-wide sequence number keeps names unique. *)
+        incr flight_seq;
+        Printf.sprintf "flight-%.0f-%d.bin" (P.now_us ()) !flight_seq
+  in
+  let clock = if P.deterministic then "virtual-us" else "wall-us" in
+  Obs.dump_flight t.obs ~clock path;
+  t.last_flight <- Some path;
+  last_flight_dump_ref := Some path;
+  path
+
+let last_flight t = t.last_flight
+
+(* Best-effort dump on a failure path: never masks the original
+   exception. *)
+let auto_dump_flight t =
+  if Obs.flight_on t.obs then
+    match dump_flight t with
+    | (_ : string) -> ()
+    | exception _ -> ()
 
 let write_trace ?path t =
   let path =
@@ -197,20 +249,32 @@ let spawn t ~node:n f =
 let run ?until ?(check_stranded = true) t =
   match t.sim with
   | Some h ->
-      Lbc_sim.Engine.run ?until h.engine;
+      (match Lbc_sim.Engine.run ?until h.engine with
+      | () -> ()
+      | exception e ->
+          (* Crash-path assertion failures and coherency errors escape
+             here: preserve the last moments before re-raising. *)
+          auto_dump_flight t;
+          raise e);
       (* Only a drained queue proves the blocked processes can never
          resume; a [~until] pause is not a verdict. *)
       if until = None && check_stranded then (
         match Lbc_sim.Engine.blocked h.engine with
         | [] -> ()
-        | descs -> raise (Lbc_sim.Engine.Stranded descs))
+        | descs ->
+            auto_dump_flight t;
+            raise (Lbc_sim.Engine.Stranded descs))
   | None ->
       if until <> None then
         raise
           (Platform.Unsupported
              "Cluster.run ~until: virtual-time cutoffs are sim-only");
       let module P = (val t.platform : Platform.S) in
-      P.run ()
+      (match P.run () with
+      | () -> ()
+      | exception e ->
+          auto_dump_flight t;
+          raise e)
 
 let now t =
   let module P = (val t.platform : Platform.S) in

@@ -99,14 +99,35 @@ val schedule_decisions : t -> int list
 val schedule_choice_points : t -> int
 
 val obs : t -> Lbc_obs.Obs.t
-(** The cluster's trace/metrics sink.  Enabled (and shared by every
-    node, lock table, log and the fabric) iff [config.trace] was set at
-    {!create}; [Obs.disabled] otherwise. *)
+(** The cluster's trace/metrics sink, shared by every node, lock
+    table, log and the fabric.  With [config.trace] it also buffers
+    Chrome-trace JSON; with only [config.flight] (the default) it is a
+    flight-only sink: per-node binary rings plus the metrics registry,
+    no JSON.  [Obs.disabled] only when both are off. *)
 
 val write_trace : ?path:string -> t -> unit
 (** Write the collected trace as Chrome trace-event JSON
     (Perfetto-loadable).  [path] defaults to [config.trace_path];
     raises [Invalid_argument] if neither is set. *)
+
+val dump_flight : ?path:string -> t -> string
+(** Write every node's flight ring to an LBCF binary file (decode with
+    [lbc-trace]) and return its path.  [path] defaults to
+    [flight-<ts>-<seq>.bin] in the working directory.  Raises
+    [Invalid_argument] when the flight recorder is off
+    ([Config.flight]).  Called automatically — best-effort, never
+    masking the original exception — when a run fails:
+    {!Lbc_sim.Engine.Stranded}, crash-path assertion failures, or any
+    exception escaping {!run}. *)
+
+val last_flight : t -> string option
+(** The most recent flight dump this cluster wrote (explicit or
+    automatic). *)
+
+val last_flight_dump : unit -> string option
+(** Process-wide: the most recent flight dump any cluster wrote.  For
+    failure reporters (chaos repro lines, explore counterexamples)
+    that catch the exception without a cluster handle in scope. *)
 
 val blocked : t -> string list
 (** Descriptions of the application processes currently blocked (waiting

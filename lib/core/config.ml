@@ -20,6 +20,9 @@ type t = {
   ckpt_gossip_delay : float;
   trace : bool;
   trace_path : string option;
+  flight : bool;
+  flight_ring_bytes : int;
+  metrics_interval : float;
 }
 
 let default =
@@ -43,6 +46,9 @@ let default =
     ckpt_gossip_delay = 500.0;
     trace = false;
     trace_path = None;
+    flight = true;
+    flight_ring_bytes = 65536;
+    metrics_interval = 0.0;
   }
 
 let measured = { default with disk_logging = false; charge_costs = true }

@@ -74,6 +74,21 @@ type t = {
   trace_path : string option;
       (** where [Cluster.write_trace] puts the Chrome trace-event JSON
           when no explicit path is given *)
+  flight : bool;
+      (** always-on flight recorder: every node keeps a fixed-size
+          binary ring of recent spans/instants/counter deltas
+          (lock-free, allocation-free, a few ns per event) that is
+          auto-dumped to [flight-<ts>.bin] on strand/crash/oracle
+          failures and on demand via [Cluster.dump_flight].  On by
+          default — it is the only diagnosis available when [trace] is
+          off. *)
+  flight_ring_bytes : int;
+      (** bytes per node's flight ring (rounded up to a power of two,
+          minimum 256) *)
+  metrics_interval : float;
+      (** > 0: append one JSONL snapshot row of the counter/histogram
+          registry at most once per this many virtual-or-wall µs,
+          piggybacked on event recording; 0 disables snapshots *)
 }
 
 val default : t

@@ -424,10 +424,18 @@ let apply_now (t : t) (record : Lbc_wal.Record.txn) =
   let sp =
     if Obs.enabled t.obs then begin
       let sp =
+        (* Span args feed only the opt-in JSON trace; building the list
+           when just the flight ring is live would put tuple+box
+           allocations on every hot-path event (and minor GCs are
+           stop-the-world across domains).  Same guard at every hot
+           span below. *)
         Obs.span_begin t.obs ~name:"apply" ~pid:t.id ~tid:Obs.lane_apply
-          ~args:
-            [ ("writer", Obs.I record.Lbc_wal.Record.node);
-              ("tid", Obs.I record.Lbc_wal.Record.tid) ]
+          ?args:
+            (if Obs.tracing t.obs then
+               Some
+                 [ ("writer", Obs.I record.Lbc_wal.Record.node);
+                   ("tid", Obs.I record.Lbc_wal.Record.tid) ]
+             else None)
           ()
       in
       (* Bind the committer's flow arrows into this apply span (the "f"
@@ -440,7 +448,7 @@ let apply_now (t : t) (record : Lbc_wal.Record.txn) =
               ~seqno:l.Lbc_wal.Record.seqno
           in
           match Obs.flow_end t.obs ~id ~pid:t.id ~tid:Obs.lane_apply with
-          | Some lag -> Obs.observe t.obs "apply_lag_us" lag
+          | Some lag -> Obs.observe ~pid:t.id t.obs "apply_lag_us" lag
           | None -> ())
         record.Lbc_wal.Record.locks;
       sp
@@ -514,7 +522,7 @@ let rec repair_check (t : t) lock =
         r.retries <- r.retries + 1;
         t.stats.repair_fetches <- t.stats.repair_fetches + 1;
         if Obs.enabled t.obs then begin
-          Obs.count t.obs "repair_fetches" 1;
+          Obs.count ~pid:t.id t.obs "repair_fetches" 1;
           Obs.mark t.obs (fetch_mark_key t lock)
         end;
         L.debug (fun m ->
@@ -579,9 +587,12 @@ let receive_record (t : t) record =
         t.stats.records_held <- t.stats.records_held + 1;
         if Obs.enabled t.obs then
           Obs.instant t.obs ~name:"hold" ~pid:t.id ~tid:Obs.lane_apply
-            ~args:
-              [ ("writer", Obs.I record.Lbc_wal.Record.node);
-                ("tid", Obs.I record.Lbc_wal.Record.tid) ]
+            ?args:
+              (if Obs.tracing t.obs then
+                 Some
+                   [ ("writer", Obs.I record.Lbc_wal.Record.node);
+                     ("tid", Obs.I record.Lbc_wal.Record.tid) ]
+               else None)
             ();
         L.debug (fun m ->
             m "node %d holds out-of-order record (node %d tid %d); %d pending"
@@ -705,9 +716,12 @@ let rec replay_stream (t : t) (r : recovery) (s : stream) =
         if Obs.enabled t.obs then
           Obs.span_begin t.obs ~name:"replay-chain" ~pid:t.id
             ~tid:Obs.lane_apply
-            ~args:
-              [ ("stream", Obs.I s.sid);
-                ("records", Obs.I (List.length s.offsets)) ]
+            ?args:
+              (if Obs.tracing t.obs then
+                 Some
+                   [ ("stream", Obs.I s.sid);
+                     ("records", Obs.I (List.length s.offsets)) ]
+               else None)
             ()
         else Obs.null_span
       in
@@ -847,7 +861,7 @@ let rejoin ?(mode = Replay_all) (t : t) ~applied =
               Lbc_sim.Condvar.broadcast done_cv))
         streams;
       if Obs.enabled t.obs && n_streams > 0 then
-        Obs.count t.obs "recovery_partitions" n_streams;
+        Obs.count ~pid:t.id t.obs "recovery_partitions" n_streams;
       Lbc_sim.Condvar.broadcast t.applied_cv;
       let own_writes =
         List.filter
@@ -924,7 +938,7 @@ let rejoin ?(mode = Replay_all) (t : t) ~applied =
       if r.cold > 0 then
         Lbc_wal.Log.set_retention_water log (Lbc_wal.Log.head log);
       if Obs.enabled t.obs && r.cold > 0 then
-        Obs.count t.obs "recovery_partitions" r.cold;
+        Obs.count ~pid:t.id t.obs "recovery_partitions" r.cold;
       Lbc_sim.Condvar.broadcast t.applied_cv;
       if r.cold > 0 then
         (* Background drain, hottest locks first; once every stream is
@@ -998,7 +1012,7 @@ let handle (t : t) ~src msg =
       t.stats.records_fetched <- t.stats.records_fetched + List.length payloads;
       if Obs.enabled t.obs then (
         match Obs.take_mark t.obs (fetch_mark_key t lock) with
-        | Some rtt -> Obs.observe t.obs "fetch_rtt_us" rtt
+        | Some rtt -> Obs.observe ~pid:t.id t.obs "fetch_rtt_us" rtt
         | None -> ());
       List.iter
         (fun iov ->
@@ -1047,9 +1061,12 @@ module Txn = struct
         if Obs.enabled node.obs then
           Obs.span_begin node.obs ~name:"interlock" ~pid:node.id
             ~tid:Obs.lane_txn
-            ~args:
-              [ ("lock", Obs.I lock);
-                ("need", Obs.I g.Lbc_locks.Table.prev_write_seq) ]
+            ?args:
+              (if Obs.tracing node.obs then
+                 Some
+                   [ ("lock", Obs.I lock);
+                     ("need", Obs.I g.Lbc_locks.Table.prev_write_seq) ]
+               else None)
             ()
         else Obs.null_span
       in
@@ -1067,7 +1084,7 @@ module Txn = struct
              g.Lbc_locks.Table.prev_write_seq (applied_seq node lock))
         node.applied_cv
         (fun () -> applied_seq node lock >= g.Lbc_locks.Table.prev_write_seq);
-      Obs.observe node.obs "interlock_us" (Obs.span_end node.obs sp)
+      Obs.observe ~pid:node.id node.obs "interlock_us" (Obs.span_end node.obs sp)
     end;
     Lbc_rvm.Rvm.set_lock t.rvm_txn ~lock_id:lock ~seqno:g.Lbc_locks.Table.seqno
       ~prev_write_seq:g.Lbc_locks.Table.prev_write_seq;
@@ -1111,7 +1128,10 @@ module Txn = struct
     let csp =
       if Obs.enabled node.obs then
         Obs.span_begin node.obs ~name:"commit" ~pid:node.id ~tid:Obs.lane_txn
-          ~args:[ ("locks", Obs.I (List.length t.held)) ]
+          ?args:
+            (if Obs.tracing node.obs then
+               Some [ ("locks", Obs.I (List.length t.held)) ]
+             else None)
           ()
       else Obs.null_span
     in
@@ -1153,12 +1173,18 @@ module Txn = struct
            if List.length record.Lbc_wal.Record.locks > 1 then
              broadcast node record);
     if Obs.enabled node.obs then begin
-      Obs.observe node.obs "commit_us"
+      Obs.observe ~pid:node.id node.obs "commit_us"
         (Obs.span_end node.obs csp
-           ~args:[ ("wrote", Obs.I (if wrote then 1 else 0)) ]);
+           ?args:
+             (if Obs.tracing node.obs then
+                Some [ ("wrote", Obs.I (if wrote then 1 else 0)) ]
+              else None));
       ignore
         (Obs.span_end node.obs t.sp
-           ~args:[ ("outcome", Obs.S "commit") ]
+           ?args:
+             (if Obs.tracing node.obs then
+                Some [ ("outcome", Obs.S "commit") ]
+              else None)
           : float)
     end;
     (* Recovery headline: virtual time from the start of the last rejoin
@@ -1166,7 +1192,7 @@ module Txn = struct
     (match node.ttfc_mark with
     | Some t0 ->
         node.ttfc_mark <- None;
-        Obs.observe node.obs "time_to_first_commit_us"
+        Obs.observe ~pid:node.id node.obs "time_to_first_commit_us"
           (Lbc_sim.Engine.now node.engine -. t0)
     | None -> ());
     record
@@ -1182,6 +1208,10 @@ module Txn = struct
     t.held <- [];
     if Obs.enabled node.obs then
       ignore
-        (Obs.span_end node.obs t.sp ~args:[ ("outcome", Obs.S "abort") ]
+        (Obs.span_end node.obs t.sp
+           ?args:
+             (if Obs.tracing node.obs then
+                Some [ ("outcome", Obs.S "abort") ]
+              else None)
           : float)
 end

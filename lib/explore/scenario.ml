@@ -183,6 +183,17 @@ let cluster_scenario ~name ~descr build =
             ],
             0 )
     in
+    (* Any oracle violation preserves the run's last moments: strand and
+       crash paths already auto-dumped inside [Cluster.run]; dump here
+       for violations the oracles found on a quiescent cluster.  The
+       explorer names the file next to its repro lines
+       ([Cluster.last_flight_dump]). *)
+    (match (violations, Cluster.last_flight c) with
+    | _ :: _, None -> (
+        match Cluster.dump_flight c with
+        | (_ : string) -> ()
+        | exception _ -> ())
+    | _ -> ());
     {
       violations;
       decisions = Cluster.schedule_decisions c;

@@ -72,6 +72,9 @@ type t = {
   stats : stats;
   mutable epoch : int;  (* lease epoch; messages from older epochs are stale *)
   mutable obs : Obs.t;
+  heat_keys : (int, string) Hashtbl.t;
+      (* memoized per-lock "lock_acquires:N" counter keys; per-table, so
+         only this node's execution context touches it *)
 }
 
 let create ~node ~nodes ~send () =
@@ -92,6 +95,7 @@ let create ~node ~nodes ~send () =
       };
     epoch = 0;
     obs = Obs.disabled;
+    heat_keys = Hashtbl.create 16;
   }
 
 let set_obs t obs = t.obs <- obs
@@ -139,9 +143,15 @@ let pass_token t s ~to_ =
   s.have_token <- false;
   t.stats.tokens_passed <- t.stats.tokens_passed + 1;
   if Obs.enabled t.obs then begin
-    Obs.count t.obs "token_hops" 1;
+    Obs.count ~pid:t.node t.obs "token_hops" 1;
+    (* Args only feed the opt-in JSON trace; don't allocate the list on
+       flight-only runs (same guard on the lock.wait spans below). *)
     Obs.instant t.obs ~name:"token.pass" ~pid:t.node ~tid:Obs.lane_lock
-      ~args:[ ("lock", Obs.I s.id); ("to", Obs.I to_) ] ()
+      ?args:
+        (if Obs.tracing t.obs then
+           Some [ ("lock", Obs.I s.id); ("to", Obs.I to_) ]
+         else None)
+      ()
   end;
   t.send ~dst:to_
     (Token
@@ -157,7 +167,7 @@ let rec request_token t s =
   if not s.requesting then begin
     s.requesting <- true;
     t.stats.requests_sent <- t.stats.requests_sent + 1;
-    Obs.count t.obs "token_requests" 1;
+    Obs.count ~pid:t.node t.obs "token_requests" 1;
     let mgr = manager_of t s.id in
     if mgr = t.node then
       (* We are the manager: short-circuit the self-send. *)
@@ -237,22 +247,37 @@ let enqueue_waiter t s =
    shared obs registry. *)
 let heat_key lock = Printf.sprintf "lock_acquires:%d" lock
 
+(* Memoized variant for the acquire hot path: the sink is always on
+   since the flight recorder, and a sprintf per acquire costs more than
+   the counter update itself.  Per-table, so only this node's execution
+   context touches the memo. *)
+let heat_key_memo t lock =
+  match Hashtbl.find_opt t.heat_keys lock with
+  | Some k -> k
+  | None ->
+      let k = heat_key lock in
+      Hashtbl.replace t.heat_keys lock k;
+      k
+
 let note_heat t lock =
-  if Obs.enabled t.obs then Obs.count t.obs (heat_key lock) 1
+  if Obs.enabled t.obs then
+    Obs.count ~pid:t.node t.obs (heat_key_memo t lock) 1
 
 let acquire t lock =
   note_heat t lock;
   let s = state t lock in
   if s.have_token && (not s.busy) && live_waiters s.waiters = 0 then begin
     t.stats.local_grants <- t.stats.local_grants + 1;
-    Obs.observe t.obs "lock_wait_us" 0.0;
+    Obs.observe ~pid:t.node t.obs "lock_wait_us" 0.0;
     grant_locally s
   end
   else begin
     let sp =
       if Obs.enabled t.obs then
         Obs.span_begin t.obs ~name:"lock.wait" ~pid:t.node ~tid:Obs.lane_lock
-          ~args:[ ("lock", Obs.I lock) ] ()
+          ?args:
+            (if Obs.tracing t.obs then Some [ ("lock", Obs.I lock) ] else None)
+          ()
       else Obs.null_span
     in
     let w = enqueue_waiter t s in
@@ -260,7 +285,7 @@ let acquire t lock =
       Lbc_sim.Ivar.read ~info:(Printf.sprintf "lock-wait l%d" lock) w.iv
     with
     | Some g ->
-        Obs.observe t.obs "lock_wait_us" (Obs.span_end t.obs sp);
+        Obs.observe ~pid:t.node t.obs "lock_wait_us" (Obs.span_end t.obs sp);
         g
     | None -> raise (Protocol_error "acquire: waiter cancelled unexpectedly")
   end
@@ -270,14 +295,16 @@ let acquire_timeout t lock ~timeout =
   let s = state t lock in
   if s.have_token && (not s.busy) && live_waiters s.waiters = 0 then begin
     t.stats.local_grants <- t.stats.local_grants + 1;
-    Obs.observe t.obs "lock_wait_us" 0.0;
+    Obs.observe ~pid:t.node t.obs "lock_wait_us" 0.0;
     Some (grant_locally s)
   end
   else begin
     let sp =
       if Obs.enabled t.obs then
         Obs.span_begin t.obs ~name:"lock.wait" ~pid:t.node ~tid:Obs.lane_lock
-          ~args:[ ("lock", Obs.I lock) ] ()
+          ?args:
+            (if Obs.tracing t.obs then Some [ ("lock", Obs.I lock) ] else None)
+          ()
       else Obs.null_span
     in
     let w = enqueue_waiter t s in
@@ -294,9 +321,12 @@ let acquire_timeout t lock ~timeout =
     in
     let wait =
       Obs.span_end t.obs sp
-        ~args:[ ("granted", Obs.I (if res = None then 0 else 1)) ]
+        ?args:
+          (if Obs.tracing t.obs then
+             Some [ ("granted", Obs.I (if res = None then 0 else 1)) ]
+           else None)
     in
-    if res <> None then Obs.observe t.obs "lock_wait_us" wait;
+    if res <> None then Obs.observe ~pid:t.node t.obs "lock_wait_us" wait;
     res
   end
 

@@ -46,9 +46,14 @@ let check_node t who n =
 let count_drop t ~src ~dst =
   t.dropped.(src).(dst) <- t.dropped.(src).(dst) + 1;
   if Obs.enabled t.obs then begin
-    Obs.count t.obs "net_drops" 1;
+    Obs.count ~pid:dst t.obs "net_drops" 1;
+    (* Args only feed the opt-in JSON trace — skip building the list
+       (tuple+box allocations) when just the flight ring is live.
+       Same guard on every hot event below. *)
     Obs.instant t.obs ~name:"net.drop" ~pid:dst ~tid:Obs.lane_net
-      ~args:[ ("src", Obs.I src) ] ()
+      ?args:
+        (if Obs.tracing t.obs then Some [ ("src", Obs.I src) ] else None)
+      ()
   end
 
 let should_drop t ~src ~dst msg =
@@ -66,7 +71,11 @@ let deliver t ~src ~dst ~len msg =
         else begin
           if Obs.enabled t.obs then
             Obs.instant t.obs ~name:"net.deliver" ~pid:dst ~tid:Obs.lane_net
-              ~args:[ ("src", Obs.I src); ("bytes", Obs.I len) ] ();
+              ?args:
+                (if Obs.tracing t.obs then
+                   Some [ ("src", Obs.I src); ("bytes", Obs.I len) ]
+                 else None)
+              ();
           Lbc_sim.Mailbox.send t.channels.(src).(dst) msg
         end)
 
@@ -80,10 +89,14 @@ let send_len t ~src ~dst ~len msg =
     t.bytes_sent.(src) <- t.bytes_sent.(src) + len;
     let sp =
       if Obs.enabled t.obs then begin
-        Obs.count t.obs "net_msgs" 1;
-        Obs.count t.obs "net_bytes" len;
+        Obs.count ~pid:src t.obs "net_msgs" 1;
+        Obs.count ~pid:src t.obs "net_bytes" len;
         Obs.span_begin t.obs ~name:"net.send" ~pid:src ~tid:Obs.lane_net
-          ~args:[ ("dst", Obs.I dst); ("bytes", Obs.I len) ] ()
+          ?args:
+            (if Obs.tracing t.obs then
+               Some [ ("dst", Obs.I dst); ("bytes", Obs.I len) ]
+             else None)
+          ()
       end
       else Obs.null_span
     in
@@ -113,11 +126,13 @@ let broadcast_len t ~src ~dsts ~len msg =
     t.bytes_sent.(src) <- t.bytes_sent.(src) + len;
     let sp =
       if Obs.enabled t.obs then begin
-        Obs.count t.obs "net_msgs" 1;
-        Obs.count t.obs "net_bytes" len;
+        Obs.count ~pid:src t.obs "net_msgs" 1;
+        Obs.count ~pid:src t.obs "net_bytes" len;
         Obs.span_begin t.obs ~name:"net.send" ~pid:src ~tid:Obs.lane_net
-          ~args:
-            [ ("dsts", Obs.I (List.length dsts)); ("bytes", Obs.I len) ]
+          ?args:
+            (if Obs.tracing t.obs then
+               Some [ ("dsts", Obs.I (List.length dsts)); ("bytes", Obs.I len) ]
+             else None)
           ()
       end
       else Obs.null_span

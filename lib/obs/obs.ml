@@ -9,12 +9,26 @@
 
    Timestamps come from a [now : unit -> float] closure (the sim
    engine's virtual clock, already in microseconds — exactly the unit
-   the trace format wants), which keeps this library at the bottom of
-   the dependency graph.
+   the trace format wants; the real backend passes monotonic wall
+   microseconds from a shared epoch), which keeps this library at the
+   bottom of the dependency graph.
 
-   When tracing is disabled every entry point returns after one
-   branch on [t.enabled]; the shared [disabled] instance allocates
-   nothing per call. *)
+   Since PR 9 the sink has two layers:
+
+   - the always-on per-node {!Flight} rings: every span end, instant,
+     flow endpoint and pid-tagged counter delta is binary-encoded into
+     the executing node's ring, lock-free (single writer per ring) and
+     allocation-free, so the moments before any failure are always
+     recoverable via {!dump_flight} even with JSON tracing off;
+   - the opt-in JSON trace buffer (the [json] flag, [Config.trace]),
+     unchanged from PR 4.
+
+   The metrics registry (counters/histograms/flows/marks) is live for
+   any enabled sink — a flight-only sink still accumulates latency
+   histograms, which is what lets `bench real` report percentiles
+   without paying for a trace.  [enabled] therefore means "some sink
+   is live"; the shared [disabled] instance is the only sink where
+   every call is one branch and allocates nothing. *)
 
 module Histogram = struct
   (* 64 power-of-two buckets: bucket 0 holds values < 1.0, bucket i
@@ -104,13 +118,7 @@ let lane_wal = 2
 let lane_lock = 3
 let lane_net = 4
 
-let lane_name = function
-  | 0 -> "txn"
-  | 1 -> "apply"
-  | 2 -> "wal"
-  | 3 -> "lock"
-  | 4 -> "net"
-  | n -> "lane-" ^ string_of_int n
+let lane_name = Flight.lane_name
 
 type arg = I of int | F of float | S of string
 
@@ -124,23 +132,64 @@ type span = {
 
 let null_span = { sp_name = ""; sp_pid = 0; sp_tid = 0; sp_ts = 0.0; sp_args = [] }
 
+(* One registry shard: counters + histograms under their own mutex.
+   The sink keeps one shard per node plus a global catch-all, so a
+   pid-tagged count/observe from node [i]'s execution context locks
+   only shard [i] — on the real backend that mutex is contended by at
+   most the owning domain and its socket reader thread, never by the
+   other domains.  Funnelling every domain through one lock put the
+   always-on sink on the commit critical path (measured ~12% wall on
+   the 4-domain macro workload); sharding removes the cross-core
+   bouncing while keeping every update locked and lossless. *)
+type shard = {
+  sh_counters : (string, int ref) Hashtbl.t;
+  sh_hists : (string, Histogram.t) Hashtbl.t;
+  sh_m : Mutex.t;
+}
+
+let shard_create n =
+  { sh_counters = Hashtbl.create n; sh_hists = Hashtbl.create n;
+    sh_m = Mutex.create () }
+
 type t = {
   enabled : bool;
+  json : bool;  (* emit Chrome-trace JSON into [buf]? *)
   now_fn : unit -> float;
   nodes : int;
   buf : Buffer.t;
   mutable first : bool;
-  hists : (string, Histogram.t) Hashtbl.t;
-  counters : (string, int ref) Hashtbl.t;
-  (* flow id -> start timestamp, for apply-lag measurement *)
-  flows : (int, float) Hashtbl.t;
+  rings : Flight.t array;
+      (* One flight ring per node; ring [i] is written only from node
+         [i]'s execution context (its domain on the real backend), so
+         recording needs no lock.  Empty when the flight recorder is
+         configured off. *)
+  shards : shard array;  (* one per node; pid-tagged updates land here *)
+  global : shard;  (* updates with no pid (cross-node contexts) *)
+  (* flow id -> start timestamp, for apply-lag measurement.  Flows are
+     cross-domain by nature (start on the committer, end on each
+     receiver), so the slots keep their own mutex rather than riding
+     the trace-buffer lock.  Direct-mapped by [id land mask] into two
+     flat arrays instead of a hashtable: a start never retires (every
+     receiver reads it), so a table would grow by one boxed entry per
+     committed write for the life of the run; a fixed cache is
+     allocation-free and bounded, and a collision merely drops that
+     write's lag samples (the id stored with the timestamp keeps a
+     stale slot from ever mismeasuring). *)
+  flow_ids : int array;  (* -1 = empty *)
+  flow_ts : float array;
+  flows_m : Mutex.t;
   marks : (string, float) Hashtbl.t;
+  snap_interval : float;  (* µs between metric snapshots; 0 = off *)
+  snap_buf : Buffer.t;  (* JSONL rows of the registry *)
+  mutable snap_last : float;
+  mutable snap_rows : int;
   m : Mutex.t;
-      (* One sink is shared by every node.  On the simulation backend all
-         access is from the single engine thread and the lock is never
-         contended; on the real backend each node is a domain, so the
-         registry and the trace buffer are updated under this mutex —
-         counts can never be lost and JSON events can never interleave. *)
+      (* Serializes the JSON trace buffer, marks and snapshot state.
+         On the simulation backend all access is from the single engine
+         thread and the lock is never contended; on the real backend it
+         keeps JSON events from interleaving.  Lock order: [m] may be
+         taken before shard mutexes (snapshot emission); never the
+         reverse. *)
 }
 
 (* Serialize one registry/buffer operation.  Kept out of the disabled
@@ -157,21 +206,51 @@ let[@inline] locked t f =
       raise e
 
 let disabled =
-  { enabled = false; now_fn = (fun () -> 0.0); nodes = 0;
-    buf = Buffer.create 1; first = true;
-    hists = Hashtbl.create 1; counters = Hashtbl.create 1;
-    flows = Hashtbl.create 1; marks = Hashtbl.create 1;
+  { enabled = false; json = false; now_fn = (fun () -> 0.0); nodes = 0;
+    buf = Buffer.create 1; first = true; rings = [||];
+    shards = [||]; global = shard_create 1;
+    flow_ids = [||]; flow_ts = [||]; flows_m = Mutex.create ();
+    marks = Hashtbl.create 1;
+    snap_interval = 0.0; snap_buf = Buffer.create 1; snap_last = 0.0;
+    snap_rows = 0;
     m = Mutex.create () }
 
-let create ~now ~nodes () =
-  { enabled = true; now_fn = now; nodes;
-    buf = Buffer.create 65536; first = true;
-    hists = Hashtbl.create 32; counters = Hashtbl.create 32;
-    flows = Hashtbl.create 256; marks = Hashtbl.create 64;
+(* Power of two; sized to dwarf the number of writes in flight between
+   commit and last apply (tens on a busy cluster). *)
+let flow_slots = 4096
+
+(* [json] selects the eager Chrome-trace buffer ([Config.trace]);
+   [ring_bytes] sizes the per-node flight rings (0 disables them);
+   [snapshot_interval_us] > 0 appends a registry snapshot row to a
+   JSONL buffer at most once per interval, piggybacked on event
+   recording (never a timer — a sleeping daemon would keep both
+   platforms from quiescing). *)
+let create ?(json = true) ?(ring_bytes = 65536) ?(snapshot_interval_us = 0.0)
+    ~now ~nodes () =
+  let rings =
+    if ring_bytes > 0 then
+      Array.init nodes (fun _ -> Flight.create ~cap_bytes:ring_bytes ())
+    else [||]
+  in
+  { enabled = true; json; now_fn = now; nodes;
+    buf = Buffer.create 65536; first = true; rings;
+    shards = Array.init nodes (fun _ -> shard_create 16);
+    global = shard_create 32;
+    flow_ids = Array.make flow_slots (-1); flow_ts = Array.make flow_slots 0.0;
+    flows_m = Mutex.create ();
+    marks = Hashtbl.create 64;
+    snap_interval = snapshot_interval_us; snap_buf = Buffer.create 256;
+    snap_last = 0.0; snap_rows = 0;
     m = Mutex.create () }
 
 let enabled t = t.enabled
+let tracing t = t.json
+let flight_on t = Array.length t.rings > 0
 let now t = t.now_fn ()
+
+(* Platform clocks hand out float microseconds; the rings store integer
+   nanoseconds. *)
+let[@inline] ts_ns_of us = int_of_float (us *. 1000.0)
 
 (* Flow arrow ids are derived from (lock, seqno): unique per committed
    write, stable across committer and receivers. *)
@@ -210,6 +289,175 @@ let add_header buf ~ph ~name ~cat ~pid ~tid ~ts =
     ph (Json.escape name) cat pid tid ts)
 
 (* ---------------------------------------------------------------- *)
+(* Metrics registry *)
+
+(* [pid] routes the update into that node's flight ring and registry
+   shard; omit it for updates not attributable to one node's execution
+   context (the rings are single-writer, so a cross-domain ring write
+   would race — those land in the uncontended-by-domains global
+   shard). *)
+
+let[@inline] shard_for t pid =
+  match pid with
+  | Some p when p >= 0 && p < Array.length t.shards -> t.shards.(p)
+  | _ -> t.global
+
+let[@inline] sh_locked sh f =
+  Mutex.lock sh.sh_m;
+  match f () with
+  | v ->
+      Mutex.unlock sh.sh_m;
+      v
+  | exception e ->
+      Mutex.unlock sh.sh_m;
+      raise e
+
+let count ?pid t name by =
+  if t.enabled then begin
+    (match pid with
+    | Some p when p >= 0 && p < Array.length t.rings ->
+        Flight.record_count t.rings.(p) ~ts_ns:(ts_ns_of (t.now_fn ())) ~name
+          ~delta:by
+    | _ -> ());
+    (* Manually inlined lock and exception-match lookup: a [sh_locked]
+       closure and a [find_opt] [Some] are two minor-heap allocations
+       per call, and on a small host an extra minor GC is a
+       stop-the-world rendezvous across every domain.  Nothing between
+       lock and unlock can raise. *)
+    let sh = shard_for t pid in
+    Mutex.lock sh.sh_m;
+    (match Hashtbl.find sh.sh_counters name with
+    | r -> r := !r + by
+    | exception Not_found -> Hashtbl.replace sh.sh_counters name (ref by));
+    Mutex.unlock sh.sh_m
+  end
+
+(* The read side folds the global shard and every per-node shard; reads
+   are rare (reports, benches, snapshots), so they pay the merge. *)
+
+let all_shards t = Array.to_list t.shards @ [ t.global ]
+
+let counter t name =
+  List.fold_left
+    (fun acc sh ->
+      acc
+      + sh_locked sh (fun () ->
+            match Hashtbl.find_opt sh.sh_counters name with
+            | Some r -> !r
+            | None -> 0))
+    0 (all_shards t)
+
+let counters t =
+  let merged = Hashtbl.create 32 in
+  List.iter
+    (fun sh ->
+      sh_locked sh (fun () ->
+          Hashtbl.iter
+            (fun k r ->
+              match Hashtbl.find_opt merged k with
+              | Some acc -> acc := !acc + !r
+              | None -> Hashtbl.replace merged k (ref !r))
+            sh.sh_counters))
+    (all_shards t);
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) merged []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let observe ?pid t name v =
+  if t.enabled then begin
+    (* Allocation-free on the steady state, as in [count]: no closure,
+       no [find_opt] option, and [Histogram.observe] is bucket
+       arithmetic that cannot raise. *)
+    let sh = shard_for t pid in
+    Mutex.lock sh.sh_m;
+    (match Hashtbl.find sh.sh_hists name with
+    | h -> Histogram.observe h v
+    | exception Not_found ->
+        let h = Histogram.create () in
+        Hashtbl.replace sh.sh_hists name h;
+        Histogram.observe h v);
+    Mutex.unlock sh.sh_m
+  end
+
+(* Merged-histogram readers: fresh copies, safe to keep after the sink
+   moves on. *)
+
+let merged_hists t =
+  let merged = Hashtbl.create 32 in
+  List.iter
+    (fun sh ->
+      sh_locked sh (fun () ->
+          Hashtbl.iter
+            (fun k h ->
+              let into =
+                match Hashtbl.find_opt merged k with
+                | Some x -> x
+                | None ->
+                    let x = Histogram.create () in
+                    Hashtbl.replace merged k x;
+                    x
+              in
+              Histogram.merge ~into h)
+            sh.sh_hists))
+    (all_shards t);
+  merged
+
+let hist t name =
+  let merged = merged_hists t in
+  Hashtbl.find_opt merged name
+
+let hists t =
+  Hashtbl.fold (fun k h acc -> (k, h) :: acc) (merged_hists t) []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* ---------------------------------------------------------------- *)
+(* Periodic metrics snapshots.
+
+   Emission piggybacks on event recording: whenever an event arrives
+   and at least [snap_interval] µs have passed since the last row, one
+   JSONL row of the whole registry is appended.  No timers are
+   involved, so the sim engine still drains to empty and the real
+   backend still quiesces. *)
+
+let snapshot_cap = 100_000
+
+(* Called with [t.m] held; takes shard locks while merging the
+   registry (lock order m -> shard, never the reverse). *)
+let emit_snapshot_row t now =
+  let b = t.snap_buf in
+  Buffer.add_string b (Printf.sprintf {|{"ts_us":%.3f,"counters":{|} now);
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf {|"%s":%d|} (Json.escape k) v))
+    (counters t);
+  Buffer.add_string b {|},"hists":{|};
+  List.iteri
+    (fun i (k, h) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           {|"%s":{"count":%d,"mean":%.3f,"p50":%.3f,"p95":%.3f,"p99":%.3f}|}
+           (Json.escape k) (Histogram.count h) (Histogram.mean h)
+           (Histogram.percentile h 50.0) (Histogram.percentile h 95.0)
+           (Histogram.percentile h 99.0)))
+    (hists t);
+  Buffer.add_string b "}}\n";
+  t.snap_rows <- t.snap_rows + 1
+
+let[@inline] maybe_snapshot t now_us =
+  if t.snap_interval > 0.0 && now_us -. t.snap_last >= t.snap_interval then
+    locked t (fun () ->
+        (* Re-check under the lock: another domain may have just
+           emitted this interval's row. *)
+        if
+          now_us -. t.snap_last >= t.snap_interval
+          && t.snap_rows < snapshot_cap
+        then begin
+          t.snap_last <- now_us;
+          emit_snapshot_row t now_us
+        end)
+
+(* ---------------------------------------------------------------- *)
 (* Spans *)
 
 let span_begin t ~name ~pid ~tid ?(args = []) () =
@@ -221,39 +469,65 @@ let span_begin t ~name ~pid ~tid ?(args = []) () =
 let span_end ?(args = []) t sp =
   if not t.enabled then 0.0
   else begin
-    let dur = t.now_fn () -. sp.sp_ts in
-    locked t (fun () ->
-        event_sep t;
-        add_header t.buf ~ph:'X' ~name:sp.sp_name ~cat:"lbc" ~pid:sp.sp_pid
-          ~tid:sp.sp_tid ~ts:sp.sp_ts;
-        Buffer.add_string t.buf (Printf.sprintf {|,"dur":%.3f|} dur);
-        add_args t.buf (sp.sp_args @ args);
-        Buffer.add_char t.buf '}');
+    let now = t.now_fn () in
+    let dur = now -. sp.sp_ts in
+    if sp.sp_pid >= 0 && sp.sp_pid < Array.length t.rings then
+      Flight.record_span t.rings.(sp.sp_pid) ~ts_ns:(ts_ns_of now)
+        ~name:sp.sp_name ~lane:sp.sp_tid ~dur_ns:(ts_ns_of dur);
+    if t.json then
+      locked t (fun () ->
+          event_sep t;
+          add_header t.buf ~ph:'X' ~name:sp.sp_name ~cat:"lbc" ~pid:sp.sp_pid
+            ~tid:sp.sp_tid ~ts:sp.sp_ts;
+          Buffer.add_string t.buf (Printf.sprintf {|,"dur":%.3f|} dur);
+          add_args t.buf (sp.sp_args @ args);
+          Buffer.add_char t.buf '}');
+    maybe_snapshot t now;
     dur
   end
 
 let instant t ~name ~pid ~tid ?(args = []) () =
   if t.enabled then begin
     let ts = t.now_fn () in
-    locked t (fun () ->
-        event_sep t;
-        add_header t.buf ~ph:'i' ~name ~cat:"lbc" ~pid ~tid ~ts;
-        Buffer.add_string t.buf {|,"s":"t"|};
-        add_args t.buf args;
-        Buffer.add_char t.buf '}')
+    if pid >= 0 && pid < Array.length t.rings then
+      Flight.record_instant t.rings.(pid) ~ts_ns:(ts_ns_of ts) ~name ~lane:tid;
+    if t.json then
+      locked t (fun () ->
+          event_sep t;
+          add_header t.buf ~ph:'i' ~name ~cat:"lbc" ~pid ~tid ~ts;
+          Buffer.add_string t.buf {|,"s":"t"|};
+          add_args t.buf args;
+          Buffer.add_char t.buf '}');
+    maybe_snapshot t ts
   end
 
 (* ---------------------------------------------------------------- *)
 (* Flow arrows *)
 
+(* Flow ids pack (lock, seqno) into disjoint bit ranges, so the raw
+   low bits collide across locks (every lock's seqno [k] would share a
+   slot).  Fibonacci hashing, taking the TOP bits of the product:
+   multiplication only carries upward, so low product bits never see
+   the lock field. *)
+let[@inline] flow_slot t id =
+  (id * 0x9E3779B97F4A7C1) lsr 51 land (Array.length t.flow_ids - 1)
+
 let flow_start t ~id ~pid ~tid =
   if t.enabled then begin
     let ts = t.now_fn () in
-    locked t (fun () ->
-        Hashtbl.replace t.flows id ts;
-        event_sep t;
-        add_header t.buf ~ph:'s' ~name:"write" ~cat:"flow" ~pid ~tid ~ts;
-        Buffer.add_string t.buf (Printf.sprintf {|,"id":%d}|} id))
+    if pid >= 0 && pid < Array.length t.rings then
+      Flight.record_flow t.rings.(pid) ~ts_ns:(ts_ns_of ts) ~head:false ~id
+        ~lane:tid;
+    let slot = flow_slot t id in
+    Mutex.lock t.flows_m;
+    t.flow_ids.(slot) <- id;
+    t.flow_ts.(slot) <- ts;
+    Mutex.unlock t.flows_m;
+    if t.json then
+      locked t (fun () ->
+          event_sep t;
+          add_header t.buf ~ph:'s' ~name:"write" ~cat:"flow" ~pid ~tid ~ts;
+          Buffer.add_string t.buf (Printf.sprintf {|,"id":%d}|} id))
   end
 
 (* Binds the arrow into the receiver's apply span (emit right after the
@@ -262,54 +536,27 @@ let flow_start t ~id ~pid ~tid =
    record obtained by fetch rather than broadcast). *)
 let flow_end t ~id ~pid ~tid =
   if not t.enabled then None
-  else
+  else begin
     let ts = t.now_fn () in
-    locked t (fun () ->
-        match Hashtbl.find_opt t.flows id with
-        | None -> None
-        | Some start ->
+    if pid >= 0 && pid < Array.length t.rings then
+      Flight.record_flow t.rings.(pid) ~ts_ns:(ts_ns_of ts) ~head:true ~id
+        ~lane:tid;
+    let slot = flow_slot t id in
+    Mutex.lock t.flows_m;
+    let start = if t.flow_ids.(slot) = id then t.flow_ts.(slot) else nan in
+    Mutex.unlock t.flows_m;
+    if Float.is_nan start then None
+    else begin
+      if t.json then
+        locked t (fun () ->
             event_sep t;
             add_header t.buf ~ph:'f' ~name:"write" ~cat:"flow" ~pid ~tid ~ts;
-            Buffer.add_string t.buf (Printf.sprintf {|,"bp":"e","id":%d}|} id);
-            Some (ts -. start))
+            Buffer.add_string t.buf
+              (Printf.sprintf {|,"bp":"e","id":%d}|} id));
+      Some (ts -. start)
+    end
+  end
 
-(* ---------------------------------------------------------------- *)
-(* Metrics registry *)
-
-let count t name by =
-  if t.enabled then
-    locked t (fun () ->
-        match Hashtbl.find_opt t.counters name with
-        | Some r -> r := !r + by
-        | None -> Hashtbl.replace t.counters name (ref by))
-
-let counter t name =
-  locked t (fun () ->
-      match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0)
-
-let counters t =
-  locked t (fun () ->
-      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters [])
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-
-let observe t name v =
-  if t.enabled then
-    locked t (fun () ->
-        let h =
-          match Hashtbl.find_opt t.hists name with
-          | Some h -> h
-          | None ->
-              let h = Histogram.create () in
-              Hashtbl.replace t.hists name h;
-              h
-        in
-        Histogram.observe h v)
-
-let hist t name = locked t (fun () -> Hashtbl.find_opt t.hists name)
-
-let hists t =
-  locked t (fun () -> Hashtbl.fold (fun k h acc -> (k, h) :: acc) t.hists [])
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* Named marks: cheap cross-callback timing (e.g. repair-fetch RTT,
    keyed by requesting node + lock). *)
@@ -369,3 +616,26 @@ let write t path =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (render t))
+
+(* ---------------------------------------------------------------- *)
+(* Flight recorder access *)
+
+let rings t = t.rings
+
+let ring_stats t =
+  Array.map
+    (fun r -> (Flight.recorded r, Flight.dropped r, Flight.bytes_used r))
+    t.rings
+
+let dump_flight t ~clock path =
+  Flight_dump.write ~path ~clock ~dumped_at_ns:(ts_ns_of (t.now_fn ()))
+    (Array.mapi (fun i r -> (i, r)) t.rings)
+
+let snapshot_rows t = t.snap_rows
+let snapshots t = locked t (fun () -> Buffer.contents t.snap_buf)
+
+let write_snapshots t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (snapshots t))

@@ -6,9 +6,18 @@
     histograms ride along in a metrics registry.
 
     Timestamps come from a [now] closure (the sim engine's virtual
-    clock, in microseconds).  When tracing is disabled, every entry
-    point returns after one branch and allocates nothing — pass the
-    shared {!disabled} instance. *)
+    clock, in microseconds; monotonic wall microseconds on the real
+    backend).
+
+    The sink has two layers: always-on per-node {!Flight} rings (every
+    span end, instant, flow endpoint and pid-tagged counter delta is
+    binary-encoded into the executing node's ring, lock-free and
+    allocation-free — see {!dump_flight}) and the opt-in JSON trace
+    buffer ([json], i.e. [Config.trace]).  The metrics registry is
+    live whenever [enabled] — a flight-only sink still accumulates
+    histograms.  When the whole sink is disabled, every entry point
+    returns after one branch and allocates nothing — pass the shared
+    {!disabled} instance. *)
 
 module Histogram : sig
   type t
@@ -54,9 +63,30 @@ type t
 val disabled : t
 (** Shared no-op sink: [enabled] is false, every call is one branch. *)
 
-val create : now:(unit -> float) -> nodes:int -> unit -> t
+val create :
+  ?json:bool ->
+  ?ring_bytes:int ->
+  ?snapshot_interval_us:float ->
+  now:(unit -> float) ->
+  nodes:int ->
+  unit ->
+  t
+(** [json] (default true) enables the eager Chrome-trace buffer;
+    [ring_bytes] (default 64 KiB) sizes each node's flight ring, 0
+    disables the rings; [snapshot_interval_us] > 0 appends a registry
+    snapshot JSONL row at most once per interval, piggybacked on event
+    recording (no timers, so neither platform is kept from
+    quiescing). *)
 
 val enabled : t -> bool
+(** Some sink is live (flight rings, JSON trace, or both). *)
+
+val tracing : t -> bool
+(** The JSON trace buffer specifically is live. *)
+
+val flight_on : t -> bool
+(** The per-node flight rings specifically are live. *)
+
 val now : t -> float
 
 val flow_id : lock:int -> seqno:int -> int
@@ -91,13 +121,24 @@ val flow_end : t -> id:int -> pid:int -> tid:int -> float option
 
 (** {1 Metrics registry} *)
 
-val count : t -> string -> int -> unit
+val count : ?pid:int -> t -> string -> int -> unit
+(** [pid] additionally records the delta in that node's flight ring
+    and routes the registry update to that node's shard (whose mutex
+    no other domain contends); omit it when the count isn't
+    attributable to one node's own execution context (rings are
+    single-writer). *)
+
 val counter : t -> string -> int
 val counters : t -> (string * int) list
+(** Readers merge the per-node shards and the global shard. *)
 
-val observe : t -> string -> float -> unit
+val observe : ?pid:int -> t -> string -> float -> unit
+(** Add a sample to the named histogram; pass [pid] on hot paths for
+    the same shard routing as {!count}. *)
+
 val hist : t -> string -> Histogram.t option
 val hists : t -> (string * Histogram.t) list
+(** Merged copies — safe to keep after the sink moves on. *)
 
 val mark : t -> string -> unit
 (** Record "now" under a key — cheap cross-callback timing. *)
@@ -112,3 +153,23 @@ val render : t -> string
     node and lane) followed by all buffered events. *)
 
 val write : t -> string -> unit
+
+(** {1 Flight recorder} *)
+
+val rings : t -> Flight.t array
+(** The per-node rings (empty when the flight recorder is off). *)
+
+val ring_stats : t -> (int * int * int) array
+(** Per node: (events recorded, events dropped to wrap, bytes used). *)
+
+val dump_flight : t -> clock:string -> string -> unit
+(** Write all rings to an LBCF file (see {!Flight_dump}).  [clock]
+    labels the timestamp domain: ["virtual-us"] or ["wall-us"]. *)
+
+(** {1 Metrics snapshots} *)
+
+val snapshot_rows : t -> int
+val snapshots : t -> string
+(** The accumulated JSONL rows. *)
+
+val write_snapshots : t -> string -> unit

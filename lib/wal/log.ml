@@ -186,14 +186,20 @@ let flush_batch_now t g =
       g.open_batch <- None;
       let sp =
         if Obs.enabled t.obs then begin
-          Obs.observe t.obs "gc_batch_records" (Float.of_int b.count);
-          Obs.observe t.obs "gc_flush_delay_us"
+          Obs.observe ~pid:t.obs_node t.obs "gc_batch_records" (Float.of_int b.count);
+          Obs.observe ~pid:t.obs_node t.obs "gc_flush_delay_us"
             (Lbc_sim.Engine.now g.engine -. b.opened_at);
+          (* Args only feed the opt-in JSON trace; skip the list
+             allocation on flight-only runs (same for the instants
+             below). *)
           Obs.span_begin t.obs ~name:"log.flush" ~pid:t.obs_node
             ~tid:Obs.lane_wal
-            ~args:
-              [ ("records", Obs.I b.count);
-                ("bytes", Obs.I (Codec.length g.bw)) ]
+            ?args:
+              (if Obs.tracing t.obs then
+                 Some
+                   [ ("records", Obs.I b.count);
+                     ("bytes", Obs.I (Codec.length g.bw)) ]
+               else None)
             ()
         end
         else Obs.null_span
@@ -222,7 +228,11 @@ let append ?range_header_size t txn =
   t.record_count <- t.record_count + 1;
   if Obs.enabled t.obs then
     Obs.instant t.obs ~name:"log.append" ~pid:t.obs_node ~tid:Obs.lane_wal
-      ~args:[ ("bytes", Obs.I (Codec.length t.enc)) ] ();
+      ?args:
+        (if Obs.tracing t.obs then
+           Some [ ("bytes", Obs.I (Codec.length t.enc)) ]
+         else None)
+      ();
   off
 
 let force t =
@@ -236,7 +246,7 @@ let force t =
         else Obs.null_span
       in
       Lbc_storage.Dev.sync t.dev;
-      Obs.observe t.obs "log_force_us" (Obs.span_end t.obs sp)
+      Obs.observe ~pid:t.obs_node t.obs "log_force_us" (Obs.span_end t.obs sp)
 
 let append_durable ?range_header_size t txn =
   match t.group with
@@ -322,7 +332,11 @@ let append_ctrl t c =
   t.tail <- off + Codec.length t.enc;
   if Obs.enabled t.obs then
     Obs.instant t.obs ~name:"log.ctrl" ~pid:t.obs_node ~tid:Obs.lane_wal
-      ~args:[ ("bytes", Obs.I (Codec.length t.enc)) ] ();
+      ?args:
+        (if Obs.tracing t.obs then
+           Some [ ("bytes", Obs.I (Codec.length t.enc)) ]
+         else None)
+      ();
   off
 
 let fold_ctrl t ~init f =

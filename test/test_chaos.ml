@@ -40,6 +40,13 @@ let with_repro ?scenario ~seed f =
            --replay counterexample.trace\n"
           name
     | None -> ());
+    (* Strand/crash paths auto-dump the flight recorder before the
+       exception reaches us; name the file so the last moments are one
+       lbc-trace invocation away. *)
+    (match Cluster.last_flight_dump () with
+    | Some path ->
+        Printf.eprintf "flight dump: %s (decode with lbc-trace)\n" path
+    | None -> ());
     flush stderr;
     raise e
 
@@ -325,7 +332,32 @@ let test_chaos_drop_without_repair_strands () =
         (List.exists (fun d -> contains d "interlock") descs));
   Alcotest.(check bool)
     "the lost update was counted" true
-    (Lbc_net.Fabric.messages_dropped (Cluster.fabric c) ~src:0 ~dst:1 > 0)
+    (Lbc_net.Fabric.messages_dropped (Cluster.fabric c) ~src:0 ~dst:1 > 0);
+  (* Tracing is off (default config), yet the always-on flight recorder
+     auto-dumped on the strand: the last moments of every node decode
+     back clean. *)
+  let module FD = Lbc_obs.Flight_dump in
+  (match Cluster.last_flight c with
+  | None -> Alcotest.fail "no flight dump auto-written on strand"
+  | Some path ->
+      Alcotest.(check bool) "dump file exists" true (Sys.file_exists path);
+      Alcotest.(check bool) "LBCF magic" true (FD.is_flight_file path);
+      (match FD.read path with
+      | Error e -> Alcotest.failf "flight dump unreadable: %s" e
+      | Ok d ->
+          Alcotest.(check (list string))
+            "flight self-check clean" [] (FD.self_check d);
+          Alcotest.(check string) "sim clock" "virtual-us" d.FD.d_clock;
+          Alcotest.(check int) "one ring per node" nodes
+            (Array.length d.FD.d_rings);
+          (* Node 0 committed and node 1 hit the interlock: both rings
+             must hold their last events. *)
+          Array.iter
+            (fun ring ->
+              if ring.FD.r_id < 2 && Array.length ring.FD.r_events = 0 then
+                Alcotest.failf "ring %d has no events" ring.FD.r_id)
+            d.FD.d_rings);
+      Sys.remove path)
 
 (* Node crash mid-flight, lease-based token reclaim, rejoin with log
    replay — on top of a lossy channel.  Five nodes and four locks, so the

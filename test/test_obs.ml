@@ -262,17 +262,287 @@ let test_traced_cluster_run () =
     (Cluster.total_messages c)
     (Obs.counter o "net_msgs")
 
-(* With tracing off (the default), the cluster uses the shared disabled
-   sink and collects nothing. *)
-let test_untraced_cluster_is_silent () =
+(* With tracing off (the default), the cluster still carries the
+   always-on flight sink: no JSON buffering, but rings and the metric
+   registry stay live. *)
+let test_untraced_cluster_keeps_flight () =
   let c = mk_cluster Config.default 2 in
   script_writer c ~node:0 ~lock:0 ~commits:2;
   Cluster.run c;
   let o = Cluster.obs c in
-  Alcotest.(check bool) "tracing off" false (Obs.enabled o);
+  Alcotest.(check bool) "sink live" true (Obs.enabled o);
+  Alcotest.(check bool) "json tracing off" false (Obs.tracing o);
+  Alcotest.(check bool) "flight rings on" true (Obs.flight_on o);
+  (* The registry feeds Report and the wall-clock bench percentiles. *)
+  Alcotest.(check int)
+    "net_msgs counter matches fabric accounting"
+    (Cluster.total_messages c)
+    (Obs.counter o "net_msgs");
+  Alcotest.(check bool)
+    "commit_us histogram live" true
+    (Obs.hist o "commit_us" <> None);
+  (* Both nodes' rings saw events (node 0 commits, node 1 applies). *)
+  let stats = Obs.ring_stats o in
+  Alcotest.(check int) "one ring per node" 2 (Array.length stats);
+  Array.iteri
+    (fun i (recorded, dropped, bytes) ->
+      if recorded <= 0 then Alcotest.failf "ring %d recorded nothing" i;
+      if dropped <> 0 then Alcotest.failf "ring %d dropped %d" i dropped;
+      if bytes <= 0 then Alcotest.failf "ring %d used no bytes" i)
+    stats
+
+(* Opting out of the flight recorder too restores the shared disabled
+   sink, and dump_flight refuses. *)
+let test_flightless_cluster_is_silent () =
+  let c = mk_cluster { Config.default with Config.flight = false } 2 in
+  script_writer c ~node:0 ~lock:0 ~commits:2;
+  Cluster.run c;
+  let o = Cluster.obs c in
+  Alcotest.(check bool) "not enabled" false (Obs.enabled o);
   Alcotest.(check bool) "disabled singleton" true (o == Obs.disabled);
   Alcotest.(check int) "no counters" 0 (Obs.counter o "net_msgs");
-  Alcotest.(check bool) "no histograms" true (Obs.hists o = [])
+  Alcotest.(check bool) "no histograms" true (Obs.hists o = []);
+  Alcotest.(check bool)
+    "dump_flight refuses" true
+    (match Cluster.dump_flight c with
+    | (_ : string) -> false
+    | exception Invalid_argument _ -> true)
+
+(* ----------------------------------------------------------------- *)
+(* Flight recorder: ring wrap/drop properties, LBCF codec round-trip,
+   and a cluster dump decoded back clean. *)
+
+module Flight = Lbc_obs.Flight
+module FD = Lbc_obs.Flight_dump
+
+(* A replayable random event stream: kind, interned-name index, lane,
+   timestamp increment, payload. *)
+type op = {
+  op_kind : int; (* 0 span, 1 instant, 2 count, 3 flow *)
+  op_name : int;
+  op_lane : int;
+  op_dts : int;
+  op_arg : int;
+}
+
+let names_pool = [| "commit"; "apply"; "wal.force"; "lock.wait"; "net.send" |]
+
+let op_gen =
+  let open QCheck.Gen in
+  int_bound 3 >>= fun op_kind ->
+  int_bound (Array.length names_pool - 1) >>= fun op_name ->
+  int_bound 5 >>= fun op_lane ->
+  int_bound 5_000 >>= fun op_dts ->
+  int_bound 100_000 >>= fun op_arg ->
+  return { op_kind; op_name; op_lane; op_dts; op_arg }
+
+let op_print o =
+  Printf.sprintf "{k=%d n=%d l=%d dt=%d a=%d}" o.op_kind o.op_name o.op_lane
+    o.op_dts o.op_arg
+
+let ops_arb =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map op_print ops))
+    QCheck.Gen.(list_size (int_range 0 300) op_gen)
+
+(* Replay ops into a ring; returns the absolute timestamps used. *)
+let record_ops r ops =
+  let ts = ref 0 in
+  List.map
+    (fun op ->
+      ts := !ts + op.op_dts;
+      let name = names_pool.(op.op_name) in
+      (match op.op_kind with
+      | 0 ->
+          Flight.record_span r ~ts_ns:!ts ~name ~lane:op.op_lane
+            ~dur_ns:op.op_arg
+      | 1 -> Flight.record_instant r ~ts_ns:!ts ~name ~lane:op.op_lane
+      | 2 ->
+          Flight.record_count r ~ts_ns:!ts ~name ~delta:(op.op_arg - 50_000)
+      | _ ->
+          Flight.record_flow r ~ts_ns:!ts ~head:(op.op_arg land 1 = 1)
+            ~id:op.op_arg ~lane:op.op_lane);
+      !ts)
+    ops
+
+let dump_of_ring r =
+  let s =
+    FD.encode ~clock:"virtual-us" ~dumped_at_ns:(Flight.last_ts_ns r)
+      [| (0, r) |]
+  in
+  match FD.of_string s with
+  | Error e -> Alcotest.failf "LBCF decode failed: %s" e
+  | Ok d -> d
+
+(* Any stream into a minimum-size ring: whole-record eviction keeps the
+   books balanced and the surviving suffix decodable and monotone. *)
+let qcheck_ring_wrap =
+  QCheck.Test.make ~name:"flight ring wrap: drop accounting + self-check"
+    ~count:200 ops_arb (fun ops ->
+      let r = Flight.create ~cap_bytes:256 () in
+      ignore (record_ops r ops : int list);
+      let d = dump_of_ring r in
+      let ring = d.FD.d_rings.(0) in
+      Flight.recorded r = List.length ops
+      && FD.self_check d = []
+      && Array.length ring.FD.r_events
+         = Flight.recorded r - Flight.dropped r
+      && (ops = [] || Flight.dropped r > 0 || Flight.bytes_used r <= 256))
+
+(* A ring big enough never to wrap round-trips every event exactly:
+   kind, name, lane, absolute timestamp, duration and payload all
+   survive the varint codec. *)
+let qcheck_ring_roundtrip =
+  QCheck.Test.make ~name:"flight codec round-trip (no wrap)" ~count:200
+    ops_arb (fun ops ->
+      let r = Flight.create ~cap_bytes:(1 lsl 20) () in
+      let times = record_ops r ops in
+      let d = dump_of_ring r in
+      let ring = d.FD.d_rings.(0) in
+      let expect =
+        List.map2
+          (fun op ts ->
+            match op.op_kind with
+            | 0 ->
+                (FD.Span, names_pool.(op.op_name), op.op_lane, ts, op.op_arg, 0)
+            | 1 -> (FD.Instant, names_pool.(op.op_name), op.op_lane, ts, 0, 0)
+            | 2 ->
+                (FD.Count, names_pool.(op.op_name), 0, ts, 0, op.op_arg - 50_000)
+            | _ ->
+                ( (if op.op_arg land 1 = 1 then FD.Flow_end else FD.Flow_start),
+                  "", op.op_lane, ts, 0, op.op_arg ))
+          ops times
+      in
+      let got =
+        Array.to_list
+          (Array.map
+             (fun (e : FD.event) ->
+               ( e.FD.ev_kind, e.FD.ev_name, e.FD.ev_lane, e.FD.ev_ts_ns,
+                 e.FD.ev_dur_ns, e.FD.ev_arg ))
+             ring.FD.r_events)
+      in
+      Flight.dropped r = 0 && FD.self_check d = [] && got = expect)
+
+(* Deterministic overwrite check: flood a minimum ring and require the
+   survivors to be exactly the newest suffix. *)
+let test_flight_newest_survive () =
+  let r = Flight.create ~cap_bytes:256 () in
+  for i = 1 to 1000 do
+    Flight.record_instant r ~ts_ns:(i * 10) ~name:"tick" ~lane:0
+  done;
+  Alcotest.(check int) "all recorded" 1000 (Flight.recorded r);
+  Alcotest.(check bool) "wrapped" true (Flight.dropped r > 0);
+  let d = dump_of_ring r in
+  Alcotest.(check (list string)) "self-check clean" [] (FD.self_check d);
+  let evs = d.FD.d_rings.(0).FD.r_events in
+  let n = Array.length evs in
+  Alcotest.(check int) "survivors" (1000 - Flight.dropped r) n;
+  (* Newest event anchors at last_ts_ns; the suffix is contiguous. *)
+  Alcotest.(check int) "anchor" 10_000 evs.(n - 1).FD.ev_ts_ns;
+  Array.iteri
+    (fun i ev ->
+      let want = (1000 - n + 1 + i) * 10 in
+      if ev.FD.ev_ts_ns <> want then
+        Alcotest.failf "survivor %d at ts %d, want %d" i ev.FD.ev_ts_ns want)
+    evs
+
+(* Out-of-order timestamps are clamped monotone, never rejected. *)
+let test_flight_monotone_clamp () =
+  let r = Flight.create () in
+  Flight.record_instant r ~ts_ns:100 ~name:"a" ~lane:0;
+  Flight.record_instant r ~ts_ns:50 ~name:"b" ~lane:0;
+  Flight.record_instant r ~ts_ns:120 ~name:"c" ~lane:0;
+  let d = dump_of_ring r in
+  Alcotest.(check (list string)) "self-check clean" [] (FD.self_check d);
+  let ts =
+    Array.to_list
+      (Array.map (fun e -> e.FD.ev_ts_ns) d.FD.d_rings.(0).FD.r_events)
+  in
+  Alcotest.(check (list int)) "clamped" [ 100; 100; 120 ] ts
+
+(* A garbage file and a truncated dump both fail loudly. *)
+let test_flight_decode_rejects () =
+  (match FD.of_string "not a flight dump" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad magic accepted");
+  let r = Flight.create () in
+  Flight.record_instant r ~ts_ns:10 ~name:"x" ~lane:0;
+  let s = FD.encode ~clock:"virtual-us" ~dumped_at_ns:10 [| (0, r) |] in
+  match FD.of_string (String.sub s 0 (String.length s - 3)) with
+  | Error _ -> ()
+  | Ok d ->
+      (* A truncated body may still parse the header; then the ring
+         must carry decode errors that fail the self-check. *)
+      if FD.self_check d = [] then
+        Alcotest.fail "truncated dump passed self-check"
+
+(* An untraced cluster run dumps a decodable, self-check-clean flight
+   file with events for every node — the instrumented path end to end. *)
+let test_cluster_flight_dump () =
+  let nodes = 3 in
+  let c = mk_cluster Config.default nodes in
+  script_writer c ~node:0 ~lock:0 ~commits:4;
+  script_writer c ~node:1 ~lock:1 ~commits:3;
+  script_writer c ~node:2 ~lock:2 ~commits:2;
+  Cluster.run c;
+  let path = Filename.temp_file "lbc-flight" ".bin" in
+  let written = Cluster.dump_flight ~path c in
+  Alcotest.(check string) "dump path" path written;
+  Alcotest.(check bool) "last_flight set" true (Cluster.last_flight c = Some path);
+  Alcotest.(check bool) "magic detected" true (FD.is_flight_file path);
+  (match FD.read path with
+  | Error e -> Alcotest.failf "read failed: %s" e
+  | Ok d ->
+      Alcotest.(check (list string)) "self-check clean" [] (FD.self_check d);
+      Alcotest.(check string) "sim clock" "virtual-us" d.FD.d_clock;
+      Alcotest.(check int) "one ring per node" nodes
+        (Array.length d.FD.d_rings);
+      Array.iter
+        (fun ring ->
+          if Array.length ring.FD.r_events = 0 then
+            Alcotest.failf "ring %d has no events" ring.FD.r_id)
+        d.FD.d_rings;
+      (* The merged stream is globally monotone. *)
+      let merged = FD.merged d in
+      Array.iteri
+        (fun i ev ->
+          if i > 0 && ev.FD.ev_ts_ns < merged.(i - 1).FD.ev_ts_ns then
+            Alcotest.failf "merged stream steps backwards at %d" i)
+        merged;
+      (* And it renders to parseable Chrome-trace JSON. *)
+      match Json.parse (FD.render_chrome d) with
+      | Error e -> Alcotest.failf "render_chrome not JSON: %s" e
+      | Ok _ -> ());
+  Sys.remove path
+
+(* Periodic metrics snapshots: rows accumulate on the event hot path at
+   the configured virtual interval, and each row is a JSON object. *)
+let test_metrics_snapshots () =
+  let clock = ref 0.0 in
+  let o =
+    Obs.create ~json:false ~now:(fun () -> !clock) ~nodes:1
+      ~snapshot_interval_us:100.0 ()
+  in
+  for i = 1 to 50 do
+    clock := float_of_int i *. 25.0;
+    Obs.count o ~pid:0 "ticks" 1;
+    Obs.observe o "tick_us" 25.0;
+    (* Snapshots piggyback on the event hot path — no timers. *)
+    Obs.instant o ~name:"tick" ~pid:0 ~tid:0 ()
+  done;
+  let rows = Obs.snapshot_rows o in
+  Alcotest.(check bool)
+    (Printf.sprintf "rows at 100us intervals (got %d)" rows)
+    true
+    (rows >= 8 && rows <= 13);
+  String.split_on_char '\n' (Obs.snapshots o)
+  |> List.filter (fun l -> l <> "")
+  |> List.iter (fun line ->
+         match Json.parse line with
+         | Error e -> Alcotest.failf "snapshot row not JSON (%s): %s" e line
+         | Ok j ->
+             if Json.member "ts_us" j = None then
+               Alcotest.failf "snapshot row without ts_us: %s" line)
 
 (* ----------------------------------------------------------------- *)
 (* Golden-style rendering of Report.pp_cluster *)
@@ -302,6 +572,8 @@ let test_report_golden () =
   expect "node 1 stats" "node 1: 1 commits (0 aborts)";
   expect "group commit" "group commit:";
   expect "batches" "batches";
+  expect "flight line" "obs: flight";
+  expect "flight accounting" "(rec/drop/bytes)";
   if contains rendered "blocked:" then
     Alcotest.fail "quiescent cluster must not report blocked processes"
 
@@ -343,12 +615,28 @@ let suites =
         Alcotest.test_case "self-check catches bad traces" `Quick
           test_self_check_catches;
       ] );
+    ( "obs-flight",
+      [
+        QCheck_alcotest.to_alcotest qcheck_ring_wrap;
+        QCheck_alcotest.to_alcotest qcheck_ring_roundtrip;
+        Alcotest.test_case "newest events survive wrap" `Quick
+          test_flight_newest_survive;
+        Alcotest.test_case "monotone timestamp clamp" `Quick
+          test_flight_monotone_clamp;
+        Alcotest.test_case "decoder rejects garbage" `Quick
+          test_flight_decode_rejects;
+        Alcotest.test_case "cluster dump decodes clean" `Quick
+          test_cluster_flight_dump;
+        Alcotest.test_case "metrics snapshots" `Quick test_metrics_snapshots;
+      ] );
     ( "obs-cluster",
       [
         Alcotest.test_case "traced run: self-check + report agreement"
           `Quick test_traced_cluster_run;
-        Alcotest.test_case "untraced run collects nothing" `Quick
-          test_untraced_cluster_is_silent;
+        Alcotest.test_case "untraced run keeps the flight sink" `Quick
+          test_untraced_cluster_keeps_flight;
+        Alcotest.test_case "flightless run collects nothing" `Quick
+          test_flightless_cluster_is_silent;
         Alcotest.test_case "report golden rendering" `Quick
           test_report_golden;
         Alcotest.test_case "report blocked list" `Quick

@@ -254,6 +254,55 @@ let test_oo7_real_matches_sim () =
     (Lbc_core.Wire.encode real_outcome.Lbc_oo7.Runner.record);
   Alcotest.(check bytes) "reader image" sim_image real_image
 
+(* Two domains write their own flight rings concurrently (one ring per
+   node, single-writer each); the dump merges them into one wall-clock
+   stream that passes the structural self-check. *)
+let test_flight_dump_two_domains () =
+  let module FD = Lbc_obs.Flight_dump in
+  let nodes = 2 in
+  let region_size = 4096 in
+  let c = Lbc_core.Cluster.create ~backend:(real_backend ()) ~nodes () in
+  Lbc_core.Cluster.add_region c ~id:0 ~size:region_size;
+  Lbc_core.Cluster.map_region_all c ~region:0;
+  for n = 0 to nodes - 1 do
+    Lbc_core.Cluster.spawn c ~node:n (fun node ->
+        for i = 1 to 10 do
+          let txn = Lbc_core.Node.Txn.begin_ node in
+          Lbc_core.Node.Txn.acquire txn n;
+          Lbc_core.Node.Txn.set_u64 txn ~region:0 ~offset:(8 * n)
+            (Int64.of_int i);
+          Lbc_core.Node.Txn.commit txn
+        done)
+  done;
+  Lbc_core.Cluster.run c;
+  let path = Filename.temp_file "lbc-flight-real" ".bin" in
+  let (_ : string) = Lbc_core.Cluster.dump_flight ~path c in
+  Lbc_core.Cluster.shutdown c;
+  (match FD.read path with
+  | Error e -> Alcotest.failf "read failed: %s" e
+  | Ok d ->
+      Alcotest.(check string) "wall clock" "wall-us" d.FD.d_clock;
+      Alcotest.(check (list string)) "self-check clean" [] (FD.self_check d);
+      Alcotest.(check int) "one ring per domain" nodes
+        (Array.length d.FD.d_rings);
+      Array.iter
+        (fun ring ->
+          if Array.length ring.FD.r_events = 0 then
+            Alcotest.failf "domain %d recorded no events" ring.FD.r_id)
+        d.FD.d_rings;
+      let merged = FD.merged d in
+      Alcotest.(check bool) "events from both domains merged" true
+        (Array.length merged
+        = Array.fold_left
+            (fun acc r -> acc + Array.length r.FD.r_events)
+            0 d.FD.d_rings);
+      Array.iteri
+        (fun i ev ->
+          if i > 0 && ev.FD.ev_ts_ns < merged.(i - 1).FD.ev_ts_ns then
+            Alcotest.failf "merged wall-clock stream steps backwards at %d" i)
+        merged);
+  Sys.remove path
+
 let test_real_rejects_sim_only () =
   let backend = real_backend () in
   Alcotest.check_raises "sched is sim-only"
@@ -289,6 +338,8 @@ let suites =
       [
         Alcotest.test_case "oo7 over domains = oo7 over sim" `Quick
           test_oo7_real_matches_sim;
+        Alcotest.test_case "flight dump merges two domains" `Quick
+          test_flight_dump_two_domains;
         Alcotest.test_case "sim-only operations refuse" `Quick
           test_real_rejects_sim_only;
       ] );
