@@ -737,6 +737,90 @@ let ondemand_bench ~scale () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Adaptive-logging benchmark: each write-heavy Table-3 traversal runs
+   once under Value and once under Adaptive encoding.  Rows feed the
+   "adaptive" block of the JSON output: wire-byte and logged-record
+   deltas, recovery-time deltas, and recovered-image identity across
+   all three replay modes (the command re-execution must land on the
+   bytes the value log would have installed). *)
+
+type adaptive_row = {
+  ad_name : string;
+  ad_cmd_chosen : bool;
+  ad_value_wire : int;
+  ad_adaptive_wire : int;
+  ad_value_record : int;
+  ad_adaptive_record : int;
+  ad_value_serial_us : float;
+  ad_serial_us : float;
+  ad_partitioned_us : float;
+  ad_ondemand_us : float;
+  ad_identical : bool;
+}
+
+let adaptive_kinds =
+  [
+    Traversal.T2 Traversal.A;
+    Traversal.T2 Traversal.C;
+    Traversal.T3 Traversal.B;
+    Traversal.T3 Traversal.C;
+  ]
+
+let adaptive_bench_one kind =
+  (* Each (encoding, replay-mode) pair gets a fresh cluster: the build
+     and the traversal are deterministic, so the recovered images are
+     comparable across runs. *)
+  let run log_mode mode =
+    let config =
+      {
+        Lbc_core.Config.default with
+        Lbc_core.Config.log_mode;
+        charge_costs = true;
+      }
+    in
+    let cluster = Runner.setup ~config ~nodes:2 small in
+    let o = Runner.run ~cluster ~writer:0 small kind in
+    let wire = Lbc_core.Cluster.total_bytes cluster in
+    let _, us = Lbc_core.Cluster.timed_recovery cluster ~mode in
+    let img =
+      match
+        Lbc_storage.Store.find (Lbc_core.Cluster.store cluster) "region.0"
+      with
+      | Some dev -> Lbc_storage.Dev.stable_snapshot dev
+      | None -> Bytes.create 0
+    in
+    (o, wire, us, img)
+  in
+  let o_v, wire_v, us_v, img_v =
+    run Lbc_wal.Command.Value Lbc_core.Cluster.Serial
+  in
+  let o_a, wire_a, us_s, img_s =
+    run Lbc_wal.Command.Adaptive Lbc_core.Cluster.Serial
+  in
+  let _, _, us_p, img_p =
+    run Lbc_wal.Command.Adaptive Lbc_core.Cluster.Partitioned
+  in
+  let _, _, us_o, img_o =
+    run Lbc_wal.Command.Adaptive Lbc_core.Cluster.OnDemand
+  in
+  {
+    ad_name = Traversal.name kind;
+    ad_cmd_chosen = o_a.Runner.record.Lbc_wal.Record.cmd <> None;
+    ad_value_wire = wire_v;
+    ad_adaptive_wire = wire_a;
+    ad_value_record = Lbc_core.Wire.size o_v.Runner.record;
+    ad_adaptive_record = Lbc_core.Wire.size o_a.Runner.record;
+    ad_value_serial_us = us_v;
+    ad_serial_us = us_s;
+    ad_partitioned_us = us_p;
+    ad_ondemand_us = us_o;
+    ad_identical =
+      Bytes.equal img_v img_s
+      && Bytes.equal img_s img_p
+      && Bytes.equal img_s img_o;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* ------------------------------------------------------------------ *)
 (* Machine-readable output: every Table-3 traversal under each
    propagation policy, written to BENCH_oo7.json for CI trending. *)
@@ -762,11 +846,13 @@ let json () =
         { measured with Lbc_core.Config.propagation = Lbc_core.Config.Lazy } );
     ]
   in
-  addf "{\n  \"schema\": \"BENCH_oo7/v5\",\n  \"configs\": [";
+  addf "{\n  \"schema\": \"BENCH_oo7/v6\",\n  \"configs\": [";
   List.iteri
     (fun ci (cname, config) ->
       if ci > 0 then addf ",";
-      addf "\n    {\n      \"name\": %S,\n      \"traversals\": [" cname;
+      addf "\n    {\n      \"name\": %S,\n      \"log_mode\": %S,\n      \"traversals\": ["
+        cname
+        (Lbc_wal.Command.log_mode_name config.Lbc_core.Config.log_mode);
       (* Latency percentiles are aggregated across the config's
          traversals by merging the per-run histogram buckets. *)
       let agg : (string, H.t) Hashtbl.t = Hashtbl.create 8 in
@@ -848,6 +934,26 @@ let json () =
     [ od1; od10 ];
   addf "\n    ],\n    \"ttfc_growth\": %.2f\n  }"
     (od10.od_ttfc_us /. Float.max 1.0 od1.od_ttfc_us);
+  let adaptive = List.map adaptive_bench_one adaptive_kinds in
+  addf ",\n  \"adaptive\": [";
+  List.iteri
+    (fun i ad ->
+      if i > 0 then addf ",";
+      addf
+        "\n    { \"name\": %S, \"cmd_chosen\": %b, \
+         \"value_wire_bytes\": %d, \"adaptive_wire_bytes\": %d, \
+         \"wire_ratio\": %.3f, \"value_record_bytes\": %d, \
+         \"adaptive_record_bytes\": %d, \"value_serial_replay_us\": %.1f, \
+         \"serial_replay_us\": %.1f, \"partitioned_replay_us\": %.1f, \
+         \"ondemand_replay_us\": %.1f, \"images_identical\": %b }"
+        ad.ad_name ad.ad_cmd_chosen ad.ad_value_wire ad.ad_adaptive_wire
+        (float_of_int ad.ad_adaptive_wire
+        /. Float.max 1.0 (float_of_int ad.ad_value_wire))
+        ad.ad_value_record ad.ad_adaptive_record ad.ad_value_serial_us
+        ad.ad_serial_us ad.ad_partitioned_us ad.ad_ondemand_us
+        ad.ad_identical)
+    adaptive;
+  addf "\n  ]";
   addf "\n}\n";
   let oc = open_out "BENCH_oo7.json" in
   output_string oc (Buffer.contents buf);
@@ -856,6 +962,16 @@ let json () =
     (List.length configs)
     (List.length Traversal.table3_kinds)
     rb.rb_serial_us rb.rb_partitioned_us rb.rb_partitions;
+  List.iter
+    (fun ad ->
+      pr
+        "adaptive %s: wire %d -> %d bytes (%.1fx), record %d -> %d, \
+         images identical: %b@."
+        ad.ad_name ad.ad_value_wire ad.ad_adaptive_wire
+        (float_of_int ad.ad_value_wire
+        /. Float.max 1.0 (float_of_int ad.ad_adaptive_wire))
+        ad.ad_value_record ad.ad_adaptive_record ad.ad_identical)
+    adaptive;
   pr
     "on-demand restart: ttfc %.0f µs over %d records (1x) vs %.0f µs over \
      %d records (10x) — %.2fx@."

@@ -46,6 +46,9 @@ let report violations =
       1
 
 let verify no_races strict regions paths =
+  (* Command records verify by re-execution; their operations must be
+     registered before any decode touches them. *)
+  Lbc_oo7.Commands.ensure ();
   let logs = List.map load_log paths in
   List.iter2
     (fun path log ->

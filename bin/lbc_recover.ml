@@ -122,6 +122,9 @@ let domain_replay ~streams ~db =
   (outcome, wall_us (), Atomic.get first_done)
 
 let recover db_path out_path mode backend log_paths =
+  (* Command records (adaptive logging) can only replay if their
+     operations are registered in this process. *)
+  Lbc_oo7.Commands.ensure ();
   let logs =
     List.map
       (fun path ->
@@ -150,6 +153,16 @@ let recover db_path out_path mode backend log_paths =
   | Ok records ->
       Format.printf "merged %d committed transactions from %d logs@."
         (List.length records) (List.length logs);
+      let commands =
+        List.length
+          (List.filter
+             (fun (r : Lbc_wal.Record.txn) -> r.Lbc_wal.Record.cmd <> None)
+             records)
+      in
+      if commands > 0 then
+        Format.printf
+          "%d command record(s) will be re-executed against the image@."
+          commands;
       let streams =
         match mode with
         | Serial -> if records = [] then [] else [ records ]

@@ -19,8 +19,8 @@ let save_devices dir store =
           Format.printf "saved %s (%d bytes)@." path (Lbc_storage.Dev.stable_size dev))
     (Lbc_storage.Store.names store)
 
-let run traversal config_name nodes protocol lazy_mode costs save trace_out
-    flight_out backend_name debug =
+let run traversal config_name nodes protocol lazy_mode costs log_mode_name
+    save trace_out flight_out backend_name debug =
   if debug then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -73,21 +73,32 @@ let run traversal config_name nodes protocol lazy_mode costs save trace_out
        rides the sim's fault model)@.";
     exit 2
   end;
+  let log_mode =
+    match Lbc_wal.Command.log_mode_of_name log_mode_name with
+    | Some m -> m
+    | None ->
+        Format.eprintf "unknown log mode %S (value|command|adaptive)@."
+          log_mode_name;
+        exit 2
+  in
   let config =
     {
       (if costs then Lbc_core.Config.measured else Lbc_core.Config.default) with
       Lbc_core.Config.propagation =
         (if lazy_mode then Lbc_core.Config.Lazy else Lbc_core.Config.Eager);
       disk_logging = not costs;
+      log_mode;
       trace = trace_out <> None;
       trace_path = trace_out;
     }
   in
   let cluster = Runner.setup ~config ~backend ~nodes schema in
-  Format.printf "OO7 %s: %s config, %d nodes, %s protocol, %s backend%s%s@."
+  Format.printf
+    "OO7 %s: %s config, %d nodes, %s protocol, %s backend, %s logging%s%s@."
     (Traversal.name kind) config_name nodes
     (Lbc_dsm.Backend.kind_name protocol_kind)
     (Lbc_core.Cluster.backend_name cluster)
+    (Lbc_wal.Command.log_mode_name log_mode)
     (if lazy_mode then ", lazy propagation" else "")
     (if costs then ", costs charged" else "");
   (match protocol_kind with
@@ -102,6 +113,15 @@ let run traversal config_name nodes protocol lazy_mode costs save trace_out
         "profile: %d updates, %d bytes updated, %d message bytes, %d pages@."
         p.Lbc_costmodel.Model.updates p.Lbc_costmodel.Model.unique_bytes
         p.Lbc_costmodel.Model.message_bytes p.Lbc_costmodel.Model.pages_updated;
+      (match o.Runner.record.Lbc_wal.Record.cmd with
+      | Some c ->
+          Format.printf
+            "encoding: command record (op %d, %d param bytes) replacing %d \
+             value ranges@."
+            c.Lbc_wal.Record.op
+            (Bytes.length c.Lbc_wal.Record.params)
+            (List.length o.Runner.value.Lbc_wal.Record.ranges)
+      | None -> ());
       Format.printf "writer %s time: %.1f µs@."
         (if real then "wall-clock" else "virtual")
         o.Runner.elapsed;
@@ -216,6 +236,13 @@ let costs =
   Arg.(value & flag & info [ "costs" ]
          ~doc:"Charge the paper's operation costs as virtual time.")
 
+let log_mode_name =
+  Arg.(value & opt string "value" & info [ "log-mode" ] ~docv:"MODE"
+         ~doc:"Per-transaction record encoding: $(b,value) logs new-value \
+               ranges (stock RVM), $(b,command) logs the traversal \
+               operation itself, $(b,adaptive) picks whichever encodes \
+               smaller.")
+
 let save =
   Arg.(value & opt (some string) None & info [ "save" ] ~docv:"DIR"
          ~doc:"Dump device images (logs, database) for the offline tools.")
@@ -245,6 +272,7 @@ let cmd =
   Cmd.v
     (Cmd.info "oo7-run" ~doc:"Run an OO7 traversal under log-based coherency")
     Term.(const run $ traversal $ config_name $ nodes $ protocol $ lazy_mode
-          $ costs $ save $ trace_out $ flight_out $ backend_name $ debug)
+          $ costs $ log_mode_name $ save $ trace_out $ flight_out
+          $ backend_name $ debug)
 
 let () = exit (Cmd.eval cmd)

@@ -86,7 +86,7 @@ let check_chain ?(infer_base = true) ?(base = fun _ -> 0) streams =
   in
   List.iter
     (List.iter (fun (txn : R.txn) ->
-         let is_write = txn.R.ranges <> [] in
+         let is_write = R.is_write txn in
          List.iter
            (fun l ->
              let prev =
@@ -308,13 +308,13 @@ let check_regions ~regions streams =
   List.iter
     (List.iter (fun (txn : R.txn) ->
          List.iter
-           (fun (r : R.range) ->
-             if not (List.mem r.R.region regions) then
+           (fun region ->
+             if not (List.mem region regions) then
                violations :=
                  Violation.Unmapped_region
-                   { region = r.R.region; txn = Violation.txn_id_of txn }
+                   { region; txn = Violation.txn_id_of txn }
                  :: !violations)
-           txn.R.ranges))
+           (R.regions txn)))
     streams;
   List.rev !violations
 

@@ -120,14 +120,28 @@ let overlapping_writes events =
   let writes = ref [] in
   Array.iteri
     (fun idx ev ->
-      List.iter
-        (fun r ->
-          let len = Bytes.length r.R.data in
-          if len > 0 then
-            writes :=
-              { region = r.R.region; offset = r.R.offset; len; owner = idx }
-              :: !writes)
-        ev.txn.R.ranges)
+      match ev.txn.R.cmd with
+      | Some c ->
+          (* A command record's writes are only known by re-execution;
+             for race purposes treat it as writing its whole declared
+             regions (conservative: lock-ordered commands are excluded
+             by [precedes], so this cannot flag a properly locked
+             workload). *)
+          List.iter
+            (fun region ->
+              writes := { region; offset = 0; len = max_int; owner = idx }
+                :: !writes)
+            c.R.cmd_regions
+      | None ->
+          List.iter
+            (fun r ->
+              let len = Bytes.length r.R.data in
+              if len > 0 then
+                writes :=
+                  { region = r.R.region; offset = r.R.offset; len;
+                    owner = idx }
+                  :: !writes)
+            ev.txn.R.ranges)
     events;
   let sorted =
     List.sort

@@ -198,6 +198,7 @@ let corrupt_unlocked_write streams =
           tid = 999_999;
           locks = [];
           ranges = [ r ];
+          cmd = None;
         }
       in
       Some (streams @ [ [ rogue ] ])
@@ -339,6 +340,7 @@ let run () =
         tid;
         locks = [ { R.lock_id = 0; seqno; prev_write_seq = prev } ];
         ranges = [];
+        cmd = None;
       }
     in
     let streams = [ [ ro 0 1 1 0; ro 0 2 3 0 ]; [ ro 1 3 2 0 ] ] in
@@ -439,6 +441,7 @@ let run () =
         locks = [ { R.lock_id = 0; seqno; prev_write_seq = prev } ];
         ranges =
           [ { R.region = 0; offset = 4; data = Bytes.make 1 (Char.chr byte) } ];
+        cmd = None;
       }
     in
     let streams = [ [ txn 0 1 1 0 0x11 ]; [ txn 1 2 2 1 0x22 ] ] in

@@ -32,16 +32,44 @@ let spec_image spec region =
           Hashtbl.replace spec.images region b;
           Some b)
 
+(* Apply one merged transaction to the spec.  Value records blit their
+   ranges; command records re-execute the operation against the spec's
+   byte arrays — the very same deterministic function receivers and
+   recovery run, so a spec divergence still means the *distributed*
+   execution is wrong, not the encoding.  Returns the violations the
+   record itself raises (unknown operation). *)
 let apply_txn spec (txn : R.txn) =
-  List.iter
-    (fun (r : R.range) ->
-      match spec_image spec r.R.region with
-      | None -> ()
-      | Some img ->
-          let len = Bytes.length r.R.data in
-          if r.R.offset >= 0 && r.R.offset + len <= Bytes.length img then
-            Bytes.blit r.R.data 0 img r.R.offset len)
-    txn.R.ranges
+  match txn.R.cmd with
+  | Some c when not (Lbc_wal.Command.registered c.R.op) ->
+      [ Violation.Command_unknown
+          { txn = Violation.txn_id_of txn; op = c.R.op } ]
+  | Some c when List.exists (fun r -> spec_image spec r = None) c.R.cmd_regions
+    ->
+      (* Outside the declared region set: skipped, as receivers skip it —
+         check_regions flags those. *)
+      []
+  | _ ->
+      let mem =
+        {
+          Lbc_wal.Command.read =
+            (fun ~region ~offset ~len ->
+              match spec_image spec region with
+              | Some img when offset >= 0 && offset + len <= Bytes.length img
+                ->
+                  Bytes.sub img offset len
+              | _ -> Bytes.make len '\000');
+          write =
+            (fun ~region ~offset data ->
+              match spec_image spec region with
+              | None -> ()
+              | Some img ->
+                  let len = Bytes.length data in
+                  if offset >= 0 && offset + len <= Bytes.length img then
+                    Bytes.blit data 0 img offset len);
+        }
+      in
+      Lbc_wal.Command.apply mem txn;
+      []
 
 let first_diff a b =
   let n = min (Bytes.length a) (Bytes.length b) in
@@ -79,8 +107,12 @@ let check ?initial ~regions ~finals streams =
   | Error (Lbc_core.Merge.Unorderable why) ->
       [ Violation.Merge_unorderable { detail = why } ]
   | Ok merged ->
-      List.iter (apply_txn spec) merged;
       let violations = ref [] in
+      List.iter
+        (fun txn ->
+          List.iter (fun v -> violations := v :: !violations)
+            (apply_txn spec txn))
+        merged;
       List.iter
         (fun (witness, read) ->
           List.iter

@@ -62,6 +62,10 @@ type kind =
   | Unmapped_region of { region : int; txn : txn_id }
       (* A record addresses a region outside the declared region set:
          receivers silently skip such ranges, so the write is lost. *)
+  | Command_unknown of { txn : txn_id; op : int }
+      (* A command record names an operation no process registered:
+         neither receivers nor recovery can re-execute it, so the
+         transaction's effect is unreproducible from the log. *)
   | Serial_divergence of {
       witness : string;  (* which final image diverged: "node 3", "db" *)
       region : int;
@@ -96,6 +100,7 @@ let name = function
   | Order_cycle _ -> "order-cycle"
   | Ckpt_trim _ -> "ckpt-low-water"
   | Unmapped_region _ -> "unmapped-region"
+  | Command_unknown _ -> "command-unknown"
   | Serial_divergence _ -> "serializability"
   | Schedule_oracle _ -> "schedule-oracle"
   | Lint { rule; _ } -> rule
@@ -140,6 +145,10 @@ let pp ppf v =
       Format.fprintf ppf
         "[%s] txn %a writes region %d, which no declared region set covers"
         (name v) pp_txn_id txn region
+  | Command_unknown { txn; op } ->
+      Format.fprintf ppf
+        "[%s] txn %a is a command record for unregistered operation %d"
+        (name v) pp_txn_id txn op
   | Serial_divergence { witness; region; offset; expected; actual } ->
       Format.fprintf ppf
         "[%s] %s region %d: byte %d is 0x%02x, sequential spec says 0x%02x"

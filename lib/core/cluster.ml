@@ -497,7 +497,7 @@ let online_checkpoint t =
          Option.map (fun info -> info.dev) (Hashtbl.find_opt t.regions id)));
   List.iter
     (fun (txn : Lbc_wal.Record.txn) ->
-      if txn.Lbc_wal.Record.ranges <> [] then
+      if Lbc_wal.Record.is_write txn then
         List.iter
           (fun l ->
             if l.Lbc_wal.Record.seqno > checkpointed l.Lbc_wal.Record.lock_id
@@ -539,7 +539,7 @@ let checkpoint t =
      writes are already durable in the database. *)
   List.iter
     (fun (txn : Lbc_wal.Record.txn) ->
-      if txn.Lbc_wal.Record.ranges <> [] then
+      if Lbc_wal.Record.is_write txn then
         List.iter
           (fun l ->
             let prev =

@@ -5,6 +5,7 @@ type t = {
   disk_logging : bool;
   flush_on_commit : bool;
   range_header_size : int;
+  log_mode : Lbc_wal.Command.log_mode;
   propagation : propagation;
   multicast : bool;
   charge_costs : bool;
@@ -31,6 +32,7 @@ let default =
     disk_logging = true;
     flush_on_commit = true;
     range_header_size = Lbc_wal.Record.rvm_disk_header_size;
+    log_mode = Lbc_wal.Command.Value;
     propagation = Eager;
     multicast = false;
     charge_costs = false;

@@ -23,6 +23,12 @@ type t = {
   disk_logging : bool;
   flush_on_commit : bool;
   range_header_size : int;  (** on-disk range header size *)
+  log_mode : Lbc_wal.Command.log_mode;
+      (** per-transaction record encoding: [Value] logs new-value ranges
+          (the paper's RVM, the default), [Command] logs the declared
+          operation instead, [Adaptive] picks the smaller encoding per
+          commit.  Transactions that declare no command always log
+          values. *)
   propagation : propagation;
   multicast : bool;
       (** deliver eager updates with one transmission instead of one

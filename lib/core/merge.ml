@@ -116,9 +116,7 @@ let partition records =
   in
   let keys (txn : Lbc_wal.Record.txn) =
     List.map (fun l -> `Lock l.Lbc_wal.Record.lock_id) txn.Lbc_wal.Record.locks
-    @ List.map
-        (fun r -> `Region r.Lbc_wal.Record.region)
-        txn.Lbc_wal.Record.ranges
+    @ List.map (fun r -> `Region r) (Lbc_wal.Record.regions txn)
   in
   List.iter
     (fun txn ->
@@ -225,7 +223,7 @@ let merge_logs_prefix ?(checkpointed = fun _ -> 0) logs =
               List.iter
                 (fun l ->
                   consume l.Lbc_wal.Record.lock_id l.Lbc_wal.Record.seqno;
-                  if txn.Lbc_wal.Record.ranges <> [] then
+                  if Lbc_wal.Record.is_write txn then
                     Hashtbl.replace emitted_write l.Lbc_wal.Record.lock_id
                       l.Lbc_wal.Record.seqno)
                 txn.Lbc_wal.Record.locks;

@@ -133,6 +133,7 @@ let create (deps : deps) =
       Lbc_rvm.Rvm.coalesce = deps.config.Config.coalesce;
       disk_logging = deps.config.Config.disk_logging;
       range_header_size = deps.config.Config.range_header_size;
+      log_mode = deps.config.Config.log_mode;
       instrumentation = instrumentation deps.config txn_updates;
     }
   in
@@ -616,12 +617,13 @@ let accept (t : t) =
 let propagation_peers (t : t) (record : Lbc_wal.Record.txn) =
   let module Iset = Set.Make (Int) in
   List.fold_left
-    (fun acc r ->
+    (fun acc region ->
       List.fold_left
         (fun acc peer -> Iset.add peer acc)
         acc
-        (t.peers_with_region r.Lbc_wal.Record.region))
-    Iset.empty record.Lbc_wal.Record.ranges
+        (t.peers_with_region region))
+    Iset.empty
+    (Lbc_wal.Record.regions record)
   |> Iset.elements
 
 let broadcast (t : t) record =
@@ -644,9 +646,9 @@ let broadcast (t : t) record =
               ~pid:t.id ~tid:Obs.lane_txn)
           record.Lbc_wal.Record.locks;
       L.debug (fun m ->
-          m "node %d broadcasts tid %d: %d ranges, %d wire bytes" t.id
+          m "node %d broadcasts tid %d: %d regions, %d wire bytes" t.id
             record.Lbc_wal.Record.tid
-            (List.length record.Lbc_wal.Record.ranges)
+            (List.length (Lbc_wal.Record.regions record))
             len);
       if t.config.Config.multicast then begin
         t.stats.updates_sent <- t.stats.updates_sent + 1;
@@ -692,7 +694,7 @@ let broadcast (t : t) record =
    them), so it calls [receive_record] directly. *)
 let replay_one t ~off (record : Lbc_wal.Record.txn) =
   receive_record t record;
-  if retains t && record.Lbc_wal.Record.ranges <> [] then
+  if retains t && Lbc_wal.Record.is_write record then
     track_unacked t ~offset:off record ~peers:(propagation_peers t record)
 
 let rec replay_stream (t : t) (r : recovery) (s : stream) =
@@ -784,8 +786,8 @@ let ensure_warm_record t (record : Lbc_wal.Record.txn) =
     (fun l -> ensure_warm_lock t l.Lbc_wal.Record.lock_id)
     record.Lbc_wal.Record.locks;
   List.iter
-    (fun (rg : Lbc_wal.Record.range) -> ensure_warm_region t rg.region)
-    record.Lbc_wal.Record.ranges
+    (fun region -> ensure_warm_region t region)
+    (Lbc_wal.Record.regions record)
 
 (* Chain priority for the background drain: total local acquire count of
    the chain's locks (the lock table's heat counters).  With tracing off
@@ -836,7 +838,7 @@ let rejoin ?(mode = Replay_all) (t : t) ~applied =
       if retains t then
         List.iter
           (fun (off, (r : Lbc_wal.Record.txn)) ->
-            if r.Lbc_wal.Record.ranges <> [] then
+            if Lbc_wal.Record.is_write r then
               track_unacked t ~offset:off r ~peers:(propagation_peers t r))
           items;
       (* Partitioned replay: split the surviving tail by lock/region
@@ -863,11 +865,7 @@ let rejoin ?(mode = Replay_all) (t : t) ~applied =
       if Obs.enabled t.obs && n_streams > 0 then
         Obs.count ~pid:t.id t.obs "recovery_partitions" n_streams;
       Lbc_sim.Condvar.broadcast t.applied_cv;
-      let own_writes =
-        List.filter
-          (fun (r : Lbc_wal.Record.txn) -> r.Lbc_wal.Record.ranges <> [])
-          records
-      in
+      let own_writes = List.filter Lbc_wal.Record.is_write records in
       if own_writes <> [] then
         (* Fabric sends charge wire time, so they need process context;
            the rebroadcast also waits for the replay streams to finish so
@@ -958,7 +956,7 @@ let rejoin ?(mode = Replay_all) (t : t) ~applied =
                 List.iter
                   (fun off ->
                     match Lbc_wal.Log.read_at log ~off with
-                    | Ok rc when rc.Lbc_wal.Record.ranges <> [] ->
+                    | Ok rc when Lbc_wal.Record.is_write rc ->
                         broadcast t rc
                     | Ok _ | Error _ -> ())
                   s.offsets)
@@ -1123,7 +1121,10 @@ module Txn = struct
   let read t ~region ~offset ~len = read t.node ~region ~offset ~len
   let get_u64 t ~region ~offset = get_u64 t.node ~region ~offset
 
-  let commit_record t =
+  let set_command t ~op ~params ~regions =
+    Lbc_rvm.Rvm.set_command t.rvm_txn ~op ~params ~regions
+
+  let commit_outcome t =
     let node = t.node in
     let csp =
       if Obs.enabled node.obs then
@@ -1143,8 +1144,9 @@ module Txn = struct
        offset (concurrent committers may slip in during cost charging),
        so a retention mark here never trims the record itself. *)
     let log_off = Lbc_wal.Log.tail (Lbc_rvm.Rvm.log node.rvm) in
-    let record = Lbc_rvm.Rvm.commit ~mode t.rvm_txn in
-    let wrote = record.Lbc_wal.Record.ranges <> [] in
+    let outcome = Lbc_rvm.Rvm.commit_full ~mode t.rvm_txn in
+    let record = outcome.Lbc_rvm.Rvm.record in
+    let wrote = Lbc_wal.Record.is_write record in
     if wrote then begin
       (* Our own updates are by definition applied locally. *)
       List.iter
@@ -1195,9 +1197,10 @@ module Txn = struct
         Obs.observe ~pid:node.id node.obs "time_to_first_commit_us"
           (Lbc_sim.Engine.now node.engine -. t0)
     | None -> ());
-    record
+    outcome
 
-  let commit t = ignore (commit_record t)
+  let commit_record t = (commit_outcome t).Lbc_rvm.Rvm.record
+  let commit t = ignore (commit_outcome t)
 
   let abort t =
     let node = t.node in

@@ -221,6 +221,11 @@ module Txn : sig
   val read : t -> region:int -> offset:int -> len:int -> Bytes.t
   val get_u64 : t -> region:int -> offset:int -> int64
 
+  val set_command : t -> op:int -> params:Bytes.t -> regions:int list -> unit
+  (** Declare the transaction's effect as one registered deterministic
+      operation, making it eligible for command encoding at commit when
+      [config.log_mode] selects it (see {!Lbc_rvm.Rvm.set_command}). *)
+
   val commit : t -> unit
   (** [Trans.Commit]: write the redo record, release all locks, propagate
       the committed log tail. *)
@@ -228,6 +233,11 @@ module Txn : sig
   val commit_record : t -> Lbc_wal.Record.txn
   (** Like {!commit}, returning the committed record (for instrumentation
       and benchmarks). *)
+
+  val commit_outcome : t -> Lbc_rvm.Rvm.commit_outcome
+  (** Like {!commit_record}, also returning the value-record equivalent
+      — the paper's Table 3 byte/page accounting is defined over the
+      value form whatever encoding was logged. *)
 
   val abort : t -> unit
   (** Undo the transaction's stores and release its locks.  The

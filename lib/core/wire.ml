@@ -27,7 +27,8 @@ let encode_iov (t : Lbc_wal.Record.txn) =
     if len > 0 then marks := `Hdr (!mark_from, len) :: !marks;
     mark_from := Codec.length w
   in
-  Codec.u8 w 1;
+  (* Message kinds: 1 = value record (range list), 2 = command record. *)
+  Codec.u8 w (match t.cmd with None -> 1 | Some _ -> 2);
   Codec.u16 w t.node;
   Codec.varint w t.tid;
   Codec.varint w (List.length t.locks);
@@ -37,6 +38,23 @@ let encode_iov (t : Lbc_wal.Record.txn) =
       Codec.varint w l.Lbc_wal.Record.seqno;
       Codec.varint w l.Lbc_wal.Record.prev_write_seq)
     t.locks;
+  match t.cmd with
+  | Some c ->
+      Codec.varint w c.Lbc_wal.Record.op;
+      Codec.varint w (Bytes.length c.Lbc_wal.Record.params);
+      Codec.varint w (List.length c.Lbc_wal.Record.cmd_regions);
+      List.iter (Codec.varint w) c.Lbc_wal.Record.cmd_regions;
+      cut ();
+      (* The parameter blob rides as payload, like range data: small, but
+         referencing it in place keeps the zero-copy invariant (the lint
+         counts every wire-path copy). *)
+      marks := `Data c.Lbc_wal.Record.params :: !marks;
+      List.rev_map
+        (function
+          | `Hdr (start, len) -> Codec.slice_sub w ~pos:start ~len
+          | `Data b -> Slice.of_bytes b)
+        !marks
+  | None ->
   let ranges = sort_ranges t.ranges in
   Codec.varint w (List.length ranges);
   let prev_region = ref 0 and prev_offset = ref 0 and first = ref true in
@@ -73,7 +91,8 @@ let encode t = Slice.concat (encode_iov t)
 
 let decode_reader r =
   let kind = Codec.get_u8 r in
-  if kind <> 1 then raise (Codec.Truncated "Wire: bad message kind");
+  if kind <> 1 && kind <> 2 then
+    raise (Codec.Truncated "Wire: bad message kind");
   let node = Codec.get_u16 r in
   let tid = Codec.get_varint r in
   let n_locks = Codec.get_varint r in
@@ -84,32 +103,48 @@ let decode_reader r =
         let prev_write_seq = Codec.get_varint r in
         { Lbc_wal.Record.lock_id; seqno; prev_write_seq })
   in
-  let n_ranges = Codec.get_varint r in
-  let prev_region = ref 0 and prev_offset = ref 0 in
-  let ranges =
-    List.init n_ranges (fun _ ->
-        let tag = Codec.get_u8 r in
-        let region =
-          if tag land tag_new_region <> 0 then Codec.get_varint r
-          else !prev_region
-        in
-        let offset =
-          if tag land tag_abs_addr <> 0 then Codec.get_varint r
-          else !prev_offset + Codec.get_varint r
-        in
-        let len = Codec.get_varint r in
-        let data = Codec.get_raw r ~len in
-        prev_region := region;
-        prev_offset := offset;
-        { Lbc_wal.Record.region; offset; data })
-  in
-  { Lbc_wal.Record.node; tid; locks; ranges }
+  if kind = 2 then begin
+    let op = Codec.get_varint r in
+    let plen = Codec.get_varint r in
+    let n_regions = Codec.get_varint r in
+    let cmd_regions = List.init n_regions (fun _ -> Codec.get_varint r) in
+    let params = Codec.get_raw r ~len:plen in
+    { Lbc_wal.Record.node; tid; locks; ranges = [];
+      cmd = Some { op; params; cmd_regions } }
+  end
+  else begin
+    let n_ranges = Codec.get_varint r in
+    let prev_region = ref 0 and prev_offset = ref 0 in
+    let ranges =
+      List.init n_ranges (fun _ ->
+          let tag = Codec.get_u8 r in
+          let region =
+            if tag land tag_new_region <> 0 then Codec.get_varint r
+            else !prev_region
+          in
+          let offset =
+            if tag land tag_abs_addr <> 0 then Codec.get_varint r
+            else !prev_offset + Codec.get_varint r
+          in
+          let len = Codec.get_varint r in
+          let data = Codec.get_raw r ~len in
+          prev_region := region;
+          prev_offset := offset;
+          { Lbc_wal.Record.region; offset; data })
+    in
+    { Lbc_wal.Record.node; tid; locks; ranges; cmd = None }
+  end
 
 let decode b = decode_reader (Codec.reader b)
 let decode_iov iov = decode_reader (Codec.reader_of_slices iov)
 let size t = Slice.iov_length (encode_iov t)
 
 let size_uncompressed (t : Lbc_wal.Record.txn) =
+  if t.cmd <> None then
+    (* Command records have no range headers to compress; the ablation
+       baseline is the message itself. *)
+    size t
+  else
   let tail =
     Codec.varint_size t.tid
     + Codec.varint_size (List.length t.locks)

@@ -8,6 +8,11 @@
     range's address with its delta from the preceding range (ranges are
     sorted by address); we realize both with varints.
 
+    Command records (adaptive logging) are a second message kind: the
+    lock records are identical, but the payload is the operation id, its
+    parameter blob, and the touched-region list instead of ranges —
+    receivers re-execute the operation against their cached pages.
+
     [encode]/[decode] round-trip a {!Lbc_wal.Record.txn} exactly. *)
 
 val encode_iov : Lbc_wal.Record.txn -> Lbc_util.Slice.t list

@@ -7,11 +7,20 @@
 
 type outcome = {
   result : Traversal.result;
-  record : Lbc_wal.Record.txn;  (** the committed log tail *)
+  record : Lbc_wal.Record.txn;  (** the committed log tail, as logged *)
+  value : Lbc_wal.Record.txn;
+      (** its value-record equivalent (equal to [record] unless
+          [config.log_mode] chose a command encoding) *)
   profile : Lbc_costmodel.Model.traversal_profile;
-      (** Table 3 row: updates, unique bytes, message bytes, pages *)
+      (** Table 3 row: updates, unique bytes, message bytes, pages.
+          Byte/page accounting is over the value form; [message_bytes]
+          is the wire size of what was actually sent. *)
   elapsed : float;  (** virtual µs from transaction begin to commit *)
 }
+
+exception Traversal_incomplete of { traversal : string; schema : string }
+(** {!run}'s cluster quiesced without the traversal transaction
+    committing (a deadlock or a crashed writer). *)
 
 val setup :
   ?config:Lbc_core.Config.t ->

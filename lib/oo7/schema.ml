@@ -35,6 +35,11 @@ let tiny =
     seed = 42;
   }
 
+let describe c =
+  if c = small then "small"
+  else if c = tiny then "tiny"
+  else Printf.sprintf "custom(%dx%d)" c.num_composites c.atomics_per_composite
+
 let rec pow b e = if e = 0 then 1 else b * pow b (e - 1)
 let base_assemblies c = pow c.assembly_fanout (c.assembly_levels - 1)
 let composite_visits c = base_assemblies c * c.composites_per_base

@@ -28,6 +28,10 @@ val small : config
 val tiny : config
 (** A scaled-down database for unit tests. *)
 
+val describe : config -> string
+(** "small", "tiny", or a short summary of a custom configuration — for
+    error messages. *)
+
 val base_assemblies : config -> int
 (** [fanout^(levels-1)]. *)
 

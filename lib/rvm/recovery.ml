@@ -1,50 +1,171 @@
 type outcome = { records_replayed : int; bytes_replayed : int; torn_tail : bool }
 
-let apply_ranges ~db_for_region ~touched txn (records, bytes) =
+(* Command records re-execute their operation against a per-replay
+   in-memory image of each region they touch, not against the device:
+   an operation makes many small [mem] accesses (it is a program, not a
+   range list), and paying device latency per access would make command
+   replay arbitrarily slower than the bulk blit it replaces.  The image
+   is snapshotted from the device on first touch — after any value
+   ranges already replayed — kept coherent with later value blits, and
+   its dirty extent is written back once when the session ends. *)
+type cmd_buf = {
+  buf_dev : Lbc_storage.Dev.t;
+  mutable buf_data : Bytes.t;
+  mutable buf_len : int;  (* tracked length, like [Dev.size] *)
+  mutable buf_lo : int;
+  mutable buf_hi : int;  (* dirty extent; empty when [lo >= hi] *)
+}
+
+let buf_for bufs dev =
+  match List.find_opt (fun b -> b.buf_dev == dev) !bufs with
+  | Some b -> b
+  | None ->
+      let len = Lbc_storage.Dev.size dev in
+      let data =
+        if len = 0 then Bytes.create 0 else Lbc_storage.Dev.read dev ~off:0 ~len
+      in
+      let b =
+        { buf_dev = dev; buf_data = data; buf_len = len;
+          buf_lo = max_int; buf_hi = 0 }
+      in
+      bufs := b :: !bufs;
+      b
+
+let buf_grow b n =
+  if n > Bytes.length b.buf_data then begin
+    let cap = max n (2 * Bytes.length b.buf_data) in
+    let data = Bytes.make cap '\000' in
+    Bytes.blit b.buf_data 0 data 0 b.buf_len;
+    b.buf_data <- data
+  end;
+  if n > b.buf_len then b.buf_len <- n
+
+(* A write by the command itself: lands in the image, extends the dirty
+   extent. *)
+let buf_write b ~off src =
+  let n = Bytes.length src in
+  buf_grow b (off + n);
+  Bytes.blit src 0 b.buf_data off n;
+  b.buf_lo <- min b.buf_lo off;
+  b.buf_hi <- max b.buf_hi (off + n)
+
+(* A value blit that already went to the device: mirror it into the
+   image so later commands see it, without dirtying the extent. *)
+let buf_note b ~off src =
+  let n = Bytes.length src in
+  buf_grow b (off + n);
+  Bytes.blit src 0 b.buf_data off n
+
+let buf_read b ~off ~len =
+  if off < 0 || len < 0 || off + len > b.buf_len then
+    invalid_arg "Recovery: command read beyond device"
+  else Bytes.sub b.buf_data off len
+
+(* Write each dirty image extent back to its device in one bulk write;
+   returns the devices written so the caller can sync them. *)
+let flush_bufs bufs =
+  List.filter_map
+    (fun b ->
+      if b.buf_hi > b.buf_lo then begin
+        Lbc_storage.Dev.write b.buf_dev ~off:b.buf_lo b.buf_data ~pos:b.buf_lo
+          ~len:(b.buf_hi - b.buf_lo);
+        Some b.buf_dev
+      end
+      else None)
+    !bufs
+
+(* Replay one record into the database devices.  Value records blit
+   their saved ranges; command records re-execute the operation, reading
+   the pre-state from (and writing the redo state to) the session image
+   of the devices — the checkpoint image plus earlier replayed records
+   IS the operation's pre-state, because merge order preserves each
+   lock's write chain. *)
+let apply_ranges ~db_for_region ~touched ~bufs txn (records, bytes) =
   let bytes = ref bytes in
-  List.iter
-    (fun { Lbc_wal.Record.region; offset; data } ->
-      match db_for_region region with
-      | Some dev ->
-          Lbc_storage.Dev.write dev ~off:offset data ~pos:0
-            ~len:(Bytes.length data);
-          bytes := !bytes + Bytes.length data;
-          if not (List.memq dev !touched) then touched := dev :: !touched
-      | None -> ())
-    txn.Lbc_wal.Record.ranges;
+  let touch dev =
+    if not (List.memq dev !touched) then touched := dev :: !touched
+  in
+  (match txn.Lbc_wal.Record.cmd with
+  | Some c ->
+      let missing =
+        List.exists
+          (fun r -> db_for_region r = None)
+          c.Lbc_wal.Record.cmd_regions
+      in
+      if not missing then begin
+        let dev r =
+          match db_for_region r with
+          | Some d -> d
+          | None -> assert false
+        in
+        let mem =
+          {
+            Lbc_wal.Command.read =
+              (fun ~region ~offset ~len ->
+                buf_read (buf_for bufs (dev region)) ~off:offset ~len);
+            write =
+              (fun ~region ~offset data ->
+                buf_write (buf_for bufs (dev region)) ~off:offset data;
+                bytes := !bytes + Bytes.length data);
+          }
+        in
+        Lbc_wal.Command.execute mem ~op:c.Lbc_wal.Record.op
+          ~params:c.Lbc_wal.Record.params
+      end
+  | None ->
+      List.iter
+        (fun { Lbc_wal.Record.region; offset; data } ->
+          match db_for_region region with
+          | Some dev ->
+              Lbc_storage.Dev.write dev ~off:offset data ~pos:0
+                ~len:(Bytes.length data);
+              (match List.find_opt (fun b -> b.buf_dev == dev) !bufs with
+              | Some b -> buf_note b ~off:offset data
+              | None -> ());
+              bytes := !bytes + Bytes.length data;
+              touch dev
+          | None -> ())
+        txn.Lbc_wal.Record.ranges);
   (records + 1, !bytes)
 
+let finish ~touched ~bufs =
+  List.iter
+    (fun dev ->
+      if not (List.memq dev !touched) then touched := dev :: !touched)
+    (flush_bufs bufs);
+  List.iter Lbc_storage.Dev.sync !touched
+
 let replay_records txns ~db_for_region =
-  let touched = ref [] in
+  let touched = ref [] and bufs = ref [] in
   let records, bytes =
     List.fold_left
-      (fun acc txn -> apply_ranges ~db_for_region ~touched txn acc)
+      (fun acc txn -> apply_ranges ~db_for_region ~touched ~bufs txn acc)
       (0, 0) txns
   in
-  List.iter Lbc_storage.Dev.sync !touched;
+  finish ~touched ~bufs;
   { records_replayed = records; bytes_replayed = bytes; torn_tail = false }
 
 let replay_chain ~log ~offsets ~db_for_region =
   (* On-demand recovery: apply exactly one region-index chain, reading
      its records by offset instead of scanning the whole tail. *)
-  let touched = ref [] in
+  let touched = ref [] and bufs = ref [] in
   match
     Lbc_wal.Log.fold_chain log ~offsets ~init:(0, 0) (fun acc _off txn ->
-        apply_ranges ~db_for_region ~touched txn acc)
+        apply_ranges ~db_for_region ~touched ~bufs txn acc)
   with
   | Ok (records, bytes) ->
-      List.iter Lbc_storage.Dev.sync !touched;
+      finish ~touched ~bufs;
       Ok { records_replayed = records; bytes_replayed = bytes;
            torn_tail = false }
   | Error _ as e -> e
 
 let replay ~log ~db_for_region =
-  let touched = ref [] in
+  let touched = ref [] and bufs = ref [] in
   let (records, bytes), status =
     Lbc_wal.Log.fold log ~init:(0, 0) (fun acc _off txn ->
-        apply_ranges ~db_for_region ~touched txn acc)
+        apply_ranges ~db_for_region ~touched ~bufs txn acc)
   in
-  List.iter Lbc_storage.Dev.sync !touched;
+  finish ~touched ~bufs;
   {
     records_replayed = records;
     bytes_replayed = bytes;

@@ -13,9 +13,17 @@ type outcome = {
 }
 
 val replay : log:Lbc_wal.Log.t -> db_for_region:(int -> Lbc_storage.Dev.t option) -> outcome
-(** Apply every committed record's ranges, in log order, to the database
-    device of its region, then sync the touched devices.  Ranges whose
-    region resolves to [None] are skipped. *)
+(** Apply every committed record, in log order, to the database device
+    of its region, then sync the touched devices.  Value records blit
+    their saved ranges; command records re-execute the registered
+    operation against an in-memory image of the devices, snapshotted on
+    first touch and flushed back in one bulk write at the end (the
+    checkpoint image plus the records replayed so far is exactly the
+    operation's pre-state).  Ranges whose
+    region resolves to [None] are skipped, as is a command touching any
+    unresolved region.
+    @raise Lbc_wal.Command.Unknown_op for a command record whose
+    operation this process never registered. *)
 
 val replay_records :
   Lbc_wal.Record.txn list -> db_for_region:(int -> Lbc_storage.Dev.t option) -> outcome

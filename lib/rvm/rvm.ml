@@ -19,6 +19,7 @@ type options = {
   coalesce : Range_tree.policy;
   disk_logging : bool;
   range_header_size : int;
+  log_mode : Lbc_wal.Command.log_mode;
   instrumentation : instrumentation;
 }
 
@@ -27,6 +28,7 @@ let default_options =
     coalesce = Range_tree.Optimized;
     disk_logging = true;
     range_header_size = Lbc_wal.Record.rvm_disk_header_size;
+    log_mode = Lbc_wal.Command.Value;
     instrumentation = no_instrumentation;
   }
 
@@ -89,6 +91,7 @@ type txn = {
   trees : (int, Range_tree.t) Hashtbl.t;  (* region id -> modified ranges *)
   mutable undo : (Region.t * int * Bytes.t) list;  (* newest first *)
   mutable locks : Lbc_wal.Record.lock_info list;  (* reverse acquire order *)
+  mutable command : Lbc_wal.Record.cmd option;  (* command encoding, if declared *)
   mutable live : bool;
 }
 
@@ -140,6 +143,7 @@ let begin_txn ?(restore = No_restore) t =
     trees = Hashtbl.create 2;
     undo = [];
     locks = [];
+    command = None;
     live = true;
   }
 
@@ -204,6 +208,15 @@ let set_lock txn ~lock_id ~seqno ~prev_write_seq =
   txn.locks <-
     { Lbc_wal.Record.lock_id; seqno; prev_write_seq } :: txn.locks
 
+let set_command txn ~op ~params ~regions =
+  check_live txn "set_command";
+  if not (Lbc_wal.Command.registered op) then
+    raise (Txn_error (Printf.sprintf "set_command: op %d is not registered" op));
+  txn.command <-
+    Some
+      { Lbc_wal.Record.op; params;
+        cmd_regions = List.sort_uniq Int.compare regions }
+
 let build_record txn =
   let ranges = ref [] and n = ref 0 and bytes = ref 0 in
   let region_ids =
@@ -227,21 +240,54 @@ let build_record txn =
       tid = txn.tid;
       locks = List.rev txn.locks;
       ranges = List.rev !ranges;
+      cmd = None;
     },
     !n,
     !bytes )
 
-let commit ?(mode = Flush) txn =
+(* The adaptive decision: a transaction that declared a command may log
+   (and broadcast) the operation instead of its new-value ranges.
+   Read-only transactions keep the cheap empty value record — a command
+   record is a write and would advance the lock's write chain.  Both
+   candidates carry identical lock records, so merge order, receiver
+   interlock, and partitioning are unaffected by the choice. *)
+let choose_encoding t (txn : txn) value =
+  match (txn.command, t.options.log_mode) with
+  | None, _ | _, Lbc_wal.Command.Value -> value
+  | Some _, _ when value.Lbc_wal.Record.ranges = [] -> value
+  | Some c, Lbc_wal.Command.Command ->
+      { value with Lbc_wal.Record.ranges = []; cmd = Some c }
+  | Some c, Lbc_wal.Command.Adaptive ->
+      let cmd_record =
+        { value with Lbc_wal.Record.ranges = []; cmd = Some c }
+      in
+      let rhs = t.options.range_header_size in
+      if
+        Lbc_wal.Record.encoded_size ~range_header_size:rhs cmd_record
+        < Lbc_wal.Record.encoded_size ~range_header_size:rhs value
+      then cmd_record
+      else value
+
+type commit_outcome = {
+  record : Lbc_wal.Record.txn;
+  value : Lbc_wal.Record.txn;
+}
+
+let commit_full ?(mode = Flush) txn =
   check_live txn "commit";
   txn.live <- false;
-  let record, n_ranges, bytes = build_record txn in
+  let value, n_ranges, bytes = build_record txn in
   let t = txn.owner in
+  let record = choose_encoding t txn value in
   (* The record is built: region memory no longer holds uncommitted stores
      from this transaction, so a fuzzy checkpoint may cut slices while we
      wait (below) for the log write to become durable. *)
   t.live_txns <- t.live_txns - 1;
   t.options.instrumentation.on_commit_collect ~ranges:n_ranges ~bytes;
   t.stats.commits <- t.stats.commits + 1;
+  (* Range/byte stats always count the value equivalents: they measure
+     the transaction's effect, not its encoding.  The encoding's win
+     shows up in [log_bytes_written] and on the wire. *)
   t.stats.ranges_logged <- t.stats.ranges_logged + n_ranges;
   t.stats.bytes_logged <- t.stats.bytes_logged + bytes;
   if t.options.disk_logging then begin
@@ -260,7 +306,9 @@ let commit ?(mode = Flush) txn =
       t.stats.log_bytes_written
       + Lbc_wal.Record.encoded_size ~range_header_size:rhs record
   end;
-  record
+  { record; value }
+
+let commit ?mode txn = (commit_full ?mode txn).record
 
 let abort txn =
   check_live txn "abort";
@@ -278,15 +326,46 @@ let is_live txn = txn.live
 
 let apply_record t record =
   let n = ref 0 and bytes = ref 0 in
-  List.iter
-    (fun { Lbc_wal.Record.region; offset; data } ->
-      match Hashtbl.find_opt t.regions region with
-      | Some reg ->
-          Region.write reg ~offset data;
-          incr n;
-          bytes := !bytes + Bytes.length data
-      | None -> t.stats.unmapped_ranges <- t.stats.unmapped_ranges + 1)
-    record.Lbc_wal.Record.ranges;
+  (match record.Lbc_wal.Record.cmd with
+  | Some c ->
+      (* A command replays all-or-nothing: executing it against a subset
+         of its regions would interleave reads of missing state.  If any
+         region is unmapped the record is skipped and counted, same as a
+         value range for an unmapped region. *)
+      let missing =
+        List.filter
+          (fun r -> not (Hashtbl.mem t.regions r))
+          c.Lbc_wal.Record.cmd_regions
+      in
+      if missing <> [] then
+        t.stats.unmapped_ranges <-
+          t.stats.unmapped_ranges + List.length missing
+      else begin
+        let mem =
+          {
+            Lbc_wal.Command.read =
+              (fun ~region ~offset ~len ->
+                Region.read (Hashtbl.find t.regions region) ~offset ~len);
+            write =
+              (fun ~region ~offset data ->
+                Region.write (Hashtbl.find t.regions region) ~offset data;
+                incr n;
+                bytes := !bytes + Bytes.length data);
+          }
+        in
+        Lbc_wal.Command.execute mem ~op:c.Lbc_wal.Record.op
+          ~params:c.Lbc_wal.Record.params
+      end
+  | None ->
+      List.iter
+        (fun { Lbc_wal.Record.region; offset; data } ->
+          match Hashtbl.find_opt t.regions region with
+          | Some reg ->
+              Region.write reg ~offset data;
+              incr n;
+              bytes := !bytes + Bytes.length data
+          | None -> t.stats.unmapped_ranges <- t.stats.unmapped_ranges + 1)
+        record.Lbc_wal.Record.ranges);
   t.stats.records_applied <- t.stats.records_applied + 1;
   t.stats.bytes_applied <- t.stats.bytes_applied + !bytes;
   t.options.instrumentation.on_apply ~ranges:!n ~bytes:!bytes

@@ -54,12 +54,17 @@ type options = {
       (** when [false], commit skips the log write entirely (the paper
           disables disk logging to isolate coherency costs). *)
   range_header_size : int;  (** on-disk range header size; RVM used 104. *)
+  log_mode : Lbc_wal.Command.log_mode;
+      (** per-transaction record encoding: [Value] always logs new-value
+          ranges; [Command] logs the declared operation instead;
+          [Adaptive] picks whichever encodes smaller.  Transactions that
+          never call {!set_command} always log values. *)
   instrumentation : instrumentation;
 }
 
 val default_options : options
-(** Optimized coalescing, disk logging on, 104-byte headers, no
-    instrumentation. *)
+(** Optimized coalescing, disk logging on, 104-byte headers, value
+    logging, no instrumentation. *)
 
 exception Txn_error of string
 (** Raised on misuse: operations on a dead transaction, abort of a
@@ -100,11 +105,33 @@ val set_lock : txn -> lock_id:int -> seqno:int -> prev_write_seq:int -> unit
 (** [rvm_setlockid_transaction]: tag the transaction's eventual log record
     with a lock acquire (called by the lock package, not applications). *)
 
+val set_command : txn -> op:int -> params:Bytes.t -> regions:int list -> unit
+(** Declare that this transaction's whole effect is one deterministic
+    registered operation ([Lbc_wal.Command]), making it eligible for
+    command encoding at commit (per [options.log_mode]).  [regions] must
+    cover every region the replayed operation reads or writes.  The
+    declaration is advisory: under [Value] mode, or when the value
+    encoding is smaller under [Adaptive], the commit still logs ranges.
+    @raise Txn_error if [op] is not registered. *)
+
 val commit : ?mode:commit_mode -> txn -> Lbc_wal.Record.txn
 (** Commit: build the redo record from the modified ranges (reading new
-    values from region memory), append it to the log if disk logging is
-    enabled, force the log under [Flush] (default), and return the record.
-    The transaction is dead afterwards. *)
+    values from region memory) — or, when a command was declared and
+    [options.log_mode] selects it, a command record with the same lock
+    records — append it to the log if disk logging is enabled, force the
+    log under [Flush] (default), and return the record.  The transaction
+    is dead afterwards. *)
+
+type commit_outcome = {
+  record : Lbc_wal.Record.txn;  (** what was logged and is broadcast *)
+  value : Lbc_wal.Record.txn;
+      (** the value-record equivalent (equal to [record] unless a
+          command encoding was chosen) — the paper's Table 3 byte/page
+          accounting is defined over this, whatever the encoding *)
+}
+
+val commit_full : ?mode:commit_mode -> txn -> commit_outcome
+(** {!commit}, also returning the value equivalent for profiling. *)
 
 val abort : txn -> unit
 (** Undo all modifications using the old-value copies captured by
@@ -124,12 +151,18 @@ val clear_live_txns : t -> unit
 (** {1 Applying records} *)
 
 val apply_record : t -> Lbc_wal.Record.txn -> unit
-(** Apply a record's new-value ranges to the mapped region images — used
-    by the coherency receiver for records from peer nodes.  Ranges
-    addressed to unmapped regions are skipped and counted in
-    [stats.unmapped_ranges]: a nonzero count means a peer sent updates
-    this node silently could not apply — surfaced by [Report] and
-    flagged by [lbc-check verify]. *)
+(** Apply a record to the mapped region images — used by the coherency
+    receiver for records from peer nodes.  A value record's new-value
+    ranges are blitted in; a command record's operation is executed
+    against the images through [Lbc_wal.Command.execute] (the interlock
+    guarantees the pre-state matches the writer's, so the deterministic
+    operation reproduces the writer's bytes).  Ranges addressed to
+    unmapped regions are skipped and counted in [stats.unmapped_ranges]
+    (a command touching any unmapped region is skipped whole): a nonzero
+    count means a peer sent updates this node silently could not apply —
+    surfaced by [Report] and flagged by [lbc-check verify].
+    @raise Lbc_wal.Command.Unknown_op for a command record whose
+    operation this process never registered. *)
 
 (** {1 Checkpointing} *)
 

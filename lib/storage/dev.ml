@@ -113,14 +113,32 @@ let with_fd f k =
       Mutex.unlock f.m;
       raise e
 
+(* A signal delivery (the flight recorder's timer, a profiler) can
+   interrupt a blocking read or write with EINTR; the syscall must be
+   reissued, not surfaced as an error. *)
+let rec eintr_retry k =
+  try k () with Unix.Unix_error (Unix.EINTR, _, _) -> eintr_retry k
+
 let file_read f ~off b ~pos ~len =
   with_fd f (fun () ->
       ignore (Unix.lseek f.fd off Unix.SEEK_SET : int);
       let got = ref 0 in
-      while !got < len do
-        let n = Unix.read f.fd b (pos + !got) (len - !got) in
-        if n = 0 then failwith "Dev: short read";
-        got := !got + n
+      let eof = ref false in
+      while (not !eof) && !got < len do
+        let n =
+          eintr_retry (fun () -> Unix.read f.fd b (pos + !got) (len - !got))
+        in
+        if n = 0 then begin
+          (* Past EOF (the file is shorter than the tracked length — a
+             crash truncated it under us): zero-fill the remainder
+             instead of failing, so a log scan over a real device sees
+             the same all-zero tail a simulated device presents and
+             degrades to its structured torn-tail verdict at the
+             offending offset. *)
+          Bytes.fill b (pos + !got) (len - !got) '\000';
+          eof := true
+        end
+        else got := !got + n
       done)
 
 let file_write f ~off b ~pos ~len =
@@ -128,7 +146,9 @@ let file_write f ~off b ~pos ~len =
       ignore (Unix.lseek f.fd off Unix.SEEK_SET : int);
       let put = ref 0 in
       while !put < len do
-        let n = Unix.write f.fd b (pos + !put) (len - !put) in
+        let n =
+          eintr_retry (fun () -> Unix.write f.fd b (pos + !put) (len - !put))
+        in
         put := !put + n
       done;
       if off + len > f.flen then f.flen <- off + len)

@@ -47,7 +47,10 @@ val stable_size : t -> int
 
 val read : t -> off:int -> len:int -> Bytes.t
 (** Read from the current image.  Reading beyond the end raises
-    [Invalid_argument]. *)
+    [Invalid_argument].  On a file device whose underlying file turns
+    out shorter than the tracked length (a crash truncated it), the
+    missing tail reads as zeroes — log scans then degrade to their
+    structured torn-tail verdict instead of an untyped failure. *)
 
 val write : t -> off:int -> Bytes.t -> pos:int -> len:int -> unit
 (** Buffered write at [off]; extends the device if needed. *)

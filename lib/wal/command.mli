@@ -1,0 +1,50 @@
+(** Registry of replayable operations for command-encoded log records.
+
+    A {!Record.cmd} names a deterministic operation by integer id.  The
+    id's executable body is registered here once at startup (the OO7
+    harness registers its traversals; tests register synthetic ops) and
+    every replayer — crash recovery, the coherency receiver, the
+    serializability oracle's sequential spec — executes it through the
+    same {!mem} interface, so a command replays identically no matter
+    which image it lands on.
+
+    Determinism contract: [run mem ~params] must be a pure function of
+    [params] and the bytes it reads through [mem] — no clocks, no
+    ambient randomness, no iteration over unordered containers.  The
+    lock interlock guarantees each replayer presents the writer's
+    pre-state, so a deterministic operation reproduces the writer's
+    bytes exactly. *)
+
+(** Per-transaction record-encoding policy (the adaptive-logging knob):
+    [Value] always logs new-value ranges (the paper's RVM), [Command]
+    always logs the declared operation, [Adaptive] picks whichever
+    encoding is smaller for each transaction. *)
+type log_mode = Value | Command | Adaptive
+
+val log_mode_name : log_mode -> string
+val log_mode_of_name : string -> log_mode option
+
+(** Byte access to some region store: cached RVM regions, database
+    devices under recovery, or the oracle's in-memory spec images. *)
+type mem = {
+  read : region:int -> offset:int -> len:int -> Bytes.t;
+  write : region:int -> offset:int -> Bytes.t -> unit;
+}
+
+exception Unknown_op of int
+(** Raised by {!execute}/{!apply} for an unregistered operation id — a
+    log written by a binary with commands this one does not know. *)
+
+val register : op:int -> name:string -> (mem -> params:Bytes.t -> unit) -> unit
+(** Register (idempotently) the body of operation [op].  Re-registering
+    the same [op]/[name] pair replaces the body; claiming an op id owned
+    by a different name raises [Invalid_argument]. *)
+
+val registered : int -> bool
+val name : int -> string option
+
+val execute : mem -> op:int -> params:Bytes.t -> unit
+
+val apply : mem -> Record.txn -> unit
+(** Replay one decoded record against [mem]: blit the ranges of a value
+    record, execute the operation of a command record. *)

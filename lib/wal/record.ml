@@ -2,15 +2,18 @@ open Lbc_util
 
 type lock_info = { lock_id : int; seqno : int; prev_write_seq : int }
 type range = { region : int; offset : int; data : Bytes.t }
+type cmd = { op : int; params : Bytes.t; cmd_regions : int list }
 
 type txn = {
   node : int;
   tid : int;
   locks : lock_info list;
   ranges : range list;
+  cmd : cmd option;
 }
 
 let magic = 0x4C424354 (* "LBCT" *)
+let cmd_magic = 0x4C424343 (* "LBCC" *)
 let ctrl_magic = 0x4C42434B (* "LBCK" *)
 let rvm_disk_header_size = 104
 let min_header_size = 4 + 8 + 8 (* region, offset, length *)
@@ -27,33 +30,7 @@ let check_header_size n =
    total-length field is patched in place once the body size is known,
    and the CRC is computed over the arena bytes directly — no
    intermediate buffer is materialized. *)
-let encode_into ?(range_header_size = rvm_disk_header_size) w t =
-  check_header_size range_header_size;
-  let start = Codec.length w in
-  Codec.u32 w magic;
-  Codec.u32 w 0 (* total, patched below *);
-  Codec.u16 w t.node;
-  Codec.int_as_u64 w t.tid;
-  Codec.u16 w range_header_size;
-  Codec.varint w (List.length t.locks);
-  List.iter
-    (fun l ->
-      Codec.varint w l.lock_id;
-      Codec.varint w l.seqno;
-      Codec.varint w l.prev_write_seq)
-    t.locks;
-  Codec.varint w (List.length t.ranges);
-  let pad = range_header_size - min_header_size in
-  List.iter
-    (fun r ->
-      Codec.u32 w r.region;
-      Codec.int_as_u64 w r.offset;
-      Codec.int_as_u64 w (Bytes.length r.data);
-      for _ = 1 to pad do
-        Codec.u8 w 0
-      done;
-      Codec.raw w r.data ~pos:0 ~len:(Bytes.length r.data))
-    t.ranges;
+let seal w ~start =
   let total = Codec.length w - start + 4 in
   Codec.patch_u32 w ~at:(start + 4) total;
   let covered = Codec.slice_sub w ~pos:start ~len:(total - 4) in
@@ -63,30 +40,99 @@ let encode_into ?(range_header_size = rvm_disk_header_size) w t =
   in
   Codec.u32 w (Int32.to_int crc land 0xFFFFFFFF)
 
+(* Command records reuse the value framing (magic, total at +4, trailing
+   CRC) so the log scanner and point reads need no second layout; only
+   the body differs: the operation id, its parameter blob, and the
+   regions the replayed operation will touch. *)
+let encode_cmd_into w t c =
+  if t.ranges <> [] then
+    invalid_arg "Record.encode: a command record carries no value ranges";
+  let start = Codec.length w in
+  Codec.u32 w cmd_magic;
+  Codec.u32 w 0 (* total, patched below *);
+  Codec.u16 w t.node;
+  Codec.int_as_u64 w t.tid;
+  Codec.varint w (List.length t.locks);
+  List.iter
+    (fun l ->
+      Codec.varint w l.lock_id;
+      Codec.varint w l.seqno;
+      Codec.varint w l.prev_write_seq)
+    t.locks;
+  Codec.varint w c.op;
+  Codec.varint w (Bytes.length c.params);
+  Codec.raw w c.params ~pos:0 ~len:(Bytes.length c.params);
+  Codec.varint w (List.length c.cmd_regions);
+  List.iter (Codec.varint w) c.cmd_regions;
+  seal w ~start
+
+let encode_into ?(range_header_size = rvm_disk_header_size) w t =
+  match t.cmd with
+  | Some c -> encode_cmd_into w t c
+  | None ->
+      check_header_size range_header_size;
+      let start = Codec.length w in
+      Codec.u32 w magic;
+      Codec.u32 w 0 (* total, patched below *);
+      Codec.u16 w t.node;
+      Codec.int_as_u64 w t.tid;
+      Codec.u16 w range_header_size;
+      Codec.varint w (List.length t.locks);
+      List.iter
+        (fun l ->
+          Codec.varint w l.lock_id;
+          Codec.varint w l.seqno;
+          Codec.varint w l.prev_write_seq)
+        t.locks;
+      Codec.varint w (List.length t.ranges);
+      let pad = range_header_size - min_header_size in
+      List.iter
+        (fun r ->
+          Codec.u32 w r.region;
+          Codec.int_as_u64 w r.offset;
+          Codec.int_as_u64 w (Bytes.length r.data);
+          for _ = 1 to pad do
+            Codec.u8 w 0
+          done;
+          Codec.raw w r.data ~pos:0 ~len:(Bytes.length r.data))
+        t.ranges;
+      seal w ~start
+
 let encode ?range_header_size t =
   let w = Codec.writer ~capacity:1024 () in
   encode_into ?range_header_size w t;
   Codec.contents w
 
+let locks_size t =
+  List.fold_left
+    (fun acc l ->
+      acc + Codec.varint_size l.lock_id + Codec.varint_size l.seqno
+      + Codec.varint_size l.prev_write_seq)
+    (Codec.varint_size (List.length t.locks))
+    t.locks
+
 let encoded_size ?(range_header_size = rvm_disk_header_size) t =
-  check_header_size range_header_size;
-  let locks =
-    List.fold_left
-      (fun acc l ->
-        acc + Codec.varint_size l.lock_id + Codec.varint_size l.seqno
-        + Codec.varint_size l.prev_write_seq)
-      0 t.locks
-  in
-  let counts =
-    Codec.varint_size (List.length t.locks)
-    + Codec.varint_size (List.length t.ranges)
-  in
-  let ranges =
-    List.fold_left
-      (fun acc r -> acc + range_header_size + Bytes.length r.data)
-      0 t.ranges
-  in
-  4 + 4 + 2 + 8 + 2 + counts + locks + ranges + 4
+  match t.cmd with
+  | Some c ->
+      let regions =
+        List.fold_left
+          (fun acc r -> acc + Codec.varint_size r)
+          (Codec.varint_size (List.length c.cmd_regions))
+          c.cmd_regions
+      in
+      4 + 4 + 2 + 8 + locks_size t + Codec.varint_size c.op
+      + Codec.varint_size (Bytes.length c.params)
+      + Bytes.length c.params + regions + 4
+  | None ->
+      check_header_size range_header_size;
+      let ranges =
+        List.fold_left
+          (fun acc r -> acc + range_header_size + Bytes.length r.data)
+          0 t.ranges
+      in
+      4 + 4 + 2 + 8 + 2 + locks_size t
+      + Codec.varint_size (List.length t.ranges)
+      + ranges + 4
 
 (* Control records share the log's framing (magic, total length, CRC)
    but carry no transaction: they bracket a fuzzy checkpoint so recovery
@@ -239,7 +285,7 @@ let decode_slice s ~pos =
         end
       end
     end
-    else if m <> magic then
+    else if m <> magic && m <> cmd_magic then
       if all_zero s ~pos then End else Torn "bad magic"
     else begin
       let total = Codec.get_u32 r in
@@ -263,9 +309,7 @@ let decode_slice s ~pos =
             in
             let node = Codec.get_u16 body in
             let tid = Codec.get_int_as_u64 body in
-            let header_size = Codec.get_u16 body in
-            if header_size < min_header_size then raise (Codec.Truncated "header size")
-            else begin
+            if m = cmd_magic then begin
               let n_locks = Codec.get_varint body in
               let locks =
                 List.init n_locks (fun _ ->
@@ -274,17 +318,43 @@ let decode_slice s ~pos =
                     let prev_write_seq = Codec.get_varint body in
                     { lock_id; seqno; prev_write_seq })
               in
-              let n_ranges = Codec.get_varint body in
-              let ranges =
-                List.init n_ranges (fun _ ->
-                    let region = Codec.get_u32 body in
-                    let offset = Codec.get_int_as_u64 body in
-                    let dlen = Codec.get_int_as_u64 body in
-                    Codec.skip body (header_size - min_header_size);
-                    let data = Codec.get_raw body ~len:dlen in
-                    { region; offset; data })
+              let op = Codec.get_varint body in
+              let plen = Codec.get_varint body in
+              let params = Codec.get_raw body ~len:plen in
+              let n_regions = Codec.get_varint body in
+              let cmd_regions =
+                List.init n_regions (fun _ -> Codec.get_varint body)
               in
-              Txn ({ node; tid; locks; ranges }, pos + total)
+              Txn
+                ( { node; tid; locks; ranges = [];
+                    cmd = Some { op; params; cmd_regions } },
+                  pos + total )
+            end
+            else begin
+              let header_size = Codec.get_u16 body in
+              if header_size < min_header_size then
+                raise (Codec.Truncated "header size")
+              else begin
+                let n_locks = Codec.get_varint body in
+                let locks =
+                  List.init n_locks (fun _ ->
+                      let lock_id = Codec.get_varint body in
+                      let seqno = Codec.get_varint body in
+                      let prev_write_seq = Codec.get_varint body in
+                      { lock_id; seqno; prev_write_seq })
+                in
+                let n_ranges = Codec.get_varint body in
+                let ranges =
+                  List.init n_ranges (fun _ ->
+                      let region = Codec.get_u32 body in
+                      let offset = Codec.get_int_as_u64 body in
+                      let dlen = Codec.get_int_as_u64 body in
+                      Codec.skip body (header_size - min_header_size);
+                      let data = Codec.get_raw body ~len:dlen in
+                      { region; offset; data })
+                in
+                Txn ({ node; tid; locks; ranges; cmd = None }, pos + total)
+              end
             end
           with Codec.Truncated why -> Torn ("malformed body: " ^ why)
         end
@@ -297,6 +367,16 @@ let decode b ~pos = decode_slice (Slice.of_bytes b) ~pos
 let ranges_bytes t =
   List.fold_left (fun acc r -> acc + Bytes.length r.data) 0 t.ranges
 
+(* A record advances its locks' write chains iff it carries redo state:
+   either new-value ranges or a replayable command.  Read-only acquires
+   carry neither and leave prev_write_seq untouched. *)
+let is_write t = t.ranges <> [] || t.cmd <> None
+
+let regions t =
+  match t.cmd with
+  | Some c -> List.sort_uniq Int.compare c.cmd_regions
+  | None -> List.sort_uniq Int.compare (List.map (fun r -> r.region) t.ranges)
+
 let equal_lock a b =
   a.lock_id = b.lock_id && a.seqno = b.seqno
   && a.prev_write_seq = b.prev_write_seq
@@ -304,15 +384,20 @@ let equal_lock a b =
 let equal_range a b =
   a.region = b.region && a.offset = b.offset && Bytes.equal a.data b.data
 
+let equal_cmd a b =
+  a.op = b.op && Bytes.equal a.params b.params
+  && List.equal Int.equal a.cmd_regions b.cmd_regions
+
 let equal_txn (a : txn) (b : txn) =
   a.node = b.node && a.tid = b.tid
   && List.length a.locks = List.length b.locks
   && List.for_all2 equal_lock a.locks b.locks
   && List.length a.ranges = List.length b.ranges
   && List.for_all2 equal_range a.ranges b.ranges
+  && Option.equal equal_cmd a.cmd b.cmd
 
 let pp_txn ppf (t : txn) =
-  Format.fprintf ppf "@[<h>txn node=%d tid=%d locks=[%a] ranges=[%a]@]" t.node
+  Format.fprintf ppf "@[<h>txn node=%d tid=%d locks=[%a] ranges=[%a]%a@]" t.node
     t.tid
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
@@ -323,3 +408,12 @@ let pp_txn ppf (t : txn) =
        (fun ppf r ->
          Format.fprintf ppf "r%d+%d:%dB" r.region r.offset (Bytes.length r.data)))
     t.ranges
+    (fun ppf -> function
+      | None -> ()
+      | Some c ->
+          Format.fprintf ppf " cmd=op%d:%dB@[%a@]" c.op (Bytes.length c.params)
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+               (fun ppf r -> Format.fprintf ppf "r%d" r))
+            c.cmd_regions)
+    t.cmd

@@ -1,4 +1,4 @@
-(** Redo-log record format (write-ahead logging, new-value only).
+(** Redo-log record format (write-ahead logging).
 
     One record per committed transaction, carrying:
 
@@ -8,7 +8,15 @@
       coherency receiver's ordering (Section 3.4 of the paper) and the
       offline merge of per-node logs before recovery.
     - {b new-value range records}: the modified byte ranges captured by
-      [set_range], with their current (post-transaction) contents.
+      [set_range], with their current (post-transaction) contents;
+    - {e or}, instead of ranges, one {b command record}: the id of a
+      registered deterministic operation plus its parameter blob and the
+      regions it touches.  Replay re-executes the operation against the
+      pre-state instead of blitting saved bytes — the adaptive
+      value-vs-command choice of "Adaptive Logging for Distributed
+      In-memory Databases".  The dependency edges are the same
+      [prev_write_seq] chain value records use, so ordering, merge, and
+      partitioning are encoding-agnostic.
 
     On disk each range carries a fixed-size header padded to
     [range_header_size] bytes; CMU RVM's disk header was 104 bytes, which
@@ -32,11 +40,23 @@ type range = {
   data : Bytes.t;  (** new value of the range *)
 }
 
+type cmd = {
+  op : int;  (** registered operation id (see [Lbc_wal.Command]) *)
+  params : Bytes.t;  (** opaque parameter blob the operation decodes *)
+  cmd_regions : int list;
+      (** regions the replayed operation reads or writes — the merge /
+          partition / warm-up keys a value record derives from its
+          ranges *)
+}
+
 type txn = {
   node : int;  (** writing node *)
   tid : int;  (** node-local transaction number, increasing per node *)
   locks : lock_info list;
-  ranges : range list;
+  ranges : range list;  (** empty when [cmd] is present *)
+  cmd : cmd option;
+      (** command encoding of the transaction's effect; mutually
+          exclusive with [ranges] *)
 }
 
 val rvm_disk_header_size : int
@@ -118,7 +138,18 @@ val decode_slice : Lbc_util.Slice.t -> pos:int -> decode_result
     [Torn "truncated record"] — the scanner refills and retries. *)
 
 val ranges_bytes : txn -> int
-(** Total payload bytes across the record's ranges. *)
+(** Total payload bytes across the record's ranges (0 for a command
+    record — its redo state is the operation, not bytes). *)
+
+val is_write : txn -> bool
+(** Whether the record advances its locks' write chains: it carries
+    new-value ranges or a command.  Read-only acquires are not writes. *)
+
+val regions : txn -> int list
+(** The regions the record touches, deduplicated and sorted: the ranges'
+    regions for a value record, [cmd_regions] for a command record.
+    These are the keys for merge partitioning, update propagation, and
+    on-demand warm-up. *)
 
 val equal_txn : txn -> txn -> bool
 val pp_txn : Format.formatter -> txn -> unit

@@ -64,9 +64,9 @@ let union t a b =
 let txn_keys (txn : Record.txn) =
   let ks =
     List.map (fun l -> tag (Lock l.Record.lock_id)) txn.Record.locks
-    @ List.map (fun r -> tag (Region r.Record.region)) txn.Record.ranges
+    @ List.map (fun r -> tag (Region r)) (Record.regions txn)
   in
-  (* Lockless, rangeless transactions have no replay effect; group them
+  (* Lockless, effect-free transactions have no replay effect; group them
      in the catch-all chain rather than inventing one each. *)
   match ks with [] -> [ tag (Lock (-1)) ] | ks -> ks
 

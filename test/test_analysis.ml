@@ -55,7 +55,10 @@ let build_random_streams ~nodes ~locks ~txns ~seed =
             else [])
           ls
       in
-      let txn = { R.node; tid = next_tid.(node); locks = lock_infos; ranges } in
+      let txn =
+        { R.node; tid = next_tid.(node); locks = lock_infos; ranges;
+          cmd = None }
+      in
       next_tid.(node) <- next_tid.(node) + 1;
       streams.(node) <- txn :: streams.(node);
       if ranges <> [] then
@@ -281,6 +284,7 @@ let test_race_detector_orders_by_common_lock () =
       tid = 1;
       locks = [ { R.lock_id = 0; seqno = 1; prev_write_seq = 0 } ];
       ranges = [ { R.region = 0; offset = 0; data = Bytes.make 8 'a' } ];
+      cmd = None;
     }
   in
   let t2 =
@@ -289,6 +293,7 @@ let test_race_detector_orders_by_common_lock () =
       tid = 1;
       locks = [ { R.lock_id = 0; seqno = 2; prev_write_seq = 1 } ];
       ranges = [ { R.region = 0; offset = 4; data = Bytes.make 8 'b' } ];
+      cmd = None;
     }
   in
   check_no_violations "locked overlap is ordered" (Race.check [ [ t1 ]; [ t2 ] ]);
@@ -301,7 +306,7 @@ let test_race_detector_orders_by_common_lock () =
 let test_race_detector_transitive_order () =
   (* t1 -> t2 via lock 0, t2 -> t3 via lock 1; t1 and t3 share no lock but
      overlap — happens-before through the chain, so no race. *)
-  let mk node tid locks ranges = { R.node; tid; locks; ranges } in
+  let mk node tid locks ranges = { R.node; tid; locks; ranges; cmd = None } in
   let li lock_id seqno prev_write_seq = { R.lock_id; seqno; prev_write_seq } in
   let t1 =
     mk 0 1 [ li 0 1 0 ] [ { R.region = 0; offset = 0; data = Bytes.make 8 'x' } ]
@@ -376,6 +381,98 @@ let test_oo7_logs_verify () =
   in
   check_no_violations "OO7 logs verify" (Invariants.check_logs logs)
 
+(* ------------------------------------------------------------------ *)
+(* Command records in the analysis layer *)
+
+(* Deterministic test op: write the params blob at offset 8 of region 0. *)
+let stamp_op = 921
+
+let register_stamp_op () =
+  Lbc_wal.Command.register ~op:stamp_op ~name:"test-stamp-analysis"
+    (fun mem ~params -> mem.Lbc_wal.Command.write ~region:0 ~offset:8 params)
+
+let cmd_txn ?(node = 0) ?(tid = 1) ?(locks = []) ?(op = stamp_op)
+    ?(params = Bytes.of_string "CMD") ?(regions = [ 0 ]) () =
+  { R.node; tid; locks; ranges = [];
+    cmd = Some { R.op; params; cmd_regions = regions } }
+
+let li lock_id seqno prev_write_seq = { R.lock_id; seqno; prev_write_seq }
+
+let test_serialize_executes_commands () =
+  register_stamp_op ();
+  let t1 =
+    { R.node = 0; tid = 1; locks = [ li 0 1 0 ];
+      ranges = [ { R.region = 0; offset = 0; data = Bytes.make 16 'a' } ];
+      cmd = None }
+  in
+  let t2 = cmd_txn ~node:1 ~tid:1 ~locks:[ li 0 2 1 ] () in
+  let expected = Bytes.make 32 '\000' in
+  Bytes.fill expected 0 16 'a';
+  Bytes.blit_string "CMD" 0 expected 8 3;
+  check_no_violations "command re-executes against the spec"
+    (Serialize.check ~regions:[ (0, 32) ]
+       ~finals:[ ("model", fun _ -> expected) ]
+       [ [ t1 ]; [ t2 ] ]);
+  (* A diverging witness is still caught on a mixed-kind stream. *)
+  let wrong = Bytes.copy expected in
+  Bytes.set wrong 9 '!';
+  Alcotest.(check (list string))
+    "divergence reported" [ "serializability" ]
+    (names
+       (Serialize.check ~regions:[ (0, 32) ]
+          ~finals:[ ("model", fun _ -> wrong) ]
+          [ [ t1 ]; [ t2 ] ]))
+
+let test_unknown_command_flagged () =
+  let t = cmd_txn ~op:922_001 () in
+  Alcotest.(check (list string))
+    "unregistered op -> command-unknown" [ "command-unknown" ]
+    (names
+       (Serialize.check ~regions:[ (0, 32) ]
+          ~finals:[ ("model", fun _ -> Bytes.make 32 '\000') ]
+          [ [ t ] ]))
+
+let test_race_cmd_conservative () =
+  (* The race detector cannot see a command's byte spans, so a cmd
+     record conservatively claims its whole regions: an unlocked value
+     write anywhere in region 0 races with it... *)
+  let v =
+    { R.node = 0; tid = 1; locks = [];
+      ranges = [ { R.region = 0; offset = 4096; data = Bytes.make 8 'v' } ];
+      cmd = None }
+  in
+  let c = cmd_txn ~node:1 ~tid:1 () in
+  Alcotest.(check (list string))
+    "unlocked cmd overlap races" [ "unlocked-race" ]
+    (names (Race.check [ [ v ]; [ c ] ]));
+  (* ...while the same pair ordered by a common lock is silent. *)
+  let v' = { v with R.locks = [ li 0 1 0 ] } in
+  let c' = cmd_txn ~node:1 ~tid:1 ~locks:[ li 0 2 1 ] () in
+  check_no_violations "locked cmd is ordered" (Race.check [ [ v' ]; [ c' ] ])
+
+let test_oo7_adaptive_logs_verify () =
+  (* An adaptive OO7 run produces a mixed-kind log; every invariant —
+     codec roundtrip, chains, merge legality, races — must hold over it. *)
+  let open Lbc_oo7 in
+  let tiny = Schema.tiny in
+  let config =
+    { Lbc_core.Config.default with
+      Lbc_core.Config.log_mode = Lbc_wal.Command.Adaptive }
+  in
+  let cluster = Runner.setup ~config ~nodes:2 tiny in
+  ignore (Runner.run ~cluster ~writer:0 tiny (Traversal.T3 Traversal.C));
+  ignore (Runner.run ~cluster ~writer:1 tiny (Traversal.T2 Traversal.A));
+  let logs =
+    List.init 2 (fun n ->
+        Lbc_rvm.Rvm.log (Lbc_core.Node.rvm (Lbc_core.Cluster.node cluster n)))
+  in
+  let records =
+    List.concat_map (fun l -> fst (Lbc_wal.Log.read_all l)) logs
+  in
+  Alcotest.(check bool) "the log actually contains a command record" true
+    (List.exists (fun (t : R.txn) -> t.R.cmd <> None) records);
+  check_no_violations "adaptive OO7 logs verify" (Invariants.check_logs logs)
+
 let suites =
   [
     ( "analysis",
@@ -402,5 +499,13 @@ let suites =
           test_selftest_passes;
         Alcotest.test_case "OO7 cluster logs verify" `Quick
           test_oo7_logs_verify;
+        Alcotest.test_case "serialize oracle executes commands" `Quick
+          test_serialize_executes_commands;
+        Alcotest.test_case "unknown command flagged" `Quick
+          test_unknown_command_flagged;
+        Alcotest.test_case "race: cmd claims whole region" `Quick
+          test_race_cmd_conservative;
+        Alcotest.test_case "adaptive OO7 logs verify" `Quick
+          test_oo7_adaptive_logs_verify;
       ] );
   ]

@@ -37,6 +37,7 @@ let wire_txn =
         { Lbc_wal.Record.region = 0; offset = 5000; data = Bytes.of_string "efgh" };
         { Lbc_wal.Record.region = 1; offset = 64; data = Bytes.of_string "Z" };
       ];
+    cmd = None;
   }
 
 let test_wire_roundtrip () =
@@ -95,7 +96,7 @@ let prop_wire_roundtrip =
                 if c <> 0 then c else 0)
               ranges
           in
-          { Lbc_wal.Record.node; tid; locks; ranges })
+          { Lbc_wal.Record.node; tid; locks; ranges; cmd = None })
         (quad (int_bound 30) (int_bound 10_000) (list_size (0 -- 4) lockinfo)
            (list_size (0 -- 10) range)))
   in
@@ -363,6 +364,7 @@ let test_merge_orders_by_lock_seq () =
       tid;
       locks = [ { Lbc_wal.Record.lock_id = 0; seqno; prev_write_seq = prev } ];
       ranges;
+      cmd = None;
     }
   in
   (* Node 0 committed seq 1 and 3; node 1 committed seq 2. *)
@@ -389,6 +391,7 @@ let test_merge_unorderable () =
       tid = 1;
       locks = [ { Lbc_wal.Record.lock_id = 0; seqno; prev_write_seq = 0 } ];
       ranges = [];
+      cmd = None;
     }
   in
   (* Node 0's log has seq 2 then 1 — impossible under 2PL. *)
@@ -413,6 +416,7 @@ let ptxn ?(node = 0) ~tid ~locks ~regions () =
         (fun r ->
           { Lbc_wal.Record.region = r; offset = 0; data = Bytes.of_string "d" })
         regions;
+    cmd = None;
   }
 
 let tids stream = List.map (fun (t : Lbc_wal.Record.txn) -> t.Lbc_wal.Record.tid) stream
@@ -691,7 +695,8 @@ let prop_merge_respects_lock_order =
               locks
           in
           let txn =
-            { Lbc_wal.Record.node; tid = i; locks = lock_infos; ranges = [] }
+            { Lbc_wal.Record.node; tid = i; locks = lock_infos; ranges = [];
+              cmd = None }
           in
           logs.(node) <- txn :: logs.(node))
         history;
@@ -868,6 +873,7 @@ let test_wire_large_offsets () =
             data = Bytes.of_string "far";
           };
         ];
+      cmd = None;
     }
   in
   Alcotest.(check bool) "roundtrip" true
@@ -1059,6 +1065,7 @@ let test_merge_prefix_holds_back_gaps () =
       tid = 1;
       locks = [ { Lbc_wal.Record.lock_id = 0; seqno; prev_write_seq = seqno - 1 } ];
       ranges = [];
+      cmd = None;
     }
   in
   let dev = Lbc_storage.Dev.create () in
@@ -1080,6 +1087,7 @@ let test_merge_prefix_holds_back_gaps () =
          locks = [ { Lbc_wal.Record.lock_id = 0; seqno = 1; prev_write_seq = 0 } ];
          (* seq 1 is referenced as a *write*, so it carries data *)
          ranges = [ { Lbc_wal.Record.region = 0; offset = 0; data = Bytes.of_string "w" } ];
+         cmd = None;
        });
   let p = Merge.merge_logs_prefix [ log; log1 ] in
   check_int "both ordered" 2 (List.length p.Merge.ordered);

@@ -263,6 +263,57 @@ let test_structural_insert_propagates () =
   Alcotest.(check bool) "recovered" true
     (outcome.Lbc_rvm.Recovery.records_replayed = 1)
 
+(* ------------------------------------------------------------------ *)
+(* Adaptive logging: write-heavy traversals ship the command instead *)
+
+let test_adaptive_t3c_command_encoding () =
+  let config =
+    { Config.default with Config.log_mode = Lbc_wal.Command.Adaptive }
+  in
+  let cluster = Runner.setup ~config ~nodes:2 tiny in
+  let o = Runner.run ~cluster ~writer:0 tiny (Traversal.T3 Traversal.C) in
+  (* T3-C updates four indexed fields per atomic part: the value
+     encoding is large, the command (op + schema + traversal tag) tiny. *)
+  Alcotest.(check bool) "command record chosen" true
+    (o.Runner.record.Lbc_wal.Record.cmd <> None);
+  Alcotest.(check (list int)) "no ranges on the logged record" []
+    (List.map (fun _ -> 0) o.Runner.record.Lbc_wal.Record.ranges);
+  Alcotest.(check bool)
+    (Printf.sprintf "wire bytes shrink (%d cmd vs %d value)"
+       (Wire.size o.Runner.record) (Wire.size o.Runner.value))
+    true
+    (Wire.size o.Runner.record < Wire.size o.Runner.value);
+  (* The receiver re-executed the traversal against its cached pages. *)
+  let db0 =
+    Database.attach_node tiny (Cluster.node cluster 0) ~region:Runner.region
+  in
+  let db1 =
+    Database.attach_node tiny (Cluster.node cluster 1) ~region:Runner.region
+  in
+  Alcotest.(check int64) "receiver re-execution converged"
+    (Database.checksum db0) (Database.checksum db1);
+  (* Recovery re-executes the command against the checkpoint image and
+     lands on the same bytes. *)
+  let outcome = Cluster.recover_database cluster in
+  check_int "one record replayed" 1 outcome.Lbc_rvm.Recovery.records_replayed;
+  match Lbc_storage.Store.find (Cluster.store cluster) "region.0" with
+  | None -> Alcotest.fail "region device missing from the store"
+  | Some dev ->
+      let img = Lbc_storage.Dev.stable_snapshot dev in
+      Alcotest.(check int64) "recovered image matches the writer cache"
+        (Database.checksum db0)
+        (Database.checksum (Database.attach_bytes tiny img))
+
+let test_value_mode_unchanged_by_default () =
+  (* The default config still logs values: the record is its own value
+     equivalent. *)
+  let cluster = Runner.setup ~nodes:2 tiny in
+  let o = Runner.run ~cluster ~writer:0 tiny (Traversal.T3 Traversal.C) in
+  Alcotest.(check bool) "no command" true
+    (o.Runner.record.Lbc_wal.Record.cmd = None);
+  Alcotest.(check bool) "record = value equivalent" true
+    (Lbc_wal.Record.equal_txn o.Runner.record o.Runner.value)
+
 let suites =
   [
     ( "oo7.build",
@@ -305,5 +356,12 @@ let suites =
           test_delete_unknown_composite_rejected;
         Alcotest.test_case "structural insert propagates" `Quick
           test_structural_insert_propagates;
+      ] );
+    ( "oo7.adaptive",
+      [
+        Alcotest.test_case "T3-C ships the command" `Quick
+          test_adaptive_t3c_command_encoding;
+        Alcotest.test_case "default stays value-encoded" `Quick
+          test_value_mode_unchanged_by_default;
       ] );
   ]

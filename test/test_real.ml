@@ -85,6 +85,7 @@ let arb_txn =
             (fun (region, offset, data) ->
               { Lbc_wal.Record.region; offset; data = Bytes.of_string data })
             ranges;
+        cmd = None;
       })
     (triple (int_bound 7) (int_bound 10_000) (pair locks (small_list range)))
 

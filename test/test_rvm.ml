@@ -281,6 +281,7 @@ let test_apply_record_skips_unmapped () =
       tid = 1;
       locks = [];
       ranges = [ { Lbc_wal.Record.region = 5; offset = 0; data = Bytes.of_string "x" } ];
+      cmd = None;
     }
   in
   Rvm.apply_record b record;
@@ -615,11 +616,273 @@ let test_apply_record_counts_unmapped () =
           { Lbc_wal.Record.region = 0; offset = 0; data = Bytes.of_string "y" };
           { Lbc_wal.Record.region = 6; offset = 0; data = Bytes.of_string "z" };
         ];
+      cmd = None;
     }
   in
   Rvm.apply_record b record;
   check_int "two unmapped ranges counted" 2 (Rvm.stats b).Rvm.unmapped_ranges;
   check_int "mapped range still applied" 1 (Rvm.stats b).Rvm.bytes_applied
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive logging: command records *)
+
+(* Synthetic deterministic op for tests: params = region, offset, len,
+   delta varints (plus ignored trailing padding); adds delta (mod 256)
+   to every byte of the span.  The result depends on the pre-state, so
+   replay identity across encodings is a real check, not a blit in
+   disguise. *)
+let add_op = 901
+
+let add_bytes b delta =
+  Bytes.iteri
+    (fun i c -> Bytes.set b i (Char.chr ((Char.code c + delta) land 0xff)))
+    b
+
+let register_add_op () =
+  Lbc_wal.Command.register ~op:add_op ~name:"test-add" (fun mem ~params ->
+      let r = Lbc_util.Codec.reader params in
+      let region = Lbc_util.Codec.get_varint r in
+      let offset = Lbc_util.Codec.get_varint r in
+      let len = Lbc_util.Codec.get_varint r in
+      let delta = Lbc_util.Codec.get_varint r in
+      let b = mem.Lbc_wal.Command.read ~region ~offset ~len in
+      add_bytes b delta;
+      mem.Lbc_wal.Command.write ~region ~offset b)
+
+let add_params ?(pad = 0) ~region ~offset ~len ~delta () =
+  let w = Lbc_util.Codec.writer () in
+  List.iter (Lbc_util.Codec.varint w) [ region; offset; len; delta ];
+  if pad > 0 then Lbc_util.Codec.raw_string w (String.make pad 'p');
+  Lbc_util.Codec.contents w
+
+(* Run the op against live region memory through Rvm.write — so the
+   transaction carries both candidate encodings: captured new-value
+   ranges and the declared command — and commit. *)
+let txn_add ?pad ?lock ?(declare = true) rvm ~region:rid ~offset ~len ~delta =
+  let txn = Rvm.begin_txn rvm in
+  let b = Region.read (Rvm.region rvm rid) ~offset ~len in
+  add_bytes b delta;
+  Rvm.write txn ~region:rid ~offset b;
+  if declare then
+    Rvm.set_command txn ~op:add_op
+      ~params:(add_params ?pad ~region:rid ~offset ~len ~delta ())
+      ~regions:[ rid ];
+  (match lock with
+  | Some (lock_id, seqno, prev_write_seq) ->
+      Rvm.set_lock txn ~lock_id ~seqno ~prev_write_seq
+  | None -> ());
+  Rvm.commit_full txn
+
+let with_log_mode log_mode =
+  { Rvm.default_options with Rvm.log_mode }
+
+let test_value_mode_ignores_command () =
+  register_add_op ();
+  let rvm, _, _, _ = mk_node () in
+  (* default options: Value *)
+  let o = txn_add rvm ~region:0 ~offset:0 ~len:64 ~delta:1 in
+  Alcotest.(check bool) "value encoding" true
+    (o.Rvm.record.Lbc_wal.Record.cmd = None);
+  check_int "one range" 1 (List.length o.Rvm.record.Lbc_wal.Record.ranges);
+  Alcotest.(check bool) "record equals its value equivalent" true
+    (Lbc_wal.Record.equal_txn o.Rvm.record o.Rvm.value)
+
+let test_command_mode_forces_cmd () =
+  register_add_op ();
+  let rvm, region, _, _ =
+    mk_node ~options:(with_log_mode Lbc_wal.Command.Command) ()
+  in
+  let o = txn_add rvm ~region:0 ~offset:8 ~len:16 ~delta:3 in
+  let record = o.Rvm.record in
+  Alcotest.(check bool) "command encoding" true
+    (record.Lbc_wal.Record.cmd <> None);
+  Alcotest.(check (list int)) "no ranges on the record" []
+    (List.map (fun _ -> 0) record.Lbc_wal.Record.ranges);
+  (* The value equivalent still carries the post-bytes for profiling. *)
+  check_int "value equivalent has the range" 1
+    (List.length o.Rvm.value.Lbc_wal.Record.ranges);
+  let r = List.hd o.Rvm.value.Lbc_wal.Record.ranges in
+  Alcotest.(check bytes) "value equivalent matches region memory"
+    (Region.read region ~offset:8 ~len:16)
+    r.Lbc_wal.Record.data;
+  (* Both encodings share the dependency-carrying regions. *)
+  Alcotest.(check (list int)) "same region keys"
+    (Lbc_wal.Record.regions o.Rvm.value)
+    (Lbc_wal.Record.regions record)
+
+let test_adaptive_picks_smaller () =
+  register_add_op ();
+  let rvm, _, _, _ =
+    mk_node ~options:(with_log_mode Lbc_wal.Command.Adaptive) ()
+  in
+  (* A wide span: ~6 param bytes against a 104-byte range header plus
+     128 payload bytes — the command must win. *)
+  let o = txn_add rvm ~region:0 ~offset:0 ~len:128 ~delta:1 in
+  Alcotest.(check bool) "wide span: command chosen" true
+    (o.Rvm.record.Lbc_wal.Record.cmd <> None);
+  Alcotest.(check bool) "chosen encoding is smaller" true
+    (Lbc_wal.Record.encoded_size o.Rvm.record
+    < Lbc_wal.Record.encoded_size o.Rvm.value);
+  (* Pad the params past the value encoding's size: values must win. *)
+  let o' = txn_add ~pad:500 rvm ~region:0 ~offset:0 ~len:8 ~delta:1 in
+  Alcotest.(check bool) "bloated params: values chosen" true
+    (o'.Rvm.record.Lbc_wal.Record.cmd = None);
+  Alcotest.(check bool) "record equals value equivalent" true
+    (Lbc_wal.Record.equal_txn o'.Rvm.record o'.Rvm.value)
+
+let test_readonly_stays_value () =
+  let rvm, _, _, _ =
+    mk_node ~options:(with_log_mode Lbc_wal.Command.Command) ()
+  in
+  let txn = Rvm.begin_txn rvm in
+  Rvm.set_lock txn ~lock_id:3 ~seqno:1 ~prev_write_seq:0;
+  let record = Rvm.commit txn in
+  Alcotest.(check bool) "no command" true (record.Lbc_wal.Record.cmd = None);
+  Alcotest.(check bool) "not a write" false (Lbc_wal.Record.is_write record)
+
+let test_set_command_unregistered_rejected () =
+  let rvm, _, _, _ = mk_node () in
+  let txn = Rvm.begin_txn rvm in
+  Alcotest.(check bool) "unregistered op rejected" true
+    (try
+       Rvm.set_command txn ~op:999_983 ~params:Bytes.empty ~regions:[ 0 ];
+       false
+     with Rvm.Txn_error _ -> true)
+
+let test_apply_cmd_record_peer () =
+  (* Node B applies A's command record: re-execution against B's cached
+     pre-state reproduces A's bytes exactly. *)
+  register_add_op ();
+  let options = with_log_mode Lbc_wal.Command.Command in
+  let a, region_a, _, _ = mk_node ~options () in
+  let b, region_b, _, _ = mk_node ~options () in
+  (* Identical pre-state on both nodes (a value-encoded seed: no
+     set_command, so Command mode still logs ranges). *)
+  let seed = Rvm.begin_txn a in
+  Rvm.write seed ~region:0 ~offset:0 (Bytes.of_string "0123456789abcdef");
+  let seed_record = (Rvm.commit_full seed).Rvm.record in
+  Alcotest.(check bool) "seed is value-encoded" true
+    (seed_record.Lbc_wal.Record.cmd = None);
+  Rvm.apply_record b seed_record;
+  let o = txn_add a ~region:0 ~offset:4 ~len:8 ~delta:7 in
+  Alcotest.(check bool) "update is command-encoded" true
+    (o.Rvm.record.Lbc_wal.Record.cmd <> None);
+  Rvm.apply_record b o.Rvm.record;
+  Alcotest.(check bytes) "peer cache converged"
+    (Region.read region_a ~offset:0 ~len:16)
+    (Region.read region_b ~offset:0 ~len:16);
+  check_int "records applied" 2 (Rvm.stats b).Rvm.records_applied
+
+let test_recovery_replays_cmd () =
+  (* Crash recovery re-executes command records against the database
+     image; stacked commands see the preceding command's output as their
+     pre-state. *)
+  register_add_op ();
+  let rvm, region, db, log_dev =
+    mk_node ~options:(with_log_mode Lbc_wal.Command.Command) ()
+  in
+  let seed = Rvm.begin_txn rvm in
+  Rvm.write seed ~region:0 ~offset:0 (Bytes.make 64 'A');
+  ignore (Rvm.commit seed);
+  ignore (txn_add rvm ~region:0 ~offset:0 ~len:32 ~delta:1);
+  ignore (txn_add rvm ~region:0 ~offset:16 ~len:32 ~delta:2);
+  let expect = Region.read region ~offset:0 ~len:64 in
+  Dev.crash log_dev;
+  Dev.crash db;
+  let log = Lbc_wal.Log.attach log_dev in
+  let outcome = Recovery.replay ~log ~db_for_region:(fun _ -> Some db) in
+  check_int "three records" 3 outcome.Recovery.records_replayed;
+  Alcotest.(check bytes) "db recovered through command re-execution" expect
+    (Dev.read db ~off:0 ~len:64)
+
+(* The ISSUE's replay-identity property: random interleavings of value
+   and command commits must recover byte-identically to an all-value log
+   under every replay shape — serial, partitioned, and on-demand per
+   region-index chain. *)
+let prop_mixed_replay_identity =
+  let size = 256 in
+  let regions = 2 in
+  let gen_ops =
+    QCheck.Gen.(
+      list_size (1 -- 12)
+        (pair
+           (pair (int_bound (regions - 1)) bool)
+           (triple (int_bound 190) (1 -- 32) (1 -- 255))))
+  in
+  QCheck.Test.make ~name:"mixed value/cmd logs replay byte-identical"
+    ~count:60 (QCheck.make gen_ops) (fun ops ->
+      register_add_op ();
+      let log_dev = Dev.create () in
+      let rvm =
+        Rvm.init
+          ~options:(with_log_mode Lbc_wal.Command.Adaptive)
+          ~node:0 ~log_dev ()
+      in
+      for rid = 0 to regions - 1 do
+        ignore (Rvm.map_region rvm ~id:rid ~db:(Dev.create ()) ~size)
+      done;
+      (* Per-region locks so the merged stream partitions into real
+         chains; chain each lock's writes like the lock package would. *)
+      let seqno = Array.make regions 0 in
+      let outcomes =
+        List.map
+          (fun ((rid, as_cmd), (offset, len, delta)) ->
+            let prev = seqno.(rid) in
+            seqno.(rid) <- prev + 1;
+            txn_add ~declare:as_cmd rvm ~region:rid ~offset ~len ~delta
+              ~lock:(100 + rid, prev + 1, prev))
+          ops
+      in
+      let mixed = List.map (fun o -> o.Rvm.record) outcomes in
+      let values = List.map (fun o -> o.Rvm.value) outcomes in
+      let finals =
+        List.init regions (fun rid ->
+            Region.read (Rvm.region rvm rid) ~offset:0 ~len:size)
+      in
+      (* Each replay target starts from the same checkpoint image the
+         writer started from: all zeroes. *)
+      let fresh_devs () =
+        let devs =
+          Array.init regions (fun _ ->
+              let d = Dev.create () in
+              Dev.load d (Bytes.make size '\000');
+              d)
+        in
+        (devs, fun rid -> if rid < regions then Some devs.(rid) else None)
+      in
+      let image devs rid = Dev.read devs.(rid) ~off:0 ~len:size in
+      let matches devs =
+        List.for_all2
+          (fun rid final -> Bytes.equal final (image devs rid))
+          (List.init regions Fun.id)
+          finals
+      in
+      (* Baseline: the all-value log. *)
+      let vdevs, vfor = fresh_devs () in
+      ignore (Recovery.replay_records values ~db_for_region:vfor);
+      (* Serial replay of the mixed log. *)
+      let sdevs, sfor = fresh_devs () in
+      ignore (Recovery.replay_records mixed ~db_for_region:sfor);
+      (* Partitioned replay: lock/region-disjoint streams. *)
+      let pdevs, pfor = fresh_devs () in
+      List.iter
+        (fun stream ->
+          ignore (Recovery.replay_records stream ~db_for_region:pfor))
+        (Lbc_core.Merge.partition mixed);
+      (* On-demand replay: region-index chains read by log offset. *)
+      let odevs, ofor = fresh_devs () in
+      Dev.crash log_dev;
+      let log = Lbc_wal.Log.attach log_dev in
+      let idx, status = Lbc_wal.Region_index.of_log log in
+      let chains_ok = ref (status = Lbc_wal.Log.Clean) in
+      List.iter
+        (fun offsets ->
+          match Recovery.replay_chain ~log ~offsets ~db_for_region:ofor with
+          | Ok _ -> ()
+          | Error _ -> chains_ok := false)
+        (Lbc_wal.Region_index.chains idx);
+      !chains_ok && matches vdevs && matches sdevs && matches pdevs
+      && matches odevs)
 
 let qtest = QCheck_alcotest.to_alcotest
 
@@ -697,5 +960,23 @@ let suites =
           test_truncate_flushes_open_batch_first;
         Alcotest.test_case "apply_record counts unmapped ranges" `Quick
           test_apply_record_counts_unmapped;
+      ] );
+    ( "rvm.adaptive",
+      [
+        Alcotest.test_case "Value mode ignores the declaration" `Quick
+          test_value_mode_ignores_command;
+        Alcotest.test_case "Command mode forces the cmd encoding" `Quick
+          test_command_mode_forces_cmd;
+        Alcotest.test_case "Adaptive picks the smaller encoding" `Quick
+          test_adaptive_picks_smaller;
+        Alcotest.test_case "read-only commits stay value" `Quick
+          test_readonly_stays_value;
+        Alcotest.test_case "set_command needs a registered op" `Quick
+          test_set_command_unregistered_rejected;
+        Alcotest.test_case "peer applies a cmd record" `Quick
+          test_apply_cmd_record_peer;
+        Alcotest.test_case "recovery re-executes cmds" `Quick
+          test_recovery_replays_cmd;
+        qtest prop_mixed_replay_identity;
       ] );
   ]

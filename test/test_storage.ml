@@ -120,6 +120,45 @@ let prop_sync_then_crash_is_identity =
       Dev.crash d;
       Bytes.equal before (Dev.snapshot d))
 
+(* Satellite regression: a file device whose underlying file is shorter
+   than the tracked length (a crash truncated it mid-append) must read
+   the missing tail as zeroes — the log scanner then reports a
+   structured torn-tail verdict — instead of dying on a short read. *)
+let test_file_short_read_zero_fills () =
+  let path = Filename.temp_file "lbc-test-dev" ".img" in
+  let d = Dev.create_file ~path () in
+  Dev.write_string d ~off:0 "0123456789abcdef";
+  Dev.sync d;
+  (* Simulate the crash: the kernel kept only the first 6 bytes. *)
+  Unix.truncate path 6;
+  let b = Dev.read d ~off:0 ~len:16 in
+  check_bytes "prefix intact, tail zero-filled"
+    (Bytes.of_string "012345\000\000\000\000\000\000\000\000\000\000")
+    b;
+  (* Reading entirely past the truncation point is all zeroes too. *)
+  check_bytes "pure-tail read is zeroes" (Bytes.make 4 '\000')
+    (Dev.read d ~off:10 ~len:4);
+  (* Reading past the *tracked* length is still a programming error. *)
+  Alcotest.(check bool) "beyond tracked length still raises" true
+    (try
+       ignore (Dev.read d ~off:0 ~len:17);
+       false
+     with Invalid_argument _ -> true);
+  Dev.close d;
+  Sys.remove path
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "lbc-test-dev" ".img" in
+  let d = Dev.create_file ~path () in
+  Dev.write_string d ~off:3 "abc";
+  Dev.sync d;
+  Dev.close d;
+  let d' = Dev.create_file ~path () in
+  check_bytes "reopened file keeps bytes" (Bytes.of_string "\000\000\000abc")
+    (Dev.read d' ~off:0 ~len:6);
+  Dev.close d';
+  Sys.remove path
+
 let test_store_named_devices () =
   let s = Store.create () in
   let a = Store.open_dev s "db" in
@@ -160,6 +199,10 @@ let suites =
         Alcotest.test_case "latency charged" `Quick test_latency_charged;
         Alcotest.test_case "load replaces" `Quick test_load_replaces;
         QCheck_alcotest.to_alcotest prop_sync_then_crash_is_identity;
+        Alcotest.test_case "file device: short read zero-fills" `Quick
+          test_file_short_read_zero_fills;
+        Alcotest.test_case "file device: reopen roundtrip" `Quick
+          test_file_roundtrip;
       ] );
     ( "storage.store",
       [

@@ -16,6 +16,7 @@ let mk_txn ?(node = 1) ?(tid = 7) ?(locks = []) ranges =
         (fun (region, offset, s) ->
           { Record.region; offset; data = Bytes.of_string s })
         ranges;
+    cmd = None;
   }
 
 let lock lock_id seqno prev_write_seq = { Record.lock_id; seqno; prev_write_seq }
@@ -276,6 +277,7 @@ let golden_txns =
         locks = [ { lock_id = 0; seqno = 1; prev_write_seq = 0 } ];
         ranges =
           [ { region = 0; offset = 16; data = Bytes.of_string "hello world!" } ];
+        cmd = None;
       } );
     (* multi-lock, multi-region, big varints *)
     ( "t2",
@@ -291,12 +293,14 @@ let golden_txns =
             { region = 2; offset = 100_300; data = Bytes.of_string "abc" };
             { region = 5; offset = 0; data = Bytes.make 3 '\x00' };
           ];
+        cmd = None;
       } );
     (* read-only (no ranges) *)
     ( "t3",
       { node = 1; tid = 9;
         locks = [ { lock_id = 2; seqno = 5; prev_write_seq = 4 } ];
         ranges = [];
+        cmd = None;
       } );
     (* unsorted ranges on input, zero-length data *)
     ( "t4",
@@ -308,6 +312,7 @@ let golden_txns =
             { region = 1; offset = 0; data = Bytes.of_string "xy" };
             { region = 0; offset = 8; data = Bytes.empty };
           ];
+        cmd = None;
       } )
   ]
 
@@ -697,6 +702,260 @@ let test_region_index_covers_scan_gap () =
     [ [ o1 ]; [ o2 ] ]
     (List.sort compare (Region_index.chains idx'))
 
+(* ------------------------------------------------------------------ *)
+(* Command records (adaptive logging) *)
+
+let mk_cmd_txn ?(node = 1) ?(tid = 7) ?(locks = []) ?(op = 901)
+    ?(params = Bytes.of_string "\x01\x02\x03") ?(regions = [ 0 ]) () =
+  {
+    Record.node;
+    tid;
+    locks;
+    ranges = [];
+    cmd = Some { Record.op; params; cmd_regions = regions };
+  }
+
+let test_cmd_roundtrip () =
+  let t =
+    mk_cmd_txn ~node:3 ~tid:42 ~locks:[ lock 5 10 8 ] ~op:77
+      ~params:(Bytes.of_string "some-params") ~regions:[ 2; 0 ] ()
+  in
+  let b = Record.encode t in
+  Alcotest.(check int) "encoded_size matches" (Bytes.length b)
+    (Record.encoded_size t);
+  (* A command record carries no range headers, so the header size knob
+     must not change its bytes. *)
+  Alcotest.(check int) "range_header_size has no effect" (Bytes.length b)
+    (Bytes.length (Record.encode ~range_header_size:20 t));
+  match Record.decode b ~pos:0 with
+  | Record.Txn (t', next) ->
+      Alcotest.check txn_testable "roundtrip" t t';
+      Alcotest.(check int) "consumed all" (Bytes.length b) next
+  | _ -> Alcotest.fail "cmd record did not decode"
+
+let test_cmd_rejects_ranges () =
+  let t =
+    {
+      (mk_cmd_txn ()) with
+      Record.ranges =
+        [ { Record.region = 0; offset = 0; data = Bytes.of_string "x" } ];
+    }
+  in
+  Alcotest.(check bool) "ranges + cmd rejected" true
+    (try
+       ignore (Record.encode t);
+       false
+     with Invalid_argument _ -> true)
+
+let test_cmd_corrupt_is_torn () =
+  let b = Record.encode (mk_cmd_txn ()) in
+  let i = Bytes.length b - 6 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+  (match Record.decode b ~pos:0 with
+  | Record.Torn _ -> ()
+  | _ -> Alcotest.fail "expected Torn (bad crc)");
+  let b = Record.encode (mk_cmd_txn ()) in
+  let cut = Bytes.sub b 0 (Bytes.length b - 3) in
+  match Record.decode cut ~pos:0 with
+  | Record.Torn _ -> ()
+  | _ -> Alcotest.fail "expected Torn (truncated)"
+
+let test_cmd_write_and_regions () =
+  let c = mk_cmd_txn ~regions:[ 4; 1; 4; 0 ] () in
+  Alcotest.(check bool) "cmd is a write" true (Record.is_write c);
+  Alcotest.(check (list int)) "regions dedup + sort" [ 0; 1; 4 ]
+    (Record.regions c);
+  let v = mk_txn [ (2, 0, "v"); (0, 8, "w"); (2, 16, "x") ] in
+  Alcotest.(check bool) "value record is a write" true (Record.is_write v);
+  Alcotest.(check (list int)) "value regions" [ 0; 2 ] (Record.regions v);
+  Alcotest.(check bool) "read-only acquire is not a write" false
+    (Record.is_write (mk_txn ~locks:[ lock 1 1 0 ] []))
+
+let test_cmd_in_log () =
+  (* Value and command records interleave in one log and survive a
+     crash like any forced record. *)
+  let d = Dev.create () in
+  let log = Log.attach d in
+  ignore (Log.append log (mk_txn ~tid:1 [ (0, 0, "aa") ]) : int);
+  ignore (Log.append log (mk_cmd_txn ~tid:2 ()) : int);
+  ignore (Log.append log (mk_txn ~tid:3 [ (0, 8, "bb") ]) : int);
+  Log.force log;
+  Dev.crash d;
+  let log' = Log.attach d in
+  let txns, status = Log.read_all log' in
+  Alcotest.(check bool) "clean" true (status = Log.Clean);
+  Alcotest.(check (list int)) "all three records" [ 1; 2; 3 ]
+    (List.map (fun t -> t.Record.tid) txns);
+  Alcotest.(check bool) "cmd survived" true
+    ((List.nth txns 1).Record.cmd <> None)
+
+let test_region_index_cmd_chains () =
+  (* Command records feed the replay-partition index through the same
+     region keys a value record derives from its ranges. *)
+  let d = Dev.create () in
+  let log = Log.attach d in
+  let o1 = Log.append log (mk_txn ~tid:1 [ (0, 0, "aa") ]) in
+  let o2 = Log.append log (mk_cmd_txn ~tid:2 ~regions:[ 1 ] ()) in
+  let o3 = Log.append log (mk_cmd_txn ~tid:3 ~regions:[ 0 ] ()) in
+  Log.force log;
+  let idx, status = Region_index.of_log log in
+  Alcotest.(check bool) "clean" true (status = Log.Clean);
+  Alcotest.(check (list (list int)))
+    "cmds chain by region" [ [ o1; o3 ]; [ o2 ] ]
+    (Region_index.chains idx)
+
+(* The same transactions the CMD golden generator used: the command
+   framing (magic, varint layout, trailing CRC) is pinned byte-for-byte. *)
+let golden_cmd_txns =
+  let open Record in
+  [
+    ( "c1",
+      { node = 0; tid = 1;
+        locks = [ { lock_id = 0; seqno = 1; prev_write_seq = 0 } ];
+        ranges = [];
+        cmd =
+          Some
+            { op = 1; params = Bytes.of_string "hello world!";
+              cmd_regions = [ 0 ] };
+      } );
+    ( "c2",
+      { node = 3; tid = 200;
+        locks =
+          [
+            { lock_id = 7; seqno = 300; prev_write_seq = 299 };
+            { lock_id = 150; seqno = 2; prev_write_seq = 0 };
+          ];
+        ranges = [];
+        cmd =
+          Some
+            { op = 12345; params = Bytes.make 40 '\x5a';
+              cmd_regions = [ 2; 5; 100 ] };
+      } );
+    (* degenerate: no locks, empty params, no regions *)
+    ( "c3",
+      { node = 65535; tid = 1_000_000; locks = []; ranges = [];
+        cmd = Some { op = 0; params = Bytes.empty; cmd_regions = [] };
+      } );
+  ]
+
+let test_cmd_golden () =
+  List.iter
+    (fun (name, t) ->
+      Alcotest.(check string)
+        (name ^ " command framing is byte-stable")
+        (golden "CMD" name)
+        (hex_of_bytes (Record.encode t));
+      match Record.decode (bytes_of_hex (golden "CMD" name)) ~pos:0 with
+      | Record.Txn (t', _) ->
+          Alcotest.check txn_testable (name ^ " golden decodes") t t'
+      | _ -> Alcotest.fail (name ^ ": golden cmd record did not decode"))
+    golden_cmd_txns
+
+let gen_cmd_txn =
+  let open QCheck.Gen in
+  let gen_lock =
+    map
+      (fun (a, b, c) -> lock a (b + 1) c)
+      (triple (int_bound 500) (int_bound 1000) (int_bound 1000))
+  in
+  map
+    (fun (node, tid, locks, (op, params, regions)) ->
+      {
+        Record.node;
+        tid;
+        locks;
+        ranges = [];
+        cmd =
+          Some
+            { Record.op; params = Bytes.of_string params;
+              cmd_regions = regions };
+      })
+    (quad (int_bound 100) (int_bound 10_000) (list_size (0 -- 5) gen_lock)
+       (triple (int_bound 100_000)
+          (string_size ~gen:printable (0 -- 64))
+          (list_size (0 -- 4) (int_bound 7))))
+
+let prop_cmd_roundtrip =
+  QCheck.Test.make ~name:"cmd record roundtrip (random)" ~count:300
+    (QCheck.make gen_cmd_txn) (fun t ->
+      let b = Record.encode t in
+      Bytes.length b = Record.encoded_size t
+      &&
+      match Record.decode b ~pos:0 with
+      | Record.Txn (t', next) ->
+          Record.equal_txn t t' && next = Bytes.length b
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Command registry *)
+
+let null_mem =
+  {
+    Command.read = (fun ~region:_ ~offset:_ ~len -> Bytes.make len '\000');
+    write = (fun ~region:_ ~offset:_ _ -> ());
+  }
+
+let test_command_registry () =
+  let nop _ ~params:_ = () in
+  Command.register ~op:910 ~name:"test-nop" nop;
+  Alcotest.(check bool) "registered" true (Command.registered 910);
+  Alcotest.(check (option string)) "name" (Some "test-nop")
+    (Command.name 910);
+  (* Re-registering the same op/name pair is idempotent... *)
+  Command.register ~op:910 ~name:"test-nop" nop;
+  Alcotest.(check bool) "still registered" true (Command.registered 910);
+  (* ...but a different name claiming the id is a wiring bug. *)
+  Alcotest.(check bool) "conflicting name rejected" true
+    (try
+       Command.register ~op:910 ~name:"impostor" nop;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "unregistered op" false (Command.registered 911);
+  Alcotest.(check (option string)) "no name" None (Command.name 911)
+
+let test_command_unknown_op () =
+  Alcotest.(check bool) "execute raises Unknown_op" true
+    (try
+       Command.execute null_mem ~op:912 ~params:Bytes.empty;
+       false
+     with Command.Unknown_op 912 -> true);
+  Alcotest.(check bool) "apply raises Unknown_op" true
+    (try
+       Command.apply null_mem (mk_cmd_txn ~op:912 ());
+       false
+     with Command.Unknown_op 912 -> true)
+
+let test_command_apply_dispatch () =
+  let img = Bytes.make 32 '\000' in
+  let mem =
+    {
+      Command.read = (fun ~region:_ ~offset ~len -> Bytes.sub img offset len);
+      write =
+        (fun ~region:_ ~offset data ->
+          Bytes.blit data 0 img offset (Bytes.length data));
+    }
+  in
+  (* A value record's ranges are blitted... *)
+  Command.apply mem (mk_txn [ (0, 4, "val!") ]);
+  Alcotest.(check string) "value blit" "val!" (Bytes.sub_string img 4 4);
+  (* ...a command record's registered body runs. *)
+  Command.register ~op:913 ~name:"test-stamp" (fun m ~params ->
+      m.Command.write ~region:0 ~offset:20 params);
+  Command.apply mem (mk_cmd_txn ~op:913 ~params:(Bytes.of_string "CMD") ());
+  Alcotest.(check string) "command executed" "CMD"
+    (Bytes.sub_string img 20 3)
+
+let test_log_mode_names () =
+  List.iter
+    (fun m ->
+      Alcotest.(check (option string)) "mode name roundtrips"
+        (Some (Command.log_mode_name m))
+        (Option.map Command.log_mode_name
+           (Command.log_mode_of_name (Command.log_mode_name m))))
+    [ Command.Value; Command.Command; Command.Adaptive ];
+  Alcotest.(check bool) "unknown mode" true
+    (Command.log_mode_of_name "bogus" = None)
+
 let suites =
   [
     ( "wal.record",
@@ -751,6 +1010,24 @@ let suites =
           test_region_index_tracks_log;
         Alcotest.test_case "region index covers scan gap" `Quick
           test_region_index_covers_scan_gap;
+      ] );
+    ( "wal.cmd",
+      [
+        Alcotest.test_case "cmd roundtrip" `Quick test_cmd_roundtrip;
+        Alcotest.test_case "ranges + cmd rejected" `Quick
+          test_cmd_rejects_ranges;
+        Alcotest.test_case "corrupt cmd = Torn" `Quick test_cmd_corrupt_is_torn;
+        Alcotest.test_case "is_write / regions" `Quick
+          test_cmd_write_and_regions;
+        Alcotest.test_case "cmd interleaves in log" `Quick test_cmd_in_log;
+        Alcotest.test_case "region index chains cmds" `Quick
+          test_region_index_cmd_chains;
+        Alcotest.test_case "cmd golden vectors" `Quick test_cmd_golden;
+        Alcotest.test_case "registry" `Quick test_command_registry;
+        Alcotest.test_case "unknown op" `Quick test_command_unknown_op;
+        Alcotest.test_case "apply dispatch" `Quick test_command_apply_dispatch;
+        Alcotest.test_case "log-mode names" `Quick test_log_mode_names;
+        QCheck_alcotest.to_alcotest prop_cmd_roundtrip;
       ] );
     ( "wal.group_commit",
       [
